@@ -1,0 +1,170 @@
+// Command paretomon runs continuous Pareto-frontier dissemination over an
+// object stream on disk: it loads an objects CSV and a preference-profiles
+// JSON (the formats written by cmd/datagen), replays the objects in order
+// through the chosen engine, and reports each object's target users.
+//
+// Usage:
+//
+//	paretomon -objects movie.objects.csv -prefs movie.prefs.json \
+//	          -algorithm ftv -h 3.3 -window 0 [-quiet] [-limit N]
+//
+// Algorithms: baseline, ftv (FilterThenVerify), ftva (approximate).
+// -window > 0 switches to sliding-window semantics. Note that -h is a raw
+// branch cut on this data's similarity scale (Σ over attributes of
+// weighted Jaccard ∈ [0, d]), not the paper's normalized axis.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	paretomon "repro"
+	"repro/internal/approx"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/object"
+	"repro/internal/pref"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+type engine interface {
+	Process(o object.Object) []int
+	UserFrontier(c int) []int
+}
+
+func main() {
+	var (
+		objPath  = flag.String("objects", "", "objects CSV path (required)")
+		prefPath = flag.String("prefs", "", "preference profiles JSON path (required)")
+		alg      = flag.String("algorithm", "ftv", "baseline, ftv, or ftva")
+		h        = flag.Float64("h", 3.3, "clustering branch cut (raw similarity scale)")
+		theta1   = flag.Int("theta1", 400, "θ1 for ftva")
+		theta2   = flag.Float64("theta2", 0.5, "θ2 for ftva")
+		win      = flag.Int("window", 0, "sliding window size (0 = append-only)")
+		limit    = flag.Int("limit", 0, "process at most N objects (0 = all)")
+		quiet    = flag.Bool("quiet", false, "suppress per-object delivery lines")
+		serve    = flag.String("serve", "", "serve HTTP on this address after replaying the objects (e.g. :8080)")
+	)
+	flag.Parse()
+	if *objPath == "" || *prefPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *serve != "" {
+		serveHTTP(*objPath, *prefPath, *serve, *limit)
+		return
+	}
+
+	of, err := os.Open(*objPath)
+	check(err)
+	doms, objs, err := dataset.ReadObjectsCSV(of)
+	check(err)
+	check(of.Close())
+
+	pf, err := os.Open(*prefPath)
+	check(err)
+	users, err := dataset.ReadProfilesJSON(pf, doms)
+	check(err)
+	check(pf.Close())
+
+	ctr := &stats.Counters{}
+	var eng engine
+	switch *alg {
+	case "baseline":
+		if *win > 0 {
+			eng = window.NewBaselineSW(users, *win, ctr)
+		} else {
+			eng = core.NewBaseline(users, ctr)
+		}
+	case "ftv", "ftva":
+		measure := cluster.WeightedJaccard
+		if *alg == "ftva" {
+			measure = cluster.VectorWeightedJaccard
+		}
+		res := cluster.Agglomerative(users, measure, *h)
+		clusters := make([]core.Cluster, len(res.Clusters))
+		for i, ci := range res.Clusters {
+			common := ci.Common
+			if *alg == "ftva" {
+				members := make([]*pref.Profile, len(ci.Members))
+				for j, id := range ci.Members {
+					members[j] = users[id]
+				}
+				common = approx.Profile(members, *theta1, *theta2)
+			}
+			clusters[i] = core.Cluster{Members: ci.Members, Common: common}
+		}
+		fmt.Fprintf(os.Stderr, "clustered %d users into %d clusters (h=%.2f)\n",
+			len(users), len(clusters), *h)
+		if *win > 0 {
+			eng = window.NewFilterThenVerifySW(users, clusters, *win, ctr)
+		} else {
+			eng = core.NewFilterThenVerify(users, clusters, ctr)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	n := len(objs)
+	if *limit > 0 && *limit < n {
+		n = *limit
+	}
+	for _, o := range objs[:n] {
+		co := eng.Process(o)
+		if !*quiet && len(co) > 0 {
+			fmt.Fprintf(out, "o%d ->", o.ID+1)
+			for _, c := range co {
+				fmt.Fprintf(out, " u%d", c)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "processed %d objects for %d users: %s\n", n, len(users), ctr)
+}
+
+// serveHTTP loads the dataset through the public facade, replays up to
+// limit objects, and exposes the monitor as a REST service: POST /objects,
+// GET /frontier/{user}, POST /preferences, GET /stats, GET /clusters.
+func serveHTTP(objPath, prefPath, addr string, limit int) {
+	of, err := os.Open(objPath)
+	check(err)
+	pf, err := os.Open(prefPath)
+	check(err)
+	com, rows, err := paretomon.LoadCommunity(of, pf)
+	check(err)
+	check(of.Close())
+	check(pf.Close())
+
+	cfg := paretomon.DefaultConfig()
+	cfg.BranchCut = 3.3 // raw scale of the generated workloads
+	mon, err := paretomon.NewMonitor(com, cfg)
+	check(err)
+	n := len(rows)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i, row := range rows[:n] {
+		_, err := mon.Add(fmt.Sprintf("o%d", i+1), row...)
+		check(err)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d objects for %d users; serving on %s\n",
+		n, com.Len(), addr)
+	check(http.ListenAndServe(addr, server.New(mon)))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paretomon:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+// Laptops walks through the paper's running example end to end: the
+// product table of Table 1 and the preference DAGs of Table 2 (users c1
+// and c2), reproducing the dissemination decisions of Examples 1.1, 3.5
+// and 4.8 — o15 goes to c2 only, o16 goes to nobody — with both the
+// Baseline and the FilterThenVerify engines.
+//
+//	go run ./examples/laptops
+package main
+
+import (
+	"fmt"
+	"log"
+
+	paretomon "repro"
+)
+
+// products is Table 1 of the paper; display sizes are pre-bucketed the way
+// Table 2's partial orders expect.
+var products = [][4]string{
+	{"o1", "10-12.9", "Apple", "single"},
+	{"o2", "13-15.9", "Apple", "dual"},
+	{"o3", "13-15.9", "Samsung", "dual"},
+	{"o4", "19-up", "Toshiba", "dual"},
+	{"o5", "9.9-under", "Samsung", "quad"},
+	{"o6", "10-12.9", "Sony", "single"},
+	{"o7", "9.9-under", "Lenovo", "quad"},
+	{"o8", "10-12.9", "Apple", "dual"},
+	{"o9", "19-up", "Sony", "single"},
+	{"o10", "9.9-under", "Lenovo", "triple"},
+	{"o11", "9.9-under", "Toshiba", "triple"},
+	{"o12", "9.9-under", "Samsung", "triple"},
+	{"o13", "13-15.9", "Sony", "dual"},
+	{"o14", "16-18.9", "Sony", "single"},
+	{"o15", "16-18.9", "Lenovo", "quad"},
+	{"o16", "16-18.9", "Toshiba", "single"},
+}
+
+func buildCommunity() *paretomon.Community {
+	schema := paretomon.NewSchema("display", "brand", "CPU")
+	com := paretomon.NewCommunity(schema)
+
+	c1, err := com.AddUser("c1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Table 2, row c1: 13-15.9 ≻ 10-12.9 ≻ {16-18.9, 19-up} ≻ 9.9-under.
+	must(c1.PreferChain("display", "13-15.9", "10-12.9", "16-18.9", "9.9-under"))
+	must(c1.Prefer("display", "10-12.9", "19-up"))
+	must(c1.Prefer("display", "19-up", "9.9-under"))
+	// Apple ≻ Lenovo ≻ {Sony, Toshiba, Samsung}.
+	must(c1.Prefer("brand", "Apple", "Lenovo"))
+	must(c1.Prefer("brand", "Lenovo", "Sony"))
+	must(c1.Prefer("brand", "Lenovo", "Toshiba"))
+	must(c1.Prefer("brand", "Lenovo", "Samsung"))
+	// dual ≻ {triple, quad} ≻ single.
+	must(c1.Prefer("CPU", "dual", "triple"))
+	must(c1.Prefer("CPU", "dual", "quad"))
+	must(c1.Prefer("CPU", "triple", "single"))
+	must(c1.Prefer("CPU", "quad", "single"))
+
+	c2, err := com.AddUser("c2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Table 2, row c2.
+	must(c2.PreferChain("display", "13-15.9", "16-18.9", "10-12.9", "19-up", "9.9-under"))
+	must(c2.Prefer("brand", "Apple", "Toshiba"))
+	must(c2.Prefer("brand", "Lenovo", "Toshiba"))
+	must(c2.Prefer("brand", "Toshiba", "Sony"))
+	must(c2.Prefer("brand", "Lenovo", "Samsung"))
+	must(c2.PreferChain("CPU", "quad", "triple", "dual", "single"))
+	return com
+}
+
+func main() {
+	for _, alg := range []paretomon.Algorithm{
+		paretomon.AlgorithmBaseline,
+		paretomon.AlgorithmFilterThenVerify,
+	} {
+		com := buildCommunity()
+		cfg := paretomon.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.BranchCut = 0.01 // c1 and c2 form the paper's cluster U
+		mon, err := paretomon.NewMonitor(com, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %v ===\n", alg)
+		for _, p := range products {
+			d, err := mon.Add(p[0], p[1], p[2], p[3])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(d.Users) > 0 {
+				fmt.Printf("deliver %-4s (%s, %s, %s) -> %v\n", p[0], p[1], p[2], p[3], d.Users)
+			}
+		}
+		f1, _ := mon.Frontier("c1")
+		f2, _ := mon.Frontier("c2")
+		fmt.Printf("P_c1 = %v   (paper: [o2])\n", f1)
+		fmt.Printf("P_c2 = %v   (paper: [o2 o3 o15])\n", f2)
+		st := mon.Stats()
+		fmt.Printf("comparisons = %d\n\n", st.Comparisons)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

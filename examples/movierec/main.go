@@ -1,0 +1,193 @@
+// Movierec is the paper's product-recommendation scenario at a realistic
+// scale: a few hundred users in latent taste groups, a catalog of movies
+// streaming in, and the monitor deciding for every new movie which users
+// should be notified. It contrasts the Baseline engine with
+// FilterThenVerify and the approximate FilterThenVerifyApprox, printing
+// the comparison counts and the accuracy of the approximation — a
+// miniature of the paper's Fig. 4 and Table 11.
+//
+//	go run ./examples/movierec
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	paretomon "repro"
+)
+
+const (
+	numUsers  = 120
+	numGroups = 8
+	numMovies = 1200
+	numActors = 40
+	numGenres = 10
+)
+
+// buildCommunity synthesizes users whose preference chains come from a
+// group-level ranking with individual swaps — the "similar preferences"
+// structure FilterThenVerify exploits.
+func buildCommunity(rng *rand.Rand) *paretomon.Community {
+	schema := paretomon.NewSchema("actor", "genre")
+	com := paretomon.NewCommunity(schema)
+
+	actorNames := make([]string, numActors)
+	for i := range actorNames {
+		actorNames[i] = fmt.Sprintf("actor%02d", i)
+	}
+	genreNames := make([]string, numGenres)
+	for i := range genreNames {
+		genreNames[i] = fmt.Sprintf("genre%d", i)
+	}
+
+	// One value ranking per group and attribute.
+	groupRank := make([][2][]string, numGroups)
+	for g := range groupRank {
+		a := append([]string(nil), actorNames...)
+		rng.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+		ge := append([]string(nil), genreNames...)
+		rng.Shuffle(len(ge), func(i, j int) { ge[i], ge[j] = ge[j], ge[i] })
+		groupRank[g] = [2][]string{a, ge}
+	}
+
+	for u := 0; u < numUsers; u++ {
+		user, err := com.AddUser(fmt.Sprintf("user%03d", u))
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := groupRank[u%numGroups]
+		for attr, ranking := range map[string][]string{
+			"actor": perturb(rng, g[0]),
+			"genre": perturb(rng, g[1]),
+		} {
+			// Users rank only the popular prefix of the values; the tail
+			// stays incomparable — preferences are genuinely partial.
+			prefix := ranking[:len(ranking)*2/3]
+			if err := user.PreferChain(attr, prefix...); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return com
+}
+
+// perturb swaps a few adjacent pairs, giving each user a slightly
+// different ranking than their group.
+func perturb(rng *rand.Rand, ranking []string) []string {
+	out := append([]string(nil), ranking...)
+	for k := 0; k < 2; k++ {
+		i := rng.Intn(len(out) - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	return out
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// The catalog: movies with Zipf-ish popular actors and genres.
+	movies := make([][2]string, numMovies)
+	for i := range movies {
+		movies[i] = [2]string{
+			fmt.Sprintf("actor%02d", rng.Intn(1+rng.Intn(numActors))),
+			fmt.Sprintf("genre%d", rng.Intn(1+rng.Intn(numGenres))),
+		}
+	}
+
+	run := func(alg paretomon.Algorithm) (paretomon.Stats, map[string][]string) {
+		com := buildCommunity(rand.New(rand.NewSource(42)))
+		cfg := paretomon.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.BranchCut = 1.2 // raw similarity scale of this example's data
+		if alg == paretomon.AlgorithmFilterThenVerifyApprox {
+			cfg.Measure = paretomon.MeasureVectorWeightedJaccard
+			cfg.BranchCut = 0.9
+			cfg.Theta1 = 600
+			cfg.Theta2 = 0.5
+		}
+		mon, err := paretomon.NewMonitor(com, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		notified := 0
+		for i, m := range movies {
+			d, err := mon.Add(fmt.Sprintf("movie%04d", i), m[0], m[1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			notified += len(d.Users)
+		}
+		frontiers := map[string][]string{}
+		for _, u := range com.Users() {
+			f, _ := mon.Frontier(u)
+			frontiers[u] = f
+		}
+		st := mon.Stats()
+		fmt.Printf("%-24v clusters=%-3d comparisons=%-9d notifications=%d\n",
+			alg, len(mon.Clusters()), st.Comparisons, notified)
+		return st, frontiers
+	}
+
+	fmt.Printf("%d users (%d taste groups), %d movies, 2 attributes\n\n",
+		numUsers, numGroups, numMovies)
+	stBase, exact := run(paretomon.AlgorithmBaseline)
+	stFTV, ftv := run(paretomon.AlgorithmFilterThenVerify)
+	_, ftva := run(paretomon.AlgorithmFilterThenVerifyApprox)
+
+	// FilterThenVerify must agree with Baseline exactly.
+	mismatch := 0
+	for u, f := range exact {
+		if !equal(f, ftv[u]) {
+			mismatch++
+		}
+	}
+	fmt.Printf("\nFTV frontier mismatches vs Baseline: %d (must be 0)\n", mismatch)
+	fmt.Printf("FTV does %.1fx fewer comparisons than Baseline\n",
+		float64(stBase.Comparisons)/float64(stFTV.Comparisons))
+
+	// The approximation trades a little recall for bigger clusters.
+	tp, fp, fn := 0, 0, 0
+	for u, f := range exact {
+		in := map[string]bool{}
+		for _, o := range ftva[u] {
+			in[o] = true
+		}
+		for _, o := range f {
+			if in[o] {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		fp += len(ftva[u]) - countIn(ftva[u], f)
+	}
+	fmt.Printf("FTVA precision=%.2f%% recall=%.2f%%\n",
+		100*float64(tp)/float64(tp+fp), 100*float64(tp)/float64(tp+fn))
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func countIn(xs, ys []string) int {
+	in := map[string]bool{}
+	for _, y := range ys {
+		in[y] = true
+	}
+	n := 0
+	for _, x := range xs {
+		if in[x] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+// Newsfeed demonstrates alive-object dissemination under sliding-window
+// semantics (Sec. 7 of the paper): news items are only worth delivering
+// while fresh, so each item expires after Window subsequent posts. The
+// example shows an item re-entering a user's frontier when the story that
+// eclipsed it expires — the "mend" path that distinguishes windowed
+// monitoring from append-only monitoring.
+//
+//	go run ./examples/newsfeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	paretomon "repro"
+)
+
+func main() {
+	schema := paretomon.NewSchema("source", "topic")
+	com := paretomon.NewCommunity(schema)
+
+	reader, err := com.AddUser("reader")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The reader trusts the wire service most and has a topic ordering;
+	// both are partial: blogs and tabloids are incomparable to each other.
+	must(reader.Prefer("source", "wire", "paper"))
+	must(reader.Prefer("source", "paper", "blog"))
+	must(reader.Prefer("source", "paper", "tabloid"))
+	must(reader.PreferChain("topic", "elections", "economy", "sports"))
+
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmBaseline
+	cfg.Window = 4 // an item lives for 4 subsequent posts
+	mon, err := paretomon.NewMonitor(com, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	posts := [][3]string{
+		{"blog-econ-1", "blog", "economy"},
+		{"wire-elect-1", "wire", "elections"}, // dominates everything below it
+		{"paper-econ-1", "paper", "economy"},
+		{"tabloid-sports-1", "tabloid", "sports"},
+		{"blog-econ-2", "blog", "economy"},
+		{"paper-sports-1", "paper", "sports"},
+		// wire-elect-1 expires here (window 4): paper-econ-1 has also
+		// expired, so the feed re-surfaces what is now undominated.
+		{"blog-elect-1", "blog", "elections"},
+		{"tabloid-econ-1", "tabloid", "economy"},
+	}
+	for _, p := range posts {
+		d, err := mon.Add(p[0], p[1], p[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		feed, _ := mon.Frontier("reader")
+		marker := ""
+		if len(d.Users) > 0 {
+			marker = "  <- notify"
+		}
+		fmt.Printf("post %-17s feed=%v%s\n", p[0], feed, marker)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest useful paretomon session. Two users with
+// partial-order preferences over two attributes, a handful of arriving
+// objects, and the deliveries the monitor makes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	paretomon "repro"
+)
+
+func main() {
+	// 1. Declare the object schema.
+	schema := paretomon.NewSchema("brand", "CPU")
+	community := paretomon.NewCommunity(schema)
+
+	// 2. Register users and their preferences. Preferences are strict
+	// partial orders: alice ranks brands totally, bob only partially —
+	// he is indifferent between Apple and Lenovo.
+	alice, err := community.AddUser("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(alice.PreferChain("brand", "Apple", "Lenovo", "Toshiba"))
+	must(alice.PreferChain("CPU", "quad", "dual", "single"))
+
+	bob, err := community.AddUser("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(bob.Prefer("brand", "Apple", "Toshiba"))
+	must(bob.Prefer("brand", "Lenovo", "Toshiba"))
+	must(bob.PreferChain("CPU", "dual", "quad", "single"))
+
+	// 3. Build a monitor. The default configuration clusters users with
+	// similar preferences and shares the filtering work across them
+	// (FilterThenVerify); results are identical to checking every user
+	// independently.
+	cfg := paretomon.DefaultConfig()
+	cfg.BranchCut = 0.01 // tiny community: let alice and bob share a cluster
+	monitor, err := paretomon.NewMonitor(community, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Stream objects. Each Add returns who should see the object:
+	// exactly the users for whom it is Pareto-optimal right now.
+	for _, laptop := range [][3]string{
+		{"laptop-1", "Lenovo", "dual"},
+		{"laptop-2", "Apple", "quad"},   // dominates laptop-1 for alice
+		{"laptop-3", "Toshiba", "quad"}, // dominated for both
+		{"laptop-4", "Apple", "dual"},   // bob's ideal
+	} {
+		d, err := monitor.Add(laptop[0], laptop[1], laptop[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s -> %v\n", d.Object, d.Users)
+	}
+
+	// 5. Inspect the current Pareto frontiers.
+	for _, user := range community.Users() {
+		f, _ := monitor.Frontier(user)
+		fmt.Printf("frontier(%s) = %v\n", user, f)
+	}
+	st := monitor.Stats()
+	fmt.Printf("comparisons: %d (filter %d, verify %d)\n",
+		st.Comparisons, st.FilterComparisons, st.VerifyComparisons)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package approx implements Sec. 6.1 of the paper: approximate common
+// preference relations. For a cluster of users, a preference tuple shared
+// by a sizable fraction of members (frequency > θ2) is admitted into the
+// cluster's relation ≻̂_U — up to a size budget θ1 — as long as the
+// growing relation stays a strict partial order. The resulting virtual
+// user Û subsumes the exact common relation (Lemma 6.4), enabling larger
+// clusters at the cost of bounded false negatives (Sec. 6.2).
+package approx
+
+import (
+	"sort"
+
+	"repro/internal/order"
+	"repro/internal/pref"
+)
+
+// Candidate is one possible preference tuple together with the fraction of
+// cluster members whose relation contains it (freq(A_i) of Def. 6.1).
+type Candidate struct {
+	Better, Worse int
+	Freq          float64
+}
+
+// Candidates enumerates the preference tuples present in at least one
+// member's relation on attribute d, with their frequencies, sorted by
+// descending frequency (ties broken by better id then worse id — Def. 6.1
+// permits any frequency-sorted permutation; this one is deterministic).
+func Candidates(members []*pref.Profile, d int) []Candidate {
+	counts := make(map[order.Tuple]int)
+	for _, m := range members {
+		m.Relation(d).ForEachTuple(func(x, y int) {
+			counts[order.Tuple{Better: x, Worse: y}]++
+		})
+	}
+	out := make([]Candidate, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, Candidate{Better: t.Better, Worse: t.Worse, Freq: float64(c) / float64(len(members))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		if out[i].Better != out[j].Better {
+			return out[i].Better < out[j].Better
+		}
+		return out[i].Worse < out[j].Worse
+	})
+	return out
+}
+
+// Build is Alg. 3 (GetApproxPreferenceTuples) over an explicit candidate
+// order: common tuples (freq = 1) are always included; remaining
+// candidates are admitted in the given order while |≻̂| < θ1 and
+// freq > θ2, each admission applying the transitive closure and being
+// rejected if it would break the strict-partial-order axioms (reverse
+// tuple already present).
+func Build(dom *order.Domain, cands []Candidate, theta1 int, theta2 float64) *order.Relation {
+	r := order.NewRelation(dom)
+	for _, c := range cands {
+		if c.Freq == 1 {
+			// Common preference tuples bypass the thresholds (Def. 6.1's
+			// "∨ freq(A_i) = 1"). They are mutually consistent — they form
+			// the common relation — so Add cannot fail here.
+			if err := r.Add(c.Better, c.Worse); err != nil {
+				panic("approx: common tuples must form a strict partial order: " + err.Error())
+			}
+			continue
+		}
+		if r.Size() >= theta1 || c.Freq <= theta2 {
+			break
+		}
+		// Try to admit; a rejected tuple (reverse already present) is
+		// skipped, not fatal — Alg. 3 Line 6.
+		_ = r.Add(c.Better, c.Worse)
+	}
+	return r
+}
+
+// Relation computes ≻̂_U for one attribute of a cluster (Def. 6.1) using
+// the deterministic candidate order of Candidates.
+func Relation(members []*pref.Profile, d, theta1 int, theta2 float64) *order.Relation {
+	return Build(members[0].Domains()[d], Candidates(members, d), theta1, theta2)
+}
+
+// Profile computes the full approximate common preference profile of a
+// cluster: one ≻̂_U per attribute. θ1 bounds each attribute relation's
+// size; θ2 is the minimum (exclusive) member frequency.
+func Profile(members []*pref.Profile, theta1 int, theta2 float64) *pref.Profile {
+	if len(members) == 0 {
+		panic("approx: empty cluster")
+	}
+	p := pref.NewProfile(members[0].Domains())
+	for d := 0; d < p.Dims(); d++ {
+		p.SetRelation(d, Relation(members, d, theta1, theta2))
+	}
+	return p
+}

@@ -1,0 +1,50 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSets(n, fill int) (*Set, *Set) {
+	r := rand.New(rand.NewSource(7))
+	a, b := New(n), New(n)
+	for i := 0; i < fill; i++ {
+		a.Add(r.Intn(n))
+		b.Add(r.Intn(n))
+	}
+	return a, b
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	x, y := benchSets(512, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectionCount(y)
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	x, y := benchSets(512, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	x, _ := benchSets(512, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Contains(i & 511)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	x, _ := benchSets(512, 200)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(v int) bool { s += v; return true })
+	}
+	_ = s
+}

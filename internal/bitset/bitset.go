@@ -1,0 +1,296 @@
+// Package bitset provides a dense, growable set of small non-negative
+// integers backed by a []uint64. It is the kernel under the partial-order
+// engine (transitive-closure rows) and the frontier sets: intersection of
+// preference relations, dominance pruning, and frontier membership all
+// reduce to word-parallel operations on these sets.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset. The zero value is an empty set ready for use.
+// Methods with a receiver pointer may grow the set; read-only methods
+// tolerate sets of different lengths.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity for values in [0, n) pre-allocated.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice builds a set containing every value in vs.
+func FromSlice(vs []int) *Set {
+	s := &Set{}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	nw := make([]uint64, word+1)
+	copy(nw, s.words)
+	s.words = nw
+}
+
+// Add inserts v into the set. v must be non-negative.
+func (s *Set) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("bitset: negative value %d", v))
+	}
+	w := v / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(v%wordBits)
+}
+
+// Remove deletes v from the set; removing an absent value is a no-op.
+func (s *Set) Remove(v int) {
+	if v < 0 {
+		return
+	}
+	w := v / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(v%wordBits)
+	}
+}
+
+// Contains reports whether v is in the set.
+func (s *Set) Contains(v int) bool {
+	if v < 0 {
+		return false
+	}
+	w := v / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(v%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom makes s an exact copy of t, reusing s's storage when possible.
+func (s *Set) CopyFrom(t *Set) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	} else {
+		s.words = s.words[:len(t.words)]
+	}
+	copy(s.words, t.words)
+}
+
+// Or sets s = s ∪ t and reports whether s changed.
+func (s *Set) Or(t *Set) bool {
+	changed := false
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words) - 1)
+	}
+	for i, w := range t.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// And sets s = s ∩ t.
+func (s *Set) And(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// AndNot sets s = s − t.
+func (s *Set) AndNot(t *Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// UnionCount returns |s ∪ t| without allocating.
+func (s *Set) UnionCount(t *Set) int {
+	c := 0
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range long {
+		if i < len(short) {
+			w |= short[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// DifferenceCount returns |s − t| without allocating.
+func (s *Set) DifferenceCount(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		if i < len(t.words) {
+			w &^= t.words[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range long {
+		var sw uint64
+		if i < len(short) {
+			sw = short[i]
+		}
+		if w != sw {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(v int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(i*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(v int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{1, 5, 9}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", v)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fixtures"
+)
+
+// Clustering the six users of the paper's Table 3 with the weighted
+// Jaccard measure at branch cut h = 3/11 reproduces Example 5.5's
+// clustering: {c1, c2, c5, c6} and {c3, c4}.
+func ExampleAgglomerative() {
+	brands := fixtures.NewBrands()
+	res := cluster.Agglomerative(brands.Profiles, cluster.WeightedJaccard, 3.0/11)
+	for _, c := range res.Clusters {
+		fmt.Println(c.Members)
+	}
+	// Output:
+	// [0 1 4 5]
+	// [2 3]
+}
+
+// The similarity measures reproduce the paper's worked values.
+func ExampleSimAttr() {
+	brands := fixtures.NewBrands()
+	u1, u2, u3 := brands.U[0], brands.U[1], brands.U[2]
+	fmt.Println(cluster.SimAttr(cluster.IntersectionSize, u1, u3))         // Example 5.1
+	fmt.Printf("%.4f\n", cluster.SimAttr(cluster.Jaccard, u2, u3))         // Example 5.2: 2/7
+	fmt.Println(cluster.SimAttr(cluster.WeightedIntersection, u1, u3))     // Example 5.4: 3/2
+	fmt.Printf("%.4f\n", cluster.SimAttr(cluster.WeightedJaccard, u1, u3)) // Example 5.5: 3/11
+	// Output:
+	// 2
+	// 0.2857
+	// 1.5
+	// 0.2727
+}

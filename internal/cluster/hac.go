@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pref"
+)
+
+// Info describes one resulting cluster: the member user indices and the
+// cluster's common preference profile (the intersection of its members'
+// relations — the virtual user U of Def. 4.1).
+type Info struct {
+	Members []int
+	Common  *pref.Profile
+}
+
+// MergeStep records one agglomeration for dendrogram inspection: clusters
+// A and B (by their position in the evolving cluster list) merged at the
+// given similarity into cluster Result.
+type MergeStep struct {
+	A, B, Result int
+	Sim          float64
+}
+
+// Result is the outcome of hierarchical agglomerative clustering.
+type Result struct {
+	Clusters []Info
+	// Dendrogram lists the merges in the order they happened. Node ids
+	// 0..n-1 are the singleton users; n+k is the cluster created by the
+	// k-th merge.
+	Dendrogram []MergeStep
+}
+
+// pairItem is a candidate merge in the priority queue.
+type pairItem struct {
+	sim  float64
+	a, b int // node ids
+}
+
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].sim != h[j].sim {
+		return h[i].sim > h[j].sim // max-heap on similarity
+	}
+	if h[i].a != h[j].a { // deterministic tie-break
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)   { *h = append(*h, x.(pairItem)) }
+func (h *pairHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// node is a live or merged cluster during agglomeration.
+type node struct {
+	members []int
+	common  *pref.Profile
+	vec     *Vector // only for vector measures
+	alive   bool
+}
+
+// Agglomerative clusters the users bottom-up with the conventional
+// hierarchical agglomerative algorithm (Sec. 5): every user starts as a
+// singleton; at each step the two most similar clusters merge, the merged
+// cluster's common preference relation is recomputed (by intersection —
+// or, for vector measures, its frequency vector by summation), and merging
+// stops when no pair reaches similarity h (the dendrogram branch cut).
+//
+// Example 5.5's trace: over Table 3 with sim_wj, the cluster set is
+// {{c1,c2,c5,c6}, {c3,c4}} for h ∈ (0, 3/11].
+func Agglomerative(users []*pref.Profile, m Measure, h float64) *Result {
+	n := len(users)
+	if n == 0 {
+		return &Result{}
+	}
+	nodes := make([]*node, 0, 2*n)
+	for i, u := range users {
+		nd := &node{members: []int{i}, common: u.Clone(), alive: true}
+		if m.IsVector() {
+			nd.vec = NewVector([]*pref.Profile{u}, m == VectorWeightedJaccard)
+		}
+		nodes = append(nodes, nd)
+	}
+
+	sim := func(a, b *node) float64 {
+		if m.IsVector() {
+			return SimVectors(a.vec, b.vec)
+		}
+		return Sim(m, a.common, b.common)
+	}
+
+	pq := &pairHeap{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := sim(nodes[i], nodes[j])
+			if s >= h {
+				*pq = append(*pq, pairItem{sim: s, a: i, b: j})
+			}
+		}
+	}
+	heap.Init(pq)
+
+	res := &Result{}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pairItem)
+		if !nodes[it.a].alive || !nodes[it.b].alive {
+			continue // stale pair: one side already merged away
+		}
+		if it.sim < h {
+			break
+		}
+		na, nb := nodes[it.a], nodes[it.b]
+		na.alive, nb.alive = false, false
+		merged := &node{
+			members: append(append([]int{}, na.members...), nb.members...),
+			alive:   true,
+		}
+		sort.Ints(merged.members)
+		merged.common = intersectProfiles(na.common, nb.common)
+		if m.IsVector() {
+			merged.vec = na.vec.Merge(nb.vec)
+		}
+		id := len(nodes)
+		nodes = append(nodes, merged)
+		res.Dendrogram = append(res.Dendrogram, MergeStep{A: it.a, B: it.b, Result: id, Sim: it.sim})
+		for j, nj := range nodes[:id] {
+			if nj.alive {
+				s := sim(merged, nj)
+				if s >= h {
+					heap.Push(pq, pairItem{sim: s, a: j, b: id})
+				}
+			}
+		}
+	}
+
+	for _, nd := range nodes {
+		if nd.alive {
+			res.Clusters = append(res.Clusters, Info{Members: nd.members, Common: nd.common})
+		}
+	}
+	// Deterministic output order: by smallest member.
+	sort.Slice(res.Clusters, func(i, j int) bool {
+		return res.Clusters[i].Members[0] < res.Clusters[j].Members[0]
+	})
+	return res
+}
+
+func intersectProfiles(a, b *pref.Profile) *pref.Profile {
+	c := a.Clone()
+	for d := 0; d < c.Dims(); d++ {
+		c.SetRelation(d, c.Relation(d).Intersect(b.Relation(d)))
+	}
+	return c
+}
+
+// String renders the clustering compactly, e.g. "[{0 1} {2 3}]".
+func (r *Result) String() string {
+	s := "["
+	for i, c := range r.Clusters {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v", c.Members)
+	}
+	return s + "]"
+}
+
+// DOT renders the dendrogram in Graphviz format: leaves are users
+// (labeled u<i>), internal nodes are merges labeled with their similarity.
+// Useful for eyeballing where a branch cut h will slice the tree.
+func (r *Result) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n", name)
+	for _, st := range r.Dendrogram {
+		fmt.Fprintf(&b, "  n%d [label=\"sim=%.3f\"];\n", st.Result, st.Sim)
+		for _, child := range []int{st.A, st.B} {
+			fmt.Fprintf(&b, "  %s -> n%d;\n", nodeName(child, r), st.Result)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// nodeName labels leaves u<i> and merge nodes n<id>. Leaf ids are those
+// never produced by a merge.
+func nodeName(id int, r *Result) string {
+	for _, st := range r.Dendrogram {
+		if st.Result == id {
+			return fmt.Sprintf("n%d", id)
+		}
+	}
+	return fmt.Sprintf("u%d", id)
+}

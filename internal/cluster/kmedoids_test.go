@@ -1,0 +1,107 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/fixtures"
+	"repro/internal/pref"
+)
+
+func TestKMedoidsTable3(t *testing.T) {
+	b := fixtures.NewBrands()
+	// k = 3 on Table 3's six users should recover the pair structure
+	// {c1,c2}, {c3,c4}, {c5,c6} under the weighted Jaccard measure.
+	res := cluster.KMedoids(b.Profiles, cluster.WeightedJaccard, 3, 0)
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %v", res)
+	}
+	want := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	for i, c := range res.Clusters {
+		if !reflect.DeepEqual(c.Members, want[i]) {
+			t.Errorf("cluster %d = %v, want %v", i, c.Members, want[i])
+		}
+	}
+	// Common profiles must equal the member intersections.
+	for _, c := range res.Clusters {
+		var members []*pref.Profile
+		for _, m := range c.Members {
+			members = append(members, b.Profiles[m])
+		}
+		if !c.Common.Equal(pref.Common(members)) {
+			t.Errorf("cluster %v common mismatch", c.Members)
+		}
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	b := fixtures.NewBrands()
+	if res := cluster.KMedoids(nil, cluster.Jaccard, 3, 0); len(res.Clusters) != 0 {
+		t.Error("empty input should give no clusters")
+	}
+	if res := cluster.KMedoids(b.Profiles, cluster.Jaccard, 0, 0); len(res.Clusters) != 0 {
+		t.Error("k=0 should give no clusters")
+	}
+	// k > n clamps: every user its own cluster.
+	res := cluster.KMedoids(b.Profiles, cluster.Jaccard, 99, 0)
+	if len(res.Clusters) != 6 {
+		t.Errorf("k>n: %d clusters, want 6", len(res.Clusters))
+	}
+	// k = 1: one cluster with everyone.
+	one := cluster.KMedoids(b.Profiles, cluster.Jaccard, 1, 0)
+	if len(one.Clusters) != 1 || len(one.Clusters[0].Members) != 6 {
+		t.Errorf("k=1: %v", one)
+	}
+}
+
+func TestKMedoidsVectorMeasure(t *testing.T) {
+	b := fixtures.NewBrands()
+	res := cluster.KMedoids(b.Profiles, cluster.VectorWeightedJaccard, 3, 0)
+	seen := map[int]bool{}
+	for _, c := range res.Clusters {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatal("overlapping clusters")
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("not a partition: %v", res)
+	}
+}
+
+// K-medoids always partitions the users and is deterministic.
+func TestQuickKMedoidsPartitionDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ps := randomProfiles(r, 9, 5, 6)
+		k := 1 + r.Intn(4)
+		a := cluster.KMedoids(ps, cluster.WeightedJaccard, k, 0)
+		bres := cluster.KMedoids(ps, cluster.WeightedJaccard, k, 0)
+		if !reflect.DeepEqual(a.Clusters, bres.Clusters) {
+			return false
+		}
+		seen := make([]bool, len(ps))
+		for _, c := range a.Clusters {
+			for _, m := range c.Members {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return len(a.Clusters) <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

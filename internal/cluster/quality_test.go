@@ -1,0 +1,52 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fixtures"
+)
+
+func TestQualityPrefersTrueStructure(t *testing.T) {
+	b := fixtures.NewBrands()
+	good := []cluster.Info{
+		{Members: []int{0, 1}},
+		{Members: []int{2, 3}},
+		{Members: []int{4, 5}},
+	}
+	bad := []cluster.Info{
+		{Members: []int{0, 2}},
+		{Members: []int{1, 4}},
+		{Members: []int{3, 5}},
+	}
+	for _, m := range []cluster.Measure{cluster.WeightedJaccard, cluster.VectorWeightedJaccard} {
+		qg := cluster.Quality(b.Profiles, good, m)
+		qb := cluster.Quality(b.Profiles, bad, m)
+		if qg <= qb {
+			t.Errorf("%v: quality(good)=%v should beat quality(bad)=%v", m, qg, qb)
+		}
+		if qg <= 0 {
+			t.Errorf("%v: true structure should have positive quality, got %v", m, qg)
+		}
+	}
+}
+
+func TestQualityDegenerateInputs(t *testing.T) {
+	b := fixtures.NewBrands()
+	if q := cluster.Quality(b.Profiles[:1], nil, cluster.Jaccard); q != 0 {
+		t.Errorf("single user quality = %v", q)
+	}
+	// One mega-cluster: no cross pairs, quality = mean within-sim.
+	mega := []cluster.Info{{Members: []int{0, 1, 2, 3, 4, 5}}}
+	if q := cluster.Quality(b.Profiles, mega, cluster.Jaccard); q <= 0 {
+		t.Errorf("mega-cluster quality = %v, want > 0", q)
+	}
+	// All singletons: no within pairs, quality = -mean cross-sim ≤ 0.
+	var singles []cluster.Info
+	for i := 0; i < 6; i++ {
+		singles = append(singles, cluster.Info{Members: []int{i}})
+	}
+	if q := cluster.Quality(b.Profiles, singles, cluster.Jaccard); q > 0 {
+		t.Errorf("singleton quality = %v, want ≤ 0", q)
+	}
+}

@@ -1,0 +1,214 @@
+// Package cluster implements Sec. 5 and Sec. 6.3 of the paper: clustering
+// users whose preferences are strict partial orders. It provides the four
+// exact inter-cluster similarity measures (intersection size, Jaccard,
+// weighted intersection size, weighted Jaccard; Eqs. 2–5), their
+// frequency-vector counterparts for the approximate regime (Eqs. 9–10),
+// and hierarchical agglomerative clustering with a dendrogram branch cut h.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/order"
+	"repro/internal/pref"
+)
+
+// Measure identifies an inter-cluster similarity function.
+type Measure int
+
+const (
+	// IntersectionSize is sim_i (Eq. 2): |≻_U1 ∩ ≻_U2| per attribute.
+	IntersectionSize Measure = iota
+	// Jaccard is sim_j (Eq. 3): intersection size over union size.
+	Jaccard
+	// WeightedIntersection is sim_wi (Eq. 4): common tuples weighted by the
+	// average of the better value's inverse distance-from-maximal in the
+	// two cluster relations.
+	WeightedIntersection
+	// WeightedJaccard is sim_wj (Eq. 5): weighted intersection over
+	// weighted union.
+	WeightedJaccard
+	// VectorJaccard is the approximate-regime Jaccard (Eq. 9) over
+	// preference-tuple frequency vectors of the clusters' members.
+	VectorJaccard
+	// VectorWeightedJaccard is Eq. 10: frequency vectors where each
+	// member's contribution is weighted by its own distance-from-maximal
+	// weight of the tuple's better value.
+	VectorWeightedJaccard
+)
+
+// String returns the measure's paper name.
+func (m Measure) String() string {
+	switch m {
+	case IntersectionSize:
+		return "sim_i"
+	case Jaccard:
+		return "sim_j"
+	case WeightedIntersection:
+		return "sim_wi"
+	case WeightedJaccard:
+		return "sim_wj"
+	case VectorJaccard:
+		return "sim_j(vec)"
+	case VectorWeightedJaccard:
+		return "sim_wj(vec)"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// IsVector reports whether the measure operates on member frequency
+// vectors (Sec. 6.3) rather than on the clusters' common relations.
+func (m Measure) IsVector() bool {
+	return m == VectorJaccard || m == VectorWeightedJaccard
+}
+
+// SimAttr computes sim^d(U1, U2) between two cluster relations on one
+// attribute for the four exact measures of Sec. 5.
+func SimAttr(m Measure, a, b *order.Relation) float64 {
+	switch m {
+	case IntersectionSize:
+		return float64(a.IntersectionSize(b))
+	case Jaccard:
+		u := a.UnionSize(b)
+		if u == 0 {
+			return 0
+		}
+		return float64(a.IntersectionSize(b)) / float64(u)
+	case WeightedIntersection:
+		return weightedIntersection(a, b)
+	case WeightedJaccard:
+		wi := weightedIntersection(a, b)
+		den := wi + weightedDifference(a, b) + weightedDifference(b, a)
+		if den == 0 {
+			return 0
+		}
+		return wi / den
+	default:
+		panic("cluster: SimAttr called with a vector measure; use SimVectors")
+	}
+}
+
+// weightedIntersection is Eq. 4: for every common tuple (v, v'), the
+// average of v's weight in a and in b.
+func weightedIntersection(a, b *order.Relation) float64 {
+	s := 0.0
+	a.ForEachTuple(func(x, y int) {
+		if b.Has(x, y) {
+			s += (a.Weight(x) + b.Weight(x)) / 2
+		}
+	})
+	return s
+}
+
+// weightedDifference sums, over tuples (v,v') in a but not b, v's weight
+// in a — the second and third terms of Eq. 5's denominator.
+func weightedDifference(a, b *order.Relation) float64 {
+	s := 0.0
+	a.ForEachTuple(func(x, y int) {
+		if !b.Has(x, y) {
+			s += a.Weight(x)
+		}
+	})
+	return s
+}
+
+// Sim computes sim(U1, U2) = Σ_d sim^d(U1, U2) (Eq. 1) between two
+// cluster profiles under an exact measure.
+func Sim(m Measure, a, b *pref.Profile) float64 {
+	s := 0.0
+	for d := 0; d < a.Dims(); d++ {
+		s += SimAttr(m, a.Relation(d), b.Relation(d))
+	}
+	return s
+}
+
+// Vector is one cluster's per-attribute preference-tuple frequency vector
+// (Sec. 6.3). For attribute d with domain size m there are m·(m−1)
+// dimensions, indexed by better*m+worse; entries are stored sparsely.
+// Entries hold Σ over members of the member's contribution (1 for plain
+// frequency, the member's weight of the better value for the weighted
+// variant); Size is the member count so entries/Size is the frequency.
+type Vector struct {
+	entries []map[int64]float64 // per attribute: tuple key -> summed contribution
+	size    int                 // |U|
+}
+
+// tupleKey packs (attribute value ids) into a sparse map key.
+func tupleKey(better, worse, domSize int) int64 {
+	return int64(better)*int64(domSize) + int64(worse)
+}
+
+// NewVector builds the frequency vector of a set of member profiles.
+// weighted selects Eq. 10's per-member weighting over Eq. 9's counts.
+func NewVector(members []*pref.Profile, weighted bool) *Vector {
+	if len(members) == 0 {
+		panic("cluster: vector of empty member set")
+	}
+	dims := members[0].Dims()
+	v := &Vector{entries: make([]map[int64]float64, dims), size: len(members)}
+	for d := 0; d < dims; d++ {
+		v.entries[d] = make(map[int64]float64)
+		domSize := members[0].Domains()[d].Size()
+		for _, m := range members {
+			r := m.Relation(d)
+			r.ForEachTuple(func(x, y int) {
+				w := 1.0
+				if weighted {
+					w = r.Weight(x)
+				}
+				v.entries[d][tupleKey(x, y, domSize)] += w
+			})
+		}
+	}
+	return v
+}
+
+// Merge returns the vector of the union of two disjoint member sets; the
+// per-tuple sums add and sizes add, so the merged frequencies are exact
+// without revisiting members.
+func (v *Vector) Merge(o *Vector) *Vector {
+	out := &Vector{entries: make([]map[int64]float64, len(v.entries)), size: v.size + o.size}
+	for d := range v.entries {
+		m := make(map[int64]float64, len(v.entries[d])+len(o.entries[d]))
+		for k, x := range v.entries[d] {
+			m[k] = x
+		}
+		for k, x := range o.entries[d] {
+			m[k] += x
+		}
+		out.entries[d] = m
+	}
+	return out
+}
+
+// SimVectors computes Σ_d Jaccard over frequency vectors (Eqs. 9–10):
+// Σ min(U(i), V(i)) / Σ max(U(i), V(i)) per attribute, summed over
+// attributes per Eq. 1.
+func SimVectors(a, b *Vector) float64 {
+	total := 0.0
+	for d := range a.entries {
+		var mins, maxs float64
+		for k, av := range a.entries[d] {
+			af := av / float64(a.size)
+			bf := b.entries[d][k] / float64(b.size)
+			if af < bf {
+				mins += af
+				maxs += bf
+			} else {
+				mins += bf
+				maxs += af
+			}
+		}
+		for k, bv := range b.entries[d] {
+			if _, ok := a.entries[d][k]; ok {
+				continue
+			}
+			maxs += bv / float64(b.size)
+		}
+		if maxs > 0 {
+			total += mins / maxs
+		}
+	}
+	return total
+}

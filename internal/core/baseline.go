@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/object"
+	"repro/internal/pref"
+	"repro/internal/stats"
+)
+
+// Baseline is Alg. 1: upon each arrival it updates every user's Pareto
+// frontier independently by scanning that user's current frontier. It is
+// the per-user BNL-style maintenance the paper compares against; its only
+// virtue is simplicity — work is repeated for every user regardless of how
+// similar their preferences are.
+type Baseline struct {
+	users   []*pref.Profile
+	fronts  []*Frontier
+	targets *targetTracker
+	ctr     *stats.Counters
+}
+
+// NewBaseline creates a Baseline monitor for the given users. ctr may be
+// nil to skip accounting.
+func NewBaseline(users []*pref.Profile, ctr *stats.Counters) *Baseline {
+	b := &Baseline{
+		users:   users,
+		fronts:  make([]*Frontier, len(users)),
+		targets: newTargetTracker(),
+		ctr:     ctr,
+	}
+	for i := range b.fronts {
+		b.fronts[i] = NewFrontier()
+	}
+	return b
+}
+
+// Process implements Alg. 1: for every user, run updateParetoFrontier and
+// collect the target users C_o.
+func (b *Baseline) Process(o object.Object) []int {
+	b.ctr.AddProcessed()
+	var co []int
+	for c := range b.users {
+		if b.updateUser(c, o) {
+			co = append(co, c)
+		}
+	}
+	b.ctr.AddDelivered(len(co))
+	return co
+}
+
+// updateUser is Procedure updateParetoFrontier(c, o) of Alg. 1. It returns
+// whether o is Pareto-optimal for c. Every pairwise comparison is counted
+// as a verify comparison (Baseline has no filter tier).
+func (b *Baseline) updateUser(c int, o object.Object) bool {
+	u := b.users[c]
+	f := b.fronts[c]
+	isPareto := true
+scan:
+	for i := 0; i < f.Len(); {
+		op := f.At(i)
+		b.ctr.AddVerify(1)
+		switch u.Compare(o, op) {
+		case pref.Left: // o ≻ o': discard o', keep scanning this slot
+			f.Remove(op.ID)
+			b.targets.remove(op.ID, c)
+		case pref.Right: // o' ≻ o: o disqualified
+			isPareto = false
+			break scan
+		case pref.Identical: // o' = o: o is Pareto-optimal, stop scanning
+			break scan
+		default:
+			i++
+		}
+	}
+	if isPareto {
+		f.Add(o)
+		b.targets.add(o.ID, c)
+	}
+	return isPareto
+}
+
+// UserFrontier returns P_c as object ids.
+func (b *Baseline) UserFrontier(c int) []int { return b.fronts[c].IDs() }
+
+// FrontierObjects returns P_c as objects (scan order).
+func (b *Baseline) FrontierObjects(c int) []object.Object { return b.fronts[c].Objects() }
+
+// Targets returns the current C_o of a previously processed object: the
+// users for whom it is still Pareto-optimal.
+func (b *Baseline) Targets(objID int) []int { return b.targets.users(objID) }

@@ -1,0 +1,60 @@
+// Package core implements the paper's primary contribution: continuous
+// monitoring of Pareto frontiers for many users over an append-only object
+// stream. It contains the per-user Baseline monitor (Alg. 1) and the
+// shared-computation FilterThenVerify monitor (Alg. 2), which also serves
+// as FilterThenVerifyApprox when given approximate common preference
+// relations (Sec. 6.2 — "the algorithm itself remains the same").
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/object"
+)
+
+// Monitor is the common interface of the append-only engines: feed each
+// arriving object, get back its target users C_o (indices into the user
+// list the engine was built with).
+type Monitor interface {
+	// Process ingests the next object and returns the ids of users whose
+	// Pareto frontier the object joins, in ascending order.
+	Process(o object.Object) []int
+	// UserFrontier returns the current Pareto frontier of user c as object
+	// ids in unspecified order.
+	UserFrontier(c int) []int
+}
+
+// targetTracker maintains C_o for every object currently Pareto-optimal
+// for at least one user ("C_o ← C_o ± {c}" bookkeeping in Algs. 1–2).
+type targetTracker struct {
+	m map[int]*bitset.Set // object id -> set of user ids
+}
+
+func newTargetTracker() *targetTracker {
+	return &targetTracker{m: make(map[int]*bitset.Set)}
+}
+
+func (t *targetTracker) add(objID, user int) {
+	s, ok := t.m[objID]
+	if !ok {
+		s = &bitset.Set{}
+		t.m[objID] = s
+	}
+	s.Add(user)
+}
+
+func (t *targetTracker) remove(objID, user int) {
+	if s, ok := t.m[objID]; ok {
+		s.Remove(user)
+		if s.Empty() {
+			delete(t.m, objID)
+		}
+	}
+}
+
+// users returns C_o as a sorted slice (nil if empty).
+func (t *targetTracker) users(objID int) []int {
+	if s, ok := t.m[objID]; ok {
+		return s.Slice()
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import "repro/internal/object"
+
+// Frontier is a mutable Pareto frontier: a set of objects none of which
+// dominates another (under the owner's preference profile). Membership
+// tests are O(1); removal is swap-delete. Iteration order is the engine's
+// scan order and is deterministic for a fixed input history.
+type Frontier struct {
+	list []object.Object
+	pos  map[int]int // object id -> index in list
+}
+
+// NewFrontier returns an empty frontier.
+func NewFrontier() *Frontier {
+	return &Frontier{pos: make(map[int]int)}
+}
+
+// Len returns the number of frontier objects.
+func (f *Frontier) Len() int { return len(f.list) }
+
+// Contains reports whether the object with the given id is in the frontier.
+func (f *Frontier) Contains(objID int) bool {
+	_, ok := f.pos[objID]
+	return ok
+}
+
+// Add inserts o; inserting an object already present is a no-op.
+func (f *Frontier) Add(o object.Object) {
+	if _, ok := f.pos[o.ID]; ok {
+		return
+	}
+	f.pos[o.ID] = len(f.list)
+	f.list = append(f.list, o)
+}
+
+// Remove deletes the object with the given id, returning whether it was
+// present.
+func (f *Frontier) Remove(objID int) bool {
+	i, ok := f.pos[objID]
+	if !ok {
+		return false
+	}
+	last := len(f.list) - 1
+	if i != last {
+		f.list[i] = f.list[last]
+		f.pos[f.list[i].ID] = i
+	}
+	f.list = f.list[:last]
+	delete(f.pos, objID)
+	return true
+}
+
+// At returns the i-th object in scan order. Engines iterate by index so
+// they can remove the current element and retry the same slot (swap-delete
+// moves the last element into it).
+func (f *Frontier) At(i int) object.Object { return f.list[i] }
+
+// IDs returns the member object ids in unspecified order.
+func (f *Frontier) IDs() []int {
+	out := make([]int, len(f.list))
+	for i, o := range f.list {
+		out[i] = o.ID
+	}
+	return out
+}
+
+// Objects returns the member objects in scan order; the caller must not
+// mutate the slice.
+func (f *Frontier) Objects() []object.Object { return f.list }
+
+// Clone returns an independent copy.
+func (f *Frontier) Clone() *Frontier {
+	c := NewFrontier()
+	for _, o := range f.list {
+		c.Add(o)
+	}
+	return c
+}

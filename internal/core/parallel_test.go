@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/pref"
+	"repro/internal/stats"
+)
+
+func TestParallelMatchesSequentialPaperExample(t *testing.T) {
+	l := fixtures.NewLaptops()
+	users := []*pref.Profile{l.C1, l.C2}
+	clusters := []core.Cluster{
+		{Members: []int{0}, Common: l.C1.Clone()},
+		{Members: []int{1}, Common: l.C2.Clone()},
+	}
+	seqCtr, parCtr := &stats.Counters{}, &stats.Counters{}
+	seq := core.NewFilterThenVerify(users, clusters, seqCtr)
+	par := core.NewParallelFilterThenVerify(users, clusters, 2, parCtr)
+	if par.Shards() != 2 {
+		t.Fatalf("Shards = %d", par.Shards())
+	}
+	for _, o := range l.Objects {
+		cs := seq.Process(o)
+		cp := par.Process(o)
+		if !reflect.DeepEqual(cs, cp) {
+			t.Fatalf("o%d: sequential %v vs parallel %v", o.ID+1, cs, cp)
+		}
+	}
+	for c := range users {
+		if !reflect.DeepEqual(sorted(seq.UserFrontier(c)), sorted(par.UserFrontier(c))) {
+			t.Errorf("user %d frontier mismatch", c)
+		}
+	}
+	if seqCtr.Comparisons != parCtr.Comparisons {
+		t.Errorf("comparison accounting: seq=%d par=%d", seqCtr.Comparisons, parCtr.Comparisons)
+	}
+	if parCtr.Processed != uint64(len(l.Objects)) {
+		t.Errorf("Processed = %d", parCtr.Processed)
+	}
+	// Targets merge across shards.
+	if got := par.Targets(1); !reflect.DeepEqual(got, seq.Targets(1)) {
+		t.Errorf("Targets = %v, want %v", got, seq.Targets(1))
+	}
+}
+
+func TestParallelWorkerClamping(t *testing.T) {
+	l := fixtures.NewLaptops()
+	users := []*pref.Profile{l.C1, l.C2}
+	clusters := []core.Cluster{{Members: []int{0, 1}, Common: l.U}}
+	// More workers than clusters: clamps to cluster count.
+	par := core.NewParallelFilterThenVerify(users, clusters, 16, nil)
+	if par.Shards() != 1 {
+		t.Fatalf("Shards = %d, want 1", par.Shards())
+	}
+	// workers <= 0 resolves to GOMAXPROCS then clamps.
+	par0 := core.NewParallelFilterThenVerify(users, clusters, 0, nil)
+	if par0.Shards() != 1 {
+		t.Fatalf("Shards = %d, want 1", par0.Shards())
+	}
+}
+
+func TestParallelValidatesPartition(t *testing.T) {
+	l := fixtures.NewLaptops()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad partition should panic")
+		}
+	}()
+	core.NewParallelFilterThenVerify([]*pref.Profile{l.C1, l.C2},
+		[]core.Cluster{{Members: []int{0}, Common: l.U}}, 2, nil)
+}
+
+// Randomized equivalence across worker counts, cluster shapes, and
+// object streams.
+func TestQuickParallelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		users, objs := randomWorld(r, 6, 2, 5, 40, 5)
+		clusters := []core.Cluster{
+			{Members: []int{0, 1}, Common: pref.Common([]*pref.Profile{users[0], users[1]})},
+			{Members: []int{2}, Common: users[2].Clone()},
+			{Members: []int{3, 4, 5}, Common: pref.Common([]*pref.Profile{users[3], users[4], users[5]})},
+		}
+		workers := 1 + r.Intn(4)
+		seq := core.NewFilterThenVerify(users, clusters, nil)
+		par := core.NewParallelFilterThenVerify(users, clusters, workers, nil)
+		for _, o := range objs {
+			if !reflect.DeepEqual(seq.Process(o), par.Process(o)) {
+				return false
+			}
+		}
+		for c := range users {
+			if !reflect.DeepEqual(sorted(seq.UserFrontier(c)), sorted(par.UserFrontier(c))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

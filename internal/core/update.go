@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pref"
+)
+
+// Online preference updates. The paper assumes preferences "stand or only
+// change occasionally"; this extension handles the occasional change
+// without rebuilding the engine, for the growth direction: adding a
+// preference tuple (plus its transitive closure) only ever adds dominance
+// pairs, so every frontier can only shrink, and filtering the current
+// frontier pairwise is exact:
+//
+// If an alive object x outside the old frontier dominated o under the new
+// preferences, then x was dominated by some old frontier member y, still
+// is (growth preserves dominance), and y — or whatever new-frontier member
+// dominates y — dominates o transitively. So scanning old frontier members
+// against each other loses nothing.
+//
+// Removing a preference tuple can resurrect arbitrary previously-dominated
+// objects, which an append-only engine has discarded; that direction
+// requires a rebuild and is deliberately not offered.
+
+// ApplyPreference records that user c now also prefers value better over
+// value worse on attribute d, and repairs the user's frontier in place.
+// It fails if the tuple would break the strict-partial-order axioms.
+func (b *Baseline) ApplyPreference(c, d, better, worse int) error {
+	if c < 0 || c >= len(b.users) {
+		return fmt.Errorf("core: no user %d", c)
+	}
+	if err := b.users[c].Relation(d).Add(better, worse); err != nil {
+		return err
+	}
+	b.repairUser(c)
+	return nil
+}
+
+// repairUser removes frontier members dominated under the (grown)
+// preferences. Comparisons are counted as verify work.
+func (b *Baseline) repairUser(c int) {
+	u := b.users[c]
+	f := b.fronts[c]
+	members := append([]int(nil), f.IDs()...)
+	for _, id := range members {
+		if !f.Contains(id) {
+			continue // removed by an earlier iteration
+		}
+		o := f.list[f.pos[id]]
+		for i := 0; i < f.Len(); i++ {
+			op := f.At(i)
+			if op.ID == id {
+				continue
+			}
+			b.ctr.AddVerify(1)
+			if u.Dominates(op, o) {
+				f.Remove(id)
+				b.targets.remove(id, c)
+				break
+			}
+		}
+	}
+}
+
+// ApplyPreference records a new preference tuple for user c on attribute d
+// and repairs, in order: the user's cluster's common relation (which can
+// only grow — it is the intersection of member relations and one member's
+// relation grew), the cluster's filter frontier, and the member frontiers.
+func (f *FilterThenVerify) ApplyPreference(c, d, better, worse int) error {
+	if c < 0 || c >= len(f.users) {
+		return fmt.Errorf("core: no user %d", c)
+	}
+	if err := f.users[c].Relation(d).Add(better, worse); err != nil {
+		return err
+	}
+	ui := f.clusterOf(c)
+	cl := &f.clusters[ui]
+
+	// Recompute the common relation of the affected cluster. (Only grow:
+	// the new intersection subsumes the old one.)
+	members := make([]*pref.Profile, len(cl.Members))
+	for i, m := range cl.Members {
+		members[i] = f.users[m]
+	}
+	cl.Common = pref.Common(members)
+
+	// Filter P_U pairwise under the grown common relation; removals
+	// propagate to every member frontier (the removed object is dominated
+	// under ≻_U, hence under every member's preferences).
+	fu := f.clusterFronts[ui]
+	ids := append([]int(nil), fu.IDs()...)
+	for _, id := range ids {
+		if !fu.Contains(id) {
+			continue
+		}
+		i := fu.pos[id]
+		o := fu.list[i]
+		for j := 0; j < fu.Len(); j++ {
+			op := fu.At(j)
+			if op.ID == id {
+				continue
+			}
+			f.ctr.AddFilter(1)
+			if cl.Common.Dominates(op, o) {
+				fu.Remove(id)
+				for _, m := range cl.Members {
+					if f.userFronts[m].Remove(id) {
+						f.targets.remove(id, m)
+					}
+				}
+				break
+			}
+		}
+	}
+
+	// Filter the changed user's own frontier under their new preferences.
+	f.repairMember(c)
+	return nil
+}
+
+// repairMember filters P_c pairwise for one user.
+func (f *FilterThenVerify) repairMember(c int) {
+	u := f.users[c]
+	fc := f.userFronts[c]
+	ids := append([]int(nil), fc.IDs()...)
+	for _, id := range ids {
+		if !fc.Contains(id) {
+			continue
+		}
+		i := fc.pos[id]
+		o := fc.list[i]
+		for j := 0; j < fc.Len(); j++ {
+			op := fc.At(j)
+			if op.ID == id {
+				continue
+			}
+			f.ctr.AddVerify(1)
+			if u.Dominates(op, o) {
+				fc.Remove(id)
+				f.targets.remove(id, c)
+				break
+			}
+		}
+	}
+}
+
+// clusterOf locates the cluster containing user c.
+func (f *FilterThenVerify) clusterOf(c int) int {
+	for ui, cl := range f.clusters {
+		for _, m := range cl.Members {
+			if m == c {
+				return ui
+			}
+		}
+	}
+	panic(fmt.Sprintf("core: user %d not in any cluster", c))
+}

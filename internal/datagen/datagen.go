@@ -1,0 +1,366 @@
+// Package datagen simulates the paper's two evaluation workloads
+// (Sec. 8.1). The originals join Netflix ratings with IMDB metadata
+// (12,749 movies, 1,000 most-active users) and crawl the ACM Digital
+// Library (17,598 publications, 1,000 most-prolific authors) — both
+// unavailable — so this package generates synthetic equivalents that feed
+// the paper's own preference-derivation rule:
+//
+//	(x_a > x_b ∧ y_a ≥ y_b) ∨ (x_a ≥ x_b ∧ y_a > y_b)  ⇒  a ≻ b
+//
+// where (x, y) = (average rating, rating count) for the movie workload and
+// (interaction count, citation count) for the publication workload. The
+// paper itself only simulates partial orders from observed interaction
+// statistics; here the interaction statistics are synthetic, with matched
+// scale (object counts, user count, dimensionality) and a latent
+// taste-group structure so that users genuinely share preferences — the
+// property FilterThenVerify exploits. See DESIGN.md §4 for the
+// substitution rationale.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/object"
+	"repro/internal/order"
+	"repro/internal/pref"
+)
+
+// AttrConfig describes one categorical attribute of a workload.
+type AttrConfig struct {
+	// Name of the attribute (e.g. "actor").
+	Name string
+	// DomainSize is the number of distinct values.
+	DomainSize int
+	// ZipfS is the Zipf skew (> 1) of value popularity among objects;
+	// real casts/venues are heavily skewed.
+	ZipfS float64
+}
+
+// Mode selects which interaction statistics feed the preference rule.
+type Mode int
+
+const (
+	// RatingMode derives preferences from (average rating, rating count) —
+	// the movie dataset's rule.
+	RatingMode Mode = iota
+	// CountMode derives preferences from (interaction count, citation
+	// count) — the publication dataset's rule.
+	CountMode
+)
+
+// Config parameterizes a synthetic workload.
+type Config struct {
+	Name  string
+	Seed  int64
+	Attrs []AttrConfig
+	// NumObjects and NumUsers match the paper's dataset sizes by default.
+	NumObjects int
+	NumUsers   int
+	// Groups is the number of latent taste groups users are drawn from;
+	// users in a group share value affinities up to noise, giving the
+	// clustering algorithms real structure to find.
+	Groups int
+	// InteractionsPerUser is how many objects each user rates/reads.
+	InteractionsPerUser int
+	// Noise in [0, 1] perturbs individual users away from their group's
+	// affinities; 0 = identical preferences within a group.
+	Noise float64
+	// Dropout is the probability a user skips an item of their group's
+	// shared interaction schedule (individual consumption gaps).
+	Dropout float64
+	// InteractionZipfS skews which objects users interact with (> 1).
+	// High skew concentrates everyone on the popular head, which makes the
+	// count coordinate of the preference rule consistent across users —
+	// the reason real active-user populations share rich common
+	// preference relations.
+	InteractionZipfS float64
+	// QualityWeight in [0, 1] blends a value's prestige into every group's
+	// affinity for it ("good movies are good" — cross-user agreement on
+	// quality). 0 = tastes fully idiosyncratic; 1 = everyone agrees.
+	QualityWeight float64
+	// QualityNoise jitters, per attribute, how strongly an object's latent
+	// quality shows in that attribute's value prestige. Low values make
+	// attributes quality-correlated (a top director works with top
+	// actors), which is what keeps real Pareto frontiers compact.
+	QualityNoise float64
+	Mode         Mode
+}
+
+// Movie returns the movie-workload configuration matched to the paper:
+// 12,749 objects, 1,000 users, d = 4 (actor, director, genre, writer).
+func Movie() Config {
+	return Config{
+		Name: "movie",
+		Seed: 1,
+		Attrs: []AttrConfig{
+			{Name: "actor", DomainSize: 60, ZipfS: 1.3},
+			{Name: "director", DomainSize: 40, ZipfS: 1.25},
+			{Name: "genre", DomainSize: 12, ZipfS: 1.2},
+			{Name: "writer", DomainSize: 50, ZipfS: 1.3},
+		},
+		NumObjects:          12749,
+		NumUsers:            1000,
+		Groups:              10,
+		InteractionsPerUser: 3000,
+		Noise:               0.05,
+		Dropout:             0.02,
+		InteractionZipfS:    1.1,
+		QualityWeight:       0.3,
+		QualityNoise:        0.15,
+		Mode:                RatingMode,
+	}
+}
+
+// Publication returns the publication-workload configuration matched to
+// the paper: 17,598 objects, 1,000 users, d = 4 (affiliation, author,
+// conference, keyword).
+func Publication() Config {
+	return Config{
+		Name: "publication",
+		Seed: 2,
+		Attrs: []AttrConfig{
+			{Name: "affiliation", DomainSize: 50, ZipfS: 1.25},
+			{Name: "author", DomainSize: 70, ZipfS: 1.35},
+			{Name: "conference", DomainSize: 25, ZipfS: 1.2},
+			{Name: "keyword", DomainSize: 60, ZipfS: 1.3},
+		},
+		NumObjects:          17598,
+		NumUsers:            1000,
+		Groups:              10,
+		InteractionsPerUser: 3000,
+		Noise:               0.05,
+		Dropout:             0.02,
+		InteractionZipfS:    1.1,
+		QualityWeight:       0.3,
+		QualityNoise:        0.15,
+		Mode:                CountMode,
+	}
+}
+
+// Dataset is a generated workload: the object table, the attribute
+// domains, and every user's preference profile.
+type Dataset struct {
+	Name    string
+	Domains []*order.Domain
+	Objects []object.Object
+	Users   []*pref.Profile
+}
+
+// Scaled returns a copy of cfg with the object and user counts scaled by
+// frac (for CI-speed experiment runs). Attribute structure is unchanged.
+func (c Config) Scaled(objects, users int) Config {
+	if objects > 0 {
+		c.NumObjects = objects
+	}
+	if users > 0 {
+		c.NumUsers = users
+	}
+	return c
+}
+
+// Generate builds the workload deterministically from cfg.Seed.
+func Generate(cfg Config) *Dataset {
+	if cfg.NumObjects <= 0 || cfg.NumUsers <= 0 || len(cfg.Attrs) == 0 {
+		panic(fmt.Sprintf("datagen: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Name: cfg.Name}
+
+	// Domains: values are "<attr><index>".
+	for _, a := range cfg.Attrs {
+		dom := order.NewDomain(a.Name)
+		for v := 0; v < a.DomainSize; v++ {
+			dom.Intern(fmt.Sprintf("%s%d", a.Name, v))
+		}
+		ds.Domains = append(ds.Domains, dom)
+	}
+
+	// Objects: each object has a latent quality q; every attribute value
+	// is drawn near the prestige rank that q selects, with per-attribute
+	// jitter. Attributes are therefore quality-correlated — a top director
+	// works with top actors — and because q is skewed toward the top, the
+	// prestigious head values appear in many objects (the usual popularity
+	// skew). perms[d] maps prestige rank (0 = most prestigious) to a value
+	// id, so "prestigious" values differ across attributes.
+	perms := make([][]int, len(cfg.Attrs))
+	for d, a := range cfg.Attrs {
+		perms[d] = rng.Perm(a.DomainSize)
+	}
+	prestige := func(d, rank int) int { return perms[d][rank] }
+	ds.Objects = make([]object.Object, cfg.NumObjects)
+	for i := range ds.Objects {
+		u := rng.Float64()
+		q := 1 - u*u // most objects near the prestigious head
+		attrs := make([]int32, len(cfg.Attrs))
+		for d, a := range cfg.Attrs {
+			r := (1 - q) + cfg.QualityNoise*(rng.Float64()-0.5)
+			if r < 0 {
+				r = 0
+			}
+			if r > 1 {
+				r = 1
+			}
+			rank := int(r * float64(a.DomainSize-1))
+			attrs[d] = int32(prestige(d, rank))
+		}
+		ds.Objects[i] = object.Object{ID: i, Attrs: attrs}
+	}
+
+	// Latent taste groups: per group and attribute, an affinity in (0, 1)
+	// for every value — a QualityWeight blend of the value's prestige
+	// (shared across groups) and the group's idiosyncratic taste.
+	groups := make([][][]float64, cfg.Groups)
+	for g := range groups {
+		groups[g] = make([][]float64, len(cfg.Attrs))
+		for d, a := range cfg.Attrs {
+			aff := make([]float64, a.DomainSize)
+			for rank := 0; rank < a.DomainSize; rank++ {
+				pres := 1 - float64(rank)/float64(a.DomainSize-1)
+				aff[prestige(d, rank)] = cfg.QualityWeight*pres + (1-cfg.QualityWeight)*rng.Float64()
+			}
+			groups[g][d] = aff
+		}
+	}
+
+	// Group interaction schedules: the members of a taste group consume
+	// largely the same popular objects (a social circle watches the same
+	// shows; a research community reads the same venues). Each group draws
+	// one shared schedule of objects — Zipf-skewed toward the popular head
+	// and biased toward objects the group likes — plus one shared base
+	// reaction per scheduled object. Individual users then replay the
+	// group schedule with per-user dropout and rating deviations. Shared
+	// schedules are what give the derived product orders large pairwise
+	// intersections within a group; without them the count coordinate of
+	// the preference rule diverges across users and common preference
+	// relations collapse, starving the filter tier (see DESIGN.md §4).
+	type reaction struct {
+		obj    int
+		rating float64 // integer 0..5, the paper's Netflix scale
+		cites  float64
+	}
+	schedules := make([][]reaction, cfg.Groups)
+	interZipf := rand.NewZipf(rng, cfg.InteractionZipfS, 4, uint64(len(ds.Objects)-1))
+	for gi := range schedules {
+		g := groups[gi]
+		sched := make([]reaction, 0, cfg.InteractionsPerUser)
+		for len(sched) < cfg.InteractionsPerUser {
+			oid := int(interZipf.Uint64())
+			o := ds.Objects[oid]
+			score := 0.0
+			for d, v := range o.Attrs {
+				score += g[d][v]
+			}
+			score /= float64(len(o.Attrs))
+			// Affinity-biased consumption: groups engage more with what
+			// they like, so counts correlate positively with ratings.
+			if rng.Float64() > 0.25+0.75*score {
+				continue
+			}
+			cites := 0.0
+			if rng.Float64() < score {
+				cites = float64(1 + rng.Intn(3))
+			}
+			sched = append(sched, reaction{
+				obj:    oid,
+				rating: clampRating(score*5 + (rng.Float64() - 0.5)),
+				cites:  cites,
+			})
+		}
+		schedules[gi] = sched
+	}
+
+	// Users: replay the group schedule with individual dropout and rating
+	// deviations, accumulate per-value statistics, and derive the
+	// product-order preference relation per attribute (Sec. 8.1's rule).
+	ds.Users = make([]*pref.Profile, cfg.NumUsers)
+	for u := range ds.Users {
+		sched := schedules[u%cfg.Groups]
+		p := pref.NewProfile(ds.Domains)
+
+		type stat struct {
+			x, y float64 // accumulators; meaning depends on Mode
+			n    int
+		}
+		perAttr := make([]map[int]*stat, len(cfg.Attrs))
+		for d := range perAttr {
+			perAttr[d] = make(map[int]*stat)
+		}
+		for _, re := range sched {
+			if rng.Float64() < cfg.Dropout {
+				continue // this user skipped this object
+			}
+			rating := re.rating
+			if rng.Float64() < cfg.Noise {
+				rating = clampRating(rating + float64(rng.Intn(3)-1)) // ±1 star
+			}
+			for d, v := range ds.Objects[re.obj].Attrs {
+				st := perAttr[d][int(v)]
+				if st == nil {
+					st = &stat{}
+					perAttr[d][int(v)] = st
+				}
+				st.n++
+				switch cfg.Mode {
+				case RatingMode:
+					st.x += rating // later divided by n: average rating
+					st.y++         // rating count
+				case CountMode:
+					st.x++           // interaction count
+					st.y += re.cites // citation count
+				}
+			}
+		}
+		for d := range cfg.Attrs {
+			ids := make([]int, 0, len(perAttr[d]))
+			xs := make([]float64, 0, len(perAttr[d]))
+			ys := make([]float64, 0, len(perAttr[d]))
+			for v, st := range perAttr[d] {
+				x := st.x
+				if cfg.Mode == RatingMode {
+					// Average rating, quantized to half-stars: observed
+					// averages are coarse in practice, and the ties the
+					// quantization introduces are exactly what makes the
+					// product order dense (tied ratings let the count
+					// coordinate decide).
+					x = math.Round(2*st.x/float64(st.n)) / 2
+				}
+				ids = append(ids, v)
+				xs = append(xs, x)
+				ys = append(ys, st.y)
+			}
+			// Map iteration order is random; sort for determinism.
+			sortTriple(ids, xs, ys)
+			p.SetRelation(d, order.FromProduct(ds.Domains[d], ids, xs, ys))
+		}
+		ds.Users[u] = p
+	}
+	return ds
+}
+
+// clampRating rounds to the nearest star in [0, 5].
+func clampRating(r float64) float64 {
+	r = math.Round(r)
+	if r < 0 {
+		return 0
+	}
+	if r > 5 {
+		return 5
+	}
+	return r
+}
+
+// sortTriple sorts the three parallel slices by ids ascending (insertion
+// sort on the id key; k ≤ InteractionsPerUser keeps this cheap).
+func sortTriple(ids []int, xs, ys []float64) {
+	for i := 1; i < len(ids); i++ {
+		id, x, y := ids[i], xs[i], ys[i]
+		j := i - 1
+		for j >= 0 && ids[j] > id {
+			ids[j+1], xs[j+1], ys[j+1] = ids[j], xs[j], ys[j]
+			j--
+		}
+		ids[j+1], xs[j+1], ys[j+1] = id, x, y
+	}
+}

@@ -1,0 +1,147 @@
+// Package dataset serializes workloads so that real data (e.g. an actual
+// Netflix/IMDB join) can be plugged into the engines: object tables as CSV
+// (one column per attribute, header row = attribute names) and preference
+// profiles as JSON (per user, per attribute, the Hasse edges of the
+// partial order — the closure is reconstructed on load).
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/object"
+	"repro/internal/order"
+	"repro/internal/pref"
+)
+
+// WriteObjectsCSV writes the object table with a header of attribute names.
+func WriteObjectsCSV(w io.Writer, doms []*order.Domain, objs []object.Object) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(doms))
+	for i, d := range doms {
+		header[i] = d.Name()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(doms))
+	for _, o := range objs {
+		if len(o.Attrs) != len(doms) {
+			return fmt.Errorf("dataset: object %d has %d attrs, want %d", o.ID, len(o.Attrs), len(doms))
+		}
+		for d, v := range o.Attrs {
+			row[d] = doms[d].Value(int(v))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadObjectsCSV reads a CSV object table, interning values into fresh
+// domains named by the header.
+func ReadObjectsCSV(r io.Reader) ([]*order.Domain, []object.Object, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, nil, fmt.Errorf("dataset: empty header")
+	}
+	doms := make([]*order.Domain, len(header))
+	for i, name := range header {
+		doms[i] = order.NewDomain(name)
+	}
+	var objs []object.Object
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: row %d: %w", len(objs)+1, err)
+		}
+		attrs := make([]int32, len(doms))
+		for d, v := range row {
+			attrs[d] = int32(doms[d].Intern(v))
+		}
+		objs = append(objs, object.Object{ID: len(objs), Attrs: attrs})
+	}
+	return doms, objs, nil
+}
+
+// profilesJSON is the on-disk preference format: users[i][attrName] holds
+// the Hasse edges [better, worse] of user i's partial order on attrName.
+type profilesJSON struct {
+	Attributes []string                 `json:"attributes"`
+	Users      []map[string][][2]string `json:"users"`
+}
+
+// WriteProfilesJSON serializes user profiles; only Hasse edges are stored.
+func WriteProfilesJSON(w io.Writer, users []*pref.Profile) error {
+	if len(users) == 0 {
+		return fmt.Errorf("dataset: no users to write")
+	}
+	doms := users[0].Domains()
+	out := profilesJSON{}
+	for _, d := range doms {
+		out.Attributes = append(out.Attributes, d.Name())
+	}
+	for _, u := range users {
+		m := make(map[string][][2]string, len(doms))
+		for d, dom := range doms {
+			rel := u.Relation(d)
+			edges := make([][2]string, 0)
+			for _, e := range rel.HasseTuples() {
+				edges = append(edges, [2]string{dom.Value(e.Better), dom.Value(e.Worse)})
+			}
+			m[dom.Name()] = edges
+		}
+		out.Users = append(out.Users, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadProfilesJSON loads user profiles over the given domains (typically
+// the domains returned by ReadObjectsCSV, so value ids line up with the
+// object table). Unknown values are interned; malformed orders (cycles,
+// reflexive edges) are reported with user and attribute context.
+func ReadProfilesJSON(r io.Reader, doms []*order.Domain) ([]*pref.Profile, error) {
+	var in profilesJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decoding profiles: %w", err)
+	}
+	byName := make(map[string]int, len(doms))
+	for i, d := range doms {
+		byName[d.Name()] = i
+	}
+	for _, name := range in.Attributes {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("dataset: profile attribute %q not in object schema", name)
+		}
+	}
+	var users []*pref.Profile
+	for ui, m := range in.Users {
+		p := pref.NewProfile(doms)
+		for name, edges := range m {
+			d, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("dataset: user %d: unknown attribute %q", ui, name)
+			}
+			for _, e := range edges {
+				if err := p.Relation(d).AddValues(e[0], e[1]); err != nil {
+					return nil, fmt.Errorf("dataset: user %d, attribute %q, edge %v: %w", ui, name, e, err)
+				}
+			}
+		}
+		users = append(users, p)
+	}
+	return users, nil
+}

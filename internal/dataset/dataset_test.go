@@ -1,0 +1,103 @@
+package dataset_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fixtures"
+	"repro/internal/pref"
+)
+
+func TestObjectsCSVRoundTrip(t *testing.T) {
+	l := fixtures.NewLaptops()
+	var buf bytes.Buffer
+	if err := dataset.WriteObjectsCSV(&buf, l.Domains, l.Objects); err != nil {
+		t.Fatal(err)
+	}
+	doms, objs, err := dataset.ReadObjectsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != len(l.Objects) {
+		t.Fatalf("objects = %d, want %d", len(objs), len(l.Objects))
+	}
+	for d := range doms {
+		if doms[d].Name() != l.Domains[d].Name() {
+			t.Errorf("domain %d name = %q, want %q", d, doms[d].Name(), l.Domains[d].Name())
+		}
+	}
+	// Values must round-trip by name (ids may be assigned differently).
+	for i, o := range objs {
+		for d, v := range o.Attrs {
+			got := doms[d].Value(int(v))
+			want := l.Domains[d].Value(int(l.Objects[i].Attrs[d]))
+			if got != want {
+				t.Fatalf("object %d attr %d = %q, want %q", i, d, got, want)
+			}
+		}
+	}
+}
+
+func TestProfilesJSONRoundTrip(t *testing.T) {
+	l := fixtures.NewLaptops()
+	users := []*pref.Profile{l.C1, l.C2}
+	var buf bytes.Buffer
+	if err := dataset.WriteProfilesJSON(&buf, users); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dataset.ReadProfilesJSON(&buf, l.Domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("users = %d", len(got))
+	}
+	for i := range users {
+		if !got[i].Equal(users[i]) {
+			t.Fatalf("user %d did not round-trip:\n got %v\nwant %v",
+				i, got[i].Relation(0), users[i].Relation(0))
+		}
+	}
+}
+
+func TestReadObjectsCSVErrors(t *testing.T) {
+	if _, _, err := dataset.ReadObjectsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	// Ragged row.
+	if _, _, err := dataset.ReadObjectsCSV(strings.NewReader("a,b\nx\n")); err == nil {
+		t.Error("ragged row should fail")
+	}
+}
+
+func TestReadProfilesJSONErrors(t *testing.T) {
+	l := fixtures.NewLaptops()
+	// Unknown attribute.
+	bad := `{"attributes":["nope"],"users":[{"nope":[["a","b"]]}]}`
+	if _, err := dataset.ReadProfilesJSON(strings.NewReader(bad), l.Domains); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	// Cyclic preference input (failure injection).
+	cyc := `{"attributes":["display"],"users":[{"display":[["a","b"],["b","a"]]}]}`
+	if _, err := dataset.ReadProfilesJSON(strings.NewReader(cyc), l.Domains); err == nil {
+		t.Error("cyclic preferences should fail")
+	}
+	// Reflexive edge.
+	refl := `{"attributes":["display"],"users":[{"display":[["a","a"]]}]}`
+	if _, err := dataset.ReadProfilesJSON(strings.NewReader(refl), l.Domains); err == nil {
+		t.Error("reflexive edge should fail")
+	}
+	// Garbage JSON.
+	if _, err := dataset.ReadProfilesJSON(strings.NewReader("{"), l.Domains); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+func TestWriteProfilesJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dataset.WriteProfilesJSON(&buf, nil); err == nil {
+		t.Error("no users should fail")
+	}
+}

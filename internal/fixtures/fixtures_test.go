@@ -1,0 +1,108 @@
+package fixtures
+
+import (
+	"testing"
+
+	"repro/internal/pref"
+)
+
+// Every fixture relation must satisfy the strict-partial-order axioms.
+func TestFixtureRelationsAreSPOs(t *testing.T) {
+	l := NewLaptops()
+	for name, p := range map[string]*pref.Profile{"c1": l.C1, "c2": l.C2, "U": l.U, "Û": l.UHat} {
+		for d := 0; d < p.Dims(); d++ {
+			if err := p.Relation(d).IsStrictPartialOrder(); err != nil {
+				t.Errorf("%s attr %d: %v", name, d, err)
+			}
+		}
+	}
+	b := NewBrands()
+	for i, r := range b.C {
+		if err := r.IsStrictPartialOrder(); err != nil {
+			t.Errorf("brands c%d: %v", i+1, err)
+		}
+	}
+	for i, r := range b.U {
+		if err := r.IsStrictPartialOrder(); err != nil {
+			t.Errorf("brands U%d: %v", i+1, err)
+		}
+	}
+}
+
+func TestDisplayBucket(t *testing.T) {
+	cases := map[float64]string{
+		8.5:  DUnder10,
+		9.9:  DUnder10,
+		10:   D10to12,
+		12.9: D10to12,
+		13:   D13to15,
+		15.9: D13to15,
+		16:   D16to18,
+		18.9: D16to18,
+		19:   D19up,
+		25:   D19up,
+	}
+	for in, want := range cases {
+		if got := DisplayBucket(in); got != want {
+			t.Errorf("DisplayBucket(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	l := NewLaptops()
+	if len(l.Objects) != 16 {
+		t.Fatalf("Table 1 has %d objects, want 16", len(l.Objects))
+	}
+	// o15 = (16.5, Lenovo, quad): bucket 16-18.9.
+	o15 := l.Objects[14]
+	if l.Domains[0].Value(int(o15.Attrs[0])) != D16to18 {
+		t.Error("o15 display bucket wrong")
+	}
+	if l.Domains[1].Value(int(o15.Attrs[1])) != "Lenovo" {
+		t.Error("o15 brand wrong")
+	}
+}
+
+func TestFreshCopiesAreIndependent(t *testing.T) {
+	a := NewLaptops()
+	b := NewLaptops()
+	if err := a.C1.Relation(1).AddValues("Toshiba", "Sony"); err != nil {
+		t.Fatal(err)
+	}
+	if b.C1.Relation(1).HasValues("Toshiba", "Sony") {
+		t.Fatal("fixture instances must be independent")
+	}
+}
+
+func TestLaptopsSW(t *testing.T) {
+	l, objs := NewLaptopsSW()
+	if len(objs) != 7 {
+		t.Fatalf("Table 8 has %d objects, want 7", len(objs))
+	}
+	// o7 = (14, Apple, dual).
+	o7 := objs[6]
+	if l.Domains[0].Value(int(o7.Attrs[0])) != D13to15 ||
+		l.Domains[1].Value(int(o7.Attrs[1])) != "Apple" ||
+		l.Domains[2].Value(int(o7.Attrs[2])) != "dual" {
+		t.Errorf("o7 = %v", o7)
+	}
+}
+
+// The Brands fixture encodes the exact cluster relations of Examples
+// 5.1–5.5 (sizes 4, 5, 4 and the stated intersections).
+func TestBrandsClusterRelations(t *testing.T) {
+	b := NewBrands()
+	if got := b.U[0].Size(); got != 4 {
+		t.Errorf("|≻U1| = %d, want 4", got)
+	}
+	if got := b.U[1].Size(); got != 5 {
+		t.Errorf("|≻U2| = %d, want 5", got)
+	}
+	if got := b.U[2].Size(); got != 4 {
+		t.Errorf("|≻U3| = %d, want 4", got)
+	}
+	if len(b.Profiles) != 6 {
+		t.Fatalf("profiles = %d", len(b.Profiles))
+	}
+}

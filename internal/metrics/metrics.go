@@ -1,0 +1,85 @@
+// Package metrics computes the accuracy measures of Sec. 6.2: the
+// micro-averaged precision, recall and F-measure of the approximate
+// engines' per-user Pareto frontiers against the exact ones
+// (precision = Σ_c |P̂_c ∩ P_c| / Σ_c |P̂_c|, recall over Σ_c |P_c|) —
+// the quantities reported in Tables 11 and 12.
+package metrics
+
+import "fmt"
+
+// Accuracy aggregates a confusion count over all users.
+type Accuracy struct {
+	TP int // objects in both P̂_c and P_c (region IV of Fig. 2)
+	FP int // objects in P̂_c but not P_c (region V)
+	FN int // objects in P_c but not P̂_c (region III)
+}
+
+// Add accumulates one user's exact and approximate frontiers (object ids).
+func (a *Accuracy) Add(exact, approx []int) {
+	ex := make(map[int]bool, len(exact))
+	for _, id := range exact {
+		ex[id] = true
+	}
+	seen := make(map[int]bool, len(approx))
+	for _, id := range approx {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if ex[id] {
+			a.TP++
+		} else {
+			a.FP++
+		}
+	}
+	for _, id := range exact {
+		if !seen[id] {
+			a.FN++
+		}
+	}
+}
+
+// Evaluate micro-averages over per-user frontier pairs. exact and approx
+// must be parallel (one entry per user).
+func Evaluate(exact, approx [][]int) Accuracy {
+	if len(exact) != len(approx) {
+		panic(fmt.Sprintf("metrics: user count mismatch %d vs %d", len(exact), len(approx)))
+	}
+	var a Accuracy
+	for c := range exact {
+		a.Add(exact[c], approx[c])
+	}
+	return a
+}
+
+// Precision is Eq. 6: |IV| / |IV ∪ V|. An empty approximate result has
+// precision 1 by convention (nothing wrong was returned).
+func (a Accuracy) Precision() float64 {
+	if a.TP+a.FP == 0 {
+		return 1
+	}
+	return float64(a.TP) / float64(a.TP+a.FP)
+}
+
+// Recall is Eq. 7: |IV| / |III ∪ IV|. An empty exact result has recall 1.
+func (a Accuracy) Recall() float64 {
+	if a.TP+a.FN == 0 {
+		return 1
+	}
+	return float64(a.TP) / float64(a.TP+a.FN)
+}
+
+// F1 is the harmonic mean of precision and recall (the paper's F-measure).
+func (a Accuracy) F1() float64 {
+	p, r := a.Precision(), a.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders percentages in the style of Tables 11 and 12.
+func (a Accuracy) String() string {
+	return fmt.Sprintf("precision=%.2f%% recall=%.2f%% F=%.2f%%",
+		100*a.Precision(), 100*a.Recall(), 100*a.F1())
+}

@@ -1,0 +1,109 @@
+// Package object defines the object model: tuples of interned attribute
+// values arriving on an append-only stream (Sec. 3 of the paper). Objects
+// carry dense int32 attribute ids assigned by the order.Domain of each
+// attribute; all dominance logic lives in package pref.
+package object
+
+import "fmt"
+
+// Object is one row of the object table O. ID is its arrival position
+// (timestamp in the sliding-window semantics of Sec. 7); Attrs[d] is the
+// interned value id of attribute d.
+type Object struct {
+	ID    int
+	Attrs []int32
+}
+
+// Identical reports whether o and p agree on every attribute (o = p in
+// Def. 3.2's notation). It panics if the attribute counts differ, which
+// indicates objects from different schemas.
+func (o Object) Identical(p Object) bool {
+	if len(o.Attrs) != len(p.Attrs) {
+		panic(fmt.Sprintf("object: schema mismatch (%d vs %d attrs)", len(o.Attrs), len(p.Attrs)))
+	}
+	for d, v := range o.Attrs {
+		if p.Attrs[d] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a copy of o restricted to the first d attributes. The
+// dimensionality sweeps of Figs. 6, 7, 10, 11 use it to vary d.
+func (o Object) Project(d int) Object {
+	return Object{ID: o.ID, Attrs: o.Attrs[:d:d]}
+}
+
+// Table is an append-only collection of objects, the O of the problem
+// statement. Object ids equal their index.
+type Table struct {
+	objs []Object
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table { return &Table{} }
+
+// Append adds an object, assigning it the next id, and returns it.
+func (t *Table) Append(attrs []int32) Object {
+	o := Object{ID: len(t.objs), Attrs: attrs}
+	t.objs = append(t.objs, o)
+	return o
+}
+
+// Add appends a pre-built object, re-assigning its ID to the next slot.
+func (t *Table) Add(o Object) Object {
+	o.ID = len(t.objs)
+	t.objs = append(t.objs, o)
+	return o
+}
+
+// Len returns the number of objects.
+func (t *Table) Len() int { return len(t.objs) }
+
+// Get returns the object with the given id.
+func (t *Table) Get(id int) Object { return t.objs[id] }
+
+// All returns the backing slice; callers must not mutate it.
+func (t *Table) All() []Object { return t.objs }
+
+// Stream replays a fixed object list cyclically up to n objects, assigning
+// fresh sequential ids — exactly how the paper builds its 1M-object streams
+// ("O is composed of duplicated sequence of the corresponding dataset",
+// Sec. 8.3). Project is applied when dims > 0 to restrict dimensionality.
+type Stream struct {
+	base []Object
+	n    int
+	dims int
+	next int
+}
+
+// NewStream creates a stream that yields n objects by cycling over base.
+// If dims > 0 each object is projected to its first dims attributes.
+func NewStream(base []Object, n, dims int) *Stream {
+	if len(base) == 0 {
+		panic("object: empty stream base")
+	}
+	return &Stream{base: base, n: n, dims: dims}
+}
+
+// Next returns the next object and true, or a zero Object and false when
+// the stream is exhausted.
+func (s *Stream) Next() (Object, bool) {
+	if s.next >= s.n {
+		return Object{}, false
+	}
+	o := s.base[s.next%len(s.base)]
+	if s.dims > 0 {
+		o = o.Project(s.dims)
+	}
+	o.ID = s.next
+	s.next++
+	return o, true
+}
+
+// Remaining returns how many objects are left.
+func (s *Stream) Remaining() int { return s.n - s.next }
+
+// Reset rewinds the stream to the beginning.
+func (s *Stream) Reset() { s.next = 0 }

@@ -1,0 +1,101 @@
+package object
+
+import "testing"
+
+func TestIdentical(t *testing.T) {
+	a := Object{ID: 1, Attrs: []int32{1, 2, 3}}
+	b := Object{ID: 2, Attrs: []int32{1, 2, 3}}
+	c := Object{ID: 3, Attrs: []int32{1, 2, 4}}
+	if !a.Identical(b) {
+		t.Error("a and b should be identical (ID is not an attribute)")
+	}
+	if a.Identical(c) {
+		t.Error("a and c differ on attr 2")
+	}
+}
+
+func TestIdenticalSchemaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schema mismatch should panic")
+		}
+	}()
+	Object{Attrs: []int32{1}}.Identical(Object{Attrs: []int32{1, 2}})
+}
+
+func TestProject(t *testing.T) {
+	a := Object{ID: 7, Attrs: []int32{1, 2, 3, 4}}
+	p := a.Project(2)
+	if p.ID != 7 || len(p.Attrs) != 2 || p.Attrs[0] != 1 || p.Attrs[1] != 2 {
+		t.Errorf("Project = %+v", p)
+	}
+	// Appending to the projection must not clobber the original.
+	_ = append(p.Attrs, 99)
+	if a.Attrs[2] != 3 {
+		t.Error("Project must use a full slice expression to protect the original")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable()
+	o1 := tb.Append([]int32{1})
+	o2 := tb.Add(Object{ID: 999, Attrs: []int32{2}})
+	if o1.ID != 0 || o2.ID != 1 {
+		t.Errorf("ids = %d, %d", o1.ID, o2.ID)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if tb.Get(1).Attrs[0] != 2 {
+		t.Error("Get(1) wrong object")
+	}
+	if len(tb.All()) != 2 {
+		t.Error("All length")
+	}
+}
+
+func TestStreamCyclesAndProjects(t *testing.T) {
+	base := []Object{
+		{ID: 0, Attrs: []int32{1, 10}},
+		{ID: 1, Attrs: []int32{2, 20}},
+	}
+	s := NewStream(base, 5, 1)
+	var got []Object
+	for {
+		o, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, o)
+	}
+	if len(got) != 5 {
+		t.Fatalf("stream yielded %d objects, want 5", len(got))
+	}
+	for i, o := range got {
+		if o.ID != i {
+			t.Errorf("object %d has ID %d; ids must be sequential", i, o.ID)
+		}
+		if len(o.Attrs) != 1 {
+			t.Errorf("object %d not projected: %v", i, o.Attrs)
+		}
+		if want := base[i%2].Attrs[0]; o.Attrs[0] != want {
+			t.Errorf("object %d attr = %d, want %d (cyclic replay)", i, o.Attrs[0], want)
+		}
+	}
+	if s.Remaining() != 0 {
+		t.Errorf("Remaining = %d", s.Remaining())
+	}
+	s.Reset()
+	if s.Remaining() != 5 {
+		t.Errorf("Remaining after Reset = %d", s.Remaining())
+	}
+}
+
+func TestStreamEmptyBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty base should panic")
+		}
+	}()
+	NewStream(nil, 5, 0)
+}

@@ -1,0 +1,58 @@
+// Package order implements the strict-partial-order engine that underlies
+// user preferences: interned attribute domains, transitively closed
+// preference relations, Hasse diagrams (transitive reductions), maximal
+// values, and the distance-from-maximal weights used by the weighted
+// similarity measures of Sultana & Li (EDBT 2018), Sec. 5.
+package order
+
+import "fmt"
+
+// Domain interns the values of one attribute (e.g. brand) to dense ids so
+// relations can be stored as bitsets. A Domain is append-only; ids are
+// assigned in first-seen order and never change.
+type Domain struct {
+	name   string
+	ids    map[string]int
+	values []string
+}
+
+// NewDomain creates an empty domain for the named attribute.
+func NewDomain(name string) *Domain {
+	return &Domain{name: name, ids: make(map[string]int)}
+}
+
+// Name returns the attribute name this domain belongs to.
+func (d *Domain) Name() string { return d.name }
+
+// Size returns the number of distinct values interned so far.
+func (d *Domain) Size() int { return len(d.values) }
+
+// Intern returns the id of value v, assigning a fresh id on first sight.
+func (d *Domain) Intern(v string) int {
+	if id, ok := d.ids[v]; ok {
+		return id
+	}
+	id := len(d.values)
+	d.ids[v] = id
+	d.values = append(d.values, v)
+	return id
+}
+
+// ID returns the id of v and whether it has been interned.
+func (d *Domain) ID(v string) (int, bool) {
+	id, ok := d.ids[v]
+	return id, ok
+}
+
+// Value returns the string for id. It panics on out-of-range ids, which
+// always indicate a bug (ids only come from Intern).
+func (d *Domain) Value(id int) string {
+	if id < 0 || id >= len(d.values) {
+		panic(fmt.Sprintf("order: value id %d out of range [0,%d)", id, len(d.values)))
+	}
+	return d.values[id]
+}
+
+// Values returns all interned values in id order. The caller must not
+// mutate the returned slice.
+func (d *Domain) Values() []string { return d.values }

@@ -1,0 +1,50 @@
+package order_test
+
+import (
+	"fmt"
+
+	"repro/internal/order"
+)
+
+// Building a preference relation closes it transitively and exposes the
+// Hasse diagram, maximal values, and top-distance weights used by the
+// weighted similarity measures.
+func ExampleRelation() {
+	dom := order.NewDomain("brand")
+	rel := order.MustFromTuples(dom, [][2]string{
+		{"Apple", "Lenovo"},
+		{"Lenovo", "Samsung"},
+		{"Toshiba", "Samsung"},
+	})
+	fmt.Println("tuples:", rel.Size()) // closure adds Apple≻Samsung
+	fmt.Println("Apple ≻ Samsung:", rel.HasValues("Apple", "Samsung"))
+	max := rel.Maximal()
+	fmt.Println("maximal values:", max.Count())
+	lenovo, _ := dom.ID("Lenovo")
+	fmt.Println("weight(Lenovo):", rel.Weight(lenovo))
+	// Output:
+	// tuples: 4
+	// Apple ≻ Samsung: true
+	// maximal values: 2
+	// weight(Lenovo): 0.5
+}
+
+// FromProduct builds the rating-derived preferences of the paper's
+// Sec. 8.1 directly from (score, support) pairs.
+func ExampleFromProduct() {
+	dom := order.NewDomain("actor")
+	a := dom.Intern("ActorA")
+	b := dom.Intern("ActorB")
+	c := dom.Intern("ActorC")
+	// ActorA: avg rating 4.5 across 10 movies; B: 3.0 across 8; C: 5.0
+	// across 2. A dominates B; C is incomparable to both (fewer ratings
+	// but higher average).
+	rel := order.FromProduct(dom, []int{a, b, c},
+		[]float64{4.5, 3.0, 5.0},
+		[]float64{10, 8, 2})
+	fmt.Println(rel.HasValues("ActorA", "ActorB"))
+	fmt.Println(rel.HasValues("ActorC", "ActorB"), rel.HasValues("ActorB", "ActorC"))
+	// Output:
+	// true
+	// false false
+}

@@ -1,0 +1,227 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// computeDerived populates the lazy views: Hasse diagram (transitive
+// reduction), the maximal-value set, and the multi-source BFS distance from
+// the nearest maximal value over Hasse edges. The paper's weighted
+// similarity measures (Eqs. 4, 5, 10) weigh the better value v of each
+// tuple by 1/(min_{s∈S} D(s,v) + 1), where D is the shortest distance in
+// the Hasse diagram (Example 5.4 fixes this interpretation: in a chain
+// Samsung→Lenovo→Apple the weight of Apple is 1/3, which requires path
+// distance 2, not closure distance 1).
+func (r *Relation) computeDerived() *derivedViews {
+	if r.derived != nil {
+		return r.derived
+	}
+	n := r.n
+	d := &derivedViews{
+		hasse:   make([]*bitset.Set, n),
+		maximal: bitset.New(n),
+		minDist: make([]int, n),
+	}
+
+	// Hasse edge (x,y): y ∈ succ[x] and there is no z ∈ succ[x] with
+	// y ∈ succ[z]. Computed as succ[x] − ⋃_{z∈succ[x]} succ[z].
+	for x := 0; x < n; x++ {
+		h := r.succ[x].Clone()
+		r.succ[x].ForEach(func(z int) bool {
+			h.AndNot(r.succ[z])
+			return true
+		})
+		d.hasse[x] = h
+	}
+
+	// Non-maximal values are those with at least one predecessor.
+	hasPred := bitset.New(n)
+	for x := 0; x < n; x++ {
+		hasPred.Or(r.succ[x])
+	}
+	for v := 0; v < n; v++ {
+		if !hasPred.Contains(v) {
+			d.maximal.Add(v)
+		}
+	}
+
+	// Multi-source BFS over Hasse edges from all maximal values. Every
+	// value with a predecessor is reachable from some maximal value in a
+	// finite DAG, so minDist is well defined; isolated values get 0
+	// (they are themselves maximal).
+	for v := range d.minDist {
+		d.minDist[v] = -1
+	}
+	queue := make([]int, 0, n)
+	d.maximal.ForEach(func(v int) bool {
+		d.minDist[v] = 0
+		queue = append(queue, v)
+		return true
+	})
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d.hasse[v].ForEach(func(w int) bool {
+			if d.minDist[w] == -1 {
+				d.minDist[w] = d.minDist[v] + 1
+				queue = append(queue, w)
+			}
+			return true
+		})
+	}
+
+	r.derived = d
+	return d
+}
+
+// Maximal returns the set of maximal values S (Def. 5.3): values no other
+// value is preferred over. Note that values untouched by any tuple are
+// maximal by the definition. The caller must not mutate the result.
+func (r *Relation) Maximal() *bitset.Set {
+	return r.computeDerived().maximal
+}
+
+// HasseEdges returns the transitive reduction as a per-value successor set.
+// The caller must not mutate the result.
+func (r *Relation) HasseEdges() []*bitset.Set {
+	return r.computeDerived().hasse
+}
+
+// HasseTuples returns the transitive reduction as a tuple list in
+// deterministic order.
+func (r *Relation) HasseTuples() []Tuple {
+	h := r.computeDerived().hasse
+	var out []Tuple
+	for x := 0; x < r.n; x++ {
+		h[x].ForEach(func(y int) bool {
+			out = append(out, Tuple{Better: x, Worse: y})
+			return true
+		})
+	}
+	return out
+}
+
+// DistFromMaximal returns min_{s∈S} D(s,v) — the length of the shortest
+// Hasse path from any maximal value to v. Maximal (and isolated) values
+// have distance 0.
+func (r *Relation) DistFromMaximal(v int) int {
+	d := r.computeDerived()
+	if v < 0 || v >= r.n || d.minDist[v] < 0 {
+		return 0
+	}
+	return d.minDist[v]
+}
+
+// Weight returns the weight of value v in this relation:
+// 1/(min_{s∈S} D(s,v) + 1). Values at the top of the order get weight 1;
+// deeper values matter less (Sec. 5, "values at the top of a partial order
+// matter more ... in terms of their impact on which objects belong to the
+// Pareto frontier").
+func (r *Relation) Weight(v int) float64 {
+	return 1.0 / float64(r.DistFromMaximal(v)+1)
+}
+
+// WeightedSize returns Σ over tuples (v,v') of Weight(v) — the relation's
+// total mass under the weighting scheme, used by weighted Jaccard
+// denominators (Eq. 5).
+func (r *Relation) WeightedSize() float64 {
+	t := 0.0
+	r.ForEachTuple(func(x, y int) {
+		t += r.Weight(x)
+	})
+	return t
+}
+
+// IsStrictPartialOrder verifies the closure invariant from first
+// principles: irreflexivity, asymmetry, transitivity. It is O(n·|≻|) and
+// intended for tests and debugging, not hot paths.
+func (r *Relation) IsStrictPartialOrder() error {
+	for x := 0; x < r.n; x++ {
+		if r.succ[x].Contains(x) {
+			return fmt.Errorf("order: reflexive tuple (%d,%d)", x, x)
+		}
+		var err error
+		r.succ[x].ForEach(func(y int) bool {
+			if r.succ[y].Contains(x) {
+				err = fmt.Errorf("order: asymmetry violated by (%d,%d)", x, y)
+				return false
+			}
+			if !r.succ[y].SubsetOf(r.succ[x]) {
+				err = fmt.Errorf("order: transitivity violated below (%d,%d)", x, y)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DOT renders the Hasse diagram in Graphviz format, mirroring the paper's
+// figures (Tables 2, 3; Fig. 1).
+func (r *Relation) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", name)
+	active := bitset.New(r.n)
+	h := r.computeDerived().hasse
+	for x := 0; x < r.n; x++ {
+		h[x].ForEach(func(y int) bool {
+			active.Add(x)
+			active.Add(y)
+			fmt.Fprintf(&b, "  %q -> %q;\n", r.dom.Value(x), r.dom.Value(y))
+			return true
+		})
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TopoOrder returns the relation's values in a deterministic topological
+// order (better values first, ties by id). The sort key is the longest
+// chain above each value — unlike the shortest distance used for weights,
+// it is monotone along every edge (x ≻ y implies a strictly greater depth
+// for y), which makes the order topological on arbitrary posets, not just
+// chains. Used by serializers and pretty-printers.
+func (r *Relation) TopoOrder() []int {
+	depth := make([]int, r.n)
+	for v := range depth {
+		depth[v] = -1
+	}
+	var longest func(v int) int
+	longest = func(v int) int {
+		if depth[v] >= 0 {
+			return depth[v]
+		}
+		depth[v] = 0 // break would-be cycles defensively; the DAG has none
+		best := 0
+		for p := 0; p < r.n; p++ {
+			if r.succ[p].Contains(v) {
+				if d := longest(p) + 1; d > best {
+					best = d
+				}
+			}
+		}
+		depth[v] = best
+		return best
+	}
+	for v := 0; v < r.n; v++ {
+		longest(v)
+	}
+	out := make([]int, r.n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if depth[out[i]] != depth[out[j]] {
+			return depth[out[i]] < depth[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

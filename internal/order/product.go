@@ -1,0 +1,52 @@
+package order
+
+import "fmt"
+
+// FromProduct builds the strict partial order induced by the product
+// (coordinate-wise) order on two scores: value i is preferred to value j
+// iff (x_i > x_j ∧ y_i ≥ y_j) ∨ (x_i ≥ x_j ∧ y_i > y_j). This is exactly
+// how the paper simulates user preferences from observed data (Sec. 8.1):
+// for movies x = average rating and y = rating count; for publications
+// x = collaboration/publication count and y = citation count.
+//
+// A product of total orders is transitively closed by construction, so the
+// relation is assembled directly into closed successor bitsets without
+// per-edge closure work — O(k²) bit sets for k scored values.
+//
+// ids must be distinct domain value ids; xs and ys are their scores.
+func FromProduct(dom *Domain, ids []int, xs, ys []float64) *Relation {
+	if len(ids) != len(xs) || len(ids) != len(ys) {
+		panic(fmt.Sprintf("order: FromProduct length mismatch (%d ids, %d xs, %d ys)",
+			len(ids), len(xs), len(ys)))
+	}
+	r := NewRelation(dom)
+	seen := make(map[int]bool, len(ids))
+	maxID := -1
+	for _, id := range ids {
+		if id < 0 || id >= dom.Size() {
+			panic(fmt.Sprintf("order: FromProduct id %d outside domain of size %d", id, dom.Size()))
+		}
+		if seen[id] {
+			panic(fmt.Sprintf("order: FromProduct duplicate id %d", id))
+		}
+		seen[id] = true
+		if id > maxID {
+			maxID = id
+		}
+	}
+	r.ensure(maxID + 1)
+	for i, a := range ids {
+		for j, b := range ids {
+			if i == j {
+				continue
+			}
+			if xs[i] >= xs[j] && ys[i] >= ys[j] && (xs[i] > xs[j] || ys[i] > ys[j]) {
+				if !r.succ[a].Contains(b) {
+					r.succ[a].Add(b)
+					r.size++
+				}
+			}
+		}
+	}
+	return r
+}

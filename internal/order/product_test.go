@@ -1,0 +1,105 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func scoreDomain(n int) *Domain {
+	d := NewDomain("v")
+	for i := 0; i < n; i++ {
+		d.Intern(string(rune('A' + i)))
+	}
+	return d
+}
+
+func TestFromProductBasic(t *testing.T) {
+	d := scoreDomain(4)
+	// Scores: A=(5,10) B=(4,8) C=(4,12) D=(5,10).
+	r := FromProduct(d, []int{0, 1, 2, 3},
+		[]float64{5, 4, 4, 5},
+		[]float64{10, 8, 12, 10})
+	// A ≻ B (both coords better/equal, strict on both).
+	if !r.Has(0, 1) {
+		t.Error("A should dominate B")
+	}
+	// A vs C: 5>4 but 10<12 → incomparable.
+	if r.Has(0, 2) || r.Has(2, 0) {
+		t.Error("A and C must be incomparable")
+	}
+	// C ≻ B: 4≥4, 12>8.
+	if !r.Has(2, 1) {
+		t.Error("C should dominate B")
+	}
+	// A vs D: identical scores → no preference either way.
+	if r.Has(0, 3) || r.Has(3, 0) {
+		t.Error("equal scores must be incomparable")
+	}
+	if err := r.IsStrictPartialOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 3 { // A≻B, C≻B, D≻B
+		t.Fatalf("Size = %d, want 3 (%v)", r.Size(), r)
+	}
+}
+
+func TestFromProductPanics(t *testing.T) {
+	d := scoreDomain(3)
+	cases := map[string]func(){
+		"length mismatch": func() { FromProduct(d, []int{0}, nil, nil) },
+		"duplicate id":    func() { FromProduct(d, []int{0, 0}, []float64{1, 2}, []float64{1, 2}) },
+		"out of range":    func() { FromProduct(d, []int{0, 9}, []float64{1, 2}, []float64{1, 2}) },
+		"negative id":     func() { FromProduct(d, []int{-1}, []float64{1}, []float64{1}) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The product construction always yields a strict partial order whose
+// tuples are exactly the pairwise product-dominances — i.e. it agrees
+// with inserting each dominance pair via Add.
+func TestQuickFromProductMatchesAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		d := scoreDomain(n)
+		ids := make([]int, n)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range ids {
+			ids[i] = i
+			xs[i] = float64(r.Intn(4)) // small ranges force ties
+			ys[i] = float64(r.Intn(4))
+		}
+		fast := FromProduct(d, ids, xs, ys)
+		if fast.IsStrictPartialOrder() != nil {
+			return false
+		}
+		slow := NewRelation(d)
+		for i := range ids {
+			for j := range ids {
+				if i == j {
+					continue
+				}
+				if xs[i] >= xs[j] && ys[i] >= ys[j] && (xs[i] > xs[j] || ys[i] > ys[j]) {
+					if err := slow.Add(ids[i], ids[j]); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

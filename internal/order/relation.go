@@ -1,0 +1,320 @@
+package order
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// ErrNotStrictPartialOrder is returned when an edge insertion would violate
+// irreflexivity or asymmetry (and hence, with closure, transitivity).
+var ErrNotStrictPartialOrder = errors.New("order: tuple would violate strict partial order")
+
+// Tuple is one preference tuple (Better, Worse): "Better is preferred to
+// Worse" (Def. 3.1 of the paper).
+type Tuple struct {
+	Better int
+	Worse  int
+}
+
+// Relation is a strict partial order over the ids of a Domain, stored as
+// transitively closed successor bitsets: succ[x] is the set of all y with
+// x ≻ y. The invariant maintained by every mutator is that succ is the
+// transitive closure of itself, irreflexive and asymmetric; thus Has is a
+// single bit probe and relation intersection is word-parallel.
+//
+// Derived views (Hasse diagram, maximal values, weights) are computed
+// lazily and invalidated on mutation.
+type Relation struct {
+	dom  *Domain
+	n    int
+	succ []*bitset.Set // succ[x] = {y : x ≻ y}, transitively closed
+	size int           // total number of tuples = Σ |succ[x]|
+
+	// lazy derived state
+	derived *derivedViews
+}
+
+type derivedViews struct {
+	hasse   []*bitset.Set // transitive reduction
+	maximal *bitset.Set   // values with no predecessor (Def. 5.3)
+	minDist []int         // BFS distance from nearest maximal value over Hasse edges; -1 if isolated
+}
+
+// NewRelation creates an empty relation over dom. The relation tracks the
+// domain's current size and grows transparently as new values are interned.
+func NewRelation(dom *Domain) *Relation {
+	r := &Relation{dom: dom}
+	r.ensure(dom.Size())
+	return r
+}
+
+// Dom returns the domain the relation is defined over.
+func (r *Relation) Dom() *Domain { return r.dom }
+
+func (r *Relation) ensure(n int) {
+	if n <= r.n {
+		return
+	}
+	for len(r.succ) < n {
+		r.succ = append(r.succ, bitset.New(n))
+	}
+	r.n = n
+}
+
+// Size returns the number of preference tuples |≻| (closure pairs).
+func (r *Relation) Size() int { return r.size }
+
+// N returns the number of value ids the relation currently spans.
+func (r *Relation) N() int { return r.n }
+
+// Has reports whether x ≻ y.
+func (r *Relation) Has(x, y int) bool {
+	return x >= 0 && x < r.n && r.succ[x].Contains(y)
+}
+
+// Succ returns the closed successor set of x (all y with x ≻ y). The caller
+// must not mutate it.
+func (r *Relation) Succ(x int) *bitset.Set {
+	r.ensure(x + 1)
+	return r.succ[x]
+}
+
+// CanAdd reports whether tuple (x ≻ y) can be inserted while preserving the
+// strict-partial-order axioms: it fails iff x == y (irreflexivity) or
+// y ≻ x already holds (asymmetry; transitivity is preserved by closure).
+func (r *Relation) CanAdd(x, y int) bool {
+	if x == y || x < 0 || y < 0 {
+		return false
+	}
+	return !r.Has(y, x)
+}
+
+// Add inserts tuple (x ≻ y) and every pair its transitive closure implies:
+// p ≻ s for all p ∈ pred(x) ∪ {x}, s ∈ succ(y) ∪ {y}. It returns
+// ErrNotStrictPartialOrder if the insertion would violate the axioms and
+// leaves the relation unchanged in that case. Adding an existing tuple is a
+// no-op. This implements the (R_{i-1} ∪ {A_i})⁺ step of Def. 6.1.
+func (r *Relation) Add(x, y int) error {
+	if !r.CanAdd(x, y) {
+		return fmt.Errorf("%w: (%d,%d)", ErrNotStrictPartialOrder, x, y)
+	}
+	m := x
+	if y > m {
+		m = y
+	}
+	r.ensure(m + 1)
+	if r.succ[x].Contains(y) {
+		return nil
+	}
+
+	// down = {y} ∪ succ(y): everything that becomes worse than x and its preds.
+	down := r.succ[y].Clone()
+	down.Add(y)
+
+	apply := func(p int) {
+		before := r.succ[p].Count()
+		r.succ[p].Or(down)
+		r.size += r.succ[p].Count() - before
+	}
+	apply(x)
+	// Predecessors of x: every p with x ∈ succ[p].
+	for p := 0; p < r.n; p++ {
+		if r.succ[p].Contains(x) {
+			apply(p)
+		}
+	}
+	r.derived = nil
+	return nil
+}
+
+// AddValues is a convenience wrapper interning both strings before Add.
+func (r *Relation) AddValues(better, worse string) error {
+	b := r.dom.Intern(better)
+	w := r.dom.Intern(worse)
+	return r.Add(b, w)
+}
+
+// HasValues reports whether better ≻ worse using string values.
+func (r *Relation) HasValues(better, worse string) bool {
+	b, ok1 := r.dom.ID(better)
+	w, ok2 := r.dom.ID(worse)
+	return ok1 && ok2 && r.Has(b, w)
+}
+
+// Clone returns a deep copy sharing the domain.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{dom: r.dom, n: r.n, size: r.size}
+	c.succ = make([]*bitset.Set, len(r.succ))
+	for i, s := range r.succ {
+		c.succ[i] = s.Clone()
+	}
+	return c
+}
+
+// Tuples returns all preference tuples in deterministic (Better, Worse)
+// lexicographic id order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, r.size)
+	for x := 0; x < r.n; x++ {
+		r.succ[x].ForEach(func(y int) bool {
+			out = append(out, Tuple{Better: x, Worse: y})
+			return true
+		})
+	}
+	return out
+}
+
+// ForEachTuple calls fn for every tuple (x ≻ y).
+func (r *Relation) ForEachTuple(fn func(x, y int)) {
+	for x := 0; x < r.n; x++ {
+		r.succ[x].ForEach(func(y int) bool {
+			fn(x, y)
+			return true
+		})
+	}
+}
+
+// Intersect returns the common preference relation r ∩ o (Def. 4.1). Both
+// relations must share the same domain. The intersection of two strict
+// partial orders is again a strict partial order (Theorem 4.2), so the
+// result maintains the closure invariant for free.
+func (r *Relation) Intersect(o *Relation) *Relation {
+	if r.dom != o.dom {
+		panic("order: intersecting relations over different domains")
+	}
+	n := r.n
+	if o.n < n {
+		n = o.n
+	}
+	c := NewRelation(r.dom)
+	c.ensure(r.n)
+	for x := 0; x < n; x++ {
+		c.succ[x].CopyFrom(r.succ[x])
+		c.succ[x].And(o.succ[x])
+		c.size += c.succ[x].Count()
+	}
+	return c
+}
+
+// IntersectionSize returns |r ∩ o| without materializing the intersection
+// (similarity measure sim_i, Eq. 2).
+func (r *Relation) IntersectionSize(o *Relation) int {
+	n := r.n
+	if o.n < n {
+		n = o.n
+	}
+	c := 0
+	for x := 0; x < n; x++ {
+		c += r.succ[x].IntersectionCount(o.succ[x])
+	}
+	return c
+}
+
+// UnionSize returns |r ∪ o| without materializing the union (denominator of
+// Jaccard similarity, Eq. 3).
+func (r *Relation) UnionSize(o *Relation) int {
+	c := 0
+	n := r.n
+	if o.n > n {
+		n = o.n
+	}
+	for x := 0; x < n; x++ {
+		switch {
+		case x >= r.n:
+			c += o.succ[x].Count()
+		case x >= o.n:
+			c += r.succ[x].Count()
+		default:
+			c += r.succ[x].UnionCount(o.succ[x])
+		}
+	}
+	return c
+}
+
+// Equal reports whether two relations over the same domain contain exactly
+// the same tuples.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.size != o.size {
+		return false
+	}
+	n := r.n
+	if o.n > n {
+		n = o.n
+	}
+	for x := 0; x < n; x++ {
+		switch {
+		case x >= r.n:
+			if !o.succ[x].Empty() {
+				return false
+			}
+		case x >= o.n:
+			if !r.succ[x].Empty() {
+				return false
+			}
+		default:
+			if !r.succ[x].Equal(o.succ[x]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromTuples builds a closed relation from raw (better, worse) string pairs,
+// closing transitively as it goes. It returns ErrNotStrictPartialOrder if
+// the pairs contain a reflexive tuple or a cycle.
+func FromTuples(dom *Domain, pairs [][2]string) (*Relation, error) {
+	r := NewRelation(dom)
+	for _, p := range pairs {
+		if err := r.AddValues(p[0], p[1]); err != nil {
+			return nil, fmt.Errorf("adding (%s ≻ %s): %w", p[0], p[1], err)
+		}
+	}
+	return r, nil
+}
+
+// MustFromTuples is FromTuples that panics on error; intended for tests and
+// examples where the input is a literal.
+func MustFromTuples(dom *Domain, pairs [][2]string) *Relation {
+	r, err := FromTuples(dom, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// String renders the tuples using domain values, e.g. "{Apple≻Sony, ...}".
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	r.ForEachTuple(func(x, y int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s≻%s", r.dom.Value(x), r.dom.Value(y))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// TuplesByValue returns tuples as string pairs sorted lexicographically,
+// for golden-file tests and serialization.
+func (r *Relation) TuplesByValue() [][2]string {
+	out := make([][2]string, 0, r.size)
+	r.ForEachTuple(func(x, y int) {
+		out = append(out, [2]string{r.dom.Value(x), r.dom.Value(y)})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,190 @@
+// Package pref models user preferences: a Profile holds one strict partial
+// order per attribute (Def. 3.1) and induces the object dominance order of
+// Def. 3.2. It also builds the common preference relations ≻_U of Def. 4.1
+// that the filter-then-verify engines share across a cluster's users.
+package pref
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/order"
+)
+
+// Cmp is the outcome of comparing two objects under a profile.
+type Cmp int8
+
+const (
+	// Incomparable: neither object dominates the other and they are not
+	// identical.
+	Incomparable Cmp = iota
+	// Left: the first object dominates the second (a ≻ b).
+	Left
+	// Right: the second object dominates the first (b ≻ a).
+	Right
+	// Identical: the objects agree on every attribute (a = b, Def. 3.2).
+	Identical
+)
+
+func (c Cmp) String() string {
+	switch c {
+	case Left:
+		return "Left"
+	case Right:
+		return "Right"
+	case Identical:
+		return "Identical"
+	default:
+		return "Incomparable"
+	}
+}
+
+// Profile is one user's (or one virtual user's / cluster's) preferences:
+// rels[d] is the strict partial order over attribute d's domain.
+type Profile struct {
+	doms []*order.Domain
+	rels []*order.Relation
+}
+
+// NewProfile creates a profile with an empty relation per domain.
+func NewProfile(doms []*order.Domain) *Profile {
+	p := &Profile{doms: doms, rels: make([]*order.Relation, len(doms))}
+	for i, d := range doms {
+		p.rels[i] = order.NewRelation(d)
+	}
+	return p
+}
+
+// Dims returns the number of attributes.
+func (p *Profile) Dims() int { return len(p.rels) }
+
+// Domains returns the attribute domains (not to be mutated structurally).
+func (p *Profile) Domains() []*order.Domain { return p.doms }
+
+// Relation returns the preference relation on attribute d.
+func (p *Profile) Relation(d int) *order.Relation { return p.rels[d] }
+
+// SetRelation replaces the relation on attribute d. The relation must be
+// over the profile's domain for d.
+func (p *Profile) SetRelation(d int, r *order.Relation) {
+	if r.Dom() != p.doms[d] {
+		panic(fmt.Sprintf("pref: relation domain %q does not match attribute %d (%q)",
+			r.Dom().Name(), d, p.doms[d].Name()))
+	}
+	p.rels[d] = r
+}
+
+// Clone deep-copies the profile (shared domains, copied relations).
+func (p *Profile) Clone() *Profile {
+	c := &Profile{doms: p.doms, rels: make([]*order.Relation, len(p.rels))}
+	for i, r := range p.rels {
+		c.rels[i] = r.Clone()
+	}
+	return c
+}
+
+// Project returns a profile restricted to the first d attributes, sharing
+// the underlying relations. Used by the dimensionality sweeps.
+func (p *Profile) Project(d int) *Profile {
+	return &Profile{doms: p.doms[:d:d], rels: p.rels[:d:d]}
+}
+
+// Size returns the total number of preference tuples across attributes.
+func (p *Profile) Size() int {
+	n := 0
+	for _, r := range p.rels {
+		n += r.Size()
+	}
+	return n
+}
+
+// Compare evaluates one pairwise object comparison under the profile in a
+// single pass over the attributes (Def. 3.2): a dominates b iff a is equal
+// or preferred on every attribute and strictly preferred on at least one.
+// If on any attribute the two values are distinct and unrelated, neither
+// object can dominate the other and Incomparable is returned immediately;
+// likewise once a strictly-better attribute has been seen in both
+// directions.
+func (p *Profile) Compare(a, b object.Object) Cmp {
+	aBetter, bBetter := false, false
+	for d, r := range p.rels {
+		av, bv := int(a.Attrs[d]), int(b.Attrs[d])
+		if av == bv {
+			continue
+		}
+		switch {
+		case r.Has(av, bv):
+			if bBetter {
+				return Incomparable
+			}
+			aBetter = true
+		case r.Has(bv, av):
+			if aBetter {
+				return Incomparable
+			}
+			bBetter = true
+		default:
+			return Incomparable
+		}
+	}
+	switch {
+	case aBetter:
+		return Left
+	case bBetter:
+		return Right
+	default:
+		return Identical
+	}
+}
+
+// Dominates reports whether a ≻ b under the profile.
+func (p *Profile) Dominates(a, b object.Object) bool {
+	return p.Compare(a, b) == Left
+}
+
+// Common returns the common preference profile of users (Def. 4.1):
+// per attribute, the intersection of all users' relations. It panics on an
+// empty user set — the common preferences of nobody are undefined.
+func Common(users []*Profile) *Profile {
+	if len(users) == 0 {
+		panic("pref: Common of empty user set")
+	}
+	c := users[0].Clone()
+	for _, u := range users[1:] {
+		for d := range c.rels {
+			c.rels[d] = c.rels[d].Intersect(u.rels[d])
+		}
+	}
+	return c
+}
+
+// Subsumes reports whether every preference tuple of q is also in p
+// (≻_q ⊆ ≻_p on every attribute). Theorem 4.5's proof relies on the common
+// profile being subsumed by every member; tests use this to verify it.
+func (p *Profile) Subsumes(q *Profile) bool {
+	for d := range p.rels {
+		sub := true
+		q.rels[d].ForEachTuple(func(x, y int) {
+			if !p.rels[d].Has(x, y) {
+				sub = false
+			}
+		})
+		if !sub {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two profiles contain exactly the same relations.
+func (p *Profile) Equal(q *Profile) bool {
+	if len(p.rels) != len(q.rels) {
+		return false
+	}
+	for d := range p.rels {
+		if !p.rels[d].Equal(q.rels[d]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+// Package server exposes a running paretomon Monitor over HTTP, turning
+// the library into a dissemination service: producers POST objects as they
+// are created, consumers poll their frontier or receive the delivery list
+// from the POST response. State is a single Monitor guarded by a mutex —
+// the engines are single-writer by design (each Process mutates the
+// frontiers), so requests serialize on ingestion.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	paretomon "repro"
+)
+
+// Server is an http.Handler serving one Monitor.
+//
+//	POST /objects           {"name": "o1", "values": ["13-15.9", "Apple", "dual"]}
+//	  → 200 {"object": "o1", "users": ["c2"]}
+//	GET  /frontier/{user}   → 200 {"user": "c2", "frontier": ["o2", "o3"]}
+//	POST /preferences       {"user": "c1", "attribute": "brand",
+//	                         "better": "Apple", "worse": "Sony"}
+//	GET  /stats             → 200 {"comparisons": ..., ...}
+//	GET  /clusters          → 200 [["c1","c2"], ...]
+type Server struct {
+	mu  sync.Mutex
+	mon *paretomon.Monitor
+	mux *http.ServeMux
+}
+
+// New wraps an existing monitor.
+func New(mon *paretomon.Monitor) *Server {
+	s := &Server{mon: mon, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/objects", s.handleObjects)
+	s.mux.HandleFunc("/frontier/", s.handleFrontier)
+	s.mux.HandleFunc("/preferences", s.handlePreferences)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/clusters", s.handleClusters)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type objectRequest struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+type deliveryResponse struct {
+	Object string   `json:"object"`
+	Users  []string `json:"users"`
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req objectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	s.mu.Lock()
+	d, err := s.mon.Add(req.Name, req.Values...)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	users := d.Users
+	if users == nil {
+		users = []string{}
+	}
+	writeJSON(w, deliveryResponse{Object: d.Object, Users: users})
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	user := strings.TrimPrefix(r.URL.Path, "/frontier/")
+	if user == "" {
+		httpError(w, http.StatusBadRequest, "missing user")
+		return
+	}
+	s.mu.Lock()
+	f, err := s.mon.Frontier(user)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if f == nil {
+		f = []string{}
+	}
+	writeJSON(w, map[string]any{"user": user, "frontier": f})
+}
+
+type preferenceRequest struct {
+	User      string `json:"user"`
+	Attribute string `json:"attribute"`
+	Better    string `json:"better"`
+	Worse     string `json:"worse"`
+}
+
+func (s *Server) handlePreferences(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req preferenceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	s.mu.Lock()
+	err := s.mon.AddPreference(req.User, req.Attribute, req.Better, req.Worse)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	st := s.mon.Stats()
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	cl := s.mon.Clusters()
+	s.mu.Unlock()
+	if cl == nil {
+		cl = [][]string{}
+	}
+	writeJSON(w, cl)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

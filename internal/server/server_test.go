@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	paretomon "repro"
+	"repro/internal/server"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := paretomon.NewSchema("brand", "CPU")
+	com := paretomon.NewCommunity(s)
+	alice, err := com.AddUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.PreferChain("brand", "Apple", "Lenovo", "Toshiba"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.PreferChain("CPU", "quad", "dual", "single"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmBaseline
+	mon, err := paretomon.NewMonitor(com, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(mon))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func TestObjectIngestionAndFrontier(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, out := post(t, ts.URL+"/objects", `{"name":"o1","values":["Lenovo","dual"]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if !reflect.DeepEqual(out["users"], []any{"alice"}) {
+		t.Fatalf("delivery = %v", out)
+	}
+	// o2 dominates o1.
+	_, out = post(t, ts.URL+"/objects", `{"name":"o2","values":["Apple","quad"]}`)
+	if !reflect.DeepEqual(out["users"], []any{"alice"}) {
+		t.Fatalf("delivery = %v", out)
+	}
+	// Dominated object: empty (not null) user list.
+	_, out = post(t, ts.URL+"/objects", `{"name":"o3","values":["Toshiba","single"]}`)
+	if got, ok := out["users"].([]any); !ok || len(got) != 0 {
+		t.Fatalf("dominated delivery = %v", out)
+	}
+
+	resp, out = get(t, ts.URL+"/frontier/alice")
+	if resp.StatusCode != 200 {
+		t.Fatalf("frontier status %d", resp.StatusCode)
+	}
+	if !reflect.DeepEqual(out["frontier"], []any{"o2"}) {
+		t.Fatalf("frontier = %v", out)
+	}
+}
+
+func TestPreferenceUpdateOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/objects", `{"name":"a","values":["BrandX","dual"]}`)
+	post(t, ts.URL+"/objects", `{"name":"b","values":["BrandY","dual"]}`)
+	// Both unknown brands: incomparable, both Pareto.
+	_, out := get(t, ts.URL+"/frontier/alice")
+	if got := out["frontier"].([]any); len(got) != 2 {
+		t.Fatalf("frontier = %v", out)
+	}
+	// alice now prefers BrandX over BrandY: b is repaired away.
+	resp, _ := post(t, ts.URL+"/preferences",
+		`{"user":"alice","attribute":"brand","better":"BrandX","worse":"BrandY"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("preference status %d", resp.StatusCode)
+	}
+	_, out = get(t, ts.URL+"/frontier/alice")
+	if !reflect.DeepEqual(out["frontier"], []any{"a"}) {
+		t.Fatalf("frontier after update = %v", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"GET", "/objects", "", http.StatusMethodNotAllowed},
+		{"POST", "/objects", `{bad json`, http.StatusBadRequest},
+		{"POST", "/objects", `{"name":"","values":["a","b"]}`, http.StatusBadRequest},
+		{"POST", "/objects", `{"name":"x","values":["only-one"]}`, http.StatusBadRequest},
+		{"GET", "/frontier/ghost", "", http.StatusNotFound},
+		{"GET", "/frontier/", "", http.StatusBadRequest},
+		{"POST", "/frontier/alice", "", http.StatusMethodNotAllowed},
+		{"POST", "/preferences", `{"user":"alice","attribute":"brand","better":"x","worse":"x"}`, http.StatusBadRequest},
+		{"POST", "/stats", "", http.StatusMethodNotAllowed},
+		{"POST", "/clusters", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestStatsAndClusters(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/objects", `{"name":"o1","values":["Apple","dual"]}`)
+	resp, out := get(t, ts.URL+"/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if out["Processed"].(float64) != 1 {
+		t.Errorf("stats = %v", out)
+	}
+	// Baseline engine: no clusters (empty array, not null).
+	r2, err := http.Get(ts.URL + "/clusters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cl [][]string
+	if err := json.NewDecoder(r2.Body).Decode(&cl); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if cl == nil || len(cl) != 0 {
+		t.Errorf("clusters = %v", cl)
+	}
+}

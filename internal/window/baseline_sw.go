@@ -1,0 +1,149 @@
+package window
+
+import (
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/pref"
+	"repro/internal/stats"
+)
+
+// BaselineSW is Alg. 4: per-user frontier maintenance over a sliding
+// window of the W most recent objects. Each user keeps an exclusive
+// Pareto frontier P_c and an exclusive Pareto frontier buffer PB_c.
+type BaselineSW struct {
+	users   []*pref.Profile
+	fronts  []*core.Frontier
+	buffers []*buffer
+	win     *ring
+	targets *targetTracker
+	ctr     *stats.Counters
+}
+
+// NewBaselineSW creates the monitor with window size w.
+func NewBaselineSW(users []*pref.Profile, w int, ctr *stats.Counters) *BaselineSW {
+	b := &BaselineSW{
+		users:   users,
+		fronts:  make([]*core.Frontier, len(users)),
+		buffers: make([]*buffer, len(users)),
+		win:     newRing(w),
+		targets: newTargetTracker(),
+		ctr:     ctr,
+	}
+	for i := range users {
+		b.fronts[i] = core.NewFrontier()
+		b.buffers[i] = newBuffer()
+	}
+	return b
+}
+
+// Process ingests o_in, expiring the object that leaves the window, and
+// returns C_oin.
+func (b *BaselineSW) Process(oin object.Object) []int {
+	b.ctr.AddProcessed()
+	if oout, ok := b.win.push(oin); ok {
+		for c := range b.users {
+			b.expireUser(c, oout)
+		}
+		b.targets.drop(oout.ID)
+	}
+	var co []int
+	for c := range b.users {
+		if b.arriveUser(c, oin) {
+			co = append(co, c)
+		}
+	}
+	b.ctr.AddDelivered(len(co))
+	return co
+}
+
+// expireUser handles o_out for one user: if o_out occupied P_c, objects it
+// exclusively dominated are promoted from PB_c (Procedure
+// mendParetoFrontierSW); o_out then leaves both structures.
+func (b *BaselineSW) expireUser(c int, oout object.Object) {
+	u := b.users[c]
+	f := b.fronts[c]
+	pb := b.buffers[c]
+	if f.Remove(oout.ID) {
+		b.targets.remove(oout.ID, c)
+		// Promote buffered objects whose only shield was o_out. Arrival
+		// order matters: an earlier candidate admitted to P_c must be able
+		// to reject a later candidate it dominates.
+		for _, o := range pb.objects() {
+			if o.ID == oout.ID {
+				continue
+			}
+			b.ctr.AddVerify(1)
+			if u.Dominates(oout, o) {
+				b.mendUser(c, o)
+			}
+		}
+	}
+	pb.remove(oout.ID)
+}
+
+// mendUser is Procedure mendParetoFrontierSW(c, o): o joins P_c unless a
+// current member dominates it.
+func (b *BaselineSW) mendUser(c int, o object.Object) {
+	u := b.users[c]
+	f := b.fronts[c]
+	if f.Contains(o.ID) {
+		return
+	}
+	for i := 0; i < f.Len(); i++ {
+		b.ctr.AddVerify(1)
+		if u.Dominates(f.At(i), o) {
+			return
+		}
+	}
+	f.Add(o)
+	b.targets.add(o.ID, c)
+}
+
+// arriveUser handles o_in for one user: a single frontier scan decides
+// Pareto-optimality and evicts dominated members (Procedure
+// updateParetoFrontierSW), then the buffer is refreshed (Procedure
+// refreshParetoBufferSW): o_in enters PB_c and evicts the buffered objects
+// it dominates — they arrived earlier, so by Theorem 7.2 they are out for
+// good.
+func (b *BaselineSW) arriveUser(c int, oin object.Object) bool {
+	u := b.users[c]
+	f := b.fronts[c]
+	isPareto := true
+scan:
+	for i := 0; i < f.Len(); {
+		op := f.At(i)
+		b.ctr.AddVerify(1)
+		switch u.Compare(oin, op) {
+		case pref.Left:
+			f.Remove(op.ID)
+			b.targets.remove(op.ID, c)
+		case pref.Right:
+			isPareto = false
+			break scan
+		case pref.Identical:
+			break scan
+		default:
+			i++
+		}
+	}
+	if isPareto {
+		f.Add(oin)
+		b.targets.add(oin.ID, c)
+	}
+	pb := b.buffers[c]
+	pb.removeIf(func(o object.Object) bool {
+		b.ctr.AddVerify(1)
+		return u.Dominates(oin, o)
+	})
+	pb.add(oin)
+	return isPareto
+}
+
+// UserFrontier returns P_c as object ids.
+func (b *BaselineSW) UserFrontier(c int) []int { return b.fronts[c].IDs() }
+
+// Buffer returns PB_c as object ids in arrival order.
+func (b *BaselineSW) Buffer(c int) []int { return b.buffers[c].idSlice() }
+
+// Targets returns the current C_o of an alive object.
+func (b *BaselineSW) Targets(objID int) []int { return b.targets.users(objID) }

@@ -1,0 +1,270 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/pref"
+	"repro/internal/stats"
+)
+
+// FilterThenVerifySW is Alg. 5: sliding-window monitoring with shared
+// computation. Each cluster keeps one filter frontier P_U and one shared
+// Pareto frontier buffer PB_U (Theorem 7.5: PB_U ⊇ PB_c for every member,
+// so per-user buffers are unnecessary); each user keeps only P_c ⊆ P_U.
+// With approximate common preference relations the same engine is
+// FilterThenVerifyApproxSW.
+type FilterThenVerifySW struct {
+	users      []*pref.Profile
+	clusters   []core.Cluster
+	clusterFs  []*core.Frontier // P_U
+	buffers    []*buffer        // PB_U
+	userFs     []*core.Frontier // P_c
+	userExpire [][]int          // cluster index -> member list (alias of clusters)
+	win        *ring
+	targets    *targetTracker
+	ctr        *stats.Counters
+}
+
+// NewFilterThenVerifySW creates the monitor with window size w. Clusters
+// must partition the user set.
+func NewFilterThenVerifySW(users []*pref.Profile, clusters []core.Cluster, w int, ctr *stats.Counters) *FilterThenVerifySW {
+	seen := make([]bool, len(users))
+	for _, cl := range clusters {
+		for _, c := range cl.Members {
+			if c < 0 || c >= len(users) || seen[c] {
+				panic("window: cluster membership must partition the user set")
+			}
+			seen[c] = true
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			panic(fmt.Sprintf("window: user %d not covered by any cluster", c))
+		}
+	}
+	f := &FilterThenVerifySW{
+		users:     users,
+		clusters:  clusters,
+		clusterFs: make([]*core.Frontier, len(clusters)),
+		buffers:   make([]*buffer, len(clusters)),
+		userFs:    make([]*core.Frontier, len(users)),
+		win:       newRing(w),
+		targets:   newTargetTracker(),
+		ctr:       ctr,
+	}
+	for i := range clusters {
+		f.clusterFs[i] = core.NewFrontier()
+		f.buffers[i] = newBuffer()
+	}
+	for i := range users {
+		f.userFs[i] = core.NewFrontier()
+	}
+	return f
+}
+
+// Process ingests o_in, expiring the object leaving the window, and
+// returns C_oin.
+func (f *FilterThenVerifySW) Process(oin object.Object) []int {
+	f.ctr.AddProcessed()
+	if oout, ok := f.win.push(oin); ok {
+		for ui := range f.clusters {
+			f.expireCluster(ui, oout)
+		}
+		f.targets.drop(oout.ID)
+	}
+	var co []int
+	for ui := range f.clusters {
+		if f.arriveCluster(ui, oin) {
+			for _, c := range f.clusters[ui].Members {
+				if f.verifyUser(c, oin) {
+					co = append(co, c)
+				}
+			}
+		} else {
+			// o_in never enters any member frontier (Theorem 4.5), but it
+			// still enters PB_U below via arriveCluster.
+			_ = ui
+		}
+	}
+	sort.Ints(co)
+	f.ctr.AddDelivered(len(co))
+	return co
+}
+
+// expireCluster handles o_out for one cluster: mend P_U from PB_U under
+// ≻_U, then mend each member's P_c from the updated P_U under ≻_c (see
+// the package comment for why the user tier needs its own dominance gate).
+func (f *FilterThenVerifySW) expireCluster(ui int, oout object.Object) {
+	cl := f.clusters[ui]
+	fu := f.clusterFs[ui]
+	pb := f.buffers[ui]
+
+	inPU := fu.Remove(oout.ID)
+	if inPU {
+		// Tier 1: promote buffered objects whose only ≻_U shield was o_out
+		// (Procedure mendParetoFrontierUSW), in arrival order.
+		for _, o := range pb.objects() {
+			if o.ID == oout.ID {
+				continue
+			}
+			f.ctr.AddFilter(1)
+			if cl.Common.Dominates(oout, o) {
+				f.mendCluster(ui, o)
+			}
+		}
+	}
+	pb.remove(oout.ID)
+
+	// Tier 2: per member, promote P_U objects whose only ≻_c shield was
+	// o_out (Procedure mendParetoFrontierSW). Skipped when o_out was not
+	// in P_c: any object it dominated per c is still dominated by o_out's
+	// own dominator.
+	for _, c := range cl.Members {
+		fc := f.userFs[c]
+		if !fc.Remove(oout.ID) {
+			continue
+		}
+		f.targets.remove(oout.ID, c)
+		u := f.users[c]
+		// Snapshot P_U and walk it in arrival order (deterministic; the
+		// Lemma 4.6 scan in mendUser makes the order immaterial for
+		// correctness).
+		cands := append([]object.Object(nil), fu.Objects()...)
+		sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+		for _, o := range cands {
+			if fc.Contains(o.ID) {
+				continue
+			}
+			f.ctr.AddVerify(1)
+			if u.Dominates(oout, o) {
+				f.mendUser(ui, c, o)
+			}
+		}
+	}
+}
+
+// mendCluster admits o into P_U unless a member dominates it under ≻_U.
+func (f *FilterThenVerifySW) mendCluster(ui int, o object.Object) {
+	cl := f.clusters[ui]
+	fu := f.clusterFs[ui]
+	if fu.Contains(o.ID) {
+		return
+	}
+	for i := 0; i < fu.Len(); i++ {
+		f.ctr.AddFilter(1)
+		if cl.Common.Dominates(fu.At(i), o) {
+			return
+		}
+	}
+	fu.Add(o)
+}
+
+// mendUser admits o into P_c by the criterion of Lemma 4.6: no P_U member
+// may dominate it under ≻_c. Scanning P_c alone would be wrong here —
+// o's per-user dominator may itself be a pending mend candidate (it was
+// suppressed in P_c by the same expiring object), and P_U candidates are
+// not ordered so that dominators precede dominatees the way PB candidates
+// are.
+func (f *FilterThenVerifySW) mendUser(ui, c int, o object.Object) {
+	u := f.users[c]
+	fu := f.clusterFs[ui]
+	for i := 0; i < fu.Len(); i++ {
+		op := fu.At(i)
+		if op.ID == o.ID {
+			continue
+		}
+		f.ctr.AddVerify(1)
+		if u.Dominates(op, o) {
+			return
+		}
+	}
+	f.userFs[c].Add(o)
+	f.targets.add(o.ID, c)
+}
+
+// arriveCluster runs the filter tier for o_in (Procedure
+// updateParetoFrontierUSW) and refreshes PB_U (Procedure
+// refreshParetoBufferSW at cluster granularity). It returns whether o_in
+// survives the filter.
+func (f *FilterThenVerifySW) arriveCluster(ui int, oin object.Object) bool {
+	cl := f.clusters[ui]
+	fu := f.clusterFs[ui]
+	isPareto := true
+scan:
+	for i := 0; i < fu.Len(); {
+		op := fu.At(i)
+		f.ctr.AddFilter(1)
+		switch cl.Common.Compare(oin, op) {
+		case pref.Left:
+			fu.Remove(op.ID)
+			for _, c := range cl.Members {
+				if f.userFs[c].Remove(op.ID) {
+					f.targets.remove(op.ID, c)
+				}
+			}
+		case pref.Right:
+			isPareto = false
+			break scan
+		case pref.Identical:
+			// Identical twin already in P_U: o_in is Pareto and cannot
+			// dominate anything the twin has not already removed.
+			break scan
+		default:
+			i++
+		}
+	}
+	if isPareto {
+		fu.Add(oin)
+	}
+	pb := f.buffers[ui]
+	pb.removeIf(func(o object.Object) bool {
+		f.ctr.AddFilter(1)
+		return cl.Common.Dominates(oin, o)
+	})
+	pb.add(oin)
+	return isPareto
+}
+
+// verifyUser runs the per-user tier for o_in against P_c.
+func (f *FilterThenVerifySW) verifyUser(c int, oin object.Object) bool {
+	u := f.users[c]
+	fc := f.userFs[c]
+	isPareto := true
+scan:
+	for i := 0; i < fc.Len(); {
+		op := fc.At(i)
+		f.ctr.AddVerify(1)
+		switch u.Compare(oin, op) {
+		case pref.Left:
+			fc.Remove(op.ID)
+			f.targets.remove(op.ID, c)
+		case pref.Right:
+			isPareto = false
+			break scan
+		case pref.Identical:
+			break scan
+		default:
+			i++
+		}
+	}
+	if isPareto {
+		fc.Add(oin)
+		f.targets.add(oin.ID, c)
+	}
+	return isPareto
+}
+
+// UserFrontier returns P_c as object ids.
+func (f *FilterThenVerifySW) UserFrontier(c int) []int { return f.userFs[c].IDs() }
+
+// ClusterFrontier returns P_U of cluster ui as object ids.
+func (f *FilterThenVerifySW) ClusterFrontier(ui int) []int { return f.clusterFs[ui].IDs() }
+
+// Buffer returns PB_U of cluster ui as object ids in arrival order.
+func (f *FilterThenVerifySW) Buffer(ui int) []int { return f.buffers[ui].idSlice() }
+
+// Targets returns the current C_o of an alive object.
+func (f *FilterThenVerifySW) Targets(objID int) []int { return f.targets.users(objID) }

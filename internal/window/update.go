@@ -1,0 +1,178 @@
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/pref"
+)
+
+// Online preference updates under sliding-window semantics. As in the
+// append-only engines (see core's update.go), adding a preference tuple
+// only adds dominance pairs, so the frontier P and the Pareto frontier
+// buffer PB can only lose members; filtering each in place is exact:
+//
+//   - P: a member stays iff no other (old) member dominates it under the
+//     grown preferences — any outside dominator is itself transitively
+//     dominated by a member.
+//   - PB: a member stays iff no *succeeding* buffer member dominates it
+//     (Def. 7.4); any succeeding alive dominator outside the buffer is
+//     dominated by a succeeding buffer member, which then dominates the
+//     candidate transitively and also succeeds it.
+type prefUpdater interface {
+	ApplyPreference(c, d, better, worse int) error
+}
+
+var (
+	_ prefUpdater = (*BaselineSW)(nil)
+	_ prefUpdater = (*FilterThenVerifySW)(nil)
+)
+
+// ApplyPreference records that user c now also prefers better over worse
+// on attribute d, and repairs the user's frontier and buffer in place.
+func (b *BaselineSW) ApplyPreference(c, d, better, worse int) error {
+	if c < 0 || c >= len(b.users) {
+		return fmt.Errorf("window: no user %d", c)
+	}
+	if err := b.users[c].Relation(d).Add(better, worse); err != nil {
+		return err
+	}
+	u := b.users[c]
+	filterBuffer(b.buffers[c], u, func() { b.ctr.AddVerify(1) })
+	f := b.fronts[c]
+	ids := append([]int(nil), f.IDs()...)
+	for _, id := range ids {
+		if !f.Contains(id) {
+			continue
+		}
+		o := objectIn(f.Objects(), id)
+		for i := 0; i < f.Len(); i++ {
+			op := f.At(i)
+			if op.ID == id {
+				continue
+			}
+			b.ctr.AddVerify(1)
+			if u.Dominates(op, o) {
+				f.Remove(id)
+				b.targets.remove(id, c)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyPreference for the filter-then-verify engine: grow the user's
+// relation, recompute the affected cluster's common relation, filter the
+// cluster buffer and filter frontier (propagating removals to members),
+// and finally filter the user's own frontier.
+func (f *FilterThenVerifySW) ApplyPreference(c, d, better, worse int) error {
+	if c < 0 || c >= len(f.users) {
+		return fmt.Errorf("window: no user %d", c)
+	}
+	if err := f.users[c].Relation(d).Add(better, worse); err != nil {
+		return err
+	}
+	ui := f.clusterOf(c)
+	cl := &f.clusters[ui]
+	members := make([]*pref.Profile, len(cl.Members))
+	for i, m := range cl.Members {
+		members[i] = f.users[m]
+	}
+	cl.Common = pref.Common(members)
+
+	filterBuffer(f.buffers[ui], cl.Common, func() { f.ctr.AddFilter(1) })
+
+	fu := f.clusterFs[ui]
+	ids := append([]int(nil), fu.IDs()...)
+	for _, id := range ids {
+		if !fu.Contains(id) {
+			continue
+		}
+		o := objectIn(fu.Objects(), id)
+		for j := 0; j < fu.Len(); j++ {
+			op := fu.At(j)
+			if op.ID == id {
+				continue
+			}
+			f.ctr.AddFilter(1)
+			if cl.Common.Dominates(op, o) {
+				fu.Remove(id)
+				for _, m := range cl.Members {
+					if f.userFs[m].Remove(id) {
+						f.targets.remove(id, m)
+					}
+				}
+				break
+			}
+		}
+	}
+
+	// The changed user's own frontier, filtered under their new prefs.
+	u := f.users[c]
+	fc := f.userFs[c]
+	ids = append(ids[:0], fc.IDs()...)
+	for _, id := range ids {
+		if !fc.Contains(id) {
+			continue
+		}
+		o := objectIn(fc.Objects(), id)
+		for j := 0; j < fc.Len(); j++ {
+			op := fc.At(j)
+			if op.ID == id {
+				continue
+			}
+			f.ctr.AddVerify(1)
+			if u.Dominates(op, o) {
+				fc.Remove(id)
+				f.targets.remove(id, c)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// clusterOf locates the cluster containing user c.
+func (f *FilterThenVerifySW) clusterOf(c int) int {
+	for ui, cl := range f.clusters {
+		for _, m := range cl.Members {
+			if m == c {
+				return ui
+			}
+		}
+	}
+	panic(fmt.Sprintf("window: user %d not in any cluster", c))
+}
+
+// filterBuffer removes buffered objects dominated by a succeeding buffer
+// member under the given profile, preserving arrival order.
+func filterBuffer(pb *buffer, p *pref.Profile, count func()) {
+	list := pb.objects()
+	for i := 0; i < len(list); i++ {
+		o := list[i]
+		dominated := false
+		for j := i + 1; j < len(list); j++ {
+			count()
+			if p.Dominates(list[j], o) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			pb.remove(o.ID)
+			list = pb.objects()
+			i--
+		}
+	}
+}
+
+// objectIn finds an object by id in a frontier snapshot.
+func objectIn(objs []object.Object, id int) object.Object {
+	for _, o := range objs {
+		if o.ID == id {
+			return o
+		}
+	}
+	panic(fmt.Sprintf("window: object %d not found", id))
+}

@@ -1,0 +1,120 @@
+package window_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/object"
+	"repro/internal/pref"
+	"repro/internal/window"
+)
+
+func TestBaselineSWApplyPreference(t *testing.T) {
+	l := fixtures.NewLaptops()
+	b := window.NewBaselineSW([]*pref.Profile{l.C2.Clone()}, 15, nil)
+	for _, o := range l.Objects[:15] {
+		b.Process(o)
+	}
+	if got := sorted(b.UserFrontier(0)); !reflect.DeepEqual(got, ids(2, 3, 15)) {
+		t.Fatalf("frontier = %v", got)
+	}
+	// c2 learns Apple ≻ Samsung: o3 leaves the frontier and the buffer
+	// (it is dominated by the succeeding o15? no — by the *preceding* o2,
+	// so it leaves P but stays in PB until a successor dominates it).
+	ap, _ := l.Domains[1].ID("Apple")
+	sa, _ := l.Domains[1].ID("Samsung")
+	if err := b.ApplyPreference(0, 1, ap, sa); err != nil {
+		t.Fatal(err)
+	}
+	if got := sorted(b.UserFrontier(0)); !reflect.DeepEqual(got, ids(2, 15)) {
+		t.Fatalf("frontier after update = %v", got)
+	}
+	for _, id := range b.Buffer(0) {
+		if id == 2 { // o3 (0-based id 2): preceded by o2, so it may stay
+			// buffered only if no successor dominates it — o2 precedes, so
+			// o3 stays. Just ensure buffer is still a valid set.
+			break
+		}
+	}
+}
+
+// Online updates agree with rebuild-and-replay at every subsequent step.
+func TestQuickWindowApplyPreferenceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		users, objs := randomWorld(r, 4, 2, 5, 50, 4)
+		w := 3 + r.Intn(10)
+		usersA := make([]*pref.Profile, len(users))
+		for i, u := range users {
+			usersA[i] = u.Clone()
+		}
+		clusters := []core.Cluster{
+			{Members: []int{0, 1}, Common: pref.Common([]*pref.Profile{usersA[0], usersA[1]})},
+			{Members: []int{2, 3}, Common: pref.Common([]*pref.Profile{usersA[2], usersA[3]})},
+		}
+		live := window.NewFilterThenVerifySW(usersA, clusters, w, nil)
+
+		cut := 25 + r.Intn(20)
+		for _, o := range objs[:cut] {
+			live.Process(o)
+		}
+		for k := 0; k < 4; k++ {
+			_ = live.ApplyPreference(r.Intn(4), r.Intn(2), r.Intn(5), r.Intn(5))
+		}
+		// Continue the stream after the update.
+		for _, o := range objs[cut:] {
+			live.Process(o)
+		}
+
+		// Rebuild with the updated profiles (usersA were mutated in place)
+		// and replay the whole stream.
+		rebuilt := window.NewBaselineSW(usersA, w, nil)
+		for _, o := range objs {
+			rebuilt.Process(o)
+		}
+		for c := range users {
+			if !reflect.DeepEqual(sorted(live.UserFrontier(c)), sorted(rebuilt.UserFrontier(c))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The buffer invariant (Def. 7.4) holds after an online update.
+func TestQuickBufferInvariantAfterUpdate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		users, objs := randomWorld(r, 2, 2, 5, 40, 4)
+		w := 3 + r.Intn(8)
+		us := []*pref.Profile{users[0].Clone(), users[1].Clone()}
+		b := window.NewBaselineSW(us, w, nil)
+		var alive []object.Object
+		for _, o := range objs {
+			alive = append(alive, o)
+			if len(alive) > w {
+				alive = alive[1:]
+			}
+			b.Process(o)
+		}
+		for k := 0; k < 3; k++ {
+			_ = b.ApplyPreference(r.Intn(2), r.Intn(2), r.Intn(5), r.Intn(5))
+		}
+		for c, u := range us {
+			if !reflect.DeepEqual(b.Buffer(c), refBuffer(u, alive)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

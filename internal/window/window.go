@@ -1,0 +1,155 @@
+// Package window implements Sec. 7 of the paper: continuous monitoring of
+// Pareto frontiers over alive objects under sliding-window semantics.
+// BaselineSW (Alg. 4) maintains per-user frontiers plus per-user Pareto
+// frontier buffers; FilterThenVerifySW (Alg. 5) shares one filter frontier
+// and one buffer per cluster, becoming FilterThenVerifyApproxSW when given
+// approximate common preference relations.
+//
+// The Pareto frontier buffer PB (Def. 7.4) holds the alive objects not
+// dominated by any succeeding object: by Theorem 7.2 an object dominated
+// by a successor can never re-enter the frontier, so everything outside PB
+// is gone for good, and on expiry the frontier is mended from PB alone.
+//
+// One deviation from the paper's pseudocode: Alg. 5's expiry loop gates
+// per-user mending on the cluster-level dominance o_out ≻_U o. That gate
+// misses objects o ∈ P_U whose only per-user dominator was o_out under
+// ≻_c but not under ≻_U (possible since ≻_U ⊆ ≻_c); such o must enter
+// P_c when o_out expires. This implementation mends P_U from PB_U with
+// the ≻_U gate, then mends each member's P_c from the updated P_U with a
+// per-user ≻_c gate — restoring the invariant of Lemma 4.6 exactly. The
+// randomized window tests verify equivalence against a from-scratch
+// recompute.
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/object"
+)
+
+// ring stores the W most recent objects so the expiring object is
+// available when its successor arrives.
+type ring struct {
+	buf  []object.Object
+	w    int
+	seen int // total objects pushed
+}
+
+func newRing(w int) *ring {
+	if w <= 0 {
+		panic(fmt.Sprintf("window: window size must be positive, got %d", w))
+	}
+	return &ring{buf: make([]object.Object, w), w: w}
+}
+
+// push inserts o and returns the object it evicts, if the window was full.
+func (r *ring) push(o object.Object) (object.Object, bool) {
+	slot := r.seen % r.w
+	var out object.Object
+	full := r.seen >= r.w
+	if full {
+		out = r.buf[slot]
+	}
+	r.buf[slot] = o
+	r.seen++
+	return out, full
+}
+
+// buffer is an arrival-ordered Pareto frontier buffer. Mending must walk
+// candidates in arrival order (an earlier buffered object may dominate a
+// later one; admitting the earlier one first lets the frontier scan reject
+// the later one), so the buffer keeps insertion order and compacts in
+// place on removal.
+type buffer struct {
+	list []object.Object
+	ids  map[int]struct{}
+}
+
+func newBuffer() *buffer { return &buffer{ids: make(map[int]struct{})} }
+
+func (b *buffer) add(o object.Object) {
+	if _, ok := b.ids[o.ID]; ok {
+		return
+	}
+	b.ids[o.ID] = struct{}{}
+	b.list = append(b.list, o)
+}
+
+func (b *buffer) remove(id int) {
+	if _, ok := b.ids[id]; !ok {
+		return
+	}
+	delete(b.ids, id)
+	for i, o := range b.list {
+		if o.ID == id {
+			b.list = append(b.list[:i], b.list[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeIf deletes every buffered object for which fn returns true,
+// preserving arrival order. fn is called once per element.
+func (b *buffer) removeIf(fn func(o object.Object) bool) {
+	kept := b.list[:0]
+	for _, o := range b.list {
+		if fn(o) {
+			delete(b.ids, o.ID)
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	b.list = kept
+}
+
+// objects returns the buffer in arrival order; callers must not mutate it.
+func (b *buffer) objects() []object.Object { return b.list }
+
+func (b *buffer) idSlice() []int {
+	out := make([]int, 0, len(b.list))
+	for _, o := range b.list {
+		out = append(out, o.ID)
+	}
+	return out
+}
+
+// targetTracker mirrors core's C_o bookkeeping for the window engines.
+type targetTracker struct {
+	m map[int]*bitset.Set
+}
+
+func newTargetTracker() *targetTracker { return &targetTracker{m: make(map[int]*bitset.Set)} }
+
+func (t *targetTracker) add(objID, user int) {
+	s, ok := t.m[objID]
+	if !ok {
+		s = &bitset.Set{}
+		t.m[objID] = s
+	}
+	s.Add(user)
+}
+
+func (t *targetTracker) remove(objID, user int) {
+	if s, ok := t.m[objID]; ok {
+		s.Remove(user)
+		if s.Empty() {
+			delete(t.m, objID)
+		}
+	}
+}
+
+func (t *targetTracker) drop(objID int) { delete(t.m, objID) }
+
+func (t *targetTracker) users(objID int) []int {
+	if s, ok := t.m[objID]; ok {
+		return s.Slice()
+	}
+	return nil
+}
+
+// Monitor is the sliding-window engine interface, mirroring core.Monitor.
+type Monitor interface {
+	Process(o object.Object) []int
+	UserFrontier(c int) []int
+}

@@ -1,0 +1,56 @@
+package paretomon
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// LoadCommunity builds a Community (schema + users + preferences) from the
+// serialized formats written by cmd/datagen: an objects CSV whose header
+// names the attributes, and a preference-profiles JSON holding each user's
+// Hasse edges per attribute. Users are named u0, u1, … in file order.
+// It returns the community plus the object rows (attribute values in
+// schema order) ready to be replayed through Monitor.Add.
+func LoadCommunity(objectsCSV, prefsJSON io.Reader) (*Community, [][]string, error) {
+	doms, objs, err := dataset.ReadObjectsCSV(objectsCSV)
+	if err != nil {
+		return nil, nil, fmt.Errorf("paretomon: loading objects: %w", err)
+	}
+	names := make([]string, len(doms))
+	for i, d := range doms {
+		names[i] = d.Name()
+	}
+	schema := NewSchema(names...)
+	com := NewCommunity(schema)
+
+	profiles, err := dataset.ReadProfilesJSON(prefsJSON, doms)
+	if err != nil {
+		return nil, nil, fmt.Errorf("paretomon: loading preferences: %w", err)
+	}
+	for i, p := range profiles {
+		u, err := com.AddUser(fmt.Sprintf("u%d", i))
+		if err != nil {
+			return nil, nil, err
+		}
+		for d := 0; d < p.Dims(); d++ {
+			rel := p.Relation(d)
+			for _, e := range rel.HasseTuples() {
+				if err := u.Prefer(names[d], doms[d].Value(e.Better), doms[d].Value(e.Worse)); err != nil {
+					return nil, nil, fmt.Errorf("paretomon: user u%d: %w", i, err)
+				}
+			}
+		}
+	}
+
+	rows := make([][]string, len(objs))
+	for i, o := range objs {
+		row := make([]string, len(doms))
+		for d, v := range o.Attrs {
+			row[d] = doms[d].Value(int(v))
+		}
+		rows[i] = row
+	}
+	return com, rows, nil
+}

@@ -1,0 +1,123 @@
+package paretomon_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	paretomon "repro"
+)
+
+const objectsCSV = `brand,CPU
+Apple,dual
+Lenovo,quad
+Toshiba,single
+`
+
+const prefsJSON = `{
+ "attributes": ["brand", "CPU"],
+ "users": [
+  {"brand": [["Apple","Lenovo"],["Lenovo","Toshiba"]], "CPU": [["quad","dual"],["dual","single"]]},
+  {"brand": [["Lenovo","Apple"]], "CPU": [["dual","single"]]}
+ ]
+}`
+
+func TestLoadCommunity(t *testing.T) {
+	com, rows, err := paretomon.LoadCommunity(strings.NewReader(objectsCSV), strings.NewReader(prefsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := com.Schema().Attributes(); !reflect.DeepEqual(got, []string{"brand", "CPU"}) {
+		t.Fatalf("attributes = %v", got)
+	}
+	if got := com.Users(); !reflect.DeepEqual(got, []string{"u0", "u1"}) {
+		t.Fatalf("users = %v", got)
+	}
+	if len(rows) != 3 || rows[0][0] != "Apple" || rows[2][1] != "single" {
+		t.Fatalf("rows = %v", rows)
+	}
+
+	mon, err := paretomon.NewMonitor(com, paretomon.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last paretomon.Delivery
+	for i, row := range rows {
+		last, err = mon.Add([]string{"o1", "o2", "o3"}[i], row...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// o3 (Toshiba, single) is dominated for u0 (closure Apple≻Toshiba,
+	// quad≻single) and incomparable... for u1: Lenovo≻Apple only; o2 is
+	// (Lenovo, quad): does o2 dominate o3? brand Lenovo vs Toshiba — no
+	// relation for u1, so o3 stays Pareto for u1.
+	if !reflect.DeepEqual(last.Users, []string{"u1"}) {
+		t.Fatalf("C_o3 = %v, want [u1]", last.Users)
+	}
+}
+
+func TestLoadCommunityErrors(t *testing.T) {
+	if _, _, err := paretomon.LoadCommunity(strings.NewReader(""), strings.NewReader(prefsJSON)); err == nil {
+		t.Error("empty objects should fail")
+	}
+	if _, _, err := paretomon.LoadCommunity(strings.NewReader(objectsCSV), strings.NewReader("{")); err == nil {
+		t.Error("bad prefs JSON should fail")
+	}
+	cyc := `{"attributes":["brand"],"users":[{"brand":[["a","b"],["b","a"]]}]}`
+	if _, _, err := paretomon.LoadCommunity(strings.NewReader(objectsCSV), strings.NewReader(cyc)); err == nil {
+		t.Error("cyclic prefs should fail")
+	}
+}
+
+func TestMonitorAddPreference(t *testing.T) {
+	for _, cfg := range []paretomon.Config{
+		{Algorithm: paretomon.AlgorithmBaseline},
+		{Algorithm: paretomon.AlgorithmFilterThenVerify, Measure: paretomon.MeasureWeightedJaccard, BranchCut: 0.01},
+		{Algorithm: paretomon.AlgorithmBaseline, Window: 8},
+		{Algorithm: paretomon.AlgorithmFilterThenVerify, Window: 8, Measure: paretomon.MeasureWeightedJaccard, BranchCut: 0.01},
+	} {
+		com, rows, err := paretomon.LoadCommunity(strings.NewReader(objectsCSV), strings.NewReader(prefsJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon, err := paretomon.NewMonitor(com, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range rows {
+			if _, err := mon.Add([]string{"o1", "o2", "o3"}[i], row...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// u1 (Lenovo ≻ Apple, dual ≻ single): nothing dominates anything —
+		// o2's quad CPU is incomparable to o1's dual for u1.
+		f, _ := mon.Frontier("u1")
+		if !reflect.DeepEqual(f, []string{"o1", "o2", "o3"}) {
+			t.Fatalf("cfg %+v: frontier(u1) = %v, want [o1 o2 o3]", cfg, f)
+		}
+		// u1 learns Lenovo ≻ Toshiba: o2 (Lenovo, quad) vs o3 (Toshiba,
+		// single) — still needs CPU: quad vs single has no relation for u1.
+		// Teach that too; then o2 dominates o3.
+		if err := mon.AddPreference("u1", "brand", "Lenovo", "Toshiba"); err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.AddPreference("u1", "CPU", "quad", "single"); err != nil {
+			t.Fatal(err)
+		}
+		f, _ = mon.Frontier("u1")
+		if !reflect.DeepEqual(f, []string{"o1", "o2"}) {
+			t.Fatalf("cfg %+v: frontier(u1) after update = %v, want [o1 o2]", cfg, f)
+		}
+		// Error paths.
+		if err := mon.AddPreference("ghost", "brand", "a", "b"); err == nil {
+			t.Error("unknown user should fail")
+		}
+		if err := mon.AddPreference("u1", "nope", "a", "b"); err == nil {
+			t.Error("unknown attribute should fail")
+		}
+		if err := mon.AddPreference("u1", "brand", "Toshiba", "Lenovo"); err == nil {
+			t.Error("cycle should fail")
+		}
+	}
+}

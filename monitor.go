@@ -1,0 +1,303 @@
+package paretomon
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/approx"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/pref"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// Algorithm selects the monitoring engine.
+type Algorithm int
+
+const (
+	// AlgorithmBaseline maintains every user's frontier independently
+	// (Alg. 1 / Alg. 4 under a window). Exact.
+	AlgorithmBaseline Algorithm = iota
+	// AlgorithmFilterThenVerify shares a filter frontier per cluster of
+	// similar users (Alg. 2 / Alg. 5). Exact, usually much cheaper.
+	AlgorithmFilterThenVerify
+	// AlgorithmFilterThenVerifyApprox filters under approximate common
+	// preferences (Sec. 6). Approximate: near-perfect precision, recall
+	// governed by Theta1/Theta2 and the branch cut.
+	AlgorithmFilterThenVerifyApprox
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmBaseline:
+		return "Baseline"
+	case AlgorithmFilterThenVerify:
+		return "FilterThenVerify"
+	case AlgorithmFilterThenVerifyApprox:
+		return "FilterThenVerifyApprox"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Measure selects the preference-similarity function used to cluster
+// users (Sec. 5 for the exact measures, Sec. 6.3 for the vector ones).
+type Measure int
+
+const (
+	// MeasureIntersectionSize counts common preference tuples (Eq. 2).
+	MeasureIntersectionSize Measure = iota
+	// MeasureJaccard normalizes the intersection by the union (Eq. 3).
+	MeasureJaccard
+	// MeasureWeightedIntersection weighs tuples by how close their better
+	// value sits to the top of the order (Eq. 4).
+	MeasureWeightedIntersection
+	// MeasureWeightedJaccard combines both ideas (Eq. 5); the paper's
+	// default for the exact engine.
+	MeasureWeightedJaccard
+	// MeasureVectorJaccard is the frequency-vector Jaccard (Eq. 9), for
+	// the approximate engine.
+	MeasureVectorJaccard
+	// MeasureVectorWeightedJaccard is its weighted form (Eq. 10).
+	MeasureVectorWeightedJaccard
+)
+
+func (m Measure) internal() cluster.Measure {
+	switch m {
+	case MeasureIntersectionSize:
+		return cluster.IntersectionSize
+	case MeasureJaccard:
+		return cluster.Jaccard
+	case MeasureWeightedIntersection:
+		return cluster.WeightedIntersection
+	case MeasureWeightedJaccard:
+		return cluster.WeightedJaccard
+	case MeasureVectorJaccard:
+		return cluster.VectorJaccard
+	case MeasureVectorWeightedJaccard:
+		return cluster.VectorWeightedJaccard
+	default:
+		panic(fmt.Sprintf("paretomon: unknown measure %d", int(m)))
+	}
+}
+
+// Config tunes the monitor.
+type Config struct {
+	Algorithm Algorithm
+	// Window > 0 enables sliding-window semantics: an object is alive for
+	// Window arrivals (Sec. 7). 0 means append-only.
+	Window int
+	// Measure and BranchCut drive the hierarchical agglomerative
+	// clustering for the filter-then-verify engines: clusters merge while
+	// their similarity is at least BranchCut (the dendrogram branch cut h).
+	Measure   Measure
+	BranchCut float64
+	// Theta1 bounds each approximate common relation's size; Theta2 is
+	// the minimum (exclusive) fraction of cluster members that must share
+	// a tuple for it to be admitted (Def. 6.1). Only used by
+	// AlgorithmFilterThenVerifyApprox.
+	Theta1 int
+	Theta2 float64
+}
+
+// DefaultConfig returns the paper's default setting: exact
+// FilterThenVerify with weighted-Jaccard clustering at h = 0.55.
+func DefaultConfig() Config {
+	return Config{
+		Algorithm: AlgorithmFilterThenVerify,
+		Measure:   MeasureWeightedJaccard,
+		BranchCut: 0.55,
+		Theta1:    500,
+		Theta2:    0.5,
+	}
+}
+
+// Stats reports the work a monitor has done.
+type Stats struct {
+	// Comparisons is the number of pairwise object dominance comparisons,
+	// split into the cluster-tier Filter part and per-user Verify part.
+	Comparisons       uint64
+	FilterComparisons uint64
+	VerifyComparisons uint64
+	// Delivered is Σ|C_o| over processed objects; Processed counts objects.
+	Delivered uint64
+	Processed uint64
+}
+
+// Delivery is the result of ingesting one object.
+type Delivery struct {
+	// Object is the ingested object's name.
+	Object string
+	// Users lists (sorted) the users for whom the object is Pareto-optimal
+	// at arrival time.
+	Users []string
+}
+
+// engine abstracts the append-only and windowed monitors.
+type engine interface {
+	Process(o object.Object) []int
+	UserFrontier(c int) []int
+}
+
+// Monitor is a running dissemination engine over a fixed community.
+// Preferences are snapshotted at construction; later Prefer calls do not
+// affect an existing monitor (the paper's setting: "users' preferences
+// stand or only change occasionally" — rebuild the monitor when they do).
+type Monitor struct {
+	community *Community
+	cfg       Config
+	eng       engine
+	ctr       *stats.Counters
+	clusters  [][]string // member names per cluster (nil for Baseline)
+
+	names  map[string]int // object name -> id
+	lookup []string       // object id -> name
+}
+
+// NewMonitor builds a monitor for the community under cfg.
+func NewMonitor(c *Community, cfg Config) (*Monitor, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("paretomon: community has no users")
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("paretomon: negative window %d", cfg.Window)
+	}
+	if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
+		if cfg.Theta1 <= 0 || cfg.Theta2 < 0 || cfg.Theta2 >= 1 {
+			return nil, fmt.Errorf("paretomon: approx engine needs Theta1 > 0 and Theta2 in [0,1), got θ1=%d θ2=%v",
+				cfg.Theta1, cfg.Theta2)
+		}
+	}
+
+	profiles := make([]*pref.Profile, c.Len())
+	for i, u := range c.users {
+		profiles[i] = u.profile.Clone()
+	}
+	m := &Monitor{
+		community: c,
+		cfg:       cfg,
+		ctr:       &stats.Counters{},
+		names:     make(map[string]int),
+	}
+
+	var clusters []core.Cluster
+	switch cfg.Algorithm {
+	case AlgorithmBaseline:
+		// no clustering
+	case AlgorithmFilterThenVerify, AlgorithmFilterThenVerifyApprox:
+		res := cluster.Agglomerative(profiles, cfg.Measure.internal(), cfg.BranchCut)
+		for _, ci := range res.Clusters {
+			common := ci.Common
+			if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
+				members := make([]*pref.Profile, len(ci.Members))
+				for i, id := range ci.Members {
+					members[i] = profiles[id]
+				}
+				common = approx.Profile(members, cfg.Theta1, cfg.Theta2)
+			}
+			clusters = append(clusters, core.Cluster{Members: ci.Members, Common: common})
+			m.clusters = append(m.clusters, c.sortedNames(ci.Members))
+		}
+	default:
+		return nil, fmt.Errorf("paretomon: unknown algorithm %v", cfg.Algorithm)
+	}
+
+	switch {
+	case cfg.Algorithm == AlgorithmBaseline && cfg.Window == 0:
+		m.eng = core.NewBaseline(profiles, m.ctr)
+	case cfg.Algorithm == AlgorithmBaseline:
+		m.eng = window.NewBaselineSW(profiles, cfg.Window, m.ctr)
+	case cfg.Window == 0:
+		m.eng = core.NewFilterThenVerify(profiles, clusters, m.ctr)
+	default:
+		m.eng = window.NewFilterThenVerifySW(profiles, clusters, cfg.Window, m.ctr)
+	}
+	return m, nil
+}
+
+// Add ingests the next object and returns who it should be delivered to.
+// values must match the schema's attribute order and count. Object names
+// must be unique.
+func (m *Monitor) Add(name string, values ...string) (Delivery, error) {
+	if name == "" {
+		return Delivery{}, fmt.Errorf("paretomon: empty object name")
+	}
+	if _, dup := m.names[name]; dup {
+		return Delivery{}, fmt.Errorf("paretomon: duplicate object %q", name)
+	}
+	doms := m.community.schema.doms
+	if len(values) != len(doms) {
+		return Delivery{}, fmt.Errorf("paretomon: object %q has %d values, schema has %d attributes",
+			name, len(values), len(doms))
+	}
+	attrs := make([]int32, len(values))
+	for d, v := range values {
+		attrs[d] = int32(doms[d].Intern(v))
+	}
+	id := len(m.lookup)
+	m.names[name] = id
+	m.lookup = append(m.lookup, name)
+
+	users := m.eng.Process(object.Object{ID: id, Attrs: attrs})
+	return Delivery{Object: name, Users: m.community.sortedNames(users)}, nil
+}
+
+// Frontier returns the named user's current Pareto frontier as sorted
+// object names.
+func (m *Monitor) Frontier(user string) ([]string, error) {
+	u, ok := m.community.byName[user]
+	if !ok {
+		return nil, fmt.Errorf("paretomon: unknown user %q", user)
+	}
+	var idx int
+	for i, cu := range m.community.users {
+		if cu == u {
+			idx = i
+			break
+		}
+	}
+	ids := m.eng.UserFrontier(idx)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = m.lookup[id]
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Clusters returns the user names per cluster, or nil for Baseline.
+func (m *Monitor) Clusters() [][]string { return m.clusters }
+
+// Stats returns a snapshot of the monitor's work counters.
+func (m *Monitor) Stats() Stats {
+	s := m.ctr.Snapshot()
+	return Stats{
+		Comparisons:       s.Comparisons,
+		FilterComparisons: s.FilterComparisons,
+		VerifyComparisons: s.VerifyComparisons,
+		Delivered:         s.Delivered,
+		Processed:         s.Processed,
+	}
+}
+
+// Config returns the configuration the monitor was built with.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// TargetsOf returns the current C_o of a previously added object: the
+// (sorted) users for whom it is still Pareto-optimal. An object that has
+// been dominated since arrival — or that has expired from the window —
+// has no targets.
+func (m *Monitor) TargetsOf(objectName string) ([]string, error) {
+	id, ok := m.names[objectName]
+	if !ok {
+		return nil, fmt.Errorf("paretomon: unknown object %q", objectName)
+	}
+	type targeter interface{ Targets(objID int) []int }
+	eng, ok := m.eng.(targeter)
+	if !ok {
+		return nil, fmt.Errorf("paretomon: engine %T does not track targets", m.eng)
+	}
+	return m.community.sortedNames(eng.Targets(id)), nil
+}

@@ -1,0 +1,374 @@
+package paretomon_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	paretomon "repro"
+)
+
+// laptopCommunity rebuilds the paper's Table 2 preferences through the
+// public API.
+func laptopCommunity(t testing.TB) *paretomon.Community {
+	t.Helper()
+	s := paretomon.NewSchema("display", "brand", "CPU")
+	c := paretomon.NewCommunity(s)
+
+	c1, err := c.AddUser("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c1.PreferChain("display", "13-15.9", "10-12.9", "16-18.9", "9.9-under"))
+	must(c1.Prefer("display", "10-12.9", "19-up"))
+	must(c1.Prefer("display", "19-up", "9.9-under"))
+	must(c1.Prefer("brand", "Apple", "Lenovo"))
+	must(c1.Prefer("brand", "Lenovo", "Sony"))
+	must(c1.Prefer("brand", "Lenovo", "Toshiba"))
+	must(c1.Prefer("brand", "Lenovo", "Samsung"))
+	must(c1.Prefer("CPU", "dual", "triple"))
+	must(c1.Prefer("CPU", "dual", "quad"))
+	must(c1.Prefer("CPU", "triple", "single"))
+	must(c1.Prefer("CPU", "quad", "single"))
+
+	c2, err := c.AddUser("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(c2.PreferChain("display", "13-15.9", "16-18.9", "10-12.9", "19-up", "9.9-under"))
+	must(c2.Prefer("brand", "Apple", "Toshiba"))
+	must(c2.Prefer("brand", "Lenovo", "Toshiba"))
+	must(c2.Prefer("brand", "Toshiba", "Sony"))
+	must(c2.Prefer("brand", "Lenovo", "Samsung"))
+	must(c2.PreferChain("CPU", "quad", "triple", "dual", "single"))
+	return c
+}
+
+// table1 is the paper's product table through the public API.
+var table1 = [][4]string{
+	{"o1", "10-12.9", "Apple", "single"},
+	{"o2", "13-15.9", "Apple", "dual"},
+	{"o3", "13-15.9", "Samsung", "dual"},
+	{"o4", "19-up", "Toshiba", "dual"},
+	{"o5", "9.9-under", "Samsung", "quad"},
+	{"o6", "10-12.9", "Sony", "single"},
+	{"o7", "9.9-under", "Lenovo", "quad"},
+	{"o8", "10-12.9", "Apple", "dual"},
+	{"o9", "19-up", "Sony", "single"},
+	{"o10", "9.9-under", "Lenovo", "triple"},
+	{"o11", "9.9-under", "Toshiba", "triple"},
+	{"o12", "9.9-under", "Samsung", "triple"},
+	{"o13", "13-15.9", "Sony", "dual"},
+	{"o14", "16-18.9", "Sony", "single"},
+	{"o15", "16-18.9", "Lenovo", "quad"},
+	{"o16", "16-18.9", "Toshiba", "single"},
+}
+
+func feedTable1(t testing.TB, m *paretomon.Monitor, n int) []paretomon.Delivery {
+	t.Helper()
+	var out []paretomon.Delivery
+	for _, row := range table1[:n] {
+		d, err := m.Add(row[0], row[1], row[2], row[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestEndToEndPaperExample(t *testing.T) {
+	for _, alg := range []paretomon.Algorithm{
+		paretomon.AlgorithmBaseline,
+		paretomon.AlgorithmFilterThenVerify,
+	} {
+		t.Run(alg.String(), func(t *testing.T) {
+			c := laptopCommunity(t)
+			cfg := paretomon.DefaultConfig()
+			cfg.Algorithm = alg
+			cfg.BranchCut = 0.01 // c1 and c2 are similar enough to cluster
+			m, err := paretomon.NewMonitor(c, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := feedTable1(t, m, 16)
+			// o15 reaches exactly c2; o16 reaches nobody.
+			if !reflect.DeepEqual(ds[14].Users, []string{"c2"}) {
+				t.Errorf("C_o15 = %v, want [c2]", ds[14].Users)
+			}
+			if len(ds[15].Users) != 0 {
+				t.Errorf("C_o16 = %v, want empty", ds[15].Users)
+			}
+			f1, err := m.Frontier("c1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(f1, []string{"o2"}) {
+				t.Errorf("P_c1 = %v, want [o2]", f1)
+			}
+			f2, _ := m.Frontier("c2")
+			if !reflect.DeepEqual(f2, []string{"o15", "o2", "o3"}) { // sorted names
+				t.Errorf("P_c2 = %v, want [o15 o2 o3]", f2)
+			}
+			if st := m.Stats(); st.Processed != 16 || st.Comparisons == 0 {
+				t.Errorf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestEndToEndWindow(t *testing.T) {
+	c := laptopCommunity(t)
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmBaseline
+	cfg.Window = 5
+	m, err := paretomon.NewMonitor(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTable1(t, m, 10)
+	// Example 7.3: window (5,10] gives P_c1 = {o8}, P_c2 = {o7, o8}.
+	f1, _ := m.Frontier("c1")
+	if !reflect.DeepEqual(f1, []string{"o8"}) {
+		t.Errorf("P_c1 = %v, want [o8]", f1)
+	}
+	f2, _ := m.Frontier("c2")
+	if !reflect.DeepEqual(f2, []string{"o7", "o8"}) {
+		t.Errorf("P_c2 = %v, want [o7 o8]", f2)
+	}
+}
+
+func TestApproxEngineRuns(t *testing.T) {
+	c := laptopCommunity(t)
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmFilterThenVerifyApprox
+	cfg.Measure = paretomon.MeasureVectorJaccard
+	cfg.BranchCut = 0.01
+	cfg.Theta1 = 50
+	cfg.Theta2 = 0.4
+	m, err := paretomon.NewMonitor(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := feedTable1(t, m, 16)
+	// The approximate engine may lose recall but must keep precision: any
+	// delivered object must truly be Pareto-optimal (verify against an
+	// exact monitor).
+	cEx := laptopCommunity(t)
+	cfgEx := paretomon.DefaultConfig()
+	cfgEx.Algorithm = paretomon.AlgorithmBaseline
+	ex, _ := paretomon.NewMonitor(cEx, cfgEx)
+	dsEx := feedTable1(t, ex, 16)
+	for i := range ds {
+		got := map[string]bool{}
+		for _, u := range dsEx[i].Users {
+			got[u] = true
+		}
+		for _, u := range ds[i].Users {
+			if !got[u] {
+				t.Errorf("object %s delivered to %s but not exactly Pareto-optimal", ds[i].Object, u)
+			}
+		}
+	}
+	if cl := m.Clusters(); len(cl) == 0 {
+		t.Error("approx engine should report clusters")
+	}
+}
+
+func TestSchemaAndCommunityErrors(t *testing.T) {
+	s := paretomon.NewSchema("a", "b")
+	if got := s.Attributes(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Attributes = %v", got)
+	}
+	c := paretomon.NewCommunity(s)
+	if _, err := c.AddUser(""); err == nil {
+		t.Error("empty user name should fail")
+	}
+	if _, err := c.AddUser("u"); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.AddUser("u"); err == nil {
+		t.Error("duplicate user should fail")
+	}
+	u := mustUser(t, c, "v")
+	if err := u.Prefer("nope", "x", "y"); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if err := u.Prefer("a", "x", "x"); err == nil {
+		t.Error("reflexive preference should fail")
+	}
+	if err := u.Prefer("a", "x", "y"); err != nil {
+		t.Error(err)
+	}
+	if err := u.Prefer("a", "y", "x"); err == nil {
+		t.Error("cycle should fail")
+	}
+	if err := u.PreferChain("a", "only"); err == nil {
+		t.Error("short chain should fail")
+	}
+	if !u.Prefers("a", "x", "y") || u.Prefers("a", "y", "x") || u.Prefers("zzz", "x", "y") {
+		t.Error("Prefers misreports")
+	}
+	if u.Name() != "v" {
+		t.Error("Name")
+	}
+	if !reflect.DeepEqual(c.Users(), []string{"u", "v"}) {
+		t.Errorf("Users = %v", c.Users())
+	}
+}
+
+func mustUser(t *testing.T, c *paretomon.Community, name string) *paretomon.User {
+	t.Helper()
+	u, err := c.AddUser(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestMonitorErrors(t *testing.T) {
+	s := paretomon.NewSchema("a")
+	c := paretomon.NewCommunity(s)
+	if _, err := paretomon.NewMonitor(c, paretomon.DefaultConfig()); err == nil {
+		t.Error("empty community should fail")
+	}
+	mustUser(t, c, "u")
+	cfg := paretomon.DefaultConfig()
+	cfg.Window = -1
+	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
+		t.Error("negative window should fail")
+	}
+	cfg = paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmFilterThenVerifyApprox
+	cfg.Theta1 = 0
+	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
+		t.Error("θ1=0 should fail for approx engine")
+	}
+	cfg.Theta1 = 10
+	cfg.Theta2 = 1.0
+	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
+		t.Error("θ2=1 should fail for approx engine")
+	}
+	cfg = paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.Algorithm(99)
+	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+
+	m, err := paretomon.NewMonitor(c, paretomon.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add("", "x"); err == nil {
+		t.Error("empty object name should fail")
+	}
+	if _, err := m.Add("o", "x", "extra"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := m.Add("o", "x"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.Add("o", "x"); err == nil {
+		t.Error("duplicate object should fail")
+	}
+	if _, err := m.Frontier("ghost"); err == nil {
+		t.Error("unknown user should fail")
+	}
+}
+
+// Preferences are snapshotted at monitor construction.
+func TestMonitorSnapshotsPreferences(t *testing.T) {
+	s := paretomon.NewSchema("a")
+	c := paretomon.NewCommunity(s)
+	u := mustUser(t, c, "u")
+	if err := u.Prefer("a", "good", "bad"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmBaseline
+	m, err := paretomon.NewMonitor(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate after construction; must not affect the running monitor.
+	if err := u.Prefer("a", "bad", "worst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add("x", "worst"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Add("y", "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the snapshot, "bad" and "worst" are incomparable, so y does
+	// not displace x; both are Pareto.
+	if len(d.Users) != 1 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	f, _ := m.Frontier("u")
+	if !reflect.DeepEqual(f, []string{"x", "y"}) {
+		t.Errorf("frontier = %v, want [x y] (snapshot semantics)", f)
+	}
+}
+
+func TestAlgorithmAndMeasureStrings(t *testing.T) {
+	if paretomon.AlgorithmBaseline.String() != "Baseline" ||
+		!strings.Contains(paretomon.Algorithm(42).String(), "42") {
+		t.Error("Algorithm.String broken")
+	}
+}
+
+func ExampleMonitor() {
+	s := paretomon.NewSchema("brand", "CPU")
+	com := paretomon.NewCommunity(s)
+	alice, _ := com.AddUser("alice")
+	_ = alice.PreferChain("brand", "Apple", "Lenovo", "Toshiba")
+	_ = alice.PreferChain("CPU", "quad", "dual", "single")
+
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmBaseline
+	mon, _ := paretomon.NewMonitor(com, cfg)
+
+	d1, _ := mon.Add("laptop-1", "Lenovo", "dual")
+	d2, _ := mon.Add("laptop-2", "Apple", "quad") // dominates laptop-1
+	d3, _ := mon.Add("laptop-3", "Toshiba", "single")
+
+	fmt.Println(d1.Users, d2.Users, d3.Users)
+	frontier, _ := mon.Frontier("alice")
+	fmt.Println(frontier)
+	// Output:
+	// [alice] [alice] []
+	// [laptop-2]
+}
+
+func TestTargetsOf(t *testing.T) {
+	c := laptopCommunity(t)
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmBaseline
+	m, err := paretomon.NewMonitor(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTable1(t, m, 16)
+	// Example 3.5: C_o2 = {c1, c2}; C_o3 = {c2}; o1 was dominated away.
+	if got, _ := m.TargetsOf("o2"); !reflect.DeepEqual(got, []string{"c1", "c2"}) {
+		t.Errorf("TargetsOf(o2) = %v", got)
+	}
+	if got, _ := m.TargetsOf("o3"); !reflect.DeepEqual(got, []string{"c2"}) {
+		t.Errorf("TargetsOf(o3) = %v", got)
+	}
+	if got, _ := m.TargetsOf("o1"); len(got) != 0 {
+		t.Errorf("TargetsOf(o1) = %v, want empty", got)
+	}
+	if _, err := m.TargetsOf("ghost"); err == nil {
+		t.Error("unknown object should fail")
+	}
+}

@@ -1,0 +1,57 @@
+package paretomon
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/window"
+)
+
+// AddPreference teaches a *running* monitor that user now also prefers
+// better over worse on attr, repairing the affected frontiers in place —
+// no rebuild, no replay. Only this growth direction is supported online:
+// adding preference tuples can only shrink Pareto frontiers, so the repair
+// is exact; *removing* a preference could resurrect objects the engine
+// has already discarded, and needs a fresh NewMonitor.
+//
+// Note the distinction from User.Prefer: Prefer edits the community's
+// preference record used by future NewMonitor calls; AddPreference edits
+// this monitor's snapshot. Call both to keep them in step.
+func (m *Monitor) AddPreference(user, attr, better, worse string) error {
+	u, ok := m.community.byName[user]
+	if !ok {
+		return fmt.Errorf("paretomon: unknown user %q", user)
+	}
+	d, ok := m.community.schema.attrIndex(attr)
+	if !ok {
+		return fmt.Errorf("paretomon: unknown attribute %q", attr)
+	}
+	var idx int
+	for i, cu := range m.community.users {
+		if cu == u {
+			idx = i
+			break
+		}
+	}
+	doms := m.community.schema.doms
+	b, w := doms[d].Intern(better), doms[d].Intern(worse)
+
+	var err error
+	switch eng := m.eng.(type) {
+	case *core.Baseline:
+		err = eng.ApplyPreference(idx, d, b, w)
+	case *core.FilterThenVerify:
+		err = eng.ApplyPreference(idx, d, b, w)
+	case *window.BaselineSW:
+		err = eng.ApplyPreference(idx, d, b, w)
+	case *window.FilterThenVerifySW:
+		err = eng.ApplyPreference(idx, d, b, w)
+	default:
+		return fmt.Errorf("paretomon: engine %T does not support online preference updates", m.eng)
+	}
+	if err != nil {
+		return fmt.Errorf("paretomon: user %q, attribute %q: cannot prefer %q over %q: %w",
+			user, attr, better, worse, err)
+	}
+	return nil
+}
