@@ -9,9 +9,11 @@ package paretomon_test
 // accuracy tables.
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
+	paretomon "repro"
 	"repro/internal/experiments"
 )
 
@@ -148,5 +150,71 @@ func BenchmarkAblationTheta(b *testing.B) {
 func BenchmarkAblationGranularity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		reportAblation(b, experiments.AblationGranularity(benchOpts())[0], 3)
+	}
+}
+
+// benchCommunity builds a moderately sized synthetic community and object
+// stream for exercising the public ingestion API.
+func benchCommunity(b *testing.B, users, objects int) (*paretomon.Community, []paretomon.Object) {
+	b.Helper()
+	brands := []string{"Apple", "Lenovo", "Sony", "Toshiba", "Samsung", "Acer", "Asus", "Dell"}
+	cpus := []string{"single", "dual", "triple", "quad", "octa"}
+	s := paretomon.NewSchema("brand", "CPU")
+	com := paretomon.NewCommunity(s)
+	for i := 0; i < users; i++ {
+		u, err := com.AddUser(fmt.Sprintf("u%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Rotate a preference chain so users differ but overlap.
+		for j := 0; j+1 < len(brands); j++ {
+			_ = u.Prefer("brand", brands[(i+j)%len(brands)], brands[(i+j+1)%len(brands)])
+		}
+		_ = u.PreferChain("CPU", cpus[i%len(cpus)], cpus[(i+1)%len(cpus)], cpus[(i+2)%len(cpus)])
+	}
+	objs := make([]paretomon.Object, objects)
+	for i := range objs {
+		objs[i] = paretomon.Object{
+			Name:   fmt.Sprintf("o%d", i),
+			Values: []string{brands[i%len(brands)], cpus[(i/3)%len(cpus)]},
+		}
+	}
+	return com, objs
+}
+
+// BenchmarkMonitorAdd ingests one object at a time through the v2 API.
+func BenchmarkMonitorAdd(b *testing.B) {
+	com, objs := benchCommunity(b, 60, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mon, err := paretomon.NewMonitor(com, paretomon.WithBranchCut(0.3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, o := range objs {
+			if _, err := mon.Add(o.Name, o.Values...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMonitorAddBatch ingests the same stream as one batch,
+// measuring the amortization of the per-arrival locking and allocation.
+func BenchmarkMonitorAddBatch(b *testing.B) {
+	com, objs := benchCommunity(b, 60, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mon, err := paretomon.NewMonitor(com, paretomon.WithBranchCut(0.3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := mon.AddBatch(objs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -58,7 +58,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		serveHTTP(*objPath, *prefPath, *serve, *limit)
+		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *limit)
 		return
 	}
 
@@ -133,9 +133,11 @@ func main() {
 }
 
 // serveHTTP loads the dataset through the public facade, replays up to
-// limit objects, and exposes the monitor as a REST service: POST /objects,
-// GET /frontier/{user}, POST /preferences, GET /stats, GET /clusters.
-func serveHTTP(objPath, prefPath, addr string, limit int) {
+// limit objects as one batch, and exposes the monitor as a REST + SSE
+// service: POST /objects[,/batch], GET /frontier/{user},
+// GET /targets/{object}, GET /subscribe/{user}, POST /preferences,
+// GET /stats, GET /clusters.
+func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, limit int) {
 	of, err := os.Open(objPath)
 	check(err)
 	pf, err := os.Open(prefPath)
@@ -145,18 +147,36 @@ func serveHTTP(objPath, prefPath, addr string, limit int) {
 	check(of.Close())
 	check(pf.Close())
 
-	cfg := paretomon.DefaultConfig()
-	cfg.BranchCut = 3.3 // raw scale of the generated workloads
-	mon, err := paretomon.NewMonitor(com, cfg)
+	opts := []paretomon.Option{
+		paretomon.WithBranchCut(h),
+		paretomon.WithWindow(win),
+	}
+	switch alg {
+	case "baseline":
+		opts = append(opts, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	case "ftv":
+		opts = append(opts, paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify))
+	case "ftva":
+		opts = append(opts,
+			paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox),
+			paretomon.WithMeasure(paretomon.MeasureVectorWeightedJaccard),
+			paretomon.WithThetas(theta1, theta2))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", alg)
+		os.Exit(2)
+	}
+	mon, err := paretomon.NewMonitor(com, opts...)
 	check(err)
 	n := len(rows)
 	if limit > 0 && limit < n {
 		n = limit
 	}
+	batch := make([]paretomon.Object, n)
 	for i, row := range rows[:n] {
-		_, err := mon.Add(fmt.Sprintf("o%d", i+1), row...)
-		check(err)
+		batch[i] = paretomon.Object{Name: fmt.Sprintf("o%d", i+1), Values: row}
 	}
+	_, err = mon.AddBatch(batch)
+	check(err)
 	fmt.Fprintf(os.Stderr, "replayed %d objects for %d users; serving on %s\n",
 		n, com.Len(), addr)
 	check(http.ListenAndServe(addr, server.New(mon)))

@@ -1,0 +1,84 @@
+package paretomon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The package's error taxonomy. Every error returned by the public API
+// wraps exactly one of these sentinels, so callers dispatch with
+// errors.Is and never parse message strings:
+//
+//	if errors.Is(err, paretomon.ErrUnknownUser) { ... 404 ... }
+//
+// Messages still carry full context (user name, attribute, values) for
+// logs; the sentinel carries the category.
+var (
+	// ErrInvalidConfig reports a rejected option or configuration value
+	// (negative window, θ out of range, unknown algorithm, ...).
+	ErrInvalidConfig = errors.New("paretomon: invalid configuration")
+
+	// ErrEmptyCommunity reports a NewMonitor call over a community with
+	// no users.
+	ErrEmptyCommunity = errors.New("paretomon: community has no users")
+
+	// ErrEmptyName reports an empty user or object name.
+	ErrEmptyName = errors.New("paretomon: empty name")
+
+	// ErrUnknownUser reports a user name the community has never seen.
+	ErrUnknownUser = errors.New("paretomon: unknown user")
+
+	// ErrUnknownAttribute reports an attribute name outside the schema.
+	ErrUnknownAttribute = errors.New("paretomon: unknown attribute")
+
+	// ErrUnknownObject reports an object name the monitor has never
+	// ingested.
+	ErrUnknownObject = errors.New("paretomon: unknown object")
+
+	// ErrDuplicateUser reports a second AddUser with an existing name.
+	ErrDuplicateUser = errors.New("paretomon: duplicate user")
+
+	// ErrDuplicateObject reports a second Add of an existing object name.
+	ErrDuplicateObject = errors.New("paretomon: duplicate object")
+
+	// ErrSchemaMismatch reports an object whose value count differs from
+	// the schema's attribute count.
+	ErrSchemaMismatch = errors.New("paretomon: value count does not match schema")
+
+	// ErrCycle reports a preference that would violate the strict
+	// partial order (a cycle or a reflexive tuple).
+	ErrCycle = errors.New("paretomon: preference would violate strict partial order")
+
+	// ErrMonitorClosed reports a Subscribe on a monitor whose Close has
+	// been called.
+	ErrMonitorClosed = errors.New("paretomon: monitor closed")
+
+	// ErrUnsupported reports an operation the configured engine cannot
+	// perform (e.g. online preference updates on an exotic engine).
+	ErrUnsupported = errors.New("paretomon: operation not supported by engine")
+)
+
+// BatchError locates the first rejected object of an AddBatch call. The
+// batch is validated before any object is ingested, so a BatchError means
+// the monitor state is unchanged. It unwraps to the underlying sentinel:
+//
+//	var be *paretomon.BatchError
+//	if errors.As(err, &be) && errors.Is(err, paretomon.ErrDuplicateObject) {
+//	    log.Printf("object %d (%s) already ingested", be.Index, be.Object)
+//	}
+type BatchError struct {
+	// Index is the offending object's position in the batch.
+	Index int
+	// Object is its name ("" when the name itself was empty).
+	Object string
+	// Err is the underlying error; it wraps one of the sentinels above.
+	Err error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch object %d (%q): %v", e.Index, e.Object, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *BatchError) Unwrap() error { return e.Err }

@@ -1,0 +1,172 @@
+package paretomon_test
+
+import (
+	"errors"
+	"testing"
+
+	paretomon "repro"
+)
+
+// TestErrorTaxonomy drives every public failure path and checks that the
+// returned error wraps the advertised sentinel, so callers can dispatch
+// with errors.Is instead of string matching.
+func TestErrorTaxonomy(t *testing.T) {
+	s := paretomon.NewSchema("brand", "CPU")
+	c := paretomon.NewCommunity(s)
+	u, err := c.AddUser("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Prefer("brand", "Apple", "Lenovo"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := paretomon.NewMonitor(c, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add("o1", "Apple", "dual"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"empty user name", onlyErr(c.AddUser("")), paretomon.ErrEmptyName},
+		{"duplicate user", onlyErr(c.AddUser("u")), paretomon.ErrDuplicateUser},
+		{"unknown attribute", u.Prefer("nope", "a", "b"), paretomon.ErrUnknownAttribute},
+		{"reflexive preference", u.Prefer("brand", "x", "x"), paretomon.ErrCycle},
+		{"cyclic preference", u.Prefer("brand", "Lenovo", "Apple"), paretomon.ErrCycle},
+		{"empty object name", addErr(m, ""), paretomon.ErrEmptyName},
+		{"duplicate object", addErr(m, "o1", "Apple", "dual"), paretomon.ErrDuplicateObject},
+		{"arity mismatch", addErr(m, "o2", "Apple"), paretomon.ErrSchemaMismatch},
+		{"unknown user frontier", onlyErr(m.Frontier("ghost")), paretomon.ErrUnknownUser},
+		{"unknown object targets", onlyErr(m.TargetsOf("ghost")), paretomon.ErrUnknownObject},
+		{"unknown user subscribe", subErr(m, "ghost"), paretomon.ErrUnknownUser},
+		{"unknown user preference", m.AddPreference("ghost", "brand", "a", "b"), paretomon.ErrUnknownUser},
+		{"unknown attribute preference", m.AddPreference("u", "nope", "a", "b"), paretomon.ErrUnknownAttribute},
+		{"online cycle", m.AddPreference("u", "brand", "Lenovo", "Apple"), paretomon.ErrCycle},
+	} {
+		if tc.err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+			continue
+		}
+		if !errors.Is(tc.err, tc.want) {
+			t.Errorf("%s: err = %v, not errors.Is %v", tc.name, tc.err, tc.want)
+		}
+	}
+}
+
+// TestOptionValidationErrors checks that every rejected option wraps
+// ErrInvalidConfig.
+func TestOptionValidationErrors(t *testing.T) {
+	s := paretomon.NewSchema("a")
+	c := paretomon.NewCommunity(s)
+	if _, err := c.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opt  paretomon.Option
+	}{
+		{"WithAlgorithm(99)", paretomon.WithAlgorithm(paretomon.Algorithm(99))},
+		{"WithWindow(-1)", paretomon.WithWindow(-1)},
+		{"WithMeasure(99)", paretomon.WithMeasure(paretomon.Measure(99))},
+		{"WithBranchCut(-1)", paretomon.WithBranchCut(-1)},
+		{"WithClusterCount(0)", paretomon.WithClusterCount(0)},
+		{"WithThetas(0, 0.5)", paretomon.WithThetas(0, 0.5)},
+		{"WithThetas(5, 1.0)", paretomon.WithThetas(5, 1.0)},
+		{"WithSubscriptionBuffer(0)", paretomon.WithSubscriptionBuffer(0)},
+	} {
+		if _, err := paretomon.NewMonitor(c, tc.opt); !errors.Is(err, paretomon.ErrInvalidConfig) {
+			t.Errorf("%s: err = %v, want ErrInvalidConfig", tc.name, err)
+		}
+	}
+}
+
+// TestBatchError checks AddBatch's atomic-reject contract: the error
+// locates the first bad object, unwraps to its sentinel, and the monitor
+// is untouched.
+func TestBatchError(t *testing.T) {
+	s := paretomon.NewSchema("a")
+	c := paretomon.NewCommunity(s)
+	if _, err := c.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := paretomon.NewMonitor(c, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.AddBatch([]paretomon.Object{
+		{Name: "o1", Values: []string{"x"}},
+		{Name: "o1", Values: []string{"y"}}, // duplicate within the batch
+	})
+	var be *paretomon.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if be.Index != 1 || be.Object != "o1" {
+		t.Errorf("BatchError = %+v, want index 1 object o1", be)
+	}
+	if !errors.Is(err, paretomon.ErrDuplicateObject) {
+		t.Errorf("err = %v, not errors.Is ErrDuplicateObject", err)
+	}
+	// Atomic reject: nothing from the failed batch was ingested.
+	if st := m.Stats(); st.Processed != 0 {
+		t.Errorf("processed = %d after failed batch, want 0", st.Processed)
+	}
+	if _, err := m.Add("o1", "x"); err != nil {
+		t.Errorf("o1 should still be free after failed batch: %v", err)
+	}
+}
+
+// TestDeprecatedConfigShims keeps the v1 bridge working: a raw Config via
+// NewMonitorFromConfig or WithConfig behaves like the equivalent options.
+func TestDeprecatedConfigShims(t *testing.T) {
+	build := func() *paretomon.Community {
+		s := paretomon.NewSchema("a")
+		c := paretomon.NewCommunity(s)
+		if _, err := c.AddUser("u"); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cfg := paretomon.DefaultConfig()
+	cfg.Algorithm = paretomon.AlgorithmBaseline
+	m1, err := paretomon.NewMonitorFromConfig(build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := paretomon.NewMonitor(build(), paretomon.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*paretomon.Monitor{m1, m2} {
+		if got := m.Config().Algorithm; got != paretomon.AlgorithmBaseline {
+			t.Errorf("algorithm = %v, want Baseline", got)
+		}
+		if _, err := m.Add("o1", "x"); err != nil {
+			t.Error(err)
+		}
+	}
+	// The raw-Config path validates too: a bogus measure must be an
+	// ErrInvalidConfig error, not a construction-time panic.
+	bad := paretomon.DefaultConfig()
+	bad.Measure = paretomon.Measure(9)
+	if _, err := paretomon.NewMonitorFromConfig(build(), bad); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("bogus measure via shim: err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+func onlyErr[T any](_ T, err error) error { return err }
+
+func addErr(m *paretomon.Monitor, name string, values ...string) error {
+	_, err := m.Add(name, values...)
+	return err
+}
+
+func subErr(m *paretomon.Monitor, user string) error {
+	_, _, err := m.Subscribe(user)
+	return err
+}

@@ -78,10 +78,9 @@ func main() {
 		paretomon.AlgorithmFilterThenVerify,
 	} {
 		com := buildCommunity()
-		cfg := paretomon.DefaultConfig()
-		cfg.Algorithm = alg
-		cfg.BranchCut = 0.01 // c1 and c2 form the paper's cluster U
-		mon, err := paretomon.NewMonitor(com, cfg)
+		mon, err := paretomon.NewMonitor(com,
+			paretomon.WithAlgorithm(alg),
+			paretomon.WithBranchCut(0.01)) // c1 and c2 form the paper's cluster U
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -97,16 +97,17 @@ func main() {
 
 	run := func(alg paretomon.Algorithm) (paretomon.Stats, map[string][]string) {
 		com := buildCommunity(rand.New(rand.NewSource(42)))
-		cfg := paretomon.DefaultConfig()
-		cfg.Algorithm = alg
-		cfg.BranchCut = 1.2 // raw similarity scale of this example's data
-		if alg == paretomon.AlgorithmFilterThenVerifyApprox {
-			cfg.Measure = paretomon.MeasureVectorWeightedJaccard
-			cfg.BranchCut = 0.9
-			cfg.Theta1 = 600
-			cfg.Theta2 = 0.5
+		opts := []paretomon.Option{
+			paretomon.WithAlgorithm(alg),
+			paretomon.WithBranchCut(1.2), // raw similarity scale of this example's data
 		}
-		mon, err := paretomon.NewMonitor(com, cfg)
+		if alg == paretomon.AlgorithmFilterThenVerifyApprox {
+			opts = append(opts,
+				paretomon.WithMeasure(paretomon.MeasureVectorWeightedJaccard),
+				paretomon.WithBranchCut(0.9),
+				paretomon.WithThetas(600, 0.5))
+		}
+		mon, err := paretomon.NewMonitor(com, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -30,13 +30,21 @@ func main() {
 	must(reader.Prefer("source", "paper", "tabloid"))
 	must(reader.PreferChain("topic", "elections", "economy", "sports"))
 
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmBaseline
-	cfg.Window = 4 // an item lives for 4 subsequent posts
-	mon, err := paretomon.NewMonitor(com, cfg)
+	mon, err := paretomon.NewMonitor(com,
+		paretomon.WithAlgorithm(paretomon.AlgorithmBaseline),
+		paretomon.WithWindow(4)) // an item lives for 4 subsequent posts
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Receive notifications push-style instead of polling: every post
+	// that is Pareto-optimal for the reader at arrival lands on this
+	// channel in ingestion order.
+	inbox, cancel, err := mon.Subscribe("reader")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancel()
 
 	posts := [][3]string{
 		{"blog-econ-1", "blog", "economy"},
@@ -51,14 +59,17 @@ func main() {
 		{"tabloid-econ-1", "tabloid", "economy"},
 	}
 	for _, p := range posts {
-		d, err := mon.Add(p[0], p[1], p[2])
-		if err != nil {
+		if _, err := mon.Add(p[0], p[1], p[2]); err != nil {
 			log.Fatal(err)
 		}
 		feed, _ := mon.Frontier("reader")
+		// The delivery (if any) is already buffered on the subscription:
+		// publication happens before Add returns.
 		marker := ""
-		if len(d.Users) > 0 {
-			marker = "  <- notify"
+		select {
+		case d := <-inbox:
+			marker = "  <- notify " + d.Object
+		default:
 		}
 		fmt.Printf("post %-17s feed=%v%s\n", p[0], feed, marker)
 	}

@@ -35,13 +35,13 @@ func main() {
 	must(bob.Prefer("brand", "Lenovo", "Toshiba"))
 	must(bob.PreferChain("CPU", "dual", "quad", "single"))
 
-	// 3. Build a monitor. The default configuration clusters users with
-	// similar preferences and shares the filtering work across them
+	// 3. Build a monitor. The defaults cluster users with similar
+	// preferences and share the filtering work across them
 	// (FilterThenVerify); results are identical to checking every user
-	// independently.
-	cfg := paretomon.DefaultConfig()
-	cfg.BranchCut = 0.01 // tiny community: let alice and bob share a cluster
-	monitor, err := paretomon.NewMonitor(community, cfg)
+	// independently. Options tune the construction — here a tiny branch
+	// cut lets alice and bob share a cluster.
+	monitor, err := paretomon.NewMonitor(community,
+		paretomon.WithBranchCut(0.01))
 	if err != nil {
 		log.Fatal(err)
 	}

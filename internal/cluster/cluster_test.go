@@ -361,3 +361,33 @@ func TestDendrogramDOT(t *testing.T) {
 		}
 	}
 }
+
+// TestAgglomerativeK checks the target-count cut: merging continues past
+// any similarity threshold until exactly k clusters remain.
+func TestAgglomerativeK(t *testing.T) {
+	users := fixtures.NewBrands().Profiles
+	for k := 1; k <= len(users); k++ {
+		res := cluster.AgglomerativeK(users, cluster.WeightedJaccard, k)
+		if got := len(res.Clusters); got != k {
+			t.Errorf("k=%d: got %d clusters", k, got)
+		}
+		// Every user appears exactly once.
+		seen := map[int]bool{}
+		for _, c := range res.Clusters {
+			for _, m := range c.Members {
+				if seen[m] {
+					t.Errorf("k=%d: user %d in two clusters", k, m)
+				}
+				seen[m] = true
+			}
+		}
+		if len(seen) != len(users) {
+			t.Errorf("k=%d: covered %d of %d users", k, len(seen), len(users))
+		}
+	}
+	// k beyond n: all singletons.
+	res := cluster.AgglomerativeK(users, cluster.WeightedJaccard, len(users)+5)
+	if got := len(res.Clusters); got != len(users) {
+		t.Errorf("k>n: got %d clusters, want %d singletons", got, len(users))
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -74,6 +75,25 @@ type node struct {
 // Example 5.5's trace: over Table 3 with sim_wj, the cluster set is
 // {{c1,c2,c5,c6}, {c3,c4}} for h ∈ (0, 3/11].
 func Agglomerative(users []*pref.Profile, m Measure, h float64) *Result {
+	return agglomerate(users, m, h, 0)
+}
+
+// AgglomerativeK clusters like Agglomerative but stops when k clusters
+// remain instead of cutting the dendrogram at a similarity threshold:
+// the most similar pair keeps merging (regardless of how low the
+// similarity drops) until the target count is reached. With k >= n every
+// user stays a singleton.
+func AgglomerativeK(users []*pref.Profile, m Measure, k int) *Result {
+	if k < 1 {
+		k = 1
+	}
+	return agglomerate(users, m, math.Inf(-1), k)
+}
+
+// agglomerate is the shared bottom-up merge loop. Merging stops when no
+// candidate pair reaches similarity h, or — when k > 0 — as soon as only
+// k clusters remain.
+func agglomerate(users []*pref.Profile, m Measure, h float64, k int) *Result {
 	n := len(users)
 	if n == 0 {
 		return &Result{}
@@ -106,7 +126,11 @@ func Agglomerative(users []*pref.Profile, m Measure, h float64) *Result {
 	heap.Init(pq)
 
 	res := &Result{}
+	alive := n
 	for pq.Len() > 0 {
+		if k > 0 && alive <= k {
+			break
+		}
 		it := heap.Pop(pq).(pairItem)
 		if !nodes[it.a].alive || !nodes[it.b].alive {
 			continue // stale pair: one side already merged away
@@ -114,6 +138,7 @@ func Agglomerative(users []*pref.Profile, m Measure, h float64) *Result {
 		if it.sim < h {
 			break
 		}
+		alive--
 		na, nb := nodes[it.a], nodes[it.b]
 		na.alive, nb.alive = false, false
 		merged := &node{

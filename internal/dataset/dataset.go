@@ -8,12 +8,26 @@ package dataset
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/object"
 	"repro/internal/order"
 	"repro/internal/pref"
+)
+
+// The package's typed errors, usable with errors.Is across every reader.
+var (
+	// ErrFormat reports structurally malformed or empty input: bad CSV
+	// or JSON, an empty header, a short row, or nothing to serialize.
+	ErrFormat = errors.New("dataset: malformed input")
+	// ErrSchemaMismatch reports content that parses but contradicts the
+	// schema: unknown attributes, wrong attribute counts.
+	ErrSchemaMismatch = errors.New("dataset: schema mismatch")
+	// ErrBadPreference reports a preference edge that would violate the
+	// strict partial order (a cycle or a reflexive tuple).
+	ErrBadPreference = errors.New("dataset: invalid preference")
 )
 
 // WriteObjectsCSV writes the object table with a header of attribute names.
@@ -29,7 +43,7 @@ func WriteObjectsCSV(w io.Writer, doms []*order.Domain, objs []object.Object) er
 	row := make([]string, len(doms))
 	for _, o := range objs {
 		if len(o.Attrs) != len(doms) {
-			return fmt.Errorf("dataset: object %d has %d attrs, want %d", o.ID, len(o.Attrs), len(doms))
+			return fmt.Errorf("%w: object %d has %d attrs, want %d", ErrSchemaMismatch, o.ID, len(o.Attrs), len(doms))
 		}
 		for d, v := range o.Attrs {
 			row[d] = doms[d].Value(int(v))
@@ -48,10 +62,10 @@ func ReadObjectsCSV(r io.Reader) ([]*order.Domain, []object.Object, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, nil, fmt.Errorf("dataset: reading header: %w", err)
+		return nil, nil, fmt.Errorf("%w: reading header: %w", ErrFormat, err)
 	}
 	if len(header) == 0 {
-		return nil, nil, fmt.Errorf("dataset: empty header")
+		return nil, nil, fmt.Errorf("%w: empty header", ErrFormat)
 	}
 	doms := make([]*order.Domain, len(header))
 	for i, name := range header {
@@ -64,7 +78,7 @@ func ReadObjectsCSV(r io.Reader) ([]*order.Domain, []object.Object, error) {
 			break
 		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("dataset: row %d: %w", len(objs)+1, err)
+			return nil, nil, fmt.Errorf("%w: row %d: %w", ErrFormat, len(objs)+1, err)
 		}
 		attrs := make([]int32, len(doms))
 		for d, v := range row {
@@ -85,7 +99,7 @@ type profilesJSON struct {
 // WriteProfilesJSON serializes user profiles; only Hasse edges are stored.
 func WriteProfilesJSON(w io.Writer, users []*pref.Profile) error {
 	if len(users) == 0 {
-		return fmt.Errorf("dataset: no users to write")
+		return fmt.Errorf("%w: no users to write", ErrFormat)
 	}
 	doms := users[0].Domains()
 	out := profilesJSON{}
@@ -116,7 +130,7 @@ func WriteProfilesJSON(w io.Writer, users []*pref.Profile) error {
 func ReadProfilesJSON(r io.Reader, doms []*order.Domain) ([]*pref.Profile, error) {
 	var in profilesJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("dataset: decoding profiles: %w", err)
+		return nil, fmt.Errorf("%w: decoding profiles: %w", ErrFormat, err)
 	}
 	byName := make(map[string]int, len(doms))
 	for i, d := range doms {
@@ -124,7 +138,7 @@ func ReadProfilesJSON(r io.Reader, doms []*order.Domain) ([]*pref.Profile, error
 	}
 	for _, name := range in.Attributes {
 		if _, ok := byName[name]; !ok {
-			return nil, fmt.Errorf("dataset: profile attribute %q not in object schema", name)
+			return nil, fmt.Errorf("%w: profile attribute %q not in object schema", ErrSchemaMismatch, name)
 		}
 	}
 	var users []*pref.Profile
@@ -133,11 +147,11 @@ func ReadProfilesJSON(r io.Reader, doms []*order.Domain) ([]*pref.Profile, error
 		for name, edges := range m {
 			d, ok := byName[name]
 			if !ok {
-				return nil, fmt.Errorf("dataset: user %d: unknown attribute %q", ui, name)
+				return nil, fmt.Errorf("%w: user %d: unknown attribute %q", ErrSchemaMismatch, ui, name)
 			}
 			for _, e := range edges {
 				if err := p.Relation(d).AddValues(e[0], e[1]); err != nil {
-					return nil, fmt.Errorf("dataset: user %d, attribute %q, edge %v: %w", ui, name, e, err)
+					return nil, fmt.Errorf("%w: user %d, attribute %q, edge %v: %w", ErrBadPreference, ui, name, e, err)
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package dataset_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -100,4 +101,53 @@ func TestWriteProfilesJSONEmpty(t *testing.T) {
 	if err := dataset.WriteProfilesJSON(&buf, nil); err == nil {
 		t.Error("no users should fail")
 	}
+}
+
+// TestTypedErrors checks that every reader failure wraps one of the
+// package sentinels so callers dispatch with errors.Is.
+func TestTypedErrors(t *testing.T) {
+	l := fixtures.NewLaptops()
+	var goodPrefs bytes.Buffer
+	if err := dataset.WriteProfilesJSON(&goodPrefs, []*pref.Profile{l.C1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"empty objects CSV",
+			readObjectsErr(""), dataset.ErrFormat},
+		{"ragged CSV row",
+			readObjectsErr("a,b\nx\n"), dataset.ErrFormat},
+		{"bad profiles JSON",
+			readProfilesErr("{", l), dataset.ErrFormat},
+		{"unknown profile attribute",
+			readProfilesErr(`{"attributes":["nope"],"users":[]}`, l), dataset.ErrSchemaMismatch},
+		{"unknown user attribute",
+			readProfilesErr(`{"attributes":[],"users":[{"nope":[["a","b"]]}]}`, l), dataset.ErrSchemaMismatch},
+		{"cyclic preference",
+			readProfilesErr(`{"attributes":["display"],"users":[{"display":[["a","b"],["b","a"]]}]}`, l),
+			dataset.ErrBadPreference},
+		{"no users to write",
+			dataset.WriteProfilesJSON(&bytes.Buffer{}, nil), dataset.ErrFormat},
+	} {
+		if tc.err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+			continue
+		}
+		if !errors.Is(tc.err, tc.want) {
+			t.Errorf("%s: err = %v, not errors.Is %v", tc.name, tc.err, tc.want)
+		}
+	}
+}
+
+func readObjectsErr(csv string) error {
+	_, _, err := dataset.ReadObjectsCSV(strings.NewReader(csv))
+	return err
+}
+
+func readProfilesErr(js string, l *fixtures.Laptops) error {
+	_, err := dataset.ReadProfilesJSON(strings.NewReader(js), l.Domains)
+	return err
 }

@@ -154,9 +154,7 @@ func TestSerializationPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmBaseline
-	mon, err := paretomon.NewMonitor(com, cfg)
+	mon, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
 	if err != nil {
 		t.Fatal(err)
 	}

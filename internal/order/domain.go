@@ -38,6 +38,17 @@ func (d *Domain) Intern(v string) int {
 	return id
 }
 
+// Clone returns an independent copy: same values and ids, separate
+// tables, so interning on the copy never touches the original.
+func (d *Domain) Clone() *Domain {
+	c := &Domain{name: d.name, ids: make(map[string]int, len(d.ids))}
+	for v, id := range d.ids {
+		c.ids[v] = id
+	}
+	c.values = append([]string(nil), d.values...)
+	return c
+}
+
 // ID returns the id of v and whether it has been interned.
 func (d *Domain) ID(v string) (int, bool) {
 	id, ok := d.ids[v]

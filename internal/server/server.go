@@ -1,17 +1,19 @@
 // Package server exposes a running paretomon Monitor over HTTP, turning
-// the library into a dissemination service: producers POST objects as they
-// are created, consumers poll their frontier or receive the delivery list
-// from the POST response. State is a single Monitor guarded by a mutex —
-// the engines are single-writer by design (each Process mutates the
-// frontiers), so requests serialize on ingestion.
+// the library into a dissemination service: producers POST objects (one
+// at a time or in batches), consumers poll their frontier or hold a
+// server-sent-events stream open on /subscribe/{user} and receive each
+// delivery as it happens. The Monitor synchronizes itself (one writer,
+// many readers), so handlers call it directly; errors are classified with
+// errors.Is against the package's typed sentinels and mapped to proper
+// HTTP status codes.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 
 	paretomon "repro"
 )
@@ -20,13 +22,19 @@ import (
 //
 //	POST /objects           {"name": "o1", "values": ["13-15.9", "Apple", "dual"]}
 //	  → 200 {"object": "o1", "users": ["c2"]}
+//	POST /objects/batch     {"objects": [{"name": "o1", "values": [...]}, ...]}
+//	  → 200 {"deliveries": [{"object": "o1", "users": [...]}, ...]}
 //	GET  /frontier/{user}   → 200 {"user": "c2", "frontier": ["o2", "o3"]}
+//	GET  /targets/{object}  → 200 {"object": "o2", "users": ["c1", "c2"]}
+//	GET  /subscribe/{user}  → SSE stream, one "delivery" event per push
 //	POST /preferences       {"user": "c1", "attribute": "brand",
 //	                         "better": "Apple", "worse": "Sony"}
 //	GET  /stats             → 200 {"comparisons": ..., ...}
 //	GET  /clusters          → 200 [["c1","c2"], ...]
+//
+// Unknown users and objects yield 404; malformed bodies, duplicate
+// objects and invalid preferences yield 400.
 type Server struct {
-	mu  sync.Mutex
 	mon *paretomon.Monitor
 	mux *http.ServeMux
 }
@@ -35,7 +43,10 @@ type Server struct {
 func New(mon *paretomon.Monitor) *Server {
 	s := &Server{mon: mon, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/objects", s.handleObjects)
+	s.mux.HandleFunc("/objects/batch", s.handleBatch)
 	s.mux.HandleFunc("/frontier/", s.handleFrontier)
+	s.mux.HandleFunc("/targets/", s.handleTargets)
+	s.mux.HandleFunc("/subscribe/", s.handleSubscribe)
 	s.mux.HandleFunc("/preferences", s.handlePreferences)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/clusters", s.handleClusters)
@@ -45,6 +56,24 @@ func New(mon *paretomon.Monitor) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// statusOf maps a paretomon error to its HTTP status: missing entities
+// are 404, everything else the client sent wrong is 400.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, paretomon.ErrUnknownUser),
+		errors.Is(err, paretomon.ErrUnknownObject):
+		return http.StatusNotFound
+	case errors.Is(err, paretomon.ErrMonitorClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) monitorError(w http.ResponseWriter, err error) {
+	httpError(w, statusOf(err), "%v", err)
+}
+
 type objectRequest struct {
 	Name   string   `json:"name"`
 	Values []string `json:"values"`
@@ -53,6 +82,14 @@ type objectRequest struct {
 type deliveryResponse struct {
 	Object string   `json:"object"`
 	Users  []string `json:"users"`
+}
+
+func toResponse(d paretomon.Delivery) deliveryResponse {
+	users := d.Users
+	if users == nil {
+		users = []string{}
+	}
+	return deliveryResponse{Object: d.Object, Users: users}
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
@@ -65,41 +102,142 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	s.mu.Lock()
 	d, err := s.mon.Add(req.Name, req.Values...)
-	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.monitorError(w, err)
 		return
 	}
-	users := d.Users
-	if users == nil {
-		users = []string{}
+	writeJSON(w, toResponse(d))
+}
+
+type batchRequest struct {
+	Objects []objectRequest `json:"objects"`
+}
+
+type batchResponse struct {
+	Deliveries []deliveryResponse `json:"deliveries"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
 	}
-	writeJSON(w, deliveryResponse{Object: d.Object, Users: users})
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	objs := make([]paretomon.Object, len(req.Objects))
+	for i, o := range req.Objects {
+		objs[i] = paretomon.Object{Name: o.Name, Values: o.Values}
+	}
+	ds, err := s.mon.AddBatch(objs)
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	resp := batchResponse{Deliveries: make([]deliveryResponse, len(ds))}
+	for i, d := range ds {
+		resp.Deliveries[i] = toResponse(d)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+	user, ok := s.pathArg(w, r, "/frontier/", "user")
+	if !ok {
 		return
 	}
-	user := strings.TrimPrefix(r.URL.Path, "/frontier/")
-	if user == "" {
-		httpError(w, http.StatusBadRequest, "missing user")
-		return
-	}
-	s.mu.Lock()
 	f, err := s.mon.Frontier(user)
-	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		s.monitorError(w, err)
 		return
 	}
 	if f == nil {
 		f = []string{}
 	}
 	writeJSON(w, map[string]any{"user": user, "frontier": f})
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	object, ok := s.pathArg(w, r, "/targets/", "object")
+	if !ok {
+		return
+	}
+	users, err := s.mon.TargetsOf(object)
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	if users == nil {
+		users = []string{}
+	}
+	writeJSON(w, map[string]any{"object": object, "users": users})
+}
+
+// pathArg extracts the trailing path element for GET endpoints of the
+// shape GET /prefix/{arg}; on failure it writes the error and reports
+// false.
+func (s *Server) pathArg(w http.ResponseWriter, r *http.Request, prefix, what string) (string, bool) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return "", false
+	}
+	arg := strings.TrimPrefix(r.URL.Path, prefix)
+	if arg == "" {
+		httpError(w, http.StatusBadRequest, "missing %s", what)
+		return "", false
+	}
+	return arg, true
+}
+
+// handleSubscribe streams the user's deliveries as server-sent events:
+// one "delivery" event per object delivered to the user, until the
+// client disconnects or the monitor closes. Slow consumers lose oldest
+// deliveries rather than stalling ingestion (see Monitor.Subscribe).
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.pathArg(w, r, "/subscribe/", "user")
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel, err := s.mon.Subscribe(user)
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case d, open := <-ch:
+			if !open {
+				return // monitor closed
+			}
+			payload, err := json.Marshal(toResponse(d))
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: delivery\ndata: %s\n\n", payload); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 type preferenceRequest struct {
@@ -119,11 +257,8 @@ func (s *Server) handlePreferences(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	s.mu.Lock()
-	err := s.mon.AddPreference(req.User, req.Attribute, req.Better, req.Worse)
-	s.mu.Unlock()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	if err := s.mon.AddPreference(req.User, req.Attribute, req.Better, req.Worse); err != nil {
+		s.monitorError(w, err)
 		return
 	}
 	writeJSON(w, map[string]string{"status": "ok"})
@@ -134,10 +269,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
-	st := s.mon.Stats()
-	s.mu.Unlock()
-	writeJSON(w, st)
+	writeJSON(w, s.mon.Stats())
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
@@ -145,9 +277,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
 	cl := s.mon.Clusters()
-	s.mu.Unlock()
 	if cl == nil {
 		cl = [][]string{}
 	}

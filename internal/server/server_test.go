@@ -1,12 +1,15 @@
 package server_test
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	paretomon "repro"
 	"repro/internal/server"
@@ -26,9 +29,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	if err := alice.PreferChain("CPU", "quad", "dual", "single"); err != nil {
 		t.Fatal(err)
 	}
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmBaseline
-	mon, err := paretomon.NewMonitor(com, cfg)
+	mon, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,5 +171,164 @@ func TestStatsAndClusters(t *testing.T) {
 	r2.Body.Close()
 	if cl == nil || len(cl) != 0 {
 		t.Errorf("clusters = %v", cl)
+	}
+}
+
+func TestTypedErrorStatusMapping(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/objects", `{"name":"o1","values":["Apple","dual"]}`)
+	for _, tc := range []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"unknown user frontier", "GET", "/frontier/ghost", "", http.StatusNotFound},
+		{"unknown user subscribe", "GET", "/subscribe/ghost", "", http.StatusNotFound},
+		{"unknown object targets", "GET", "/targets/ghost", "", http.StatusNotFound},
+		{"unknown user preference", "POST", "/preferences",
+			`{"user":"ghost","attribute":"brand","better":"a","worse":"b"}`, http.StatusNotFound},
+		{"unknown attribute preference", "POST", "/preferences",
+			`{"user":"alice","attribute":"nope","better":"a","worse":"b"}`, http.StatusBadRequest},
+		{"cyclic preference", "POST", "/preferences",
+			`{"user":"alice","attribute":"brand","better":"Toshiba","worse":"Apple"}`, http.StatusBadRequest},
+		{"duplicate object", "POST", "/objects", `{"name":"o1","values":["Apple","dual"]}`, http.StatusBadRequest},
+		{"malformed object", "POST", "/objects", `{"name":"o2","values":["Apple"]}`, http.StatusBadRequest},
+		{"malformed batch JSON", "POST", "/objects/batch", `{bad`, http.StatusBadRequest},
+		{"duplicate in batch", "POST", "/objects/batch",
+			`{"objects":[{"name":"b1","values":["Apple","dual"]},{"name":"o1","values":["Apple","dual"]}]}`,
+			http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+	// The failed batch must not have ingested its valid prefix.
+	resp, _ := get(t, ts.URL+"/frontier/alice")
+	if resp.StatusCode != 200 {
+		t.Fatal("frontier after failed batch")
+	}
+	r2, err := http.Get(ts.URL + "/targets/b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("b1 from rejected batch should be unknown, got status %d", r2.StatusCode)
+	}
+}
+
+func TestBatchIngestion(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/objects/batch", "application/json", strings.NewReader(
+		`{"objects":[
+			{"name":"o1","values":["Lenovo","dual"]},
+			{"name":"o2","values":["Apple","quad"]},
+			{"name":"o3","values":["Toshiba","single"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out struct {
+		Deliveries []struct {
+			Object string   `json:"object"`
+			Users  []string `json:"users"`
+		} `json:"deliveries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deliveries) != 3 {
+		t.Fatalf("deliveries = %+v", out)
+	}
+	if !reflect.DeepEqual(out.Deliveries[0].Users, []string{"alice"}) ||
+		!reflect.DeepEqual(out.Deliveries[1].Users, []string{"alice"}) ||
+		len(out.Deliveries[2].Users) != 0 {
+		t.Errorf("deliveries = %+v", out.Deliveries)
+	}
+	_, fr := get(t, ts.URL+"/frontier/alice")
+	if !reflect.DeepEqual(fr["frontier"], []any{"o2"}) {
+		t.Errorf("frontier = %v", fr)
+	}
+}
+
+func TestTargetsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/objects", `{"name":"o1","values":["Lenovo","dual"]}`)
+	post(t, ts.URL+"/objects", `{"name":"o2","values":["Apple","quad"]}`)
+	_, out := get(t, ts.URL+"/targets/o1")
+	if got, ok := out["users"].([]any); !ok || len(got) != 0 {
+		t.Errorf("targets(o1) = %v, want empty (dominated by o2)", out)
+	}
+	_, out = get(t, ts.URL+"/targets/o2")
+	if !reflect.DeepEqual(out["users"], []any{"alice"}) {
+		t.Errorf("targets(o2) = %v", out)
+	}
+}
+
+// TestSSESubscription holds a /subscribe stream open, ingests objects
+// concurrently, and asserts the deliveries arrive as SSE events.
+func TestSSESubscription(t *testing.T) {
+	ts := newTestServer(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/subscribe/alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Ingest once the stream is established: o1 is delivered to alice,
+	// o3 (dominated) is not, o2 is delivered.
+	post(t, ts.URL+"/objects", `{"name":"o1","values":["Lenovo","dual"]}`)
+	post(t, ts.URL+"/objects", `{"name":"o3","values":["Toshiba","single"]}`)
+	post(t, ts.URL+"/objects", `{"name":"o2","values":["Apple","quad"]}`)
+
+	type delivery struct {
+		Object string   `json:"object"`
+		Users  []string `json:"users"`
+	}
+	var got []delivery
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(got) < 2 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var d delivery
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &d); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		got = append(got, d)
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Object != "o1" || got[1].Object != "o2" {
+		t.Fatalf("SSE deliveries = %+v, want [o1 o2]", got)
+	}
+	if !reflect.DeepEqual(got[0].Users, []string{"alice"}) {
+		t.Errorf("o1 users = %v", got[0].Users)
 	}
 }

@@ -37,7 +37,7 @@ func TestLoadCommunity(t *testing.T) {
 		t.Fatalf("rows = %v", rows)
 	}
 
-	mon, err := paretomon.NewMonitor(com, paretomon.DefaultConfig())
+	mon, err := paretomon.NewMonitor(com)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,17 +71,17 @@ func TestLoadCommunityErrors(t *testing.T) {
 }
 
 func TestMonitorAddPreference(t *testing.T) {
-	for _, cfg := range []paretomon.Config{
-		{Algorithm: paretomon.AlgorithmBaseline},
-		{Algorithm: paretomon.AlgorithmFilterThenVerify, Measure: paretomon.MeasureWeightedJaccard, BranchCut: 0.01},
-		{Algorithm: paretomon.AlgorithmBaseline, Window: 8},
-		{Algorithm: paretomon.AlgorithmFilterThenVerify, Window: 8, Measure: paretomon.MeasureWeightedJaccard, BranchCut: 0.01},
+	for _, opts := range [][]paretomon.Option{
+		{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)},
+		{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(0.01)},
+		{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline), paretomon.WithWindow(8)},
+		{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithWindow(8), paretomon.WithBranchCut(0.01)},
 	} {
 		com, rows, err := paretomon.LoadCommunity(strings.NewReader(objectsCSV), strings.NewReader(prefsJSON))
 		if err != nil {
 			t.Fatal(err)
 		}
-		mon, err := paretomon.NewMonitor(com, cfg)
+		mon, err := paretomon.NewMonitor(com, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func TestMonitorAddPreference(t *testing.T) {
 		// o2's quad CPU is incomparable to o1's dual for u1.
 		f, _ := mon.Frontier("u1")
 		if !reflect.DeepEqual(f, []string{"o1", "o2", "o3"}) {
-			t.Fatalf("cfg %+v: frontier(u1) = %v, want [o1 o2 o3]", cfg, f)
+			t.Fatalf("cfg %+v: frontier(u1) = %v, want [o1 o2 o3]", mon.Config(), f)
 		}
 		// u1 learns Lenovo ≻ Toshiba: o2 (Lenovo, quad) vs o3 (Toshiba,
 		// single) — still needs CPU: quad vs single has no relation for u1.
@@ -107,7 +107,7 @@ func TestMonitorAddPreference(t *testing.T) {
 		}
 		f, _ = mon.Frontier("u1")
 		if !reflect.DeepEqual(f, []string{"o1", "o2"}) {
-			t.Fatalf("cfg %+v: frontier(u1) after update = %v, want [o1 o2]", cfg, f)
+			t.Fatalf("cfg %+v: frontier(u1) after update = %v, want [o1 o2]", mon.Config(), f)
 		}
 		// Error paths.
 		if err := mon.AddPreference("ghost", "brand", "a", "b"); err == nil {

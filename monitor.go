@@ -3,6 +3,7 @@ package paretomon
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/approx"
 	"repro/internal/cluster"
@@ -83,7 +84,9 @@ func (m Measure) internal() cluster.Measure {
 	}
 }
 
-// Config tunes the monitor.
+// Config tunes the monitor. It is the state the functional options write
+// into; assemble it through NewMonitor's With* options rather than by
+// hand.
 type Config struct {
 	Algorithm Algorithm
 	// Window > 0 enables sliding-window semantics: an object is alive for
@@ -94,23 +97,33 @@ type Config struct {
 	// their similarity is at least BranchCut (the dendrogram branch cut h).
 	Measure   Measure
 	BranchCut float64
+	// ClusterCount > 0 replaces the branch cut with a target cluster
+	// count: merging continues until ClusterCount clusters remain.
+	ClusterCount int
 	// Theta1 bounds each approximate common relation's size; Theta2 is
 	// the minimum (exclusive) fraction of cluster members that must share
 	// a tuple for it to be admitted (Def. 6.1). Only used by
 	// AlgorithmFilterThenVerifyApprox.
 	Theta1 int
 	Theta2 float64
+	// SubscriptionBuffer is the per-subscriber channel capacity; 0 means
+	// the default (64).
+	SubscriptionBuffer int
 }
 
 // DefaultConfig returns the paper's default setting: exact
 // FilterThenVerify with weighted-Jaccard clustering at h = 0.55.
+//
+// Deprecated: new code should call NewMonitor with With* options and
+// rely on the identical built-in defaults.
 func DefaultConfig() Config {
 	return Config{
-		Algorithm: AlgorithmFilterThenVerify,
-		Measure:   MeasureWeightedJaccard,
-		BranchCut: 0.55,
-		Theta1:    500,
-		Theta2:    0.5,
+		Algorithm:          AlgorithmFilterThenVerify,
+		Measure:            MeasureWeightedJaccard,
+		BranchCut:          0.55,
+		Theta1:             500,
+		Theta2:             0.5,
+		SubscriptionBuffer: defaultSubscriptionBuffer,
 	}
 }
 
@@ -124,6 +137,16 @@ type Stats struct {
 	// Delivered is Σ|C_o| over processed objects; Processed counts objects.
 	Delivered uint64
 	Processed uint64
+	// DroppedDeliveries counts deliveries lost because a subscriber's
+	// channel was full (slow consumer).
+	DroppedDeliveries uint64
+}
+
+// Object is one item of the monitored stream, ready for AddBatch. Values
+// must match the schema's attribute order and count.
+type Object struct {
+	Name   string
+	Values []string
 }
 
 // Delivery is the result of ingesting one object.
@@ -145,51 +168,126 @@ type engine interface {
 // Preferences are snapshotted at construction; later Prefer calls do not
 // affect an existing monitor (the paper's setting: "users' preferences
 // stand or only change occasionally" — rebuild the monitor when they do).
+//
+// A Monitor is safe for concurrent use: Add, AddBatch and AddPreference
+// serialize as writers, while Frontier, Stats, Clusters and TargetsOf run
+// concurrently as readers.
 type Monitor struct {
-	community *Community
-	cfg       Config
-	eng       engine
-	ctr       *stats.Counters
-	clusters  [][]string // member names per cluster (nil for Baseline)
+	schema *Schema
+	cfg    Config
+
+	// Snapshot of the community's users at construction: the Monitor
+	// never reads the live Community again (its schema above is a deep
+	// copy too), so registering users or preferences after NewMonitor —
+	// e.g. to prepare a rebuild — cannot race a serving monitor.
+	userIdx   map[string]int
+	userNames []string
+
+	// mu orders ingestion (writers) against reads. The engines mutate
+	// frontiers in place on every Process, so they are single-writer by
+	// construction; the RWMutex recovers concurrent reads.
+	mu  sync.RWMutex
+	eng engine
+	ctr *stats.Counters
+
+	clusters [][]string // member names per cluster (nil for Baseline)
 
 	names  map[string]int // object name -> id
 	lookup []string       // object id -> name
+
+	subs subscriptions
 }
 
-// NewMonitor builds a monitor for the community under cfg.
-func NewMonitor(c *Community, cfg Config) (*Monitor, error) {
+// NewMonitor builds a monitor for the community. With no options it runs
+// the paper's default: exact FilterThenVerify with weighted-Jaccard
+// clustering at h = 0.55.
+//
+//	mon, err := paretomon.NewMonitor(com,
+//	    paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify),
+//	    paretomon.WithBranchCut(0.55),
+//	    paretomon.WithWindow(1000),
+//	)
+func NewMonitor(c *Community, opts ...Option) (*Monitor, error) {
+	cfg := DefaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return newMonitor(c, cfg)
+}
+
+// NewMonitorFromConfig builds a monitor from a raw Config.
+//
+// Deprecated: v1 compatibility shim; use NewMonitor with With* options.
+func NewMonitorFromConfig(c *Community, cfg Config) (*Monitor, error) {
+	return newMonitor(c, cfg)
+}
+
+func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 	if c.Len() == 0 {
-		return nil, fmt.Errorf("paretomon: community has no users")
+		return nil, ErrEmptyCommunity
 	}
 	if cfg.Window < 0 {
-		return nil, fmt.Errorf("paretomon: negative window %d", cfg.Window)
+		return nil, fmt.Errorf("%w: negative window %d", ErrInvalidConfig, cfg.Window)
+	}
+	if cfg.ClusterCount < 0 {
+		return nil, fmt.Errorf("%w: negative cluster count %d", ErrInvalidConfig, cfg.ClusterCount)
+	}
+	if cfg.SubscriptionBuffer == 0 {
+		cfg.SubscriptionBuffer = defaultSubscriptionBuffer
+	}
+	if cfg.SubscriptionBuffer < 0 {
+		return nil, fmt.Errorf("%w: negative subscription buffer %d", ErrInvalidConfig, cfg.SubscriptionBuffer)
+	}
+	switch cfg.Measure {
+	case MeasureIntersectionSize, MeasureJaccard, MeasureWeightedIntersection,
+		MeasureWeightedJaccard, MeasureVectorJaccard, MeasureVectorWeightedJaccard:
+	default:
+		return nil, fmt.Errorf("%w: unknown measure %d", ErrInvalidConfig, int(cfg.Measure))
 	}
 	if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
 		if cfg.Theta1 <= 0 || cfg.Theta2 < 0 || cfg.Theta2 >= 1 {
-			return nil, fmt.Errorf("paretomon: approx engine needs Theta1 > 0 and Theta2 in [0,1), got θ1=%d θ2=%v",
-				cfg.Theta1, cfg.Theta2)
+			return nil, fmt.Errorf("%w: approx engine needs Theta1 > 0 and Theta2 in [0,1), got θ1=%d θ2=%v",
+				ErrInvalidConfig, cfg.Theta1, cfg.Theta2)
 		}
 	}
 
 	profiles := make([]*pref.Profile, c.Len())
-	for i, u := range c.users {
-		profiles[i] = u.profile.Clone()
-	}
 	m := &Monitor{
-		community: c,
+		schema:    c.schema.clone(),
 		cfg:       cfg,
 		ctr:       &stats.Counters{},
+		userIdx:   make(map[string]int, c.Len()),
+		userNames: make([]string, c.Len()),
 		names:     make(map[string]int),
 	}
+	for i, u := range c.users {
+		profiles[i] = u.profile.Clone()
+		m.userIdx[u.name] = i
+		m.userNames[i] = u.name
+	}
+	m.subs.init(cfg.SubscriptionBuffer)
 
 	var clusters []core.Cluster
 	switch cfg.Algorithm {
 	case AlgorithmBaseline:
 		// no clustering
 	case AlgorithmFilterThenVerify, AlgorithmFilterThenVerifyApprox:
-		res := cluster.Agglomerative(profiles, cfg.Measure.internal(), cfg.BranchCut)
+		var res *cluster.Result
+		if cfg.ClusterCount > 0 {
+			res = cluster.AgglomerativeK(profiles, cfg.Measure.internal(), cfg.ClusterCount)
+		} else {
+			res = cluster.Agglomerative(profiles, cfg.Measure.internal(), cfg.BranchCut)
+		}
 		for _, ci := range res.Clusters {
 			common := ci.Common
+			switch cfg.Measure {
+			case MeasureIntersectionSize, MeasureJaccard, MeasureWeightedIntersection,
+				MeasureWeightedJaccard, MeasureVectorJaccard, MeasureVectorWeightedJaccard:
+			default:
+				return nil, fmt.Errorf("%w: unknown measure %d", ErrInvalidConfig, int(cfg.Measure))
+			}
 			if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
 				members := make([]*pref.Profile, len(ci.Members))
 				for i, id := range ci.Members {
@@ -198,10 +296,10 @@ func NewMonitor(c *Community, cfg Config) (*Monitor, error) {
 				common = approx.Profile(members, cfg.Theta1, cfg.Theta2)
 			}
 			clusters = append(clusters, core.Cluster{Members: ci.Members, Common: common})
-			m.clusters = append(m.clusters, c.sortedNames(ci.Members))
+			m.clusters = append(m.clusters, m.sortedNames(ci.Members))
 		}
 	default:
-		return nil, fmt.Errorf("paretomon: unknown algorithm %v", cfg.Algorithm)
+		return nil, fmt.Errorf("%w: unknown algorithm %v", ErrInvalidConfig, cfg.Algorithm)
 	}
 
 	switch {
@@ -217,68 +315,130 @@ func NewMonitor(c *Community, cfg Config) (*Monitor, error) {
 	return m, nil
 }
 
+// validateObject checks one object against the monitor state and the
+// names already claimed earlier in the same batch. Caller holds mu.
+func (m *Monitor) validateObject(o Object, inBatch map[string]bool) error {
+	if o.Name == "" {
+		return fmt.Errorf("%w: object name", ErrEmptyName)
+	}
+	if _, dup := m.names[o.Name]; dup || inBatch[o.Name] {
+		return fmt.Errorf("%w: %q", ErrDuplicateObject, o.Name)
+	}
+	if got, want := len(o.Values), len(m.schema.doms); got != want {
+		return fmt.Errorf("%w: object %q has %d values, schema has %d attributes",
+			ErrSchemaMismatch, o.Name, got, want)
+	}
+	return nil
+}
+
+// ingest processes one pre-validated object. Caller holds mu.
+func (m *Monitor) ingest(o Object) Delivery {
+	doms := m.schema.doms
+	attrs := make([]int32, len(o.Values))
+	for d, v := range o.Values {
+		attrs[d] = int32(doms[d].Intern(v))
+	}
+	id := len(m.lookup)
+	m.names[o.Name] = id
+	m.lookup = append(m.lookup, o.Name)
+
+	users := m.eng.Process(object.Object{ID: id, Attrs: attrs})
+	d := Delivery{Object: o.Name, Users: m.sortedNames(users)}
+	m.subs.publish(d, users)
+	return d
+}
+
 // Add ingests the next object and returns who it should be delivered to.
 // values must match the schema's attribute order and count. Object names
 // must be unique.
 func (m *Monitor) Add(name string, values ...string) (Delivery, error) {
-	if name == "" {
-		return Delivery{}, fmt.Errorf("paretomon: empty object name")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := Object{Name: name, Values: values}
+	if err := m.validateObject(o, nil); err != nil {
+		return Delivery{}, err
 	}
-	if _, dup := m.names[name]; dup {
-		return Delivery{}, fmt.Errorf("paretomon: duplicate object %q", name)
-	}
-	doms := m.community.schema.doms
-	if len(values) != len(doms) {
-		return Delivery{}, fmt.Errorf("paretomon: object %q has %d values, schema has %d attributes",
-			name, len(values), len(doms))
-	}
-	attrs := make([]int32, len(values))
-	for d, v := range values {
-		attrs[d] = int32(doms[d].Intern(v))
-	}
-	id := len(m.lookup)
-	m.names[name] = id
-	m.lookup = append(m.lookup, name)
+	return m.ingest(o), nil
+}
 
-	users := m.eng.Process(object.Object{ID: id, Attrs: attrs})
-	return Delivery{Object: name, Users: m.community.sortedNames(users)}, nil
+// AddBatch ingests a sequence of objects under a single writer critical
+// section, amortizing per-arrival locking and allocation across the
+// engines. The whole batch is validated before any object is ingested:
+// on error, a *BatchError locating the first bad object is returned and
+// the monitor is unchanged. Deliveries are returned in batch order.
+func (m *Monitor) AddBatch(objs []Object) ([]Delivery, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inBatch := make(map[string]bool, len(objs))
+	for i, o := range objs {
+		if err := m.validateObject(o, inBatch); err != nil {
+			return nil, &BatchError{Index: i, Object: o.Name, Err: err}
+		}
+		inBatch[o.Name] = true
+	}
+	out := make([]Delivery, len(objs))
+	for i, o := range objs {
+		out[i] = m.ingest(o)
+	}
+	return out, nil
 }
 
 // Frontier returns the named user's current Pareto frontier as sorted
 // object names.
 func (m *Monitor) Frontier(user string) ([]string, error) {
-	u, ok := m.community.byName[user]
-	if !ok {
-		return nil, fmt.Errorf("paretomon: unknown user %q", user)
+	idx, err := m.user(user)
+	if err != nil {
+		return nil, err
 	}
-	var idx int
-	for i, cu := range m.community.users {
-		if cu == u {
-			idx = i
-			break
-		}
-	}
+	m.mu.RLock()
 	ids := m.eng.UserFrontier(idx)
 	out := make([]string, len(ids))
 	for i, id := range ids {
 		out[i] = m.lookup[id]
 	}
+	m.mu.RUnlock()
 	sort.Strings(out)
 	return out, nil
 }
 
-// Clusters returns the user names per cluster, or nil for Baseline.
+// user resolves a user name against the construction-time community
+// snapshot: users registered after NewMonitor are unknown to this
+// monitor.
+func (m *Monitor) user(name string) (int, error) {
+	idx, ok := m.userIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	return idx, nil
+}
+
+// sortedNames maps snapshot user indices to sorted names.
+func (m *Monitor) sortedNames(idx []int) []string {
+	out := make([]string, len(idx))
+	for i, id := range idx {
+		out[i] = m.userNames[id]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clusters returns the user names per cluster, or nil for Baseline. The
+// clustering is fixed at construction; callers must not mutate the
+// returned slices.
 func (m *Monitor) Clusters() [][]string { return m.clusters }
 
 // Stats returns a snapshot of the monitor's work counters.
 func (m *Monitor) Stats() Stats {
+	m.mu.RLock()
 	s := m.ctr.Snapshot()
+	m.mu.RUnlock()
 	return Stats{
 		Comparisons:       s.Comparisons,
 		FilterComparisons: s.FilterComparisons,
 		VerifyComparisons: s.VerifyComparisons,
 		Delivered:         s.Delivered,
 		Processed:         s.Processed,
+		DroppedDeliveries: m.subs.droppedCount(),
 	}
 }
 
@@ -290,14 +450,16 @@ func (m *Monitor) Config() Config { return m.cfg }
 // been dominated since arrival — or that has expired from the window —
 // has no targets.
 func (m *Monitor) TargetsOf(objectName string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	id, ok := m.names[objectName]
 	if !ok {
-		return nil, fmt.Errorf("paretomon: unknown object %q", objectName)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objectName)
 	}
 	type targeter interface{ Targets(objID int) []int }
 	eng, ok := m.eng.(targeter)
 	if !ok {
-		return nil, fmt.Errorf("paretomon: engine %T does not track targets", m.eng)
+		return nil, fmt.Errorf("%w: %T does not track targets", ErrUnsupported, m.eng)
 	}
-	return m.community.sortedNames(eng.Targets(id)), nil
+	return m.sortedNames(eng.Targets(id)), nil
 }

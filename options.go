@@ -1,0 +1,127 @@
+package paretomon
+
+import "fmt"
+
+// Option configures a Monitor at construction time. Options are applied
+// in order over the package defaults (exact FilterThenVerify,
+// weighted-Jaccard clustering at h = 0.55, append-only); a later option
+// overrides an earlier one. Invalid values are rejected by NewMonitor
+// with an error wrapping ErrInvalidConfig.
+type Option func(*Config) error
+
+// WithAlgorithm selects the monitoring engine.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *Config) error {
+		switch a {
+		case AlgorithmBaseline, AlgorithmFilterThenVerify, AlgorithmFilterThenVerifyApprox:
+			c.Algorithm = a
+			return nil
+		default:
+			return fmt.Errorf("%w: WithAlgorithm(%d): unknown algorithm", ErrInvalidConfig, int(a))
+		}
+	}
+}
+
+// WithWindow enables sliding-window semantics: an object is alive for n
+// subsequent arrivals (Sec. 7 of the paper). n = 0 restores append-only
+// monitoring; negative n is invalid.
+func WithWindow(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithWindow(%d): window must be >= 0", ErrInvalidConfig, n)
+		}
+		c.Window = n
+		return nil
+	}
+}
+
+// WithMeasure selects the preference-similarity measure driving user
+// clustering for the filter-then-verify engines.
+func WithMeasure(m Measure) Option {
+	return func(c *Config) error {
+		switch m {
+		case MeasureIntersectionSize, MeasureJaccard, MeasureWeightedIntersection,
+			MeasureWeightedJaccard, MeasureVectorJaccard, MeasureVectorWeightedJaccard:
+			c.Measure = m
+			return nil
+		default:
+			return fmt.Errorf("%w: WithMeasure(%d): unknown measure", ErrInvalidConfig, int(m))
+		}
+	}
+}
+
+// WithBranchCut sets the dendrogram branch cut h: hierarchical
+// agglomerative clustering merges clusters while their similarity is at
+// least h. Mutually exclusive with WithClusterCount; the one given last
+// wins.
+func WithBranchCut(h float64) Option {
+	return func(c *Config) error {
+		if h < 0 {
+			return fmt.Errorf("%w: WithBranchCut(%v): branch cut must be >= 0", ErrInvalidConfig, h)
+		}
+		c.BranchCut = h
+		c.ClusterCount = 0
+		return nil
+	}
+}
+
+// WithClusterCount makes clustering merge until exactly k clusters remain
+// (or fewer users than k exist), instead of cutting the dendrogram at a
+// similarity threshold. Useful when the similarity scale of a workload is
+// unknown but a target cluster budget is. Mutually exclusive with
+// WithBranchCut; the one given last wins.
+func WithClusterCount(k int) Option {
+	return func(c *Config) error {
+		if k < 1 {
+			return fmt.Errorf("%w: WithClusterCount(%d): cluster count must be >= 1", ErrInvalidConfig, k)
+		}
+		c.ClusterCount = k
+		return nil
+	}
+}
+
+// WithThetas sets the approximate engine's thresholds (Def. 6.1): theta1
+// bounds each approximate common relation's size; theta2 is the minimum
+// (exclusive) fraction of cluster members that must share a tuple for it
+// to be admitted. Only AlgorithmFilterThenVerifyApprox consults them.
+func WithThetas(theta1 int, theta2 float64) Option {
+	return func(c *Config) error {
+		if theta1 <= 0 {
+			return fmt.Errorf("%w: WithThetas: theta1 must be > 0, got %d", ErrInvalidConfig, theta1)
+		}
+		if theta2 < 0 || theta2 >= 1 {
+			return fmt.Errorf("%w: WithThetas: theta2 must be in [0,1), got %v", ErrInvalidConfig, theta2)
+		}
+		c.Theta1, c.Theta2 = theta1, theta2
+		return nil
+	}
+}
+
+// WithSubscriptionBuffer sets the per-subscriber delivery channel buffer
+// (default 64). A subscriber that falls more than n deliveries behind
+// starts losing the oldest pending ones; Stats.DroppedDeliveries counts
+// the losses.
+func WithSubscriptionBuffer(n int) Option {
+	return func(c *Config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: WithSubscriptionBuffer(%d): buffer must be >= 1", ErrInvalidConfig, n)
+		}
+		c.SubscriptionBuffer = n
+		return nil
+	}
+}
+
+// WithConfig overlays a whole Config at once.
+//
+// Deprecated: it exists to bridge v1 code that assembled a raw Config;
+// new code should compose the individual With* options.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) error {
+		sub := c.SubscriptionBuffer
+		*c = cfg
+		if c.SubscriptionBuffer == 0 {
+			c.SubscriptionBuffer = sub
+		}
+		return nil
+	}
+}

@@ -17,9 +17,9 @@
 //     preferences (tuples shared by most members, Alg. 3), trading a small,
 //     measurable recall loss for larger clusters and fewer comparisons.
 //
-// Setting Config.Window > 0 switches all three engines to sliding-window
-// semantics (Sec. 7): an object expires after Window subsequent arrivals
-// and frontiers are mended from Pareto frontier buffers.
+// WithWindow(n) switches all three engines to sliding-window semantics
+// (Sec. 7): an object expires after n subsequent arrivals and frontiers
+// are mended from Pareto frontier buffers.
 //
 // A minimal session:
 //
@@ -27,14 +27,24 @@
 //	com := paretomon.NewCommunity(s)
 //	alice, _ := com.AddUser("alice")
 //	alice.PreferChain("brand", "Apple", "Lenovo", "Toshiba")
-//	mon, _ := paretomon.NewMonitor(com, paretomon.DefaultConfig())
+//	mon, _ := paretomon.NewMonitor(com,
+//	    paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify),
+//	    paretomon.WithBranchCut(0.55))
 //	d, _ := mon.Add("laptop-1", "13-15.9", "Apple", "dual")
 //	fmt.Println(d.Users) // users who should see laptop-1
+//
+// Monitors are safe for concurrent use: one ingester (Add / AddBatch /
+// AddPreference) runs at a time while any number of readers (Frontier,
+// Stats, Clusters, TargetsOf) proceed in parallel. Consumers can also
+// receive deliveries push-style through Subscribe instead of polling.
+// Every error returned by the package wraps one of the Err* sentinels in
+// errors.go, so callers dispatch with errors.Is rather than string
+// matching.
 package paretomon
 
 import (
+	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/order"
 	"repro/internal/pref"
@@ -74,6 +84,15 @@ func (s *Schema) Attributes() []string {
 	return out
 }
 
+// clone deep-copies the schema, including the domains' interning tables.
+func (s *Schema) clone() *Schema {
+	c := &Schema{doms: make([]*order.Domain, len(s.doms))}
+	for i, d := range s.doms {
+		c.doms[i] = d.Clone()
+	}
+	return c
+}
+
 func (s *Schema) attrIndex(name string) (int, bool) {
 	for i, d := range s.doms {
 		if d.Name() == name {
@@ -104,10 +123,10 @@ func (c *Community) Len() int { return len(c.users) }
 // AddUser registers a user. Names must be unique.
 func (c *Community) AddUser(name string) (*User, error) {
 	if name == "" {
-		return nil, fmt.Errorf("paretomon: empty user name")
+		return nil, fmt.Errorf("%w: user name", ErrEmptyName)
 	}
 	if _, dup := c.byName[name]; dup {
-		return nil, fmt.Errorf("paretomon: duplicate user %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateUser, name)
 	}
 	u := &User{name: name, community: c, profile: pref.NewProfile(c.schema.doms)}
 	c.users = append(c.users, u)
@@ -142,20 +161,29 @@ func (u *User) Name() string { return u.name }
 func (u *User) Prefer(attr, better, worse string) error {
 	d, ok := u.community.schema.attrIndex(attr)
 	if !ok {
-		return fmt.Errorf("paretomon: unknown attribute %q", attr)
+		return fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
 	}
 	if err := u.profile.Relation(d).AddValues(better, worse); err != nil {
-		return fmt.Errorf("paretomon: user %q, attribute %q: cannot prefer %q over %q: %w",
-			u.name, attr, better, worse, err)
+		return fmt.Errorf("%w: user %q, attribute %q: cannot prefer %q over %q: %w",
+			cycleOr(err), u.name, attr, better, worse, err)
 	}
 	return nil
+}
+
+// cycleOr classifies a preference-insertion failure: strict-partial-order
+// violations become ErrCycle; anything else stays generic but typed.
+func cycleOr(err error) error {
+	if errors.Is(err, order.ErrNotStrictPartialOrder) {
+		return ErrCycle
+	}
+	return ErrInvalidConfig
 }
 
 // PreferChain records a total preference chain values[0] ≻ values[1] ≻ …
 // on the named attribute.
 func (u *User) PreferChain(attr string, values ...string) error {
 	if len(values) < 2 {
-		return fmt.Errorf("paretomon: PreferChain needs at least two values")
+		return fmt.Errorf("%w: PreferChain needs at least two values", ErrInvalidConfig)
 	}
 	for i := 0; i+1 < len(values); i++ {
 		if err := u.Prefer(attr, values[i], values[i+1]); err != nil {
@@ -173,14 +201,4 @@ func (u *User) Prefers(attr, better, worse string) bool {
 		return false
 	}
 	return u.profile.Relation(d).HasValues(better, worse)
-}
-
-// sortedNames maps user indices to sorted names.
-func (c *Community) sortedNames(idx []int) []string {
-	out := make([]string, len(idx))
-	for i, id := range idx {
-		out[i] = c.users[id].name
-	}
-	sort.Strings(out)
-	return out
 }

@@ -1,6 +1,7 @@
 package paretomon_test
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -91,10 +92,9 @@ func TestEndToEndPaperExample(t *testing.T) {
 	} {
 		t.Run(alg.String(), func(t *testing.T) {
 			c := laptopCommunity(t)
-			cfg := paretomon.DefaultConfig()
-			cfg.Algorithm = alg
-			cfg.BranchCut = 0.01 // c1 and c2 are similar enough to cluster
-			m, err := paretomon.NewMonitor(c, cfg)
+			m, err := paretomon.NewMonitor(c,
+				paretomon.WithAlgorithm(alg),
+				paretomon.WithBranchCut(0.01)) // c1 and c2 are similar enough to cluster
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -126,10 +126,9 @@ func TestEndToEndPaperExample(t *testing.T) {
 
 func TestEndToEndWindow(t *testing.T) {
 	c := laptopCommunity(t)
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmBaseline
-	cfg.Window = 5
-	m, err := paretomon.NewMonitor(c, cfg)
+	m, err := paretomon.NewMonitor(c,
+		paretomon.WithAlgorithm(paretomon.AlgorithmBaseline),
+		paretomon.WithWindow(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,13 +146,11 @@ func TestEndToEndWindow(t *testing.T) {
 
 func TestApproxEngineRuns(t *testing.T) {
 	c := laptopCommunity(t)
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmFilterThenVerifyApprox
-	cfg.Measure = paretomon.MeasureVectorJaccard
-	cfg.BranchCut = 0.01
-	cfg.Theta1 = 50
-	cfg.Theta2 = 0.4
-	m, err := paretomon.NewMonitor(c, cfg)
+	m, err := paretomon.NewMonitor(c,
+		paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox),
+		paretomon.WithMeasure(paretomon.MeasureVectorJaccard),
+		paretomon.WithBranchCut(0.01),
+		paretomon.WithThetas(50, 0.4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,9 +159,7 @@ func TestApproxEngineRuns(t *testing.T) {
 	// delivered object must truly be Pareto-optimal (verify against an
 	// exact monitor).
 	cEx := laptopCommunity(t)
-	cfgEx := paretomon.DefaultConfig()
-	cfgEx.Algorithm = paretomon.AlgorithmBaseline
-	ex, _ := paretomon.NewMonitor(cEx, cfgEx)
+	ex, _ := paretomon.NewMonitor(cEx, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
 	dsEx := feedTable1(t, ex, 16)
 	for i := range ds {
 		got := map[string]bool{}
@@ -236,33 +231,28 @@ func mustUser(t *testing.T, c *paretomon.Community, name string) *paretomon.User
 func TestMonitorErrors(t *testing.T) {
 	s := paretomon.NewSchema("a")
 	c := paretomon.NewCommunity(s)
-	if _, err := paretomon.NewMonitor(c, paretomon.DefaultConfig()); err == nil {
-		t.Error("empty community should fail")
+	if _, err := paretomon.NewMonitor(c); !errors.Is(err, paretomon.ErrEmptyCommunity) {
+		t.Errorf("empty community: err = %v, want ErrEmptyCommunity", err)
 	}
 	mustUser(t, c, "u")
-	cfg := paretomon.DefaultConfig()
-	cfg.Window = -1
-	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
-		t.Error("negative window should fail")
+	if _, err := paretomon.NewMonitor(c, paretomon.WithWindow(-1)); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("negative window: err = %v, want ErrInvalidConfig", err)
 	}
-	cfg = paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmFilterThenVerifyApprox
-	cfg.Theta1 = 0
-	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
-		t.Error("θ1=0 should fail for approx engine")
+	if _, err := paretomon.NewMonitor(c,
+		paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox),
+		paretomon.WithThetas(0, 0.5)); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("θ1=0: err = %v, want ErrInvalidConfig", err)
 	}
-	cfg.Theta1 = 10
-	cfg.Theta2 = 1.0
-	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
-		t.Error("θ2=1 should fail for approx engine")
+	if _, err := paretomon.NewMonitor(c,
+		paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox),
+		paretomon.WithThetas(10, 1.0)); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("θ2=1: err = %v, want ErrInvalidConfig", err)
 	}
-	cfg = paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.Algorithm(99)
-	if _, err := paretomon.NewMonitor(c, cfg); err == nil {
-		t.Error("unknown algorithm should fail")
+	if _, err := paretomon.NewMonitor(c, paretomon.WithAlgorithm(paretomon.Algorithm(99))); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("unknown algorithm: err = %v, want ErrInvalidConfig", err)
 	}
 
-	m, err := paretomon.NewMonitor(c, paretomon.DefaultConfig())
+	m, err := paretomon.NewMonitor(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,9 +281,7 @@ func TestMonitorSnapshotsPreferences(t *testing.T) {
 	if err := u.Prefer("a", "good", "bad"); err != nil {
 		t.Fatal(err)
 	}
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmBaseline
-	m, err := paretomon.NewMonitor(c, cfg)
+	m, err := paretomon.NewMonitor(c, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,9 +321,7 @@ func ExampleMonitor() {
 	_ = alice.PreferChain("brand", "Apple", "Lenovo", "Toshiba")
 	_ = alice.PreferChain("CPU", "quad", "dual", "single")
 
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmBaseline
-	mon, _ := paretomon.NewMonitor(com, cfg)
+	mon, _ := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
 
 	d1, _ := mon.Add("laptop-1", "Lenovo", "dual")
 	d2, _ := mon.Add("laptop-2", "Apple", "quad") // dominates laptop-1
@@ -351,9 +337,7 @@ func ExampleMonitor() {
 
 func TestTargetsOf(t *testing.T) {
 	c := laptopCommunity(t)
-	cfg := paretomon.DefaultConfig()
-	cfg.Algorithm = paretomon.AlgorithmBaseline
-	m, err := paretomon.NewMonitor(c, cfg)
+	m, err := paretomon.NewMonitor(c, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,5 +354,29 @@ func TestTargetsOf(t *testing.T) {
 	}
 	if _, err := m.TargetsOf("ghost"); err == nil {
 		t.Error("unknown object should fail")
+	}
+}
+
+// TestWithClusterCount checks the target-count clustering option: the
+// monitor ends up with exactly k clusters covering all users, and
+// results stay exact.
+func TestWithClusterCount(t *testing.T) {
+	c := laptopCommunity(t)
+	m, err := paretomon.NewMonitor(c,
+		paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify),
+		paretomon.WithClusterCount(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl := m.Clusters(); len(cl) != 1 || len(cl[0]) != 2 {
+		t.Fatalf("clusters = %v, want one cluster of both users", cl)
+	}
+	ds := feedTable1(t, m, 16)
+	if !reflect.DeepEqual(ds[14].Users, []string{"c2"}) {
+		t.Errorf("C_o15 = %v, want [c2]", ds[14].Users)
+	}
+	f2, _ := m.Frontier("c2")
+	if !reflect.DeepEqual(f2, []string{"o15", "o2", "o3"}) {
+		t.Errorf("P_c2 = %v", f2)
 	}
 }

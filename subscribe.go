@@ -1,0 +1,153 @@
+package paretomon
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultSubscriptionBuffer is the per-subscriber channel capacity when
+// WithSubscriptionBuffer is not given.
+const defaultSubscriptionBuffer = 64
+
+// CancelFunc tears down a subscription: the subscriber is unregistered
+// and its channel closed. Safe to call more than once.
+type CancelFunc func()
+
+// subscriber is one push-delivery consumer for one user.
+type subscriber struct {
+	ch     chan Delivery
+	closed bool // guarded by subscriptions.mu
+}
+
+// subscriptions is the Monitor's push-delivery fan-out. It has its own
+// mutex, acquired after Monitor.mu when publishing, so subscription
+// churn never blocks readers and never deadlocks against ingestion.
+type subscriptions struct {
+	mu      sync.Mutex
+	byUser  map[int][]*subscriber
+	buffer  int
+	closed  bool
+	dropped atomic.Uint64
+}
+
+func (s *subscriptions) init(buffer int) {
+	s.byUser = make(map[int][]*subscriber)
+	s.buffer = buffer
+}
+
+// add registers a subscriber for the user index.
+func (s *subscriptions) add(user int) (*subscriber, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrMonitorClosed
+	}
+	sub := &subscriber{ch: make(chan Delivery, s.buffer)}
+	s.byUser[user] = append(s.byUser[user], sub)
+	return sub, nil
+}
+
+// remove unregisters and closes a subscriber. Idempotent.
+func (s *subscriptions) remove(user int, sub *subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	close(sub.ch)
+	list := s.byUser[user]
+	for i, candidate := range list {
+		if candidate == sub {
+			s.byUser[user] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(s.byUser[user]) == 0 {
+		delete(s.byUser, user)
+	}
+}
+
+// publish fans a delivery out to every subscriber of every target user.
+// Sends never block ingestion: when a subscriber's buffer is full, the
+// oldest pending delivery is discarded to make room for the newest, and
+// the loss is counted.
+func (s *subscriptions) publish(d Delivery, users []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.byUser) == 0 {
+		return
+	}
+	for _, u := range users {
+		for _, sub := range s.byUser[u] {
+			for {
+				select {
+				case sub.ch <- d:
+				default:
+					select {
+					case <-sub.ch:
+						s.dropped.Add(1)
+					default:
+					}
+					continue
+				}
+				break
+			}
+		}
+	}
+}
+
+// closeAll closes every subscriber and rejects future Subscribe calls.
+func (s *subscriptions) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, list := range s.byUser {
+		for _, sub := range list {
+			sub.closed = true
+			close(sub.ch)
+		}
+	}
+	s.byUser = map[int][]*subscriber{}
+}
+
+func (s *subscriptions) droppedCount() uint64 { return s.dropped.Load() }
+
+// Subscribe registers for push delivery: every future object that is
+// Pareto-optimal for the named user at arrival time is sent on the
+// returned channel as it is ingested, in ingestion order. Multiple
+// subscriptions per user are independent; each gets every delivery.
+//
+// The channel is buffered (WithSubscriptionBuffer, default 64). A
+// consumer that falls behind loses its oldest pending deliveries rather
+// than stalling ingestion; Stats.DroppedDeliveries counts the losses —
+// consumers needing a complete picture should resynchronize via Frontier.
+//
+// The returned CancelFunc unregisters the subscription and closes the
+// channel; after Monitor.Close the channel is closed too, so consumers
+// should simply range over it.
+func (m *Monitor) Subscribe(user string) (<-chan Delivery, CancelFunc, error) {
+	idx, err := m.user(user)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := m.subs.add(idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	cancel := func() { m.subs.remove(idx, sub) }
+	return sub.ch, cancel, nil
+}
+
+// Close shuts down delivery fan-out: every subscription channel is
+// closed and further Subscribe calls return ErrMonitorClosed. Ingestion
+// and reads keep working; Close only ends the push side. It always
+// returns nil and implements io.Closer for composition with server
+// lifecycles.
+func (m *Monitor) Close() error {
+	m.subs.closeAll()
+	return nil
+}

@@ -1,11 +1,6 @@
 package paretomon
 
-import (
-	"fmt"
-
-	"repro/internal/core"
-	"repro/internal/window"
-)
+import "fmt"
 
 // AddPreference teaches a *running* monitor that user now also prefers
 // better over worse on attr, repairing the affected frontiers in place —
@@ -18,40 +13,30 @@ import (
 // preference record used by future NewMonitor calls; AddPreference edits
 // this monitor's snapshot. Call both to keep them in step.
 func (m *Monitor) AddPreference(user, attr, better, worse string) error {
-	u, ok := m.community.byName[user]
-	if !ok {
-		return fmt.Errorf("paretomon: unknown user %q", user)
-	}
-	d, ok := m.community.schema.attrIndex(attr)
-	if !ok {
-		return fmt.Errorf("paretomon: unknown attribute %q", attr)
-	}
-	var idx int
-	for i, cu := range m.community.users {
-		if cu == u {
-			idx = i
-			break
-		}
-	}
-	doms := m.community.schema.doms
-	b, w := doms[d].Intern(better), doms[d].Intern(worse)
-
-	var err error
-	switch eng := m.eng.(type) {
-	case *core.Baseline:
-		err = eng.ApplyPreference(idx, d, b, w)
-	case *core.FilterThenVerify:
-		err = eng.ApplyPreference(idx, d, b, w)
-	case *window.BaselineSW:
-		err = eng.ApplyPreference(idx, d, b, w)
-	case *window.FilterThenVerifySW:
-		err = eng.ApplyPreference(idx, d, b, w)
-	default:
-		return fmt.Errorf("paretomon: engine %T does not support online preference updates", m.eng)
-	}
+	idx, err := m.user(user)
 	if err != nil {
-		return fmt.Errorf("paretomon: user %q, attribute %q: cannot prefer %q over %q: %w",
-			user, attr, better, worse, err)
+		return err
+	}
+	d, ok := m.schema.attrIndex(attr)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
+	}
+	type applier interface {
+		ApplyPreference(user, dim, better, worse int) error
+	}
+	eng, ok := m.eng.(applier)
+	if !ok {
+		return fmt.Errorf("%w: %T does not support online preference updates", ErrUnsupported, m.eng)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Intern under the write lock: it may grow the shared domain tables.
+	doms := m.schema.doms
+	b, w := doms[d].Intern(better), doms[d].Intern(worse)
+	if err := eng.ApplyPreference(idx, d, b, w); err != nil {
+		return fmt.Errorf("%w: user %q, attribute %q: cannot prefer %q over %q: %w",
+			cycleOr(err), user, attr, better, worse, err)
 	}
 	return nil
 }
