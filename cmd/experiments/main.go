@@ -7,14 +7,19 @@
 //
 //	experiments [-exp fig4,table11] [-full] [-objects N] [-users N]
 //	            [-stream N] [-h 0.55] [-theta1 400] [-theta2 0.5] [-quiet]
+//	            [-workers 1,2,4,8] [-benchout BENCH_parallel.json]
 //
-// Experiment ids: fig4 fig5 fig6 fig7 table11 fig8 fig9 fig10 fig11 table12.
+// Experiment ids: fig4 fig5 fig6 fig7 table11 fig8 fig9 fig10 fig11 table12
+// parallel. The parallel sweep measures ingest throughput of the sharded
+// engines at each -workers count and, with -benchout, records the sweep
+// as JSON so CI can track the perf trajectory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -22,26 +27,39 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		full    = flag.Bool("full", false, "run at paper scale (slow)")
-		objects = flag.Int("objects", 0, "override object count (0 = default)")
-		users   = flag.Int("users", 0, "override user count (0 = default)")
-		stream  = flag.Int("stream", 0, "override stream length for window experiments")
-		h       = flag.Float64("h", 0, "branch cut on the paper's scale (0 = 0.55)")
-		theta1  = flag.Int("theta1", 0, "θ1: approximate relation size budget (0 = default)")
-		theta2  = flag.Float64("theta2", 0, "θ2: minimum tuple frequency (0 = default)")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full     = flag.Bool("full", false, "run at paper scale (slow)")
+		objects  = flag.Int("objects", 0, "override object count (0 = default)")
+		users    = flag.Int("users", 0, "override user count (0 = default)")
+		stream   = flag.Int("stream", 0, "override stream length for window experiments")
+		h        = flag.Float64("h", 0, "branch cut on the paper's scale (0 = 0.55)")
+		theta1   = flag.Int("theta1", 0, "θ1: approximate relation size budget (0 = default)")
+		theta2   = flag.Float64("theta2", 0, "θ2: minimum tuple frequency (0 = default)")
+		workers  = flag.String("workers", "", "comma-separated worker counts for the parallel sweep (default 1,2,4,8)")
+		benchout = flag.String("benchout", "", "write the parallel sweep as JSON to this path")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
 
 	opts := experiments.Options{
-		Objects: *objects,
-		Users:   *users,
-		StreamN: *stream,
-		H:       *h,
-		Theta1:  *theta1,
-		Theta2:  *theta2,
-		Full:    *full,
+		Objects:  *objects,
+		Users:    *users,
+		StreamN:  *stream,
+		H:        *h,
+		Theta1:   *theta1,
+		Theta2:   *theta2,
+		BenchOut: *benchout,
+		Full:     *full,
+	}
+	if *workers != "" {
+		for _, field := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "bad -workers entry %q\n", field)
+				os.Exit(2)
+			}
+			opts.Workers = append(opts.Workers, w)
+		}
 	}
 	if !*quiet {
 		opts.Log = os.Stderr

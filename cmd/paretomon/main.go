@@ -6,12 +6,14 @@
 // Usage:
 //
 //	paretomon -objects movie.objects.csv -prefs movie.prefs.json \
-//	          -algorithm ftv -h 3.3 -window 0 [-quiet] [-limit N]
+//	          -algorithm ftv -h 3.3 -window 0 [-workers N] [-quiet] [-limit N]
 //
 // Algorithms: baseline, ftv (FilterThenVerify), ftva (approximate).
-// -window > 0 switches to sliding-window semantics. Note that -h is a raw
-// branch cut on this data's similarity scale (Σ over attributes of
-// weighted Jaccard ∈ [0, d]), not the paper's normalized axis.
+// -window > 0 switches to sliding-window semantics. -workers shards
+// ingestion across N goroutines (0 = GOMAXPROCS, 1 = sequential);
+// deliveries are identical either way. Note that -h is a raw branch cut
+// on this data's similarity scale (Σ over attributes of weighted
+// Jaccard ∈ [0, d]), not the paper's normalized axis.
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 		theta1   = flag.Int("theta1", 400, "θ1 for ftva")
 		theta2   = flag.Float64("theta2", 0.5, "θ2 for ftva")
 		win      = flag.Int("window", 0, "sliding window size (0 = append-only)")
+		workers  = flag.Int("workers", 1, "ingestion shards (0 = GOMAXPROCS, 1 = sequential)")
 		limit    = flag.Int("limit", 0, "process at most N objects (0 = all)")
 		quiet    = flag.Bool("quiet", false, "suppress per-object delivery lines")
 		serve    = flag.String("serve", "", "serve HTTP on this address after replaying the objects (e.g. :8080)")
@@ -58,7 +61,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *limit)
+		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit)
 		return
 	}
 
@@ -78,9 +81,15 @@ func main() {
 	var eng engine
 	switch *alg {
 	case "baseline":
-		if *win > 0 {
+		w := core.ResolveWorkers(*workers, len(users))
+		switch {
+		case *win > 0 && w > 1:
+			eng = window.NewParallelBaselineSW(users, *win, w, ctr)
+		case *win > 0:
 			eng = window.NewBaselineSW(users, *win, ctr)
-		} else {
+		case w > 1:
+			eng = core.NewParallelBaseline(users, w, ctr)
+		default:
 			eng = core.NewBaseline(users, ctr)
 		}
 	case "ftv", "ftva":
@@ -101,11 +110,17 @@ func main() {
 			}
 			clusters[i] = core.Cluster{Members: ci.Members, Common: common}
 		}
-		fmt.Fprintf(os.Stderr, "clustered %d users into %d clusters (h=%.2f)\n",
-			len(users), len(clusters), *h)
-		if *win > 0 {
+		w := core.ResolveWorkers(*workers, len(clusters))
+		fmt.Fprintf(os.Stderr, "clustered %d users into %d clusters (h=%.2f, %d workers)\n",
+			len(users), len(clusters), *h, w)
+		switch {
+		case *win > 0 && w > 1:
+			eng = window.NewParallelFilterThenVerifySW(users, clusters, *win, w, ctr)
+		case *win > 0:
 			eng = window.NewFilterThenVerifySW(users, clusters, *win, ctr)
-		} else {
+		case w > 1:
+			eng = core.NewParallelFilterThenVerify(users, clusters, w, ctr)
+		default:
 			eng = core.NewFilterThenVerify(users, clusters, ctr)
 		}
 	default:
@@ -137,7 +152,7 @@ func main() {
 // service: POST /objects[,/batch], GET /frontier/{user},
 // GET /targets/{object}, GET /subscribe/{user}, POST /preferences,
 // GET /stats, GET /clusters.
-func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, limit int) {
+func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int) {
 	of, err := os.Open(objPath)
 	check(err)
 	pf, err := os.Open(prefPath)
@@ -150,6 +165,7 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 	opts := []paretomon.Option{
 		paretomon.WithBranchCut(h),
 		paretomon.WithWindow(win),
+		paretomon.WithWorkers(workers),
 	}
 	switch alg {
 	case "baseline":

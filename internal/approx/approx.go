@@ -1,10 +1,3 @@
-// Package approx implements Sec. 6.1 of the paper: approximate common
-// preference relations. For a cluster of users, a preference tuple shared
-// by a sizable fraction of members (frequency > θ2) is admitted into the
-// cluster's relation ≻̂_U — up to a size budget θ1 — as long as the
-// growing relation stays a strict partial order. The resulting virtual
-// user Û subsumes the exact common relation (Lemma 6.4), enabling larger
-// clusters at the cost of bounded false negatives (Sec. 6.2).
 package approx
 
 import (

@@ -1,8 +1,3 @@
-// Package bitset provides a dense, growable set of small non-negative
-// integers backed by a []uint64. It is the kernel under the partial-order
-// engine (transitive-closure rows) and the frontier sets: intersection of
-// preference relations, dominance pruning, and frontier membership all
-// reduce to word-parallel operations on these sets.
 package bitset
 
 import (

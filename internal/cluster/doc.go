@@ -1,0 +1,11 @@
+// Package cluster implements Sec. 5 and Sec. 6.3 of Sultana & Li (EDBT
+// 2018): clustering users whose preferences are strict partial orders. It
+// provides the four exact inter-cluster similarity measures (intersection
+// size, Jaccard, weighted intersection size, weighted Jaccard; Eqs. 2–5),
+// their frequency-vector counterparts for the approximate regime
+// (Eqs. 9–10), and hierarchical agglomerative clustering with a
+// dendrogram branch cut h (plus a merge-to-k-clusters variant). The
+// resulting clusters — members plus a common preference relation — are
+// what the filter-then-verify engines in internal/core and
+// internal/window share computation over.
+package cluster

@@ -1,9 +1,3 @@
-// Package cluster implements Sec. 5 and Sec. 6.3 of the paper: clustering
-// users whose preferences are strict partial orders. It provides the four
-// exact inter-cluster similarity measures (intersection size, Jaccard,
-// weighted intersection size, weighted Jaccard; Eqs. 2–5), their
-// frequency-vector counterparts for the approximate regime (Eqs. 9–10),
-// and hierarchical agglomerative clustering with a dendrogram branch cut h.
 package cluster
 
 import (

@@ -13,6 +13,7 @@ import (
 // similar their preferences are.
 type Baseline struct {
 	users   []*pref.Profile
+	members []int // user indices this instance maintains (nil = all)
 	fronts  []*Frontier
 	targets *targetTracker
 	ctr     *stats.Counters
@@ -21,16 +22,37 @@ type Baseline struct {
 // NewBaseline creates a Baseline monitor for the given users. ctr may be
 // nil to skip accounting.
 func NewBaseline(users []*pref.Profile, ctr *stats.Counters) *Baseline {
+	return newBaselineShard(users, nil, ctr)
+}
+
+// newBaselineShard creates a Baseline restricted to the given member
+// user indices; ParallelBaseline builds one per worker over disjoint
+// member sets. members == nil means every user. Frontiers exist only
+// for maintained users — the harness routes every per-user call to the
+// owning shard, so non-member slots are never dereferenced.
+func newBaselineShard(users []*pref.Profile, members []int, ctr *stats.Counters) *Baseline {
 	b := &Baseline{
 		users:   users,
+		members: members,
 		fronts:  make([]*Frontier, len(users)),
 		targets: newTargetTracker(),
 		ctr:     ctr,
 	}
-	for i := range b.fronts {
-		b.fronts[i] = NewFrontier()
-	}
+	b.each(func(c int) { b.fronts[c] = NewFrontier() })
 	return b
+}
+
+// each calls fn for every user this instance maintains.
+func (b *Baseline) each(fn func(c int)) {
+	if b.members == nil {
+		for c := range b.users {
+			fn(c)
+		}
+		return
+	}
+	for _, c := range b.members {
+		fn(c)
+	}
 }
 
 // Process implements Alg. 1: for every user, run updateParetoFrontier and
@@ -38,11 +60,11 @@ func NewBaseline(users []*pref.Profile, ctr *stats.Counters) *Baseline {
 func (b *Baseline) Process(o object.Object) []int {
 	b.ctr.AddProcessed()
 	var co []int
-	for c := range b.users {
+	b.each(func(c int) {
 		if b.updateUser(c, o) {
 			co = append(co, c)
 		}
-	}
+	})
 	b.ctr.AddDelivered(len(co))
 	return co
 }

@@ -1,9 +1,3 @@
-// Package core implements the paper's primary contribution: continuous
-// monitoring of Pareto frontiers for many users over an append-only object
-// stream. It contains the per-user Baseline monitor (Alg. 1) and the
-// shared-computation FilterThenVerify monitor (Alg. 2), which also serves
-// as FilterThenVerifyApprox when given approximate common preference
-// relations (Sec. 6.2 — "the algorithm itself remains the same").
 package core
 
 import (

@@ -1,0 +1,25 @@
+// Package core implements the paper's primary contribution: continuous
+// monitoring of Pareto frontiers for many users over an append-only object
+// stream (Sultana & Li, EDBT 2018, Secs. 4–6).
+//
+//   - Baseline is Alg. 1: per-user BNL-style frontier maintenance.
+//   - FilterThenVerify is Alg. 2: users are clustered by preference
+//     similarity and a shared frontier P_U under each cluster's common
+//     preference relation (Def. 4.1) filters objects before any per-user
+//     work; Theorem 4.5 guarantees the filter discards only true
+//     negatives. Given approximate common relations (Sec. 6.2) the same
+//     engine is FilterThenVerifyApprox — "the algorithm itself remains
+//     the same".
+//
+// Beyond the paper (whose experiments are single-threaded), the package
+// adds sharded execution: Sharded is a generic fan-out harness that
+// drives user-disjoint shard engines concurrently, and
+// ParallelFilterThenVerify / ParallelBaseline are Alg. 2 / Alg. 1 with
+// whole clusters / users partitioned across worker goroutines. Results
+// are identical to the sequential engines by construction; the
+// equivalence tests pin that.
+//
+// The sliding-window counterparts (Sec. 7) live in internal/window; the
+// similarity measures and clustering in internal/cluster; the
+// partial-order machinery in internal/order and internal/pref.
+package core

@@ -34,10 +34,11 @@ type FilterThenVerify struct {
 	ctr           *stats.Counters
 }
 
-// NewFilterThenVerify builds the engine. Every user must belong to exactly
-// one cluster; the constructor panics otherwise, since a missed user would
-// silently never receive objects.
-func NewFilterThenVerify(users []*pref.Profile, clusters []Cluster, ctr *stats.Counters) *FilterThenVerify {
+// ValidatePartition panics unless cluster membership partitions the user
+// set exactly — a missed user would silently never receive objects. All
+// filter-then-verify constructors (sequential, sharded, windowed) run it
+// before building frontiers.
+func ValidatePartition(users []*pref.Profile, clusters []Cluster) {
 	seen := make([]bool, len(users))
 	for _, cl := range clusters {
 		for _, c := range cl.Members {
@@ -52,6 +53,12 @@ func NewFilterThenVerify(users []*pref.Profile, clusters []Cluster, ctr *stats.C
 			panic(fmt.Sprintf("core: user %d not covered by any cluster", c))
 		}
 	}
+}
+
+// NewFilterThenVerify builds the engine. Every user must belong to exactly
+// one cluster; the constructor panics otherwise.
+func NewFilterThenVerify(users []*pref.Profile, clusters []Cluster, ctr *stats.Counters) *FilterThenVerify {
+	ValidatePartition(users, clusters)
 	f := &FilterThenVerify{
 		users:         users,
 		clusters:      clusters,

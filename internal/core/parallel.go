@@ -1,11 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sort"
-	"sync"
-
-	"repro/internal/object"
 	"repro/internal/pref"
 	"repro/internal/stats"
 )
@@ -14,140 +9,54 @@ import (
 // across worker goroutines. Clusters are independent by construction —
 // each owns its filter frontier and its members' frontiers, and the user
 // sets are disjoint — so the only shared state is the work counters,
-// which each worker accumulates privately and merges under a mutex at the
-// end of every Process call. Results are identical to FilterThenVerify;
-// per-object latency drops on multi-core hosts once there are enough
-// clusters to amortize the fan-out.
+// which each worker accumulates privately and merges after every call.
+// Results are identical to FilterThenVerify; per-object latency drops on
+// multi-core hosts once there are enough clusters to amortize the
+// fan-out, and ProcessBatch pipelines whole batches through the shards
+// with one synchronization per batch.
 //
 // This is an engineering extension beyond the paper (its experiments are
 // single-threaded); the equivalence tests in parallel_test.go pin the
 // semantics to the sequential engine.
 type ParallelFilterThenVerify struct {
-	shards []*FilterThenVerify // one engine per worker, disjoint clusters
-	owner  []int               // user -> shard index
-	ctr    *stats.Counters
-	mu     sync.Mutex
+	*Sharded
 }
 
 // NewParallelFilterThenVerify distributes the clusters over at most
 // workers goroutines (0 means GOMAXPROCS). Cluster membership must
 // partition the user set, as with NewFilterThenVerify.
 func NewParallelFilterThenVerify(users []*pref.Profile, clusters []Cluster, workers int, ctr *stats.Counters) *ParallelFilterThenVerify {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(clusters) {
-		workers = len(clusters)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Validate the full partition once, with the sequential constructor's
-	// rules, before sharding.
-	NewFilterThenVerify(users, clusters, nil)
-
-	p := &ParallelFilterThenVerify{
-		shards: make([]*FilterThenVerify, workers),
-		owner:  make([]int, len(users)),
-		ctr:    ctr,
-	}
-	// Round-robin clusters over shards; each shard gets engines built over
-	// the full user slice but only its own clusters (the unused users'
-	// frontiers stay empty and cost nothing).
-	perShard := make([][]Cluster, workers)
-	for i, cl := range clusters {
-		s := i % workers
-		perShard[s] = append(perShard[s], cl)
-		for _, c := range cl.Members {
-			p.owner[c] = s
-		}
-	}
-	for s := range p.shards {
-		p.shards[s] = newShard(users, perShard[s])
-	}
-	return p
+	ValidatePartition(users, clusters)
+	// Each shard gets an engine built over the full user slice but only
+	// its own clusters (the unused users' frontiers stay empty and cost
+	// nothing).
+	return &ParallelFilterThenVerify{Sharded: ShardedByCluster(len(users), clusters, workers, ctr,
+		func(clusters []Cluster, ctr *stats.Counters) ShardEngine {
+			return newShard(users, clusters, ctr)
+		})}
 }
 
 // newShard builds a FilterThenVerify over a subset of clusters without
 // the partition check (the parallel constructor already validated the
-// whole configuration).
-func newShard(users []*pref.Profile, clusters []Cluster) *FilterThenVerify {
+// whole configuration). User frontiers exist only for the shard's own
+// cluster members — the harness routes per-user calls to the owning
+// shard, so other slots are never dereferenced.
+func newShard(users []*pref.Profile, clusters []Cluster, ctr *stats.Counters) *FilterThenVerify {
 	f := &FilterThenVerify{
 		users:         users,
 		clusters:      clusters,
 		clusterFronts: make([]*Frontier, len(clusters)),
 		userFronts:    make([]*Frontier, len(users)),
 		targets:       newTargetTracker(),
-		ctr:           &stats.Counters{},
+		ctr:           ctr,
 	}
 	for i := range f.clusterFronts {
 		f.clusterFronts[i] = NewFrontier()
 	}
-	for i := range f.userFronts {
-		f.userFronts[i] = NewFrontier()
+	for _, cl := range clusters {
+		for _, c := range cl.Members {
+			f.userFronts[c] = NewFrontier()
+		}
 	}
 	return f
 }
-
-// Process fans the object out to every shard concurrently and merges the
-// target users.
-func (p *ParallelFilterThenVerify) Process(o object.Object) []int {
-	if len(p.shards) == 1 {
-		co := p.shards[0].Process(o)
-		p.mergeCounters()
-		return co
-	}
-	results := make([][]int, len(p.shards))
-	var wg sync.WaitGroup
-	for s := range p.shards {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			results[s] = p.shards[s].Process(o)
-		}(s)
-	}
-	wg.Wait()
-	var co []int
-	for _, r := range results {
-		co = append(co, r...)
-	}
-	sort.Ints(co)
-	p.mergeCounters()
-	return co
-}
-
-// mergeCounters folds the shards' private counters into the public one.
-// Each shard's counter is drained so the merge stays O(shards) per call.
-func (p *ParallelFilterThenVerify) mergeCounters() {
-	if p.ctr == nil {
-		return
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, sh := range p.shards {
-		s := sh.ctr.Snapshot()
-		p.ctr.AddFilter(int(s.FilterComparisons))
-		p.ctr.AddVerify(int(s.VerifyComparisons))
-		p.ctr.AddDelivered(int(s.Delivered))
-		sh.ctr.Reset()
-	}
-	p.ctr.AddProcessed()
-}
-
-// UserFrontier returns P_c from the shard that owns user c.
-func (p *ParallelFilterThenVerify) UserFrontier(c int) []int {
-	return p.shards[p.owner[c]].UserFrontier(c)
-}
-
-// Targets returns C_o merged across shards.
-func (p *ParallelFilterThenVerify) Targets(objID int) []int {
-	var out []int
-	for _, sh := range p.shards {
-		out = append(out, sh.Targets(objID)...)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// Shards reports how many workers the engine fans out to.
-func (p *ParallelFilterThenVerify) Shards() int { return len(p.shards) }

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"repro/internal/pref"
+	"repro/internal/stats"
+)
+
+// ParallelBaseline runs Alg. 1 with the users partitioned across worker
+// goroutines. Baseline has no shared tier at all — every user's frontier
+// is maintained independently — so sharding the user set is exact by
+// construction and the engine exists mainly as the parallel control
+// arm: FilterThenVerify shards whole clusters, Baseline shards raw
+// users.
+type ParallelBaseline struct {
+	*Sharded
+}
+
+// NewParallelBaseline distributes the users round-robin over at most
+// workers goroutines (0 means GOMAXPROCS).
+func NewParallelBaseline(users []*pref.Profile, workers int, ctr *stats.Counters) *ParallelBaseline {
+	return &ParallelBaseline{Sharded: ShardedByUser(len(users), workers, ctr,
+		func(members []int, ctr *stats.Counters) ShardEngine {
+			return newBaselineShard(users, members, ctr)
+		})}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/object"
+	"repro/internal/stats"
+)
+
+// ShardEngine is what a shard must offer to be driven by Sharded: the
+// full single-threaded monitor surface over its slice of the user set.
+// Both the append-only engines here and the sliding-window engines in
+// internal/window satisfy it.
+type ShardEngine interface {
+	Process(o object.Object) []int
+	UserFrontier(c int) []int
+	Targets(objID int) []int
+	ApplyPreference(c, d, better, worse int) error
+}
+
+// Sharded is the shared fan-out harness behind every parallel engine:
+// user-disjoint shards (one sequential engine each) driven concurrently,
+// with per-shard work counters folded into a public counter after each
+// call. Because shards own disjoint users — and, for the clustered
+// engines, disjoint clusters — the only cross-shard state is the
+// counters, so results are identical to the sequential engines by
+// construction; the property tests pin that equivalence.
+//
+// Sharded itself is single-writer, like the engines it wraps: callers
+// serialize Process / ProcessBatch / ApplyPreference externally (the
+// public Monitor does so under its write lock).
+type Sharded struct {
+	shards []ShardEngine
+	ctrs   []*stats.Counters // per-shard private counters, drained on merge
+	owner  []int             // user index -> shard index
+
+	ctr      *stats.Counters // public merged counter (may be nil)
+	perShard []stats.Counters
+	mu       sync.Mutex // guards perShard and the drain-and-fold
+}
+
+// NewSharded assembles a harness from pre-built shards. ctrs[i] must be
+// the private counter shards[i] was built with; owner maps every user
+// index to the shard that exclusively maintains its frontier.
+func NewSharded(shards []ShardEngine, ctrs []*stats.Counters, owner []int, ctr *stats.Counters) *Sharded {
+	if len(shards) != len(ctrs) {
+		panic("core: sharded engine needs one counter per shard")
+	}
+	return &Sharded{
+		shards:   shards,
+		ctrs:     ctrs,
+		owner:    owner,
+		ctr:      ctr,
+		perShard: make([]stats.Counters, len(shards)),
+	}
+}
+
+// ShardedByUser assembles a harness whose shards own round-robin
+// partitions of the user set: shard s gets users s, s+workers, … and a
+// private counter, both passed to build. Baseline-style engines (no
+// shared tier) shard this way.
+func ShardedByUser(userCount, workers int, ctr *stats.Counters, build func(members []int, ctr *stats.Counters) ShardEngine) *Sharded {
+	workers = ResolveWorkers(workers, userCount)
+	shards := make([]ShardEngine, workers)
+	ctrs := make([]*stats.Counters, workers)
+	owner := make([]int, userCount)
+	perShard := make([][]int, workers)
+	for c := 0; c < userCount; c++ {
+		s := c % workers
+		perShard[s] = append(perShard[s], c)
+		owner[c] = s
+	}
+	for s := range shards {
+		ctrs[s] = &stats.Counters{}
+		shards[s] = build(perShard[s], ctrs[s])
+	}
+	return NewSharded(shards, ctrs, owner, ctr)
+}
+
+// ShardedByCluster assembles a harness whose shards own round-robin
+// partitions of the cluster list — a cluster's filter frontier and its
+// members' frontiers always land on the same shard. Membership must
+// partition [0, userCount); validate before calling.
+func ShardedByCluster(userCount int, clusters []Cluster, workers int, ctr *stats.Counters, build func(clusters []Cluster, ctr *stats.Counters) ShardEngine) *Sharded {
+	workers = ResolveWorkers(workers, len(clusters))
+	shards := make([]ShardEngine, workers)
+	ctrs := make([]*stats.Counters, workers)
+	owner := make([]int, userCount)
+	perShard := make([][]Cluster, workers)
+	for i, cl := range clusters {
+		s := i % workers
+		perShard[s] = append(perShard[s], cl)
+		for _, c := range cl.Members {
+			owner[c] = s
+		}
+	}
+	for s := range shards {
+		ctrs[s] = &stats.Counters{}
+		shards[s] = build(perShard[s], ctrs[s])
+	}
+	return NewSharded(shards, ctrs, owner, ctr)
+}
+
+// ResolveWorkers normalizes a worker-count request: n <= 0 means
+// GOMAXPROCS, and the count is clamped to the number of independent
+// units (clusters or users) available to shard over.
+func ResolveWorkers(workers, units int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > units {
+		workers = units
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Process fans the object out to every shard concurrently and merges the
+// target users.
+func (s *Sharded) Process(o object.Object) []int {
+	if len(s.shards) == 1 {
+		co := s.shards[0].Process(o)
+		s.merge(1)
+		return co
+	}
+	results := make([][]int, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.shards[i].Process(o)
+		}(i)
+	}
+	wg.Wait()
+	s.merge(1)
+	return mergeUsers(results)
+}
+
+// ProcessBatch pipelines a whole batch across the shards: each shard
+// walks the full batch in its own goroutine, so synchronization happens
+// once per batch rather than once per object. Results are per object, in
+// batch order — identical to calling Process object by object.
+func (s *Sharded) ProcessBatch(objs []object.Object) [][]int {
+	out := make([][]int, len(objs))
+	if len(s.shards) == 1 {
+		for i, o := range objs {
+			out[i] = s.shards[0].Process(o)
+		}
+		s.merge(len(objs))
+		return out
+	}
+	results := make([][][]int, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := make([][]int, len(objs))
+			for j, o := range objs {
+				r[j] = s.shards[i].Process(o)
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	s.merge(len(objs))
+	perObject := make([][]int, len(s.shards))
+	for j := range objs {
+		for i := range results {
+			perObject[i] = results[i][j]
+		}
+		out[j] = mergeUsers(perObject)
+	}
+	return out
+}
+
+// mergeUsers concatenates per-shard target-user lists into one sorted
+// C_o. Shards own disjoint users, so no deduplication is needed.
+func mergeUsers(results [][]int) []int {
+	var co []int
+	for _, r := range results {
+		co = append(co, r...)
+	}
+	sort.Ints(co)
+	return co
+}
+
+// merge drains the shards' private counters into the public counter and
+// the cumulative per-shard totals. Each shard counts Processed on its
+// own; publicly an object is processed once, so the public counter gets
+// the true count and the shard totals keep their own view.
+func (s *Sharded) merge(processed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.ctrs {
+		snap := c.Snapshot()
+		c.Reset()
+		s.perShard[i].Merge(snap)
+		s.ctr.AddFilter(int(snap.FilterComparisons))
+		s.ctr.AddVerify(int(snap.VerifyComparisons))
+		s.ctr.AddDelivered(int(snap.Delivered))
+	}
+	s.ctr.AddProcessedN(processed)
+}
+
+// UserFrontier returns P_c from the shard that owns user c.
+func (s *Sharded) UserFrontier(c int) []int {
+	return s.shards[s.owner[c]].UserFrontier(c)
+}
+
+// Targets returns C_o merged across shards.
+func (s *Sharded) Targets(objID int) []int {
+	var out []int
+	for _, sh := range s.shards {
+		out = append(out, sh.Targets(objID)...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ApplyPreference routes an online preference update to the shard that
+// owns the user. The preference profiles are shared across shards, so
+// the relation grows once; only the owning shard holds the user's (and
+// its cluster's) frontiers, so only it needs to repair.
+func (s *Sharded) ApplyPreference(c, d, better, worse int) error {
+	if err := s.shards[s.owner[c]].ApplyPreference(c, d, better, worse); err != nil {
+		return err
+	}
+	s.merge(0)
+	return nil
+}
+
+// Shards reports how many workers the engine fans out to.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// ShardCounters returns a snapshot of each shard's cumulative work
+// counters, for per-shard observability (load skew across shards).
+func (s *Sharded) ShardCounters() []stats.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]stats.Counters, len(s.perShard))
+	copy(out, s.perShard)
+	return out
+}

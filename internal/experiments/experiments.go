@@ -52,6 +52,11 @@ type Options struct {
 	// Theta1 / Theta2 for the approximate engines (Def. 6.1).
 	Theta1 int
 	Theta2 float64
+	// Workers are the worker counts the parallel sweep measures
+	// (default 1, 2, 4, 8); BenchOut, when non-empty, makes the sweep
+	// also write its result as JSON (BENCH_parallel.json).
+	Workers  []int
+	BenchOut string
 	// Full runs at paper scale (1000 users, full object tables, 1M
 	// streams). Expect minutes to hours.
 	Full bool

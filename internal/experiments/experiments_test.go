@@ -145,9 +145,33 @@ func TestTable12Accuracy(t *testing.T) {
 	}
 }
 
+// The parallel sweep must verify delivery-identity for every sharded
+// run and report one row per engine × mode × worker count.
+func TestParallelSweep(t *testing.T) {
+	o := tiny()
+	o.Objects, o.Users = 400, 40
+	o.Workers = []int{2, 4}
+	rep := experiments.Parallel(o)[0]
+	if rep.ID != "parallel" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+	// 2 engines × (1 sequential baseline + 2 modes × 2 worker counts).
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("deliveries diverged: %v", row)
+		}
+		if ops := cell(t, row[5]); ops <= 0 {
+			t.Errorf("non-positive throughput: %v", row)
+		}
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
-	// 10 paper experiments plus 4 ablations.
-	if len(experiments.Order) != 10 || len(experiments.All) != 14 {
+	// 10 paper experiments, the parallel sweep, plus 4 ablations.
+	if len(experiments.Order) != 11 || len(experiments.All) != 15 {
 		t.Fatalf("registry: %d runners, %d ordered", len(experiments.All), len(experiments.Order))
 	}
 	for _, id := range experiments.Order {

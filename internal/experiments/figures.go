@@ -351,8 +351,10 @@ var All = map[string]func(Options) []*Report{
 	"fig4": Fig4, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
 	"table11": Table11,
 	"fig8":    Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
-	"table12": Table12,
+	"table12":  Table12,
+	"parallel": Parallel,
 }
 
-// Order lists experiment ids in the paper's order.
-var Order = []string{"fig4", "fig5", "fig6", "fig7", "table11", "fig8", "fig9", "fig10", "fig11", "table12"}
+// Order lists experiment ids in the paper's order, then the engineering
+// benchmarks beyond it.
+var Order = []string{"fig4", "fig5", "fig6", "fig7", "table11", "fig8", "fig9", "fig10", "fig11", "table12", "parallel"}

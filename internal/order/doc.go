@@ -1,0 +1,8 @@
+// Package order implements the strict-partial-order engine that underlies
+// user preferences (Sultana & Li, EDBT 2018, Sec. 3): interned attribute
+// domains, transitively closed preference relations (the ≻ of Def. 3.1,
+// kept closed so dominance tests are O(1) bitset probes), Hasse diagrams
+// (transitive reductions), maximal values, and the distance-from-maximal
+// depth weights w(v) = 1/2^depth that drive the weighted similarity
+// measures of Sec. 5 (Eqs. 4–5) and their vector forms of Sec. 6.3.
+package order

@@ -1,8 +1,3 @@
-// Package order implements the strict-partial-order engine that underlies
-// user preferences: interned attribute domains, transitively closed
-// preference relations, Hasse diagrams (transitive reductions), maximal
-// values, and the distance-from-maximal weights used by the weighted
-// similarity measures of Sultana & Li (EDBT 2018), Sec. 5.
 package order
 
 import "fmt"

@@ -1,0 +1,8 @@
+// Package pref models user preferences: a Profile holds one strict partial
+// order per attribute (Def. 3.1 of Sultana & Li, EDBT 2018) and induces
+// the object dominance order of Def. 3.2 — x dominates y iff x is at
+// least as good on every attribute and strictly better on one. It also
+// builds the common preference relations ≻_U of Def. 4.1 (per-attribute
+// intersection of the members' relations) that the filter-then-verify
+// engines share across a cluster's users.
+package pref

@@ -1,7 +1,3 @@
-// Package pref models user preferences: a Profile holds one strict partial
-// order per attribute (Def. 3.1) and induces the object dominance order of
-// Def. 3.2. It also builds the common preference relations ≻_U of Def. 4.1
-// that the filter-then-verify engines share across a cluster's users.
 package pref
 
 import (

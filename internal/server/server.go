@@ -6,6 +6,13 @@
 // many readers), so handlers call it directly; errors are classified with
 // errors.Is against the package's typed sentinels and mapped to proper
 // HTTP status codes.
+//
+// The worker knob is the Monitor's: build it with paretomon.WithWorkers
+// (cmd/paretomon -serve wires its -workers flag through) and ingestion —
+// including POST /objects/batch — fans out across that many shards.
+// GET /stats then reports the resolved worker count and each shard's
+// cumulative counters, so operators can watch load skew across the
+// partition.
 package server
 
 import (
@@ -29,7 +36,8 @@ import (
 //	GET  /subscribe/{user}  → SSE stream, one "delivery" event per push
 //	POST /preferences       {"user": "c1", "attribute": "brand",
 //	                         "better": "Apple", "worse": "Sony"}
-//	GET  /stats             → 200 {"comparisons": ..., ...}
+//	GET  /stats             → 200 {"Comparisons": ..., "Workers": ...,
+//	                               "Shards": [...], ...}
 //	GET  /clusters          → 200 [["c1","c2"], ...]
 //
 // Unknown users and objects yield 404; malformed bodies, duplicate

@@ -174,6 +174,51 @@ func TestStatsAndClusters(t *testing.T) {
 	}
 }
 
+// TestShardedStats serves a sharded monitor and checks that /stats
+// breaks the work down per shard.
+func TestShardedStats(t *testing.T) {
+	s := paretomon.NewSchema("brand")
+	com := paretomon.NewCommunity(s)
+	for _, name := range []string{"alice", "bob", "carol"} {
+		u, err := com.AddUser(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.PreferChain("brand", "Apple", "Lenovo"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon, err := paretomon.NewMonitor(com,
+		paretomon.WithAlgorithm(paretomon.AlgorithmBaseline),
+		paretomon.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(mon))
+	t.Cleanup(ts.Close)
+
+	post(t, ts.URL+"/objects/batch",
+		`{"objects":[{"name":"o1","values":["Lenovo"]},{"name":"o2","values":["Apple"]}]}`)
+	resp, out := get(t, ts.URL+"/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if out["Workers"].(float64) != 2 {
+		t.Fatalf("Workers = %v", out["Workers"])
+	}
+	shards, ok := out["Shards"].([]any)
+	if !ok || len(shards) != 2 {
+		t.Fatalf("Shards = %v", out["Shards"])
+	}
+	var delivered float64
+	for _, sh := range shards {
+		delivered += sh.(map[string]any)["Delivered"].(float64)
+	}
+	if delivered != out["Delivered"].(float64) {
+		t.Fatalf("shard deliveries %v != total %v", delivered, out["Delivered"])
+	}
+}
+
 func TestTypedErrorStatusMapping(t *testing.T) {
 	ts := newTestServer(t)
 	post(t, ts.URL+"/objects", `{"name":"o1","values":["Apple","dual"]}`)

@@ -61,6 +61,27 @@ func (c *Counters) AddProcessed() {
 	c.Processed++
 }
 
+// AddProcessedN records n processed objects at once (batch ingestion).
+func (c *Counters) AddProcessedN(n int) {
+	if c == nil {
+		return
+	}
+	c.Processed += uint64(n)
+}
+
+// Merge folds a snapshot into c. The sharded engines use it to
+// accumulate per-worker counters into cumulative per-shard totals.
+func (c *Counters) Merge(s Counters) {
+	if c == nil {
+		return
+	}
+	c.Comparisons += s.Comparisons
+	c.FilterComparisons += s.FilterComparisons
+	c.VerifyComparisons += s.VerifyComparisons
+	c.Delivered += s.Delivered
+	c.Processed += s.Processed
+}
+
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
 	if c == nil {

@@ -12,6 +12,7 @@ import (
 // Pareto frontier P_c and an exclusive Pareto frontier buffer PB_c.
 type BaselineSW struct {
 	users   []*pref.Profile
+	members []int // user indices this instance maintains (nil = all)
 	fronts  []*core.Frontier
 	buffers []*buffer
 	win     *ring
@@ -21,19 +22,43 @@ type BaselineSW struct {
 
 // NewBaselineSW creates the monitor with window size w.
 func NewBaselineSW(users []*pref.Profile, w int, ctr *stats.Counters) *BaselineSW {
+	return newBaselineSWShard(users, nil, w, ctr)
+}
+
+// newBaselineSWShard creates a BaselineSW restricted to the given member
+// user indices; ParallelBaselineSW builds one per worker over disjoint
+// member sets, each with its own window ring so expiry stays local.
+// members == nil means every user. Frontiers and buffers exist only for
+// maintained users — the harness routes every per-user call to the
+// owning shard, so non-member slots are never dereferenced.
+func newBaselineSWShard(users []*pref.Profile, members []int, w int, ctr *stats.Counters) *BaselineSW {
 	b := &BaselineSW{
 		users:   users,
+		members: members,
 		fronts:  make([]*core.Frontier, len(users)),
 		buffers: make([]*buffer, len(users)),
 		win:     newRing(w),
 		targets: newTargetTracker(),
 		ctr:     ctr,
 	}
-	for i := range users {
-		b.fronts[i] = core.NewFrontier()
-		b.buffers[i] = newBuffer()
-	}
+	b.each(func(c int) {
+		b.fronts[c] = core.NewFrontier()
+		b.buffers[c] = newBuffer()
+	})
 	return b
+}
+
+// each calls fn for every user this instance maintains.
+func (b *BaselineSW) each(fn func(c int)) {
+	if b.members == nil {
+		for c := range b.users {
+			fn(c)
+		}
+		return
+	}
+	for _, c := range b.members {
+		fn(c)
+	}
 }
 
 // Process ingests o_in, expiring the object that leaves the window, and
@@ -41,17 +66,15 @@ func NewBaselineSW(users []*pref.Profile, w int, ctr *stats.Counters) *BaselineS
 func (b *BaselineSW) Process(oin object.Object) []int {
 	b.ctr.AddProcessed()
 	if oout, ok := b.win.push(oin); ok {
-		for c := range b.users {
-			b.expireUser(c, oout)
-		}
+		b.each(func(c int) { b.expireUser(c, oout) })
 		b.targets.drop(oout.ID)
 	}
 	var co []int
-	for c := range b.users {
+	b.each(func(c int) {
 		if b.arriveUser(c, oin) {
 			co = append(co, c)
 		}
-	}
+	})
 	b.ctr.AddDelivered(len(co))
 	return co
 }

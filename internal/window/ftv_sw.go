@@ -1,7 +1,6 @@
 package window
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/core"
@@ -31,20 +30,17 @@ type FilterThenVerifySW struct {
 // NewFilterThenVerifySW creates the monitor with window size w. Clusters
 // must partition the user set.
 func NewFilterThenVerifySW(users []*pref.Profile, clusters []core.Cluster, w int, ctr *stats.Counters) *FilterThenVerifySW {
-	seen := make([]bool, len(users))
-	for _, cl := range clusters {
-		for _, c := range cl.Members {
-			if c < 0 || c >= len(users) || seen[c] {
-				panic("window: cluster membership must partition the user set")
-			}
-			seen[c] = true
-		}
-	}
-	for c, ok := range seen {
-		if !ok {
-			panic(fmt.Sprintf("window: user %d not covered by any cluster", c))
-		}
-	}
+	core.ValidatePartition(users, clusters)
+	return newFTVSWShard(users, clusters, w, ctr)
+}
+
+// newFTVSWShard builds the engine over a subset of clusters without the
+// partition check; ParallelFilterThenVerifySW builds one per worker with
+// its own window ring. User frontiers exist only for the given
+// clusters' members — the harness routes per-user calls to the owning
+// shard, so other slots are never dereferenced (a full cluster set, as
+// the sequential constructor passes, covers every user).
+func newFTVSWShard(users []*pref.Profile, clusters []core.Cluster, w int, ctr *stats.Counters) *FilterThenVerifySW {
 	f := &FilterThenVerifySW{
 		users:     users,
 		clusters:  clusters,
@@ -59,8 +55,10 @@ func NewFilterThenVerifySW(users []*pref.Profile, clusters []core.Cluster, w int
 		f.clusterFs[i] = core.NewFrontier()
 		f.buffers[i] = newBuffer()
 	}
-	for i := range users {
-		f.userFs[i] = core.NewFrontier()
+	for _, cl := range clusters {
+		for _, c := range cl.Members {
+			f.userFs[c] = core.NewFrontier()
+		}
 	}
 	return f
 }

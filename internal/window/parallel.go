@@ -1,0 +1,51 @@
+package window
+
+import (
+	"repro/internal/core"
+	"repro/internal/pref"
+	"repro/internal/stats"
+)
+
+// Sharded sliding-window engines: the Sec. 7 monitors fanned out over
+// worker goroutines, built on core.Sharded's harness. Each shard owns a
+// disjoint slice of the user set (whole clusters for filter-then-verify,
+// raw users for baseline) plus its own window ring and Pareto frontier
+// buffers, so arrival, expiry, and frontier mending all stay local to
+// the shard: every shard sees every object and ages it through an
+// identical private ring, making per-shard expiry equivalent to the
+// sequential engines' single-ring behavior. Deliveries are therefore
+// identical to BaselineSW / FilterThenVerifySW; the property tests in
+// parallel_test.go pin that equivalence.
+
+// ParallelBaselineSW runs Alg. 4 with the users partitioned across
+// worker goroutines.
+type ParallelBaselineSW struct {
+	*core.Sharded
+}
+
+// NewParallelBaselineSW distributes the users round-robin over at most
+// workers goroutines (0 means GOMAXPROCS), each with window size w.
+func NewParallelBaselineSW(users []*pref.Profile, w, workers int, ctr *stats.Counters) *ParallelBaselineSW {
+	return &ParallelBaselineSW{Sharded: core.ShardedByUser(len(users), workers, ctr,
+		func(members []int, ctr *stats.Counters) core.ShardEngine {
+			return newBaselineSWShard(users, members, w, ctr)
+		})}
+}
+
+// ParallelFilterThenVerifySW runs Alg. 5 with the clusters partitioned
+// across worker goroutines.
+type ParallelFilterThenVerifySW struct {
+	*core.Sharded
+}
+
+// NewParallelFilterThenVerifySW distributes the clusters round-robin
+// over at most workers goroutines (0 means GOMAXPROCS), each with window
+// size w. Cluster membership must partition the user set, as with
+// NewFilterThenVerifySW.
+func NewParallelFilterThenVerifySW(users []*pref.Profile, clusters []core.Cluster, w, workers int, ctr *stats.Counters) *ParallelFilterThenVerifySW {
+	core.ValidatePartition(users, clusters)
+	return &ParallelFilterThenVerifySW{Sharded: core.ShardedByCluster(len(users), clusters, workers, ctr,
+		func(clusters []core.Cluster, ctr *stats.Counters) core.ShardEngine {
+			return newFTVSWShard(users, clusters, w, ctr)
+		})}
+}

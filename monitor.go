@@ -109,6 +109,11 @@ type Config struct {
 	// SubscriptionBuffer is the per-subscriber channel capacity; 0 means
 	// the default (64).
 	SubscriptionBuffer int
+	// Workers is the number of ingestion shards: users (Baseline) or whole
+	// clusters (filter-then-verify) are partitioned across this many
+	// goroutines. 0 means runtime.GOMAXPROCS(0); a resolved count <= 1
+	// selects the sequential engines. Deliveries are identical either way.
+	Workers int
 }
 
 // DefaultConfig returns the paper's default setting: exact
@@ -140,6 +145,20 @@ type Stats struct {
 	// DroppedDeliveries counts deliveries lost because a subscriber's
 	// channel was full (slow consumer).
 	DroppedDeliveries uint64
+	// Workers is the resolved shard count ingestion fans out to (1 for the
+	// sequential engines); Shards holds each shard's cumulative counters
+	// when Workers > 1, exposing load skew across the partition.
+	Workers int
+	Shards  []ShardStats
+}
+
+// ShardStats is one ingestion shard's share of the work counters.
+type ShardStats struct {
+	Comparisons       uint64
+	FilterComparisons uint64
+	VerifyComparisons uint64
+	Delivered         uint64
+	Processed         uint64
 }
 
 // Object is one item of the monitored stream, ready for AddBatch. Values
@@ -234,6 +253,9 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 	if cfg.ClusterCount < 0 {
 		return nil, fmt.Errorf("%w: negative cluster count %d", ErrInvalidConfig, cfg.ClusterCount)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative worker count %d", ErrInvalidConfig, cfg.Workers)
+	}
 	if cfg.SubscriptionBuffer == 0 {
 		cfg.SubscriptionBuffer = defaultSubscriptionBuffer
 	}
@@ -302,15 +324,41 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("%w: unknown algorithm %v", ErrInvalidConfig, cfg.Algorithm)
 	}
 
+	// Resolve the shard count: 0 means GOMAXPROCS, and the effective count
+	// is bounded by the shardable units (users for Baseline, clusters for
+	// filter-then-verify). One shard means the sequential engines — same
+	// results, no fan-out machinery.
+	units := c.Len()
+	if cfg.Algorithm != AlgorithmBaseline {
+		units = len(clusters)
+	}
+	workers := core.ResolveWorkers(cfg.Workers, units)
+
 	switch {
 	case cfg.Algorithm == AlgorithmBaseline && cfg.Window == 0:
-		m.eng = core.NewBaseline(profiles, m.ctr)
+		if workers > 1 {
+			m.eng = core.NewParallelBaseline(profiles, workers, m.ctr)
+		} else {
+			m.eng = core.NewBaseline(profiles, m.ctr)
+		}
 	case cfg.Algorithm == AlgorithmBaseline:
-		m.eng = window.NewBaselineSW(profiles, cfg.Window, m.ctr)
+		if workers > 1 {
+			m.eng = window.NewParallelBaselineSW(profiles, cfg.Window, workers, m.ctr)
+		} else {
+			m.eng = window.NewBaselineSW(profiles, cfg.Window, m.ctr)
+		}
 	case cfg.Window == 0:
-		m.eng = core.NewFilterThenVerify(profiles, clusters, m.ctr)
+		if workers > 1 {
+			m.eng = core.NewParallelFilterThenVerify(profiles, clusters, workers, m.ctr)
+		} else {
+			m.eng = core.NewFilterThenVerify(profiles, clusters, m.ctr)
+		}
 	default:
-		m.eng = window.NewFilterThenVerifySW(profiles, clusters, cfg.Window, m.ctr)
+		if workers > 1 {
+			m.eng = window.NewParallelFilterThenVerifySW(profiles, clusters, cfg.Window, workers, m.ctr)
+		} else {
+			m.eng = window.NewFilterThenVerifySW(profiles, clusters, cfg.Window, m.ctr)
+		}
 	}
 	return m, nil
 }
@@ -331,8 +379,9 @@ func (m *Monitor) validateObject(o Object, inBatch map[string]bool) error {
 	return nil
 }
 
-// ingest processes one pre-validated object. Caller holds mu.
-func (m *Monitor) ingest(o Object) Delivery {
+// intern registers a pre-validated object: values are interned against
+// the schema domains and the object claims the next id. Caller holds mu.
+func (m *Monitor) intern(o Object) object.Object {
 	doms := m.schema.doms
 	attrs := make([]int32, len(o.Values))
 	for d, v := range o.Values {
@@ -341,11 +390,22 @@ func (m *Monitor) ingest(o Object) Delivery {
 	id := len(m.lookup)
 	m.names[o.Name] = id
 	m.lookup = append(m.lookup, o.Name)
+	return object.Object{ID: id, Attrs: attrs}
+}
 
-	users := m.eng.Process(object.Object{ID: id, Attrs: attrs})
+// ingest processes one pre-validated object. Caller holds mu.
+func (m *Monitor) ingest(o Object) Delivery {
+	users := m.eng.Process(m.intern(o))
 	d := Delivery{Object: o.Name, Users: m.sortedNames(users)}
 	m.subs.publish(d, users)
 	return d
+}
+
+// batchEngine is implemented by the sharded engines: a whole batch is
+// pipelined through the shards with one synchronization per batch
+// instead of one per object.
+type batchEngine interface {
+	ProcessBatch(objs []object.Object) [][]int
 }
 
 // Add ingests the next object and returns who it should be delivered to.
@@ -377,6 +437,21 @@ func (m *Monitor) AddBatch(objs []Object) ([]Delivery, error) {
 		inBatch[o.Name] = true
 	}
 	out := make([]Delivery, len(objs))
+	if be, ok := m.eng.(batchEngine); ok {
+		// Sharded engine: intern the whole batch up front, then let every
+		// shard walk it in its own goroutine. Deliveries are published in
+		// batch order after the fan-in, exactly as the serial path would.
+		interned := make([]object.Object, len(objs))
+		for i, o := range objs {
+			interned[i] = m.intern(o)
+		}
+		for i, users := range be.ProcessBatch(interned) {
+			d := Delivery{Object: objs[i].Name, Users: m.sortedNames(users)}
+			m.subs.publish(d, users)
+			out[i] = d
+		}
+		return out, nil
+	}
 	for i, o := range objs {
 		out[i] = m.ingest(o)
 	}
@@ -427,19 +502,37 @@ func (m *Monitor) sortedNames(idx []int) []string {
 // returned slices.
 func (m *Monitor) Clusters() [][]string { return m.clusters }
 
-// Stats returns a snapshot of the monitor's work counters.
+// Stats returns a snapshot of the monitor's work counters. For sharded
+// monitors (WithWorkers > 1) it also breaks the totals down per shard.
 func (m *Monitor) Stats() Stats {
 	m.mu.RLock()
 	s := m.ctr.Snapshot()
-	m.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Comparisons:       s.Comparisons,
 		FilterComparisons: s.FilterComparisons,
 		VerifyComparisons: s.VerifyComparisons,
 		Delivered:         s.Delivered,
 		Processed:         s.Processed,
-		DroppedDeliveries: m.subs.droppedCount(),
+		Workers:           1,
 	}
+	type shardStatser interface{ ShardCounters() []stats.Counters }
+	if eng, ok := m.eng.(shardStatser); ok {
+		per := eng.ShardCounters()
+		st.Workers = len(per)
+		st.Shards = make([]ShardStats, len(per))
+		for i, c := range per {
+			st.Shards[i] = ShardStats{
+				Comparisons:       c.Comparisons,
+				FilterComparisons: c.FilterComparisons,
+				VerifyComparisons: c.VerifyComparisons,
+				Delivered:         c.Delivered,
+				Processed:         c.Processed,
+			}
+		}
+	}
+	m.mu.RUnlock()
+	st.DroppedDeliveries = m.subs.droppedCount()
+	return st
 }
 
 // Config returns the configuration the monitor was built with.

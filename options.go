@@ -97,6 +97,25 @@ func WithThetas(theta1 int, theta2 float64) Option {
 	}
 }
 
+// WithWorkers sets how many worker goroutines ingestion fans out to.
+// Users (for Baseline) or whole clusters (for the filter-then-verify
+// engines) are partitioned across that many shards, each maintaining its
+// slice of the frontiers independently; deliveries are identical to the
+// sequential engines. n = 0 (the default) means runtime.GOMAXPROCS(0);
+// n <= 1 after that resolution runs the single-threaded engines. The
+// effective count is clamped to the number of shardable units, so
+// WithWorkers(8) over 3 clusters fans out 3 ways — Stats().Workers
+// reports the resolved value.
+func WithWorkers(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithWorkers(%d): worker count must be >= 0", ErrInvalidConfig, n)
+		}
+		c.Workers = n
+		return nil
+	}
+}
+
 // WithSubscriptionBuffer sets the per-subscriber delivery channel buffer
 // (default 64). A subscriber that falls more than n deliveries behind
 // starts losing the oldest pending ones; Stats.DroppedDeliveries counts

@@ -1,0 +1,268 @@
+package paretomon_test
+
+// Equivalence of the sharded and sequential monitors through the public
+// API: identical deliveries, frontiers, targets, and comparison totals
+// on randomized workloads, for every algorithm, with and without a
+// window. Run under -race these tests also exercise the fan-out paths
+// for data races.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	paretomon "repro"
+)
+
+// randomWorkload builds a community of users with randomized (but always
+// acyclic) preference chains plus a randomized object stream.
+func randomWorkload(t testing.TB, r *rand.Rand, users, objects int) (*paretomon.Community, []paretomon.Object) {
+	t.Helper()
+	brands := []string{"Apple", "Lenovo", "Sony", "Toshiba", "Samsung", "Acer"}
+	cpus := []string{"single", "dual", "triple", "quad", "octa"}
+	sizes := []string{"small", "medium", "large"}
+	attrs := [][]string{brands, cpus, sizes}
+
+	s := paretomon.NewSchema("brand", "CPU", "size")
+	com := paretomon.NewCommunity(s)
+	for i := 0; i < users; i++ {
+		u, err := com.AddUser(fmt.Sprintf("u%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, vals := range attrs {
+			// A chain over a random prefix of a random permutation is
+			// always a strict partial order.
+			perm := r.Perm(len(vals))
+			n := 2 + r.Intn(len(vals)-1)
+			chain := make([]string, 0, n)
+			for _, p := range perm[:n] {
+				chain = append(chain, vals[p])
+			}
+			if err := u.PreferChain(s.Attributes()[a], chain...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	objs := make([]paretomon.Object, objects)
+	for i := range objs {
+		objs[i] = paretomon.Object{
+			Name: fmt.Sprintf("o%04d", i),
+			Values: []string{
+				brands[r.Intn(len(brands))],
+				cpus[r.Intn(len(cpus))],
+				sizes[r.Intn(len(sizes))],
+			},
+		}
+	}
+	return com, objs
+}
+
+func TestParallelMonitorMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		// wantParallel asserts the monitor really fanned out: true for
+		// configurations whose shardable-unit count provably exceeds one
+		// (Baseline shards users; a branch cut above any attainable
+		// similarity keeps every user a singleton cluster). The clustered
+		// cases may legitimately collapse to one cluster and clamp back to
+		// a sequential engine.
+		wantParallel bool
+		opts         []paretomon.Option
+	}{
+		{"Baseline", true, []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)}},
+		{"BaselineSW", true, []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline), paretomon.WithWindow(64)}},
+		{"FTV", true, []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1000)}},
+		{"FTV-clustered", false, []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(0.5)}},
+		{"FTV-SW", true, []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1000), paretomon.WithWindow(64)}},
+		{"FTVA", false, []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox), paretomon.WithMeasure(paretomon.MeasureVectorWeightedJaccard), paretomon.WithBranchCut(1.5)}},
+		{"FTVA-SW", false, []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox), paretomon.WithMeasure(paretomon.MeasureVectorWeightedJaccard), paretomon.WithBranchCut(1.5), paretomon.WithWindow(32)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			com, objs := randomWorkload(t, r, 12, 300)
+
+			seq, err := paretomon.NewMonitor(com, append(tc.opts, paretomon.WithWorkers(1))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := paretomon.NewMonitor(com, append(tc.opts, paretomon.WithWorkers(8))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interleave single Adds and batches so both ingestion paths run.
+			var seqDs, parDs []paretomon.Delivery
+			for lo := 0; lo < len(objs); {
+				if lo%3 == 0 {
+					ds, err := seq.Add(objs[lo].Name, objs[lo].Values...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dp, err := par.Add(objs[lo].Name, objs[lo].Values...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					seqDs, parDs = append(seqDs, ds), append(parDs, dp)
+					lo++
+					continue
+				}
+				hi := lo + 1 + r.Intn(40)
+				if hi > len(objs) {
+					hi = len(objs)
+				}
+				ds, err := seq.AddBatch(objs[lo:hi])
+				if err != nil {
+					t.Fatal(err)
+				}
+				dp, err := par.AddBatch(objs[lo:hi])
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqDs, parDs = append(seqDs, ds...), append(parDs, dp...)
+				lo = hi
+			}
+			if !reflect.DeepEqual(seqDs, parDs) {
+				for i := range seqDs {
+					if !reflect.DeepEqual(seqDs[i], parDs[i]) {
+						t.Fatalf("delivery %d: sequential %v vs parallel %v", i, seqDs[i], parDs[i])
+					}
+				}
+			}
+
+			for _, u := range com.Users() {
+				fs, err := seq.Frontier(u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fp, err := par.Frontier(u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fs, fp) {
+					t.Fatalf("user %s frontier: sequential %v vs parallel %v", u, fs, fp)
+				}
+			}
+			for _, o := range objs[len(objs)-20:] {
+				ts, _ := seq.TargetsOf(o.Name)
+				tp, _ := par.TargetsOf(o.Name)
+				if !reflect.DeepEqual(ts, tp) {
+					t.Fatalf("object %s targets: sequential %v vs parallel %v", o.Name, ts, tp)
+				}
+			}
+
+			ss, sp := seq.Stats(), par.Stats()
+			if ss.Comparisons != sp.Comparisons || ss.Delivered != sp.Delivered || ss.Processed != sp.Processed {
+				t.Fatalf("stats diverge: sequential %+v vs parallel %+v", ss, sp)
+			}
+			if tc.wantParallel && sp.Workers < 2 {
+				t.Fatalf("parallel monitor resolved to %d workers", sp.Workers)
+			}
+			if sp.Workers > 1 {
+				if len(sp.Shards) != sp.Workers {
+					t.Fatalf("Shards has %d entries, Workers = %d", len(sp.Shards), sp.Workers)
+				}
+				var sum paretomon.ShardStats
+				for _, sh := range sp.Shards {
+					sum.Comparisons += sh.Comparisons
+					sum.Delivered += sh.Delivered
+				}
+				if sum.Comparisons != sp.Comparisons || sum.Delivered != sp.Delivered {
+					t.Fatalf("per-shard counters do not sum to totals: %+v vs %+v", sum, sp)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelOnlinePreferenceUpdate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []paretomon.Option
+	}{
+		{"Baseline", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)}},
+		{"BaselineSW", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline), paretomon.WithWindow(48)}},
+		{"FTV", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1000)}},
+		{"FTV-SW", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1000), paretomon.WithWindow(48)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			com, objs := randomWorkload(t, r, 8, 150)
+			seq, err := paretomon.NewMonitor(com, append(tc.opts, paretomon.WithWorkers(1))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := paretomon.NewMonitor(com, append(tc.opts, paretomon.WithWorkers(4))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := seq.AddBatch(objs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := par.AddBatch(objs); err != nil {
+				t.Fatal(err)
+			}
+			// Growing a preference online must repair the same frontiers
+			// on the owning shard as on the sequential engine. Some users'
+			// randomized chains already order small above large, making the
+			// new tuple a cycle; both monitors must then agree on the
+			// rejection.
+			for _, u := range com.Users() {
+				errSeq := seq.AddPreference(u, "size", "large", "small")
+				errPar := par.AddPreference(u, "size", "large", "small")
+				if (errSeq == nil) != (errPar == nil) {
+					t.Fatalf("user %s: sequential err %v vs parallel err %v", u, errSeq, errPar)
+				}
+			}
+			// Frontiers must agree after the repairs, and stay in agreement
+			// as more objects arrive on the repaired state.
+			more := make([]paretomon.Object, 40)
+			for i := range more {
+				more[i] = paretomon.Object{
+					Name:   fmt.Sprintf("post%02d", i),
+					Values: []string{"Sony", "dual", "medium"},
+				}
+			}
+			ds, err := seq.AddBatch(more)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dp, err := par.AddBatch(more)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ds, dp) {
+				t.Fatal("deliveries diverge after online preference update")
+			}
+			for _, u := range com.Users() {
+				fs, _ := seq.Frontier(u)
+				fp, _ := par.Frontier(u)
+				if !reflect.DeepEqual(fs, fp) {
+					t.Fatalf("user %s frontier after update: sequential %v vs parallel %v", u, fs, fp)
+				}
+			}
+		})
+	}
+}
+
+func TestWithWorkersValidation(t *testing.T) {
+	s := paretomon.NewSchema("a")
+	com := paretomon.NewCommunity(s)
+	if _, err := com.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := paretomon.NewMonitor(com, paretomon.WithWorkers(-1)); err == nil {
+		t.Fatal("WithWorkers(-1) should be rejected")
+	}
+	// A single user clamps any worker request to one sequential shard.
+	m, err := paretomon.NewMonitor(com, paretomon.WithWorkers(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Workers != 1 || st.Shards != nil {
+		t.Fatalf("singleton community: Workers=%d Shards=%v", st.Workers, st.Shards)
+	}
+}

@@ -21,6 +21,14 @@
 // (Sec. 7): an object expires after n subsequent arrivals and frontiers
 // are mended from Pareto frontier buffers.
 //
+// WithWorkers(n) switches all of the above to sharded parallel
+// execution: users (Baseline) or whole clusters (filter-then-verify)
+// are partitioned across n worker goroutines — each owning its slice of
+// the frontiers, and its own window ring when a window is set — and
+// AddBatch pipelines whole batches through the shards. Deliveries are
+// identical to the sequential engines; Stats reports the per-shard work
+// split. See docs/ARCHITECTURE.md for the sharding model.
+//
 // A minimal session:
 //
 //	s := paretomon.NewSchema("display", "brand", "CPU")

@@ -12,6 +12,10 @@ import "fmt"
 // Note the distinction from User.Prefer: Prefer edits the community's
 // preference record used by future NewMonitor calls; AddPreference edits
 // this monitor's snapshot. Call both to keep them in step.
+//
+// Every engine supports the update, including the sharded ones
+// (WithWorkers > 1): the repair routes to the shard owning the user, so
+// the cost is the same as on a sequential engine of that shard's size.
 func (m *Monitor) AddPreference(user, attr, better, worse string) error {
 	idx, err := m.user(user)
 	if err != nil {
