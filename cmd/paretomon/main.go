@@ -7,6 +7,7 @@
 //
 //	paretomon -objects movie.objects.csv -prefs movie.prefs.json \
 //	          -algorithm ftv -h 3.3 -window 0 [-workers N] [-quiet] [-limit N]
+//	          [-serve :8080 [-data-dir ./data] [-snapshot-every N]]
 //
 // Algorithms: baseline, ftv (FilterThenVerify), ftva (approximate).
 // -window > 0 switches to sliding-window semantics. -workers shards
@@ -14,6 +15,14 @@
 // deliveries are identical either way. Note that -h is a raw branch cut
 // on this data's similarity scale (Σ over attributes of weighted
 // Jaccard ∈ [0, d]), not the paper's normalized axis.
+//
+// -data-dir (with -serve) makes the monitor durable: every ingested
+// object and preference update is WAL-logged under the directory, and a
+// restarted server recovers its exact state — frontiers, targets,
+// counters — before accepting traffic, skipping the CSV rows it already
+// holds. -snapshot-every bounds recovery replay; POST /snapshot forces
+// a snapshot on demand. See docs/PERSISTENCE.md for the full
+// operations walkthrough, including a kill -9 exercise.
 package main
 
 import (
@@ -53,15 +62,25 @@ func main() {
 		limit    = flag.Int("limit", 0, "process at most N objects (0 = all)")
 		quiet    = flag.Bool("quiet", false, "suppress per-object delivery lines")
 		serve    = flag.String("serve", "", "serve HTTP on this address after replaying the objects (e.g. :8080)")
+		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + snapshots); requires -serve")
+		snapEvry = flag.Int("snapshot-every", 0, "snapshot after every N WAL records (0 = explicit POST /snapshot only)")
 	)
 	flag.Parse()
 	if *objPath == "" || *prefPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *dataDir != "" && *serve == "" {
+		fmt.Fprintln(os.Stderr, "paretomon: -data-dir requires -serve")
+		os.Exit(2)
+	}
+	if *snapEvry != 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "paretomon: -snapshot-every requires -data-dir")
+		os.Exit(2)
+	}
 
 	if *serve != "" {
-		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit)
+		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit, *dataDir, *snapEvry)
 		return
 	}
 
@@ -151,8 +170,11 @@ func main() {
 // limit objects as one batch, and exposes the monitor as a REST + SSE
 // service: POST /objects[,/batch], GET /frontier/{user},
 // GET /targets/{object}, GET /subscribe/{user}, POST /preferences,
-// GET /stats, GET /clusters.
-func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int) {
+// GET /stats, GET /clusters, and — when dataDir is set — POST /snapshot
+// and GET /storage/stats. With dataDir the monitor is durable: a
+// restart recovers the previous incarnation's exact state and only the
+// CSV rows it does not already hold are replayed.
+func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int, dataDir string, snapshotEvery int) {
 	of, err := os.Open(objPath)
 	check(err)
 	pf, err := os.Open(prefPath)
@@ -181,20 +203,42 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", alg)
 		os.Exit(2)
 	}
-	mon, err := paretomon.NewMonitor(com, opts...)
+	var mon *paretomon.Monitor
+	if dataDir != "" {
+		if snapshotEvery > 0 {
+			opts = append(opts, paretomon.WithSnapshotEvery(snapshotEvery))
+		}
+		mon, err = paretomon.Open(com, dataDir, opts...)
+	} else {
+		mon, err = paretomon.NewMonitor(com, opts...)
+	}
 	check(err)
 	n := len(rows)
 	if limit > 0 && limit < n {
 		n = limit
 	}
-	batch := make([]paretomon.Object, n)
-	for i, row := range rows[:n] {
-		batch[i] = paretomon.Object{Name: fmt.Sprintf("o%d", i+1), Values: row}
+	// A recovered monitor holds some prefix of the CSV rows (replayed
+	// under stable names o1, o2, ...) plus whatever clients ingested
+	// over HTTP; boot-ingest only the CSV rows it does not already
+	// hold, probing by name so API-ingested objects never inflate the
+	// skip count. (Clients should avoid the reserved o<N> names.)
+	if recovered := mon.ObjectCount(); recovered > 0 {
+		fmt.Fprintf(os.Stderr, "recovered %d objects from %s\n", recovered, dataDir)
 	}
-	_, err = mon.AddBatch(batch)
-	check(err)
+	start := 0
+	for start < n && mon.HasObject(fmt.Sprintf("o%d", start+1)) {
+		start++
+	}
+	batch := make([]paretomon.Object, n-start)
+	for i, row := range rows[start:n] {
+		batch[i] = paretomon.Object{Name: fmt.Sprintf("o%d", start+i+1), Values: row}
+	}
+	if len(batch) > 0 {
+		_, err = mon.AddBatch(batch)
+		check(err)
+	}
 	fmt.Fprintf(os.Stderr, "replayed %d objects for %d users; serving on %s\n",
-		n, com.Len(), addr)
+		n-start, com.Len(), addr)
 	check(http.ListenAndServe(addr, server.New(mon)))
 }
 

@@ -3,6 +3,8 @@ package paretomon
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/storage"
 )
 
 // The package's error taxonomy. Every error returned by the public API
@@ -54,8 +56,40 @@ var (
 	ErrMonitorClosed = errors.New("paretomon: monitor closed")
 
 	// ErrUnsupported reports an operation the configured engine cannot
-	// perform (e.g. online preference updates on an exotic engine).
+	// perform (e.g. online preference updates on an exotic engine), or a
+	// persistence call — Snapshot, StorageStats — on a monitor built
+	// without a store.
 	ErrUnsupported = errors.New("paretomon: operation not supported by engine")
+
+	// ErrCorrupt reports durable state that cannot be trusted during
+	// recovery: a damaged WAL record outside the torn tail of the newest
+	// segment, a sequence gap, or a snapshot that fails its checksum or
+	// does not decode. See docs/PERSISTENCE.md for the recovery policy.
+	ErrCorrupt = storage.ErrCorrupt
+
+	// ErrVersion reports durable state written by an incompatible
+	// on-disk format version: the bytes are intact, but this build
+	// cannot read them — migrate or roll back instead of discarding.
+	ErrVersion = storage.ErrVersion
+
+	// ErrStateMismatch reports recovered state that was written under a
+	// different monitor setup: another algorithm or window, a changed
+	// community (users, preferences) or clustering. Rebuild the store
+	// (replay the source stream) when the configuration legitimately
+	// changed.
+	ErrStateMismatch = errors.New("paretomon: stored state does not match this monitor configuration")
+
+	// ErrStore reports a persistence I/O failure on a durable monitor: a
+	// WAL append or snapshot write failed (disk full, permissions, ...).
+	// It is a server-side fault, not a caller input error; after a
+	// failed append the monitor refuses further durable mutations until
+	// a restart recovers from the log.
+	ErrStore = errors.New("paretomon: storage failure")
+
+	// ErrLocked reports an Open (or NewFileStore) on a data directory
+	// already held by another live process; the WAL is single-writer.
+	// The lock releases when the owner exits, kill -9 included.
+	ErrLocked = storage.ErrLocked
 )
 
 // BatchError locates the first rejected object of an AddBatch call. The

@@ -78,9 +78,40 @@ func TestOptionValidationErrors(t *testing.T) {
 		{"WithThetas(0, 0.5)", paretomon.WithThetas(0, 0.5)},
 		{"WithThetas(5, 1.0)", paretomon.WithThetas(5, 1.0)},
 		{"WithSubscriptionBuffer(0)", paretomon.WithSubscriptionBuffer(0)},
+		{"WithStore(nil)", paretomon.WithStore(nil)},
+		{"WithSnapshotEvery(-1)", paretomon.WithSnapshotEvery(-1)},
+		{"WithSnapshotEvery without store", paretomon.WithSnapshotEvery(100)},
 	} {
 		if _, err := paretomon.NewMonitor(c, tc.opt); !errors.Is(err, paretomon.ErrInvalidConfig) {
 			t.Errorf("%s: err = %v, want ErrInvalidConfig", tc.name, err)
+		}
+	}
+}
+
+// TestPersistenceSentinels checks the durability additions to the
+// taxonomy: the sentinels are distinct (so errors.Is dispatch cannot
+// conflate a checksum failure with a configuration drift or a format
+// version skew), and each one is produced by its advertised failure —
+// persist_test.go exercises the full recovery paths.
+func TestPersistenceSentinels(t *testing.T) {
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"ErrCorrupt", paretomon.ErrCorrupt},
+		{"ErrVersion", paretomon.ErrVersion},
+		{"ErrStateMismatch", paretomon.ErrStateMismatch},
+		{"ErrStore", paretomon.ErrStore},
+		{"ErrLocked", paretomon.ErrLocked},
+	}
+	for i, a := range sentinels {
+		if a.err == nil {
+			t.Fatalf("%s is nil", a.name)
+		}
+		for _, b := range sentinels[i+1:] {
+			if errors.Is(a.err, b.err) {
+				t.Errorf("%s and %s must be distinct", a.name, b.name)
+			}
 		}
 	}
 }

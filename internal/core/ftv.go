@@ -32,6 +32,13 @@ type FilterThenVerify struct {
 	userFronts    []*Frontier // P_c per user
 	targets       *targetTracker
 	ctr           *stats.Counters
+
+	// globalIdx maps local cluster indices to the monitor's full cluster
+	// list and total is that list's length; both are set only for shard
+	// instances, whose clusters field is a round-robin subset. State
+	// capture uses them to key per-cluster state shard-independently.
+	globalIdx []int
+	total     int
 }
 
 // ValidatePartition panics unless cluster membership partitions the user

@@ -30,18 +30,20 @@ func NewParallelFilterThenVerify(users []*pref.Profile, clusters []Cluster, work
 	// Each shard gets an engine built over the full user slice but only
 	// its own clusters (the unused users' frontiers stay empty and cost
 	// nothing).
+	total := len(clusters)
 	return &ParallelFilterThenVerify{Sharded: ShardedByCluster(len(users), clusters, workers, ctr,
-		func(clusters []Cluster, ctr *stats.Counters) ShardEngine {
-			return newShard(users, clusters, ctr)
+		func(clusters []Cluster, globalIdx []int, ctr *stats.Counters) ShardEngine {
+			return newShard(users, clusters, globalIdx, total, ctr)
 		})}
 }
 
 // newShard builds a FilterThenVerify over a subset of clusters without
 // the partition check (the parallel constructor already validated the
-// whole configuration). User frontiers exist only for the shard's own
-// cluster members — the harness routes per-user calls to the owning
-// shard, so other slots are never dereferenced.
-func newShard(users []*pref.Profile, clusters []Cluster, ctr *stats.Counters) *FilterThenVerify {
+// whole configuration). globalIdx maps the subset back into the full
+// cluster list of total entries. User frontiers exist only for the
+// shard's own cluster members — the harness routes per-user calls to
+// the owning shard, so other slots are never dereferenced.
+func newShard(users []*pref.Profile, clusters []Cluster, globalIdx []int, total int, ctr *stats.Counters) *FilterThenVerify {
 	f := &FilterThenVerify{
 		users:         users,
 		clusters:      clusters,
@@ -49,6 +51,8 @@ func newShard(users []*pref.Profile, clusters []Cluster, ctr *stats.Counters) *F
 		userFronts:    make([]*Frontier, len(users)),
 		targets:       newTargetTracker(),
 		ctr:           ctr,
+		globalIdx:     globalIdx,
+		total:         total,
 	}
 	for i := range f.clusterFronts {
 		f.clusterFronts[i] = NewFrontier()

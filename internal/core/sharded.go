@@ -18,6 +18,10 @@ type ShardEngine interface {
 	UserFrontier(c int) []int
 	Targets(objID int) []int
 	ApplyPreference(c, d, better, worse int) error
+	// CaptureState / RestoreState fill and rebuild the shard's owned
+	// slots of a unit-keyed EngineState (see state.go).
+	CaptureState(st *EngineState)
+	RestoreState(st *EngineState) error
 }
 
 // Sharded is the shared fan-out harness behind every parallel engine:
@@ -39,6 +43,8 @@ type Sharded struct {
 	ctr      *stats.Counters // public merged counter (may be nil)
 	perShard []stats.Counters
 	mu       sync.Mutex // guards perShard and the drain-and-fold
+
+	clusterCount int // full cluster-list length (0 for user-sharded)
 }
 
 // NewSharded assembles a harness from pre-built shards. ctrs[i] must be
@@ -81,26 +87,32 @@ func ShardedByUser(userCount, workers int, ctr *stats.Counters, build func(membe
 
 // ShardedByCluster assembles a harness whose shards own round-robin
 // partitions of the cluster list — a cluster's filter frontier and its
-// members' frontiers always land on the same shard. Membership must
-// partition [0, userCount); validate before calling.
-func ShardedByCluster(userCount int, clusters []Cluster, workers int, ctr *stats.Counters, build func(clusters []Cluster, ctr *stats.Counters) ShardEngine) *Sharded {
+// members' frontiers always land on the same shard. build receives the
+// shard's cluster subset together with each cluster's index in the full
+// list (so per-cluster state stays keyed shard-independently).
+// Membership must partition [0, userCount); validate before calling.
+func ShardedByCluster(userCount int, clusters []Cluster, workers int, ctr *stats.Counters, build func(clusters []Cluster, globalIdx []int, ctr *stats.Counters) ShardEngine) *Sharded {
 	workers = ResolveWorkers(workers, len(clusters))
 	shards := make([]ShardEngine, workers)
 	ctrs := make([]*stats.Counters, workers)
 	owner := make([]int, userCount)
 	perShard := make([][]Cluster, workers)
+	perShardIdx := make([][]int, workers)
 	for i, cl := range clusters {
 		s := i % workers
 		perShard[s] = append(perShard[s], cl)
+		perShardIdx[s] = append(perShardIdx[s], i)
 		for _, c := range cl.Members {
 			owner[c] = s
 		}
 	}
 	for s := range shards {
 		ctrs[s] = &stats.Counters{}
-		shards[s] = build(perShard[s], ctrs[s])
+		shards[s] = build(perShard[s], perShardIdx[s], ctrs[s])
 	}
-	return NewSharded(shards, ctrs, owner, ctr)
+	s := NewSharded(shards, ctrs, owner, ctr)
+	s.clusterCount = len(clusters)
+	return s
 }
 
 // ResolveWorkers normalizes a worker-count request: n <= 0 means
@@ -237,6 +249,19 @@ func (s *Sharded) ApplyPreference(c, d, better, worse int) error {
 
 // Shards reports how many workers the engine fans out to.
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// ResetShardCounters zeroes the cumulative per-shard counters. The
+// Monitor calls it after recovery: state restore and log replay fold
+// their work into the per-shard totals, but those are observability for
+// live load skew, so post-recovery they restart from zero (the public
+// totals are restored exactly, separately).
+func (s *Sharded) ResetShardCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.perShard {
+		s.perShard[i].Reset()
+	}
+}
 
 // ShardCounters returns a snapshot of each shard's cumulative work
 // counters, for per-shard observability (load skew across shards).

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+)
+
+// EngineState is the serializable state of any engine, keyed by the
+// shardable units — users and clusters — never by worker shards, so a
+// state captured from a sequential engine restores into a sharded one
+// (and vice versa, or under a different worker count). Frontier and
+// buffer slices preserve the engine's scan/arrival order: restoring in
+// order reproduces not only the frontiers but the exact comparison
+// counts of every future arrival.
+type EngineState struct {
+	// UserFronts is P_c per user, in frontier scan order.
+	UserFronts [][]object.Object
+	// ClusterFronts is P_U per cluster (empty for Baseline engines).
+	ClusterFronts [][]object.Object
+	// UserBuffers is PB_c per user, in arrival order (sliding-window
+	// Baseline only; nil otherwise).
+	UserBuffers [][]object.Object
+	// ClusterBuffers is PB_U per cluster, in arrival order
+	// (sliding-window FilterThenVerify only; nil otherwise).
+	ClusterBuffers [][]object.Object
+	// RingSeen is the total number of objects pushed through the window
+	// ring; Ring holds the min(RingSeen, W) youngest objects in arrival
+	// order. HasRing distinguishes an append-only engine (false) from a
+	// windowed engine that has seen nothing yet (true, empty Ring).
+	HasRing  bool
+	RingSeen int
+	Ring     []object.Object
+}
+
+// NewEngineState allocates a state sized for the given shardable units.
+// Buffer and ring fields stay zero until a sliding-window engine sets
+// them during capture.
+func NewEngineState(users, clusters int) *EngineState {
+	return &EngineState{
+		UserFronts:    make([][]object.Object, users),
+		ClusterFronts: make([][]object.Object, clusters),
+	}
+}
+
+// EnsureUserBuffers allocates UserBuffers on first use (sharded capture
+// calls this once per shard; only the first call allocates).
+func (st *EngineState) EnsureUserBuffers() {
+	if st.UserBuffers == nil {
+		st.UserBuffers = make([][]object.Object, len(st.UserFronts))
+	}
+}
+
+// EnsureClusterBuffers allocates ClusterBuffers on first use.
+func (st *EngineState) EnsureClusterBuffers() {
+	if st.ClusterBuffers == nil {
+		st.ClusterBuffers = make([][]object.Object, len(st.ClusterFronts))
+	}
+}
+
+// SetRing records the window ring. Shards hold identical rings (every
+// shard sees every object), so concurrent-equal writes are harmless.
+func (st *EngineState) SetRing(seen int, tail []object.Object) {
+	st.HasRing = true
+	st.RingSeen = seen
+	st.Ring = tail
+}
+
+// StateEngine is implemented by every engine (sequential and sharded,
+// append-only and sliding-window): CaptureState fills the slots the
+// engine owns; RestoreState — valid only on a freshly constructed,
+// empty engine — rebuilds them. Both leave work counters untouched; the
+// Monitor restores its counters separately.
+type StateEngine interface {
+	CaptureState(st *EngineState)
+	RestoreState(st *EngineState) error
+}
+
+var (
+	_ StateEngine = (*Baseline)(nil)
+	_ StateEngine = (*FilterThenVerify)(nil)
+	_ StateEngine = (*Sharded)(nil)
+)
+
+// copyObjects snapshots a frontier or buffer slice: engines mutate the
+// backing arrays on the next arrival, so capture must not alias them.
+func copyObjects(objs []object.Object) []object.Object {
+	return append([]object.Object(nil), objs...)
+}
+
+// restoreFrontier refills an empty frontier in the captured scan order,
+// mirroring membership into the target tracker when tr is non-nil.
+func restoreFrontier(f *Frontier, objs []object.Object, tr *targetTracker, user int) {
+	for _, o := range objs {
+		f.Add(o)
+		if tr != nil {
+			tr.add(o.ID, user)
+		}
+	}
+}
+
+// checkStateSize validates that a decoded state matches the engine's
+// user and cluster geometry before any slot is dereferenced.
+func checkStateSize(st *EngineState, users, clusters int) error {
+	if len(st.UserFronts) != users {
+		return fmt.Errorf("core: state has %d user frontiers, engine has %d users", len(st.UserFronts), users)
+	}
+	if len(st.ClusterFronts) != clusters {
+		return fmt.Errorf("core: state has %d cluster frontiers, engine has %d clusters", len(st.ClusterFronts), clusters)
+	}
+	return nil
+}
+
+// CaptureState fills the slots of the users this instance maintains.
+func (b *Baseline) CaptureState(st *EngineState) {
+	b.each(func(c int) { st.UserFronts[c] = copyObjects(b.fronts[c].Objects()) })
+}
+
+// RestoreState rebuilds the maintained users' frontiers and the target
+// index from a captured state. The engine must be freshly constructed.
+func (b *Baseline) RestoreState(st *EngineState) error {
+	if err := checkStateSize(st, len(b.users), 0); err != nil {
+		return err
+	}
+	b.each(func(c int) { restoreFrontier(b.fronts[c], st.UserFronts[c], b.targets, c) })
+	return nil
+}
+
+// CaptureState fills the slots of the clusters this instance maintains
+// (all of them for the sequential engine) and their members' frontiers.
+func (f *FilterThenVerify) CaptureState(st *EngineState) {
+	for li, cl := range f.clusters {
+		st.ClusterFronts[f.globalIndex(li)] = copyObjects(f.clusterFronts[li].Objects())
+		for _, c := range cl.Members {
+			st.UserFronts[c] = copyObjects(f.userFronts[c].Objects())
+		}
+	}
+}
+
+// RestoreState rebuilds the maintained clusters' filter frontiers,
+// their members' frontiers, and the target index.
+func (f *FilterThenVerify) RestoreState(st *EngineState) error {
+	if err := checkStateSize(st, len(f.users), f.clusterTotal()); err != nil {
+		return err
+	}
+	for li, cl := range f.clusters {
+		restoreFrontier(f.clusterFronts[li], st.ClusterFronts[f.globalIndex(li)], nil, 0)
+		for _, c := range cl.Members {
+			restoreFrontier(f.userFronts[c], st.UserFronts[c], f.targets, c)
+		}
+	}
+	return nil
+}
+
+// globalIndex maps a local cluster index to its index in the monitor's
+// full cluster list (identity for the sequential engine; the shard's
+// round-robin assignment for sharded engines).
+func (f *FilterThenVerify) globalIndex(li int) int {
+	if f.globalIdx == nil {
+		return li
+	}
+	return f.globalIdx[li]
+}
+
+// clusterTotal is the size of the full cluster list this engine's
+// local clusters index into.
+func (f *FilterThenVerify) clusterTotal() int {
+	if f.globalIdx == nil {
+		return len(f.clusters)
+	}
+	return f.total
+}
+
+// CaptureState fans the capture out to every shard; shards own disjoint
+// slots, so sequential filling composes into the complete state.
+func (s *Sharded) CaptureState(st *EngineState) {
+	for _, sh := range s.shards {
+		sh.CaptureState(st)
+	}
+}
+
+// RestoreState hands the full state to every shard; each restores only
+// the slots it owns. Counters are untouched — the Monitor restores its
+// public totals separately and calls ResetShardCounters when recovery
+// completes, so Stats().Shards reflects post-recovery work only.
+func (s *Sharded) RestoreState(st *EngineState) error {
+	for _, sh := range s.shards {
+		if err := sh.RestoreState(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}

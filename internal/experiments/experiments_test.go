@@ -169,9 +169,29 @@ func TestParallelSweep(t *testing.T) {
 	}
 }
 
+// The recovery benchmark must report identical frontiers and counters
+// after the simulated crash for every snapshot cadence.
+func TestRecoveryBenchmark(t *testing.T) {
+	o := tiny()
+	o.Objects, o.Users = 300, 24
+	rep := experiments.Recovery(o)[0]
+	if rep.ID != "recovery" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+	if len(rep.Rows) != 3 { // snapEvery ∈ {0, |O|/8, |O|/2}
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[6] != "true" || row[7] != "true" {
+			t.Errorf("recovered state diverged: %v", row)
+		}
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
-	// 10 paper experiments, the parallel sweep, plus 4 ablations.
-	if len(experiments.Order) != 11 || len(experiments.All) != 15 {
+	// 10 paper experiments, the parallel sweep and the recovery
+	// benchmark, plus 4 ablations.
+	if len(experiments.Order) != 12 || len(experiments.All) != 16 {
 		t.Fatalf("registry: %d runners, %d ordered", len(experiments.All), len(experiments.Order))
 	}
 	for _, id := range experiments.Order {

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/datagen"
+)
+
+// The recovery benchmark is an engineering experiment beyond the paper:
+// it drives the durable Monitor (internal/storage) through a simulated
+// crash on the Fig. 4 workload and measures the persistence tax —
+// snapshot size, WAL write amplification — and the payoff — cold-start
+// recovery time as WithSnapshotEvery varies. A durable run ingests half
+// the stream, is abandoned without any shutdown (the kill -9 point: the
+// store sees exactly what a SIGKILLed process leaves behind), recovers,
+// and finishes the stream; its final frontiers, per-object target sets,
+// and work counters must be identical to an uninterrupted monitor's,
+// which is the delivery-identity gate CI enforces on BENCH_recovery.json.
+
+// RecoveryRun is one WithSnapshotEvery setting's measurement.
+type RecoveryRun struct {
+	// SnapshotEvery is the setting under test (0 = WAL-only recovery).
+	SnapshotEvery int `json:"snapshot_every"`
+	// Snapshots and SnapshotBytes describe the store after the run: the
+	// retained snapshot count and the newest snapshot's size.
+	Snapshots     int   `json:"snapshots"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// WALBytes is the live WAL footprint after the run (pruning keeps
+	// only what recovery from the older retained snapshot needs).
+	WALBytes int64 `json:"wal_bytes"`
+	// AppendedBytes is the total WAL bytes written across both process
+	// incarnations; WriteAmplification divides it by the raw input
+	// bytes (object names + attribute values).
+	AppendedBytes      int64   `json:"appended_bytes"`
+	WriteAmplification float64 `json:"write_amplification"`
+	// RecoveryMillis is the cold-start time of the second incarnation:
+	// snapshot load plus WAL-tail replay, until the monitor serves.
+	RecoveryMillis float64 `json:"recovery_millis"`
+	// RecoveredObjects is how many objects the second incarnation held
+	// before ingesting anything new.
+	RecoveredObjects int `json:"recovered_objects"`
+	// FrontiersMatch / StatsMatch report whether the post-crash run is
+	// indistinguishable from the uninterrupted one: every user's
+	// frontier, every object's target set, and the work counters.
+	FrontiersMatch bool `json:"frontiers_match"`
+	StatsMatch     bool `json:"stats_match"`
+}
+
+// RecoveryBench is the BENCH_recovery.json document.
+type RecoveryBench struct {
+	Workload string        `json:"workload"`
+	Dataset  string        `json:"dataset"`
+	Objects  int           `json:"objects"`
+	Users    int           `json:"users"`
+	Dims     int           `json:"dims"`
+	Runs     []RecoveryRun `json:"runs"`
+}
+
+// recoveryCommunity rebuilds a datagen workload as a public Community
+// (the durable API lives on the Monitor facade) plus the object rows as
+// raw attribute values, projected to dims attributes.
+func recoveryCommunity(ds *datagen.Dataset, dims int) (*paretomon.Community, [][]string, error) {
+	names := make([]string, dims)
+	for d := 0; d < dims; d++ {
+		names[d] = ds.Domains[d].Name()
+	}
+	com := paretomon.NewCommunity(paretomon.NewSchema(names...))
+	for i, p := range ds.Users {
+		u, err := com.AddUser(fmt.Sprintf("u%d", i))
+		if err != nil {
+			return nil, nil, err
+		}
+		for d := 0; d < dims; d++ {
+			for _, e := range p.Relation(d).HasseTuples() {
+				if err := u.Prefer(names[d], ds.Domains[d].Value(e.Better), ds.Domains[d].Value(e.Worse)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	rows := make([][]string, len(ds.Objects))
+	for i, o := range ds.Objects {
+		row := make([]string, dims)
+		for d := 0; d < dims; d++ {
+			row[d] = ds.Domains[d].Value(int(o.Attrs[d]))
+		}
+		rows[i] = row
+	}
+	return com, rows, nil
+}
+
+// recoveryIngest replays rows [from, to) in 256-object batches under
+// stable names o<index+1>.
+func recoveryIngest(m *paretomon.Monitor, rows [][]string, from, to int) error {
+	const batchSize = 256
+	for lo := from; lo < to; lo += batchSize {
+		hi := min(lo+batchSize, to)
+		batch := make([]paretomon.Object, hi-lo)
+		for i := range batch {
+			batch[i] = paretomon.Object{Name: fmt.Sprintf("o%d", lo+i+1), Values: rows[lo+i]}
+		}
+		if _, err := m.AddBatch(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoveryEquals compares a recovered-and-finished monitor against the
+// uninterrupted reference.
+func recoveryEquals(ref, got *paretomon.Monitor, users []string, objects int) (frontiers, stats bool) {
+	frontiers = true
+	for _, u := range users {
+		fr, err1 := ref.Frontier(u)
+		fg, err2 := got.Frontier(u)
+		if err1 != nil || err2 != nil || !reflect.DeepEqual(fr, fg) {
+			frontiers = false
+			break
+		}
+	}
+	if frontiers {
+		for i := 0; i < objects; i++ {
+			name := fmt.Sprintf("o%d", i+1)
+			tr, err1 := ref.TargetsOf(name)
+			tg, err2 := got.TargetsOf(name)
+			if err1 != nil || err2 != nil || !reflect.DeepEqual(tr, tg) {
+				frontiers = false
+				break
+			}
+		}
+	}
+	sr, sg := ref.Stats(), got.Stats()
+	stats = sr.Comparisons == sg.Comparisons && sr.FilterComparisons == sg.FilterComparisons &&
+		sr.VerifyComparisons == sg.VerifyComparisons && sr.Delivered == sg.Delivered &&
+		sr.Processed == sg.Processed
+	return frontiers, stats
+}
+
+// Recovery runs the crash/restart benchmark. Options.BenchOut, when
+// non-empty, also writes the result as JSON (BENCH_recovery.json).
+func Recovery(o Options) []*Report {
+	o = o.withDefaults()
+	ds := o.dataset("movie")
+	com, rows, err := recoveryCommunity(ds, o.Dims)
+	if err != nil {
+		panic("experiments: building recovery community: " + err.Error())
+	}
+	n := len(rows)
+	half := n / 2
+	users := com.Users()
+	opts := []paretomon.Option{
+		paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify),
+		paretomon.WithBranchCut(mapH("movie", false, o.H, o.Dims)),
+	}
+	var rawBytes int64
+	for i, row := range rows {
+		rawBytes += int64(len(fmt.Sprintf("o%d", i+1)))
+		for _, v := range row {
+			rawBytes += int64(len(v))
+		}
+	}
+
+	o.logf("recovery: uninterrupted reference over %d objects ...", n)
+	ref, err := paretomon.NewMonitor(com, opts...)
+	if err != nil {
+		panic("experiments: recovery reference: " + err.Error())
+	}
+	if err := recoveryIngest(ref, rows, 0, n); err != nil {
+		panic("experiments: recovery reference ingest: " + err.Error())
+	}
+
+	bench := &RecoveryBench{
+		Workload: "fig4",
+		Dataset:  "movie",
+		Objects:  n,
+		Users:    len(users),
+		Dims:     o.Dims,
+	}
+	rep := &Report{
+		ID: "recovery",
+		Title: fmt.Sprintf("durable monitor crash/restart, movie (Fig. 4 workload), |O|=%d, |C|=%d, d=%d, crash at |O|/2",
+			n, len(users), o.Dims),
+		Columns: []string{"snap_every", "snapshots", "snap_bytes", "wal_bytes", "write_amp", "recover_ms", "frontiers", "stats"},
+	}
+
+	for _, snapEvery := range []int{0, n / 8, n / 2} {
+		dir, err := os.MkdirTemp("", "paretomon-recovery-")
+		if err != nil {
+			panic("experiments: recovery tmpdir: " + err.Error())
+		}
+		run := func() RecoveryRun {
+			defer os.RemoveAll(dir)
+			durable := opts
+			if snapEvery > 0 {
+				durable = append(append([]paretomon.Option{}, opts...), paretomon.WithSnapshotEvery(snapEvery))
+			}
+			m1, err := paretomon.Open(com, dir, durable...)
+			if err != nil {
+				panic("experiments: recovery open: " + err.Error())
+			}
+			if err := recoveryIngest(m1, rows, 0, half); err != nil {
+				panic("experiments: recovery first half: " + err.Error())
+			}
+			st1, err := m1.StorageStats()
+			if err != nil {
+				panic("experiments: recovery stats: " + err.Error())
+			}
+			// Crash point: the first incarnation takes no final snapshot and
+			// simply stops. Close only releases the directory lock and file
+			// descriptors — appends go straight to the OS, so the bytes on
+			// disk are exactly what a SIGKILL would leave (the CI crash test
+			// covers the literal kill -9 of a live process).
+			m1.Close()
+
+			start := time.Now()
+			m2, err := paretomon.Open(com, dir, durable...)
+			if err != nil {
+				panic("experiments: recovery reopen: " + err.Error())
+			}
+			recoverMs := float64(time.Since(start).Microseconds()) / 1000.0
+			recovered := m2.ObjectCount()
+			if err := recoveryIngest(m2, rows, half, n); err != nil {
+				panic("experiments: recovery second half: " + err.Error())
+			}
+			frontiersMatch, statsMatch := recoveryEquals(ref, m2, users, n)
+			st2, err := m2.StorageStats()
+			if err != nil {
+				panic("experiments: recovery stats: " + err.Error())
+			}
+			m2.Close()
+			appended := int64(st1.AppendedBytes + st2.AppendedBytes)
+			return RecoveryRun{
+				SnapshotEvery:      snapEvery,
+				Snapshots:          st2.Snapshots,
+				SnapshotBytes:      st2.SnapshotBytes,
+				WALBytes:           st2.WALBytes,
+				AppendedBytes:      appended,
+				WriteAmplification: float64(appended) / float64(rawBytes),
+				RecoveryMillis:     recoverMs,
+				RecoveredObjects:   recovered,
+				FrontiersMatch:     frontiersMatch,
+				StatsMatch:         statsMatch,
+			}
+		}()
+		o.logf("recovery: snapEvery=%d recovered %d objects in %.1fms (frontiers=%t stats=%t)",
+			snapEvery, run.RecoveredObjects, run.RecoveryMillis, run.FrontiersMatch, run.StatsMatch)
+		bench.Runs = append(bench.Runs, run)
+		rep.Rows = append(rep.Rows, []string{
+			fmtInt(run.SnapshotEvery), fmtInt(run.Snapshots), fmtInt(int(run.SnapshotBytes)),
+			fmtInt(int(run.WALBytes)), fmt.Sprintf("%.2fx", run.WriteAmplification),
+			fmtMS(run.RecoveryMillis), fmt.Sprintf("%t", run.FrontiersMatch), fmt.Sprintf("%t", run.StatsMatch),
+		})
+	}
+
+	if o.BenchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.BenchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			o.logf("recovery: writing %s: %v", o.BenchOut, err)
+		}
+	}
+	return []*Report{rep}
+}

@@ -39,9 +39,13 @@ import (
 //	GET  /stats             → 200 {"Comparisons": ..., "Workers": ...,
 //	                               "Shards": [...], ...}
 //	GET  /clusters          → 200 [["c1","c2"], ...]
+//	POST /snapshot          → 200 {"status": "ok", "storage": {...}}
+//	GET  /storage/stats     → 200 {"dir": ..., "segments": ...,
+//	                               "wal_bytes": ..., "snapshots": ..., ...}
 //
 // Unknown users and objects yield 404; malformed bodies, duplicate
-// objects and invalid preferences yield 400.
+// objects and invalid preferences yield 400; the storage endpoints
+// yield 501 on a monitor built without a store (no -data-dir).
 type Server struct {
 	mon *paretomon.Monitor
 	mux *http.ServeMux
@@ -58,6 +62,8 @@ func New(mon *paretomon.Monitor) *Server {
 	s.mux.HandleFunc("/preferences", s.handlePreferences)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/clusters", s.handleClusters)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/storage/stats", s.handleStorageStats)
 	return s
 }
 
@@ -73,6 +79,13 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, paretomon.ErrMonitorClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, paretomon.ErrUnsupported):
+		return http.StatusNotImplemented
+	case errors.Is(err, paretomon.ErrStore),
+		errors.Is(err, paretomon.ErrCorrupt),
+		errors.Is(err, paretomon.ErrVersion):
+		// Persistence faults are the server's problem, not the caller's.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
@@ -278,6 +291,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.mon.Stats())
+}
+
+// handleSnapshot forces a checked snapshot + prune on a durable
+// monitor: operators hit it before planned restarts or after bulk loads
+// to bound the next recovery's WAL replay. The response carries the
+// post-snapshot storage footprint.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := s.mon.Snapshot(); err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	st, err := s.mon.StorageStats()
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "storage": st})
+}
+
+// handleStorageStats reports the store's footprint (WAL segments and
+// bytes, retained snapshots, appends) for dashboards and capacity
+// planning.
+func (s *Server) handleStorageStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st, err := s.mon.StorageStats()
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	writeJSON(w, st)
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {

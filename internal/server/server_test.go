@@ -377,3 +377,93 @@ func TestSSESubscription(t *testing.T) {
 		t.Errorf("o1 users = %v", got[0].Users)
 	}
 }
+
+// newDurableTestServer builds a server over a durable monitor rooted at
+// a temp data directory, returning the monitor (so the "process" can be
+// stopped — the store lock must release before a restart), the
+// community, and the directory.
+func newDurableTestServer(t *testing.T) (*httptest.Server, *paretomon.Monitor, *paretomon.Community, string) {
+	t.Helper()
+	s := paretomon.NewSchema("brand", "CPU")
+	com := paretomon.NewCommunity(s)
+	alice, err := com.AddUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.PreferChain("brand", "Apple", "Lenovo", "Toshiba"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mon, err := paretomon.Open(com, dir, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(mon))
+	t.Cleanup(ts.Close)
+	return ts, mon, com, dir
+}
+
+func TestSnapshotAndStorageStatsEndpoints(t *testing.T) {
+	ts, mon1, com, dir := newDurableTestServer(t)
+	resp, _ := post(t, ts.URL+"/objects", `{"name": "o1", "values": ["Apple", "dual"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	resp, body := get(t, ts.URL+"/storage/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /storage/stats: %d", resp.StatusCode)
+	}
+	if body["segments"].(float64) < 1 || body["wal_bytes"].(float64) <= 0 {
+		t.Errorf("storage stats before snapshot: %v", body)
+	}
+	if body["snapshots"].(float64) != 0 {
+		t.Errorf("unexpected snapshot before POST /snapshot: %v", body)
+	}
+
+	resp, body = post(t, ts.URL+"/snapshot", "")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("POST /snapshot: %d %v", resp.StatusCode, body)
+	}
+	storage := body["storage"].(map[string]any)
+	if storage["snapshots"].(float64) != 1 || storage["snapshot_bytes"].(float64) <= 0 {
+		t.Errorf("storage stats after snapshot: %v", storage)
+	}
+
+	// Method guards.
+	if resp, _ := get(t, ts.URL+"/snapshot"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /snapshot: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/storage/stats", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /storage/stats: %d", resp.StatusCode)
+	}
+
+	// A restarted server over the same directory recovers the object
+	// (the old incarnation must release its store lock first).
+	ts.Close()
+	if err := mon1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := paretomon.Open(com, dir, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(server.New(mon))
+	defer ts2.Close()
+	resp, body = get(t, ts2.URL+"/frontier/alice")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /frontier after restart: %d", resp.StatusCode)
+	}
+	if got := body["frontier"].([]any); len(got) != 1 || got[0] != "o1" {
+		t.Errorf("frontier after restart: %v", got)
+	}
+}
+
+func TestStorageEndpointsWithoutStore(t *testing.T) {
+	ts := newTestServer(t)
+	if resp, _ := post(t, ts.URL+"/snapshot", ""); resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("POST /snapshot without store: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/storage/stats"); resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("GET /storage/stats without store: %d", resp.StatusCode)
+	}
+}

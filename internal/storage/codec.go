@@ -1,0 +1,439 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/object"
+)
+
+// Binary encoding primitives shared by WAL record payloads and snapshot
+// bodies. The vocabulary (documented byte-for-byte in
+// docs/PERSISTENCE.md) is deliberately tiny:
+//
+//	u8      one byte
+//	f64     IEEE-754 bits, 8 bytes little-endian
+//	uvar    unsigned LEB128 varint (encoding/binary.PutUvarint)
+//	str     uvar byte length + raw UTF-8 bytes
+//	list<T> uvar element count + elements
+//
+// Framing (lengths, CRCs, magic numbers, versions) lives in the file
+// layer; these payloads are pure content.
+
+// enc builds a payload by appending to a byte slice.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8) { e.b = append(e.b, v) }
+func (e *enc) uvar(v uint64) {
+	e.b = binary.AppendUvarint(e.b, v)
+}
+func (e *enc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.uvar(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) strs(ss []string) {
+	e.uvar(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+// dec consumes a payload, remembering the first failure so call sites
+// stay linear; err() reports it wrapped in ErrCorrupt.
+type dec struct {
+	b    []byte
+	pos  int
+	fail bool
+}
+
+func (d *dec) err() error {
+	if d.fail {
+		return fmt.Errorf("%w: truncated or malformed payload at offset %d", ErrCorrupt, d.pos)
+	}
+	return nil
+}
+
+func (d *dec) u8() uint8 {
+	if d.fail || d.pos >= len(d.b) {
+		d.fail = true
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *dec) uvar() uint64 {
+	if d.fail {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail = true
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// length reads a uvar meant to size an allocation, rejecting values
+// that could not possibly fit in the remaining bytes (every counted
+// element occupies at least one byte), so corrupt counts cannot drive
+// huge allocations.
+func (d *dec) length() int {
+	v := d.uvar()
+	if d.fail || v > uint64(len(d.b)-d.pos) {
+		d.fail = true
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) f64() float64 {
+	if d.fail || d.pos+8 > len(d.b) {
+		d.fail = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.length()
+	if d.fail {
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *dec) strs() []string {
+	n := d.length()
+	if d.fail {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+func (d *dec) done() bool { return !d.fail && d.pos == len(d.b) }
+
+// encodeRecord serializes a WAL record payload:
+//
+//	uvar seq, u8 op, then per op:
+//	  OpObject:     str name, list<str> values
+//	  OpPreference: str user, str attr, str better, str worse
+func encodeRecord(rec Record) []byte {
+	e := &enc{b: make([]byte, 0, 16+len(rec.Name))}
+	e.uvar(rec.Seq)
+	e.u8(uint8(rec.Op))
+	switch rec.Op {
+	case OpObject:
+		e.str(rec.Name)
+		e.strs(rec.Values)
+	case OpPreference:
+		e.str(rec.User)
+		e.str(rec.Attr)
+		e.str(rec.Better)
+		e.str(rec.Worse)
+	}
+	return e.b
+}
+
+// decodeRecord parses one WAL record payload.
+func decodeRecord(b []byte) (Record, error) {
+	d := &dec{b: b}
+	rec := Record{Seq: d.uvar(), Op: Op(d.u8())}
+	switch rec.Op {
+	case OpObject:
+		rec.Name = d.str()
+		rec.Values = d.strs()
+	case OpPreference:
+		rec.User = d.str()
+		rec.Attr = d.str()
+		rec.Better = d.str()
+		rec.Worse = d.str()
+	default:
+		if !d.fail {
+			return Record{}, fmt.Errorf("%w: unknown WAL op %d", ErrCorrupt, rec.Op)
+		}
+	}
+	if !d.done() {
+		if err := d.err(); err != nil {
+			return Record{}, err
+		}
+		return Record{}, fmt.Errorf("%w: %d trailing bytes after WAL record", ErrCorrupt, len(b)-d.pos)
+	}
+	return rec, nil
+}
+
+// Marshal encodes the snapshot body (the bytes under the snapshot file
+// header). Layout, in order:
+//
+//	u8 algorithm, uvar window, u8 measure, f64 branchCut,
+//	uvar clusterCount, uvar theta1, f64 theta2
+//	list<str> userNames
+//	list<list<uvar>> clusters           (member user indices)
+//	list<list<str>> domains             (interned values, id order)
+//	list<str> objects                   (object names, id order)
+//	list<pref> prefs                    (uvar user, uvar dim, str better, str worse)
+//	uvar ×5 counters                    (comparisons, filter, verify, delivered, processed)
+//	engine state                        (see encodeEngine)
+func (s *Snapshot) Marshal() []byte {
+	e := &enc{b: make([]byte, 0, 1024)}
+	e.u8(s.Algorithm)
+	e.uvar(uint64(s.Window))
+	e.u8(s.Measure)
+	e.f64(s.BranchCut)
+	e.uvar(uint64(s.ClusterCount))
+	e.uvar(uint64(s.Theta1))
+	e.f64(s.Theta2)
+	e.strs(s.UserNames)
+	e.uvar(uint64(len(s.Clusters)))
+	for _, members := range s.Clusters {
+		e.ints(members)
+	}
+	e.uvar(uint64(len(s.Domains)))
+	for _, values := range s.Domains {
+		e.strs(values)
+	}
+	e.strs(s.Objects)
+	e.uvar(uint64(len(s.Prefs)))
+	for _, p := range s.Prefs {
+		e.uvar(uint64(p.User))
+		e.uvar(uint64(p.Dim))
+		e.str(p.Better)
+		e.str(p.Worse)
+	}
+	e.uvar(s.Counters.Comparisons)
+	e.uvar(s.Counters.FilterComparisons)
+	e.uvar(s.Counters.VerifyComparisons)
+	e.uvar(s.Counters.Delivered)
+	e.uvar(s.Counters.Processed)
+	encodeEngine(e, s.Engine, len(s.Domains))
+	return e.b
+}
+
+// UnmarshalSnapshot decodes a snapshot body. Any structural damage is
+// reported as ErrCorrupt.
+func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
+	d := &dec{b: b}
+	s := &Snapshot{
+		Algorithm:    d.u8(),
+		Window:       int(d.uvar()),
+		Measure:      d.u8(),
+		BranchCut:    d.f64(),
+		ClusterCount: int(d.uvar()),
+		Theta1:       int(d.uvar()),
+		Theta2:       d.f64(),
+		UserNames:    d.strs(),
+	}
+	s.Clusters = make([][]int, d.length())
+	for i := range s.Clusters {
+		s.Clusters[i] = d.intList()
+	}
+	s.Domains = make([][]string, d.length())
+	for i := range s.Domains {
+		s.Domains[i] = d.strs()
+	}
+	s.Objects = d.strs()
+	s.Prefs = make([]PrefUpdate, d.length())
+	for i := range s.Prefs {
+		s.Prefs[i] = PrefUpdate{
+			User:   int(d.uvar()),
+			Dim:    int(d.uvar()),
+			Better: d.str(),
+			Worse:  d.str(),
+		}
+	}
+	s.Counters.Comparisons = d.uvar()
+	s.Counters.FilterComparisons = d.uvar()
+	s.Counters.VerifyComparisons = d.uvar()
+	s.Counters.Delivered = d.uvar()
+	s.Counters.Processed = d.uvar()
+	var err error
+	if s.Engine, err = decodeEngine(d, len(s.Domains)); err != nil {
+		return nil, err
+	}
+	if !d.done() {
+		if err := d.err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot body", ErrCorrupt, len(b)-d.pos)
+	}
+	return s, nil
+}
+
+func (e *enc) ints(v []int) {
+	e.uvar(uint64(len(v)))
+	for _, x := range v {
+		e.uvar(uint64(x))
+	}
+}
+
+func (d *dec) intList() []int {
+	n := d.length()
+	if d.fail {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.uvar())
+	}
+	return out
+}
+
+// encodeEngine serializes an EngineState. Objects are deduplicated into
+// a reference table (an object can sit in many frontiers at once);
+// frontier, buffer, and ring entries then reference it by object id:
+//
+//	uvar nDims
+//	list<refObj> table                  (uvar id, nDims × uvar attr)
+//	list<list<uvar>> userFronts         (object ids, scan order)
+//	list<list<uvar>> clusterFronts
+//	u8 hasUserBuffers [+ list<list<uvar>>]
+//	u8 hasClusterBuffers [+ list<list<uvar>>]
+//	u8 hasRing [+ uvar seen, list<uvar> ring tail]
+func encodeEngine(e *enc, st *core.EngineState, dims int) {
+	refs := map[int]object.Object{}
+	collect := func(lists [][]object.Object) {
+		for _, l := range lists {
+			for _, o := range l {
+				refs[o.ID] = o
+			}
+		}
+	}
+	collect(st.UserFronts)
+	collect(st.ClusterFronts)
+	collect(st.UserBuffers)
+	collect(st.ClusterBuffers)
+	collect([][]object.Object{st.Ring})
+	ids := make([]int, 0, len(refs))
+	for id := range refs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	e.uvar(uint64(dims))
+	e.uvar(uint64(len(ids)))
+	for _, id := range ids {
+		e.uvar(uint64(id))
+		for _, a := range refs[id].Attrs {
+			e.uvar(uint64(a))
+		}
+	}
+	idList := func(l []object.Object) {
+		e.uvar(uint64(len(l)))
+		for _, o := range l {
+			e.uvar(uint64(o.ID))
+		}
+	}
+	lists := func(ls [][]object.Object) {
+		e.uvar(uint64(len(ls)))
+		for _, l := range ls {
+			idList(l)
+		}
+	}
+	lists(st.UserFronts)
+	lists(st.ClusterFronts)
+	if st.UserBuffers != nil {
+		e.u8(1)
+		lists(st.UserBuffers)
+	} else {
+		e.u8(0)
+	}
+	if st.ClusterBuffers != nil {
+		e.u8(1)
+		lists(st.ClusterBuffers)
+	} else {
+		e.u8(0)
+	}
+	if st.HasRing {
+		e.u8(1)
+		e.uvar(uint64(st.RingSeen))
+		idList(st.Ring)
+	} else {
+		e.u8(0)
+	}
+}
+
+// decodeEngine parses the engine-state section; ids must resolve in the
+// reference table or the state is corrupt.
+func decodeEngine(d *dec, wantDims int) (*core.EngineState, error) {
+	dims := int(d.uvar())
+	if d.fail {
+		return nil, d.err()
+	}
+	if dims != wantDims {
+		return nil, fmt.Errorf("%w: engine state has %d attribute dims, snapshot schema has %d", ErrCorrupt, dims, wantDims)
+	}
+	nRef := d.length()
+	refs := make(map[int]object.Object, nRef)
+	for i := 0; i < nRef && !d.fail; i++ {
+		o := object.Object{ID: int(d.uvar()), Attrs: make([]int32, dims)}
+		for a := 0; a < dims; a++ {
+			o.Attrs[a] = int32(d.uvar())
+		}
+		refs[o.ID] = o
+	}
+	var missing error
+	idList := func() []object.Object {
+		n := d.length()
+		if d.fail {
+			return nil
+		}
+		out := make([]object.Object, n)
+		for i := range out {
+			id := int(d.uvar())
+			o, ok := refs[id]
+			if !ok && !d.fail && missing == nil {
+				missing = fmt.Errorf("%w: engine state references unknown object %d", ErrCorrupt, id)
+			}
+			out[i] = o
+		}
+		return out
+	}
+	lists := func() [][]object.Object {
+		n := d.length()
+		if d.fail {
+			return nil
+		}
+		out := make([][]object.Object, n)
+		for i := range out {
+			out[i] = idList()
+		}
+		return out
+	}
+	st := &core.EngineState{}
+	st.UserFronts = lists()
+	st.ClusterFronts = lists()
+	if d.u8() == 1 {
+		st.UserBuffers = lists()
+	}
+	if d.u8() == 1 {
+		st.ClusterBuffers = lists()
+	}
+	if d.u8() == 1 {
+		st.HasRing = true
+		st.RingSeen = int(d.uvar())
+		st.Ring = idList()
+	}
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	if missing != nil {
+		return nil, missing
+	}
+	return st, nil
+}

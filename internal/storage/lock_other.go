@@ -1,0 +1,9 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics; the
+// single-writer discipline is then on the operator.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking flock on <dir>/LOCK. The
+// lock lives as long as the returned file's descriptor, so it releases
+// on Close and — crucially for crash recovery — automatically when the
+// process dies, kill -9 included; a stale LOCK file from a dead process
+// never blocks a restart.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/LOCK", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	return f, nil
+}

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// FormatVersion is the on-disk format version written into every WAL
+// segment header and snapshot header. Readers reject other versions with
+// ErrVersion; see docs/PERSISTENCE.md for the version-bump policy.
+const FormatVersion = 1
+
+var (
+	// ErrCorrupt reports on-disk state that cannot be trusted: a bad
+	// magic number, a CRC mismatch outside the torn tail of the newest
+	// WAL segment, a sequence gap between segments, or a snapshot whose
+	// body does not decode. Recovery stops rather than guessing.
+	ErrCorrupt = errors.New("storage: corrupt state")
+
+	// ErrVersion reports a WAL segment or snapshot written by an
+	// incompatible format version. Unlike corruption, the bytes are
+	// intact — an older or newer build wrote them — so the operator must
+	// migrate or roll back rather than discard.
+	ErrVersion = errors.New("storage: unsupported format version")
+
+	// ErrLocked reports a store directory already held by another live
+	// process. The WAL is single-writer: a second writer would truncate
+	// segments out from under the first, so OpenFile refuses instead.
+	ErrLocked = errors.New("storage: data directory locked by another process")
+)
+
+// Op discriminates WAL record types.
+type Op uint8
+
+const (
+	// OpObject logs one object ingestion (Monitor.Add, or one element of
+	// Monitor.AddBatch).
+	OpObject Op = 1
+	// OpPreference logs one online preference-tuple addition
+	// (Monitor.AddPreference).
+	OpPreference Op = 2
+)
+
+// Record is one write-ahead-log entry: the raw input of a single
+// monitor mutation, sufficient to replay it through a fresh engine.
+// Fields beyond Seq and Op are op-specific; unused ones stay zero.
+type Record struct {
+	// Seq is the record's position in the global log, starting at 1 and
+	// increasing by exactly 1 per record with no gaps.
+	Seq uint64
+	// Op selects which of the field groups below is meaningful.
+	Op Op
+
+	// Name and Values describe an OpObject record: the object's unique
+	// name and its attribute values in schema order.
+	Name   string
+	Values []string
+
+	// User, Attr, Better and Worse describe an OpPreference record: the
+	// user now prefers value Better over value Worse on attribute Attr.
+	User   string
+	Attr   string
+	Better string
+	Worse  string
+}
+
+// Stats describes a store's footprint for observability endpoints and
+// the recovery experiment.
+type Stats struct {
+	// Dir is the backing directory ("" for the in-memory store).
+	Dir string `json:"dir"`
+	// Segments and WALBytes count the live WAL segments and their total
+	// size; Snapshots and SnapshotBytes count the retained snapshot
+	// files and the newest snapshot's size.
+	Segments      int   `json:"segments"`
+	WALBytes      int64 `json:"wal_bytes"`
+	Snapshots     int   `json:"snapshots"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// LastSnapshotSeq is the newest snapshot's log position (0 if none).
+	LastSnapshotSeq uint64 `json:"last_snapshot_seq"`
+	// AppendedRecords and AppendedBytes count WAL appends performed by
+	// this process (not prior incarnations); the recovery experiment
+	// derives write amplification from them.
+	AppendedRecords uint64 `json:"appended_records"`
+	AppendedBytes   uint64 `json:"appended_bytes"`
+}
+
+// Store is the narrow persistence interface the Monitor writes through.
+// Implementations must serialize calls internally or document that the
+// caller does (the Monitor holds its write lock around every call).
+type Store interface {
+	// Append adds records to the WAL in order. Seqs must continue the
+	// log contiguously; records of one call are written as one unit, so
+	// a crash can tear at most the call's tail, never interleave it.
+	Append(recs ...Record) error
+	// Replay streams every record with Seq > afterSeq in log order,
+	// stopping early if fn returns an error (which it propagates). A
+	// torn tail on the newest segment is silently treated as the end of
+	// the log; damage anywhere else is ErrCorrupt.
+	Replay(afterSeq uint64, fn func(rec Record) error) error
+	// WriteSnapshot durably persists the encoded monitor state covering
+	// the log through seq. The write is atomic: a crash leaves either
+	// the complete snapshot or none, never a partial one.
+	WriteSnapshot(seq uint64, body []byte) error
+	// LoadSnapshot returns the newest readable snapshot. ok is false if
+	// no snapshot exists; an unreadable newest snapshot falls back to
+	// the next older one. All-corrupt is ErrCorrupt, a snapshot from an
+	// incompatible format is ErrVersion.
+	LoadSnapshot() (seq uint64, body []byte, ok bool, err error)
+	// Prune drops WAL segments and snapshots no longer needed for
+	// recovery, always retaining enough history to recover from the
+	// previous snapshot should the newest one be lost.
+	Prune() error
+	// Stats reports the store's current footprint.
+	Stats() (Stats, error)
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// PrefUpdate is one applied online preference addition, recorded inside
+// snapshots so restore can re-grow the rebuilt preference profiles
+// (frontier state in the snapshot already reflects the repairs).
+type PrefUpdate struct {
+	// User and Dim are the construction-order user index and attribute
+	// index; Better and Worse are the raw attribute values.
+	User   int
+	Dim    int
+	Better string
+	Worse  string
+}
+
+// Snapshot is the complete durable state of a Monitor at one log
+// position, independent of the worker-shard layout. Marshal/Unmarshal
+// define its byte encoding (see docs/PERSISTENCE.md).
+type Snapshot struct {
+	// Configuration fingerprint: restore refuses state written under a
+	// semantically different engine configuration.
+	Algorithm    uint8
+	Window       int
+	Measure      uint8
+	BranchCut    float64
+	ClusterCount int
+	Theta1       int
+	Theta2       float64
+
+	// UserNames pins the community: user names in construction order.
+	UserNames []string
+	// Clusters pins the clustering: member user indices per cluster, in
+	// cluster order (empty for Baseline). Restore verifies the freshly
+	// re-clustered community matches, guarding against nondeterminism.
+	Clusters [][]int
+	// Domains holds each attribute's interned values in id order, so
+	// restored value ids match the ones baked into frontier objects.
+	Domains [][]string
+	// Objects holds every ingested object name in id order.
+	Objects []string
+	// Prefs lists the online preference updates applied so far.
+	Prefs []PrefUpdate
+	// Counters is the work accounting at the snapshot position.
+	Counters stats.Counters
+	// Engine is the engine-facing state: frontiers in scan order,
+	// window ring, and Pareto frontier buffers.
+	Engine *core.EngineState
+}

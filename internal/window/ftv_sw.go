@@ -25,6 +25,12 @@ type FilterThenVerifySW struct {
 	win        *ring
 	targets    *targetTracker
 	ctr        *stats.Counters
+
+	// globalIdx / total map this instance's cluster subset into the
+	// monitor's full cluster list; set only for shard instances, used by
+	// state capture (see state.go).
+	globalIdx []int
+	total     int
 }
 
 // NewFilterThenVerifySW creates the monitor with window size w. Clusters

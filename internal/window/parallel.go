@@ -44,8 +44,11 @@ type ParallelFilterThenVerifySW struct {
 // NewFilterThenVerifySW.
 func NewParallelFilterThenVerifySW(users []*pref.Profile, clusters []core.Cluster, w, workers int, ctr *stats.Counters) *ParallelFilterThenVerifySW {
 	core.ValidatePartition(users, clusters)
+	total := len(clusters)
 	return &ParallelFilterThenVerifySW{Sharded: core.ShardedByCluster(len(users), clusters, workers, ctr,
-		func(clusters []core.Cluster, ctr *stats.Counters) core.ShardEngine {
-			return newFTVSWShard(users, clusters, w, ctr)
+		func(clusters []core.Cluster, globalIdx []int, ctr *stats.Counters) core.ShardEngine {
+			sh := newFTVSWShard(users, clusters, w, ctr)
+			sh.globalIdx, sh.total = globalIdx, total
+			return sh
 		})}
 }

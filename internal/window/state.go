@@ -1,0 +1,160 @@
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/object"
+)
+
+// State capture/restore for the sliding-window engines, mirroring
+// core/state.go. Window state adds the ring of alive objects and the
+// Pareto frontier buffers; both serialize in arrival order so a restored
+// engine expires, mends, and counts comparisons exactly like an
+// uninterrupted one. Every shard of a sharded window engine sees every
+// object and therefore holds an identical private ring, so the ring is
+// captured once and restored into each shard — per-shard state stays
+// keyed by user/cluster and restores under any worker count.
+
+var (
+	_ core.StateEngine = (*BaselineSW)(nil)
+	_ core.StateEngine = (*FilterThenVerifySW)(nil)
+)
+
+// tail returns the min(seen, w) youngest objects in arrival order.
+func (r *ring) tail() []object.Object {
+	n := r.seen
+	if n > r.w {
+		n = r.w
+	}
+	out := make([]object.Object, 0, n)
+	for i := r.seen - n; i < r.seen; i++ {
+		out = append(out, r.buf[i%r.w])
+	}
+	return out
+}
+
+// restore rebuilds the ring from a captured tail. The slot of arrival i
+// is i mod w, so replaying the tail into its original slots makes every
+// future push evict exactly the object it would have originally.
+func (r *ring) restore(seen int, tail []object.Object) error {
+	n := seen
+	if n > r.w {
+		n = r.w
+	}
+	if len(tail) != n {
+		return fmt.Errorf("window: ring state has %d objects, want %d (seen=%d, w=%d)", len(tail), n, seen, r.w)
+	}
+	for i, o := range tail {
+		r.buf[(seen-n+i)%r.w] = o
+	}
+	r.seen = seen
+	return nil
+}
+
+// restoreBuffer refills an empty Pareto frontier buffer in arrival order.
+func restoreBuffer(pb *buffer, objs []object.Object) {
+	for _, o := range objs {
+		pb.add(o)
+	}
+}
+
+func copyObjects(objs []object.Object) []object.Object {
+	return append([]object.Object(nil), objs...)
+}
+
+// CaptureState fills the maintained users' frontier and buffer slots
+// plus the (shard-identical) window ring.
+func (b *BaselineSW) CaptureState(st *core.EngineState) {
+	st.EnsureUserBuffers()
+	b.each(func(c int) {
+		st.UserFronts[c] = copyObjects(b.fronts[c].Objects())
+		st.UserBuffers[c] = copyObjects(b.buffers[c].objects())
+	})
+	st.SetRing(b.win.seen, b.win.tail())
+}
+
+// RestoreState rebuilds the maintained users' frontiers, buffers, the
+// target index, and the ring. The engine must be freshly constructed.
+func (b *BaselineSW) RestoreState(st *core.EngineState) error {
+	if len(st.UserFronts) != len(b.users) {
+		return fmt.Errorf("window: state has %d user frontiers, engine has %d users", len(st.UserFronts), len(b.users))
+	}
+	if !st.HasRing || st.UserBuffers == nil {
+		return fmt.Errorf("window: state missing ring or user buffers (captured from an append-only engine?)")
+	}
+	if err := b.win.restore(st.RingSeen, st.Ring); err != nil {
+		return err
+	}
+	b.each(func(c int) {
+		for _, o := range st.UserFronts[c] {
+			b.fronts[c].Add(o)
+			b.targets.add(o.ID, c)
+		}
+		restoreBuffer(b.buffers[c], st.UserBuffers[c])
+	})
+	return nil
+}
+
+// CaptureState fills the maintained clusters' filter frontier and
+// buffer slots, their members' frontiers, and the ring.
+func (f *FilterThenVerifySW) CaptureState(st *core.EngineState) {
+	st.EnsureClusterBuffers()
+	for li, cl := range f.clusters {
+		gi := f.globalIndex(li)
+		st.ClusterFronts[gi] = copyObjects(f.clusterFs[li].Objects())
+		st.ClusterBuffers[gi] = copyObjects(f.buffers[li].objects())
+		for _, c := range cl.Members {
+			st.UserFronts[c] = copyObjects(f.userFs[c].Objects())
+		}
+	}
+	st.SetRing(f.win.seen, f.win.tail())
+}
+
+// RestoreState rebuilds the maintained clusters' tiers, the target
+// index, and the ring. The engine must be freshly constructed.
+func (f *FilterThenVerifySW) RestoreState(st *core.EngineState) error {
+	if len(st.UserFronts) != len(f.users) {
+		return fmt.Errorf("window: state has %d user frontiers, engine has %d users", len(st.UserFronts), len(f.users))
+	}
+	if len(st.ClusterFronts) != f.clusterTotal() {
+		return fmt.Errorf("window: state has %d cluster frontiers, engine has %d clusters", len(st.ClusterFronts), f.clusterTotal())
+	}
+	if !st.HasRing || st.ClusterBuffers == nil {
+		return fmt.Errorf("window: state missing ring or cluster buffers (captured from a different engine?)")
+	}
+	if err := f.win.restore(st.RingSeen, st.Ring); err != nil {
+		return err
+	}
+	for li, cl := range f.clusters {
+		gi := f.globalIndex(li)
+		for _, o := range st.ClusterFronts[gi] {
+			f.clusterFs[li].Add(o)
+		}
+		restoreBuffer(f.buffers[li], st.ClusterBuffers[gi])
+		for _, c := range cl.Members {
+			for _, o := range st.UserFronts[c] {
+				f.userFs[c].Add(o)
+				f.targets.add(o.ID, c)
+			}
+		}
+	}
+	return nil
+}
+
+// globalIndex maps a local cluster index into the monitor's full
+// cluster list (identity for the sequential engine).
+func (f *FilterThenVerifySW) globalIndex(li int) int {
+	if f.globalIdx == nil {
+		return li
+	}
+	return f.globalIdx[li]
+}
+
+// clusterTotal is the full cluster-list length.
+func (f *FilterThenVerifySW) clusterTotal() int {
+	if f.globalIdx == nil {
+		return len(f.clusters)
+	}
+	return f.total
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/pref"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/window"
 )
 
@@ -114,6 +115,15 @@ type Config struct {
 	// goroutines. 0 means runtime.GOMAXPROCS(0); a resolved count <= 1
 	// selects the sequential engines. Deliveries are identical either way.
 	Workers int
+	// Store, when non-nil, makes the monitor durable: mutations are
+	// written to its WAL before being applied, and a monitor constructed
+	// over a non-empty store recovers its state (snapshot + WAL tail)
+	// during NewMonitor. nil disables persistence.
+	Store Store
+	// SnapshotEvery, when > 0, snapshots the full monitor state after
+	// every n applied WAL records, bounding replay work at recovery.
+	// 0 means snapshots happen only through explicit Snapshot calls.
+	SnapshotEvery int
 }
 
 // DefaultConfig returns the paper's default setting: exact
@@ -201,6 +211,10 @@ type Monitor struct {
 	// e.g. to prepare a rebuild — cannot race a serving monitor.
 	userIdx   map[string]int
 	userNames []string
+	// profiles aliases the engine's (shared, mutable) preference
+	// profiles, letting AddPreference validate a tuple without applying
+	// it so the update can be WAL-logged first.
+	profiles []*pref.Profile
 
 	// mu orders ingestion (writers) against reads. The engines mutate
 	// frontiers in place on every Process, so they are single-writer by
@@ -209,12 +223,31 @@ type Monitor struct {
 	eng engine
 	ctr *stats.Counters
 
-	clusters [][]string // member names per cluster (nil for Baseline)
+	clusters       [][]string // member names per cluster (nil for Baseline)
+	clusterMembers [][]int    // raw member indices per cluster, in cluster order
 
 	names  map[string]int // object name -> id
 	lookup []string       // object id -> name
 
 	subs subscriptions
+
+	// Persistence (see persist.go). store/snapEvery mirror the config;
+	// walSeq is the last appended-or-replayed log position and sinceSnap
+	// counts records toward the next automatic snapshot (both under mu).
+	// replaying suppresses WAL appends and subscriber publication while
+	// recovery re-ingests history; prefLog accumulates the online
+	// preference updates a future snapshot must carry. storeErr, once
+	// set (failed append, or Close on an owned store), permanently fails
+	// durable mutations and snapshots: the log can no longer be trusted
+	// to match memory, so restart-and-recover is the only way forward.
+	store     Store
+	ownsStore bool
+	snapEvery int
+	walSeq    uint64
+	sinceSnap int
+	replaying bool
+	storeErr  error
+	prefLog   []storage.PrefUpdate
 }
 
 // NewMonitor builds a monitor for the community. With no options it runs
@@ -256,6 +289,12 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("%w: negative worker count %d", ErrInvalidConfig, cfg.Workers)
 	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("%w: negative snapshot interval %d", ErrInvalidConfig, cfg.SnapshotEvery)
+	}
+	if cfg.SnapshotEvery > 0 && cfg.Store == nil {
+		return nil, fmt.Errorf("%w: SnapshotEvery without a Store", ErrInvalidConfig)
+	}
 	if cfg.SubscriptionBuffer == 0 {
 		cfg.SubscriptionBuffer = defaultSubscriptionBuffer
 	}
@@ -289,6 +328,7 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 		m.userIdx[u.name] = i
 		m.userNames[i] = u.name
 	}
+	m.profiles = profiles
 	m.subs.init(cfg.SubscriptionBuffer)
 
 	var clusters []core.Cluster
@@ -319,6 +359,7 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 			}
 			clusters = append(clusters, core.Cluster{Members: ci.Members, Common: common})
 			m.clusters = append(m.clusters, m.sortedNames(ci.Members))
+			m.clusterMembers = append(m.clusterMembers, append([]int(nil), ci.Members...))
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown algorithm %v", ErrInvalidConfig, cfg.Algorithm)
@@ -360,6 +401,14 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 			m.eng = window.NewFilterThenVerifySW(profiles, clusters, cfg.Window, m.ctr)
 		}
 	}
+
+	m.store = cfg.Store
+	m.snapEvery = cfg.SnapshotEvery
+	if m.store != nil {
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
@@ -393,11 +442,16 @@ func (m *Monitor) intern(o Object) object.Object {
 	return object.Object{ID: id, Attrs: attrs}
 }
 
-// ingest processes one pre-validated object. Caller holds mu.
+// ingest processes one pre-validated object. Caller holds mu. During
+// recovery replay the delivery is computed but not published: replayed
+// history must never reach subscribers, who only observe post-recovery
+// arrivals.
 func (m *Monitor) ingest(o Object) Delivery {
 	users := m.eng.Process(m.intern(o))
 	d := Delivery{Object: o.Name, Users: m.sortedNames(users)}
-	m.subs.publish(d, users)
+	if !m.replaying {
+		m.subs.publish(d, users)
+	}
 	return d
 }
 
@@ -410,7 +464,9 @@ type batchEngine interface {
 
 // Add ingests the next object and returns who it should be delivered to.
 // values must match the schema's attribute order and count. Object names
-// must be unique.
+// must be unique. On a durable monitor (WithStore) the object is logged
+// to the WAL before it is applied, so an acknowledged Add survives a
+// crash.
 func (m *Monitor) Add(name string, values ...string) (Delivery, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -418,14 +474,21 @@ func (m *Monitor) Add(name string, values ...string) (Delivery, error) {
 	if err := m.validateObject(o, nil); err != nil {
 		return Delivery{}, err
 	}
-	return m.ingest(o), nil
+	if err := m.appendWAL(objectRecords([]Object{o})); err != nil {
+		return Delivery{}, err
+	}
+	d := m.ingest(o)
+	m.maybeSnapshotLocked(1)
+	return d, nil
 }
 
 // AddBatch ingests a sequence of objects under a single writer critical
 // section, amortizing per-arrival locking and allocation across the
 // engines. The whole batch is validated before any object is ingested:
 // on error, a *BatchError locating the first bad object is returned and
-// the monitor is unchanged. Deliveries are returned in batch order.
+// the monitor is unchanged. Deliveries are returned in batch order. On
+// a durable monitor the batch is logged as one contiguous WAL append
+// before any object is applied.
 func (m *Monitor) AddBatch(objs []Object) ([]Delivery, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -435,6 +498,9 @@ func (m *Monitor) AddBatch(objs []Object) ([]Delivery, error) {
 			return nil, &BatchError{Index: i, Object: o.Name, Err: err}
 		}
 		inBatch[o.Name] = true
+	}
+	if err := m.appendWAL(objectRecords(objs)); err != nil {
+		return nil, err
 	}
 	out := make([]Delivery, len(objs))
 	if be, ok := m.eng.(batchEngine); ok {
@@ -447,14 +513,18 @@ func (m *Monitor) AddBatch(objs []Object) ([]Delivery, error) {
 		}
 		for i, users := range be.ProcessBatch(interned) {
 			d := Delivery{Object: objs[i].Name, Users: m.sortedNames(users)}
-			m.subs.publish(d, users)
+			if !m.replaying {
+				m.subs.publish(d, users)
+			}
 			out[i] = d
 		}
+		m.maybeSnapshotLocked(len(objs))
 		return out, nil
 	}
 	for i, o := range objs {
 		out[i] = m.ingest(o)
 	}
+	m.maybeSnapshotLocked(len(objs))
 	return out, nil
 }
 
@@ -537,6 +607,16 @@ func (m *Monitor) Stats() Stats {
 
 // Config returns the configuration the monitor was built with.
 func (m *Monitor) Config() Config { return m.cfg }
+
+// HasObject reports whether an object with the given name has been
+// ingested over the monitor's lifetime, including recovered objects
+// (window expiry does not unregister a name).
+func (m *Monitor) HasObject(name string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.names[name]
+	return ok
+}
 
 // TargetsOf returns the current C_o of a previously added object: the
 // (sorted) users for whom it is still Pareto-optimal. An object that has

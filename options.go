@@ -130,6 +130,43 @@ func WithSubscriptionBuffer(n int) Option {
 	}
 }
 
+// WithStore makes the monitor durable: every Add, AddBatch and
+// AddPreference is appended to the store's write-ahead log before it is
+// applied, and a monitor constructed over a non-empty store recovers
+// its state — newest valid snapshot plus the WAL tail — during
+// NewMonitor. The community and options must match the ones the stored
+// state was written under (NewMonitor fails with ErrStateMismatch
+// otherwise). Combine with WithSnapshotEvery to bound recovery replay,
+// or use Open, which bundles a file store with ownership. The caller
+// keeps ownership of the store and closes it after the monitor is done.
+func WithStore(s Store) Option {
+	return func(c *Config) error {
+		if s == nil {
+			return fmt.Errorf("%w: WithStore(nil)", ErrInvalidConfig)
+		}
+		c.Store = s
+		return nil
+	}
+}
+
+// WithSnapshotEvery makes a durable monitor snapshot its full state
+// after every n applied WAL records (objects and preference updates),
+// then prune log segments recovery no longer needs. Smaller n bounds
+// recovery replay and disk growth at the cost of more snapshot writes;
+// see docs/PERSISTENCE.md for tuning guidance. n = 0 (the default)
+// disables automatic snapshots — state is still fully recoverable from
+// the WAL alone, and explicit Snapshot calls remain available. Requires
+// WithStore.
+func WithSnapshotEvery(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithSnapshotEvery(%d): interval must be >= 0", ErrInvalidConfig, n)
+		}
+		c.SnapshotEvery = n
+		return nil
+	}
+}
+
 // WithConfig overlays a whole Config at once.
 //
 // Deprecated: it exists to bridge v1 code that assembled a raw Config;

@@ -41,6 +41,13 @@
 //	d, _ := mon.Add("laptop-1", "13-15.9", "Apple", "dual")
 //	fmt.Println(d.Users) // users who should see laptop-1
 //
+// WithStore (or Open, which bundles a file store) makes a monitor
+// durable: mutations are written to a write-ahead log before they
+// apply, WithSnapshotEvery(n) bounds recovery replay with periodic
+// state snapshots, and reopening over the same store recovers state
+// byte-for-byte equivalent to an uninterrupted run — an acknowledged
+// ingestion survives kill -9. See docs/PERSISTENCE.md.
+//
 // Monitors are safe for concurrent use: one ingester (Add / AddBatch /
 // AddPreference) runs at a time while any number of readers (Frontier,
 // Stats, Clusters, TargetsOf) proceed in parallel. Consumers can also

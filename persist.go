@@ -1,0 +1,353 @@
+package paretomon
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Durable monitors. A Monitor built with WithStore writes every
+// mutation — Add, AddBatch, AddPreference — to a write-ahead log before
+// applying it, and periodically (WithSnapshotEvery, or an explicit
+// Snapshot call) persists its full state at one log position. A monitor
+// constructed over a non-empty store recovers first: the newest valid
+// snapshot is loaded and the WAL tail behind it replayed, yielding
+// state byte-for-byte equivalent to an uninterrupted run — frontiers
+// keep their scan order, so deliveries, Frontier, TargetsOf, and even
+// Stats counters continue exactly where the crashed process would have.
+// See docs/PERSISTENCE.md for the on-disk format and operations guide.
+
+// Store is the pluggable persistence backend a Monitor writes through:
+// WAL record appends, snapshot write/load, and segment pruning. Two
+// implementations ship with the package — NewFileStore (durable, binary
+// segments + atomic snapshots) and NewMemStore (volatile, for tests) —
+// and custom backends implement the same interface using the WALRecord
+// and StoreStats types.
+type Store = storage.Store
+
+// WALRecord is one write-ahead-log entry: the raw input of a single
+// monitor mutation (an object ingestion or an online preference
+// addition), sufficient to replay it through a fresh engine.
+type WALRecord = storage.Record
+
+// WALOp discriminates WALRecord types.
+type WALOp = storage.Op
+
+// WAL record types: an object ingestion (Add or one AddBatch element)
+// or an online preference addition (AddPreference).
+const (
+	OpObject     WALOp = storage.OpObject
+	OpPreference WALOp = storage.OpPreference
+)
+
+// StoreStats describes a store's footprint: live WAL segments and
+// bytes, retained snapshots, and the appends performed by this process.
+type StoreStats = storage.Stats
+
+// NewFileStore opens (creating if needed) a durable file-backed store
+// rooted at dir: length-prefixed, CRC-checked binary WAL segments plus
+// atomically renamed snapshot files. Pass it to WithStore, or use Open
+// which bundles the two.
+func NewFileStore(dir string) (Store, error) { return storage.OpenFile(dir) }
+
+// NewMemStore returns a volatile in-memory store with the same contract
+// as NewFileStore: useful in tests and for handing state between
+// monitor generations within one process.
+func NewMemStore() Store { return storage.NewMem() }
+
+// Open builds a durable monitor backed by a file store at dir: it is
+// NewMonitor(c, opts..., WithStore(NewFileStore(dir))) plus ownership —
+// the monitor closes the store when Close is called. If dir already
+// holds state from a previous run, the monitor recovers it; the
+// community and options must match the ones the state was written
+// under (ErrStateMismatch otherwise).
+func Open(c *Community, dir string, opts ...Option) (*Monitor, error) {
+	st, err := storage.OpenFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]Option, 0, len(opts)+1)
+	all = append(all, opts...)
+	all = append(all, WithStore(st))
+	mon, err := NewMonitor(c, all...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	mon.ownsStore = true
+	return mon, nil
+}
+
+// Snapshot persists the monitor's full state at the current WAL
+// position and prunes log segments and older snapshots that recovery no
+// longer needs. It returns ErrUnsupported if the monitor has no store.
+// Automatic snapshots (WithSnapshotEvery) are best-effort; Snapshot is
+// the checked path, which POST /snapshot exposes over HTTP.
+func (m *Monitor) Snapshot() error {
+	if m.store == nil {
+		return fmt.Errorf("%w: monitor has no store (use WithStore or Open)", ErrUnsupported)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.storeErr != nil {
+		// After a failed append, memory and log may disagree; a snapshot
+		// taken now would let the orphaned log records replay on top of
+		// it. Restart and recover instead.
+		return fmt.Errorf("%w: store unusable: %w", ErrStore, m.storeErr)
+	}
+	return m.writeSnapshotLocked()
+}
+
+// StorageStats reports the store's current footprint (WAL segments and
+// bytes, snapshots, appends). It returns ErrUnsupported if the monitor
+// has no store.
+func (m *Monitor) StorageStats() (StoreStats, error) {
+	if m.store == nil {
+		return StoreStats{}, fmt.Errorf("%w: monitor has no store (use WithStore or Open)", ErrUnsupported)
+	}
+	return m.store.Stats()
+}
+
+// ObjectCount returns how many objects the monitor has ingested over
+// its lifetime, including recovered ones (window expiry does not
+// decrease it). Stream replayers use it to skip rows a recovered
+// monitor already holds.
+func (m *Monitor) ObjectCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.lookup)
+}
+
+// appendWAL assigns sequence numbers to the pre-validated records and
+// logs them as one contiguous WAL append (torn only at the tail, never
+// interleaved). No-op without a store or during recovery replay. A
+// failed append poisons the monitor's durable side: the log may hold a
+// prefix of the records while memory holds none, so further mutations
+// and snapshots are refused until a restart recovers from the log.
+func (m *Monitor) appendWAL(recs []WALRecord) error {
+	if m.store == nil || m.replaying {
+		return nil
+	}
+	if m.storeErr != nil {
+		return fmt.Errorf("%w: store unusable: %w", ErrStore, m.storeErr)
+	}
+	for i := range recs {
+		recs[i].Seq = m.walSeq + 1 + uint64(i)
+	}
+	if err := m.store.Append(recs...); err != nil {
+		m.storeErr = err
+		return fmt.Errorf("%w: appending to WAL: %w", ErrStore, err)
+	}
+	m.walSeq += uint64(len(recs))
+	return nil
+}
+
+// objectRecords builds the WAL records for a validated object batch.
+func objectRecords(objs []Object) []WALRecord {
+	recs := make([]WALRecord, len(objs))
+	for i, o := range objs {
+		recs[i] = WALRecord{Op: OpObject, Name: o.Name, Values: o.Values}
+	}
+	return recs
+}
+
+// maybeSnapshotLocked counts applied records toward the WithSnapshotEvery
+// threshold and snapshots when it is crossed. Failures are tolerated
+// (the WAL already holds the data); the counter is only reset on
+// success, so the next threshold crossing retries.
+func (m *Monitor) maybeSnapshotLocked(applied int) {
+	if m.store == nil || m.replaying || m.snapEvery <= 0 {
+		return
+	}
+	m.sinceSnap += applied
+	if m.sinceSnap >= m.snapEvery {
+		_ = m.writeSnapshotLocked()
+	}
+}
+
+// writeSnapshotLocked captures and persists the full monitor state at
+// the current WAL position, then prunes. Caller holds mu.
+func (m *Monitor) writeSnapshotLocked() error {
+	eng, ok := m.eng.(core.StateEngine)
+	if !ok {
+		return fmt.Errorf("%w: %T does not support state capture", ErrUnsupported, m.eng)
+	}
+	st := core.NewEngineState(len(m.userNames), len(m.clusterMembers))
+	eng.CaptureState(st)
+	snap := &storage.Snapshot{
+		Algorithm:    uint8(m.cfg.Algorithm),
+		Window:       m.cfg.Window,
+		Measure:      uint8(m.cfg.Measure),
+		BranchCut:    m.cfg.BranchCut,
+		ClusterCount: m.cfg.ClusterCount,
+		Theta1:       m.cfg.Theta1,
+		Theta2:       m.cfg.Theta2,
+		UserNames:    m.userNames,
+		Clusters:     m.clusterMembers,
+		Domains:      m.schema.domainValues(),
+		Objects:      m.lookup,
+		Prefs:        m.prefLog,
+		Counters:     m.ctr.Snapshot(),
+		Engine:       st,
+	}
+	if err := m.store.WriteSnapshot(m.walSeq, snap.Marshal()); err != nil {
+		return fmt.Errorf("%w: writing snapshot: %w", ErrStore, err)
+	}
+	m.sinceSnap = 0
+	if err := m.store.Prune(); err != nil {
+		return fmt.Errorf("%w: pruning store: %w", ErrStore, err)
+	}
+	return nil
+}
+
+// domainValues returns each attribute's interned values in id order.
+func (s *Schema) domainValues() [][]string {
+	out := make([][]string, len(s.doms))
+	for i, d := range s.doms {
+		out[i] = d.Values()
+	}
+	return out
+}
+
+// recover rebuilds state from the store: newest valid snapshot first,
+// then the WAL tail behind it, replayed through the normal ingestion
+// path with publication and re-logging suppressed. Runs during
+// construction, before the monitor is shared, so no locking is needed.
+func (m *Monitor) recover() error {
+	m.replaying = true
+	defer func() { m.replaying = false }()
+	seq, body, ok, err := m.store.LoadSnapshot()
+	if err != nil {
+		return fmt.Errorf("paretomon: loading snapshot: %w", err)
+	}
+	if ok {
+		snap, err := storage.UnmarshalSnapshot(body)
+		if err != nil {
+			return fmt.Errorf("paretomon: decoding snapshot: %w", err)
+		}
+		if err := m.restoreSnapshot(snap); err != nil {
+			return err
+		}
+		m.walSeq = seq
+	}
+	if err := m.store.Replay(m.walSeq, m.replayRecord); err != nil {
+		return err
+	}
+	// Per-shard cumulative counters exist to show live load skew;
+	// recovery work (state restore, preference re-application, log
+	// replay) would skew that picture, so they restart at zero while
+	// the public totals above are restored exactly.
+	if eng, ok := m.eng.(interface{ ResetShardCounters() }); ok {
+		eng.ResetShardCounters()
+	}
+	return nil
+}
+
+// replayRecord applies one WAL record during recovery. A record that no
+// longer applies cleanly means the log and the provided community have
+// diverged — corrupt state, not a caller input error.
+func (m *Monitor) replayRecord(rec WALRecord) error {
+	switch rec.Op {
+	case OpObject:
+		o := Object{Name: rec.Name, Values: rec.Values}
+		if err := m.validateObject(o, nil); err != nil {
+			return fmt.Errorf("%w: replaying WAL record %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+		m.ingest(o)
+	case OpPreference:
+		idx, err := m.user(rec.User)
+		if err != nil {
+			return fmt.Errorf("%w: replaying WAL record %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+		d, ok := m.schema.attrIndex(rec.Attr)
+		if !ok {
+			return fmt.Errorf("%w: replaying WAL record %d: unknown attribute %q", ErrCorrupt, rec.Seq, rec.Attr)
+		}
+		if err := m.applyPreferenceLocked(idx, d, rec.User, rec.Attr, rec.Better, rec.Worse); err != nil {
+			return fmt.Errorf("%w: replaying WAL record %d: %v", ErrCorrupt, rec.Seq, err)
+		}
+	default:
+		return fmt.Errorf("%w: WAL record %d has unknown op %d", ErrCorrupt, rec.Seq, rec.Op)
+	}
+	m.walSeq = rec.Seq
+	return nil
+}
+
+// restoreSnapshot rebuilds the monitor from a decoded snapshot. The
+// freshly constructed monitor (community, options, clustering) must
+// match what the snapshot was written under; every divergence is
+// ErrStateMismatch so recovery fails loudly instead of serving wrong
+// frontiers.
+func (m *Monitor) restoreSnapshot(snap *storage.Snapshot) error {
+	if snap.Algorithm != uint8(m.cfg.Algorithm) || snap.Window != m.cfg.Window ||
+		snap.Measure != uint8(m.cfg.Measure) || snap.BranchCut != m.cfg.BranchCut ||
+		snap.ClusterCount != m.cfg.ClusterCount ||
+		snap.Theta1 != m.cfg.Theta1 || snap.Theta2 != m.cfg.Theta2 {
+		return fmt.Errorf("%w: snapshot was written under a different monitor configuration", ErrStateMismatch)
+	}
+	if len(snap.UserNames) != len(m.userNames) {
+		return fmt.Errorf("%w: snapshot has %d users, community has %d", ErrStateMismatch, len(snap.UserNames), len(m.userNames))
+	}
+	for i, name := range snap.UserNames {
+		if name != m.userNames[i] {
+			return fmt.Errorf("%w: snapshot user %d is %q, community has %q", ErrStateMismatch, i, name, m.userNames[i])
+		}
+	}
+	if len(snap.Clusters) != len(m.clusterMembers) {
+		return fmt.Errorf("%w: snapshot has %d clusters, this monitor clustered %d (changed preferences?)",
+			ErrStateMismatch, len(snap.Clusters), len(m.clusterMembers))
+	}
+	for ui, members := range snap.Clusters {
+		got := m.clusterMembers[ui]
+		if len(members) != len(got) {
+			return fmt.Errorf("%w: cluster %d membership differs from the snapshot's", ErrStateMismatch, ui)
+		}
+		for i, c := range members {
+			if c != got[i] {
+				return fmt.Errorf("%w: cluster %d membership differs from the snapshot's", ErrStateMismatch, ui)
+			}
+		}
+	}
+	if len(snap.Domains) != len(m.schema.doms) {
+		return fmt.Errorf("%w: snapshot has %d attributes, schema has %d", ErrStateMismatch, len(snap.Domains), len(m.schema.doms))
+	}
+	// Re-intern the snapshot's domain tables in id order. The values the
+	// community's preferences already interned must come back with the
+	// same ids; the rest (first seen in objects) extend the tables so the
+	// value ids baked into restored frontier objects stay meaningful.
+	for d, values := range snap.Domains {
+		for want, v := range values {
+			if got := m.schema.doms[d].Intern(v); got != want {
+				return fmt.Errorf("%w: attribute %q value %q interned as %d, snapshot has %d (changed preferences?)",
+					ErrStateMismatch, m.schema.doms[d].Name(), v, got, want)
+			}
+		}
+	}
+	m.lookup = append([]string(nil), snap.Objects...)
+	for id, name := range m.lookup {
+		m.names[name] = id
+	}
+	eng, ok := m.eng.(core.StateEngine)
+	if !ok {
+		return fmt.Errorf("%w: %T does not support state restore", ErrUnsupported, m.eng)
+	}
+	if err := eng.RestoreState(snap.Engine); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// Re-grow the rebuilt preference profiles with the recorded online
+	// updates. The restored frontiers already reflect their repairs
+	// (growth is monotone, so re-repairing removes nothing), and the
+	// counter overwrite below erases the re-repairs' comparison counts.
+	for _, p := range snap.Prefs {
+		if p.User < 0 || p.User >= len(m.userNames) || p.Dim < 0 || p.Dim >= len(m.schema.doms) {
+			return fmt.Errorf("%w: snapshot preference update references user %d / attribute %d", ErrCorrupt, p.User, p.Dim)
+		}
+		attr := m.schema.doms[p.Dim].Name()
+		if err := m.applyPreferenceLocked(p.User, p.Dim, m.userNames[p.User], attr, p.Better, p.Worse); err != nil {
+			return fmt.Errorf("%w: reapplying snapshot preference update: %v", ErrCorrupt, err)
+		}
+	}
+	*m.ctr = snap.Counters
+	return nil
+}

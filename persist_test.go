@@ -1,0 +1,611 @@
+package paretomon_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	paretomon "repro"
+)
+
+// persistCommunity builds a deterministic 6-user community over three
+// attributes with varied chain preferences, plus a scripted mutation
+// sequence (single adds, batches, online preference updates) driven by
+// a fixed seed.
+func persistCommunity(t *testing.T) *paretomon.Community {
+	t.Helper()
+	s := paretomon.NewSchema("color", "brand", "size")
+	com := paretomon.NewCommunity(s)
+	rng := rand.New(rand.NewSource(7))
+	attrs := []string{"color", "brand", "size"}
+	for u := 0; u < 6; u++ {
+		user, err := com.AddUser(fmt.Sprintf("u%d", u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, attr := range attrs {
+			vals := persistValues(attr)
+			rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+			if err := user.PreferChain(attr, vals[:4]...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return com
+}
+
+func persistValues(attr string) []string {
+	out := make([]string, 6)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", attr[:1], i)
+	}
+	return out
+}
+
+// persistOp is one scripted mutation: a batch of objects, or (when
+// batch is nil) an online preference update.
+type persistOp struct {
+	batch []paretomon.Object
+	pref  [4]string // user, attr, better, worse
+}
+
+func persistScript(steps int) []persistOp {
+	rng := rand.New(rand.NewSource(11))
+	attrs := []string{"color", "brand", "size"}
+	var ops []persistOp
+	next := 0
+	for i := 0; i < steps; i++ {
+		if rng.Intn(10) < 7 {
+			n := 1 + rng.Intn(4)
+			batch := make([]paretomon.Object, n)
+			for j := range batch {
+				batch[j] = paretomon.Object{
+					Name: fmt.Sprintf("o%d", next),
+					Values: []string{
+						fmt.Sprintf("c%d", rng.Intn(6)),
+						fmt.Sprintf("b%d", rng.Intn(6)),
+						fmt.Sprintf("s%d", rng.Intn(6)),
+					},
+				}
+				next++
+			}
+			ops = append(ops, persistOp{batch: batch})
+			continue
+		}
+		attr := attrs[rng.Intn(len(attrs))]
+		b, w := rng.Intn(6), rng.Intn(6)
+		if b == w {
+			w = (w + 1) % 6
+		}
+		ops = append(ops, persistOp{pref: [4]string{
+			fmt.Sprintf("u%d", rng.Intn(6)), attr,
+			fmt.Sprintf("%s%d", attr[:1], b), fmt.Sprintf("%s%d", attr[:1], w),
+		}})
+	}
+	return ops
+}
+
+// applyOps drives a monitor through script ops [from, to). Single-object
+// batches go through Add to exercise both ingestion paths. Preference
+// updates may legitimately be rejected (cycles); both monitors under
+// comparison must agree, which applyOps asserts by returning the error
+// outcomes.
+func applyOps(t *testing.T, m *paretomon.Monitor, ops []persistOp, from, to int) []bool {
+	t.Helper()
+	outcomes := make([]bool, 0, to-from)
+	for _, op := range ops[from:to] {
+		if op.batch != nil {
+			var err error
+			if len(op.batch) == 1 {
+				_, err = m.Add(op.batch[0].Name, op.batch[0].Values...)
+			} else {
+				_, err = m.AddBatch(op.batch)
+			}
+			if err != nil {
+				t.Fatalf("ingesting %v: %v", op.batch, err)
+			}
+			outcomes = append(outcomes, true)
+			continue
+		}
+		err := m.AddPreference(op.pref[0], op.pref[1], op.pref[2], op.pref[3])
+		if err != nil && !errors.Is(err, paretomon.ErrCycle) {
+			t.Fatalf("AddPreference%v: %v", op.pref, err)
+		}
+		outcomes = append(outcomes, err == nil)
+	}
+	return outcomes
+}
+
+// compareMonitors asserts two monitors are observably identical:
+// frontiers of every user, targets of every object, and work counters.
+func compareMonitors(t *testing.T, label string, want, got *paretomon.Monitor, com *paretomon.Community, ops []persistOp) {
+	t.Helper()
+	for _, u := range com.Users() {
+		fw, err1 := want.Frontier(u)
+		fg, err2 := got.Frontier(u)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: Frontier(%s): %v / %v", label, u, err1, err2)
+		}
+		if !reflect.DeepEqual(fw, fg) {
+			t.Errorf("%s: frontier of %s: %v, want %v", label, u, fg, fw)
+		}
+	}
+	for _, op := range ops {
+		for _, o := range op.batch {
+			tw, err1 := want.TargetsOf(o.Name)
+			tg, err2 := got.TargetsOf(o.Name)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: TargetsOf(%s): %v / %v", label, o.Name, err1, err2)
+			}
+			if !reflect.DeepEqual(tw, tg) {
+				t.Errorf("%s: targets of %s: %v, want %v", label, o.Name, tg, tw)
+			}
+		}
+	}
+	sw, sg := want.Stats(), got.Stats()
+	if sw.Comparisons != sg.Comparisons || sw.FilterComparisons != sg.FilterComparisons ||
+		sw.VerifyComparisons != sg.VerifyComparisons || sw.Delivered != sg.Delivered ||
+		sw.Processed != sg.Processed {
+		t.Errorf("%s: stats diverged: got %+v, want %+v", label, sg, sw)
+	}
+}
+
+// TestDurableCrashRecovery simulates a kill -9 for every engine shape:
+// a durable monitor ingests half the script and is abandoned without
+// any shutdown; a second monitor over the same store recovers and
+// finishes the script; the result must be indistinguishable from an
+// uninterrupted run — including the comparison counters.
+func TestDurableCrashRecovery(t *testing.T) {
+	ops := persistScript(40)
+	half := len(ops) / 2
+	cases := []struct {
+		name string
+		opts []paretomon.Option
+	}{
+		{"baseline", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)}},
+		{"ftv", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1.2)}},
+		{"ftva", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox), paretomon.WithBranchCut(1.2), paretomon.WithThetas(40, 0.3)}},
+		{"baselineSW", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline), paretomon.WithWindow(13)}},
+		{"ftvSW", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1.2), paretomon.WithWindow(13)}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 3} {
+			for _, snapEvery := range []int{0, 7} {
+				name := fmt.Sprintf("%s/workers=%d/snapEvery=%d", tc.name, workers, snapEvery)
+				t.Run(name, func(t *testing.T) {
+					com := persistCommunity(t)
+					opts := append(append([]paretomon.Option{}, tc.opts...), paretomon.WithWorkers(workers))
+
+					ref, err := paretomon.NewMonitor(com, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					refOutcomes := applyOps(t, ref, ops, 0, len(ops))
+
+					store := paretomon.NewMemStore()
+					durableOpts := append(append([]paretomon.Option{}, opts...), paretomon.WithStore(store))
+					if snapEvery > 0 {
+						durableOpts = append(durableOpts, paretomon.WithSnapshotEvery(snapEvery))
+					}
+					m1, err := paretomon.NewMonitor(com, durableOpts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out1 := applyOps(t, m1, ops, 0, half)
+					// No Close, no final snapshot: the crash point.
+
+					m2, err := paretomon.NewMonitor(com, durableOpts...)
+					if err != nil {
+						t.Fatalf("recovery: %v", err)
+					}
+					// Per-shard cumulative counters restart at zero after
+					// recovery (they track live load skew, not history).
+					for i, sh := range m2.Stats().Shards {
+						if sh.Comparisons != 0 || sh.Processed != 0 {
+							t.Errorf("shard %d counters not reset after recovery: %+v", i, sh)
+						}
+					}
+					out2 := applyOps(t, m2, ops, half, len(ops))
+					if got := append(out1, out2...); !reflect.DeepEqual(got, refOutcomes) {
+						t.Errorf("op outcomes diverged after recovery")
+					}
+					compareMonitors(t, name, ref, m2, com, ops)
+				})
+			}
+		}
+	}
+}
+
+// TestExplicitSnapshotReopen covers the tentpole's happy path: open,
+// ingest, snapshot, reopen from the snapshot alone (the WAL behind it
+// is pruned), verify the frontier and counters carried over.
+func TestExplicitSnapshotReopen(t *testing.T) {
+	com := persistCommunity(t)
+	dir := t.TempDir()
+	ops := persistScript(20)
+
+	m1, err := paretomon.Open(com, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, m1, ops, 0, len(ops))
+	if err := m1.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	st, err := m1.StorageStats()
+	if err != nil {
+		t.Fatalf("StorageStats: %v", err)
+	}
+	if st.Snapshots == 0 || st.SnapshotBytes == 0 {
+		t.Fatalf("no snapshot on disk: %+v", st)
+	}
+	wantStats := m1.Stats()
+	wantFrontier, err := m1.Frontier("u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := paretomon.Open(com, dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	gotFrontier, err := m2.Frontier("u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotFrontier, wantFrontier) {
+		t.Errorf("frontier after reopen: %v, want %v", gotFrontier, wantFrontier)
+	}
+	if got := m2.Stats(); got.Comparisons != wantStats.Comparisons || got.Processed != wantStats.Processed {
+		t.Errorf("stats after reopen: %+v, want %+v", got, wantStats)
+	}
+	if m2.ObjectCount() != m1.ObjectCount() {
+		t.Errorf("ObjectCount after reopen: %d, want %d", m2.ObjectCount(), m1.ObjectCount())
+	}
+}
+
+// TestSubscribeAfterRecovery is the regression test for replayed
+// deliveries: subscriptions created after recovery must observe only
+// post-recovery arrivals, never the replayed history.
+func TestSubscribeAfterRecovery(t *testing.T) {
+	com := persistCommunity(t)
+	store := paretomon.NewMemStore()
+	m1, err := paretomon.NewMonitor(com, paretomon.WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m1.Add(fmt.Sprintf("h%d", i), "c0", "b0", "s0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m2, err := paretomon.NewMonitor(com, paretomon.WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := m2.Subscribe("u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	select {
+	case d := <-ch:
+		t.Fatalf("subscriber received replayed delivery %+v", d)
+	default:
+	}
+	d, err := m2.Add("fresh", "c1", "b1", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliversToU0 := false
+	for _, u := range d.Users {
+		if u == "u0" {
+			deliversToU0 = true
+		}
+	}
+	if !deliversToU0 {
+		t.Fatalf("test premise broken: fresh object not delivered to u0 (%v)", d.Users)
+	}
+	got := <-ch
+	if got.Object != "fresh" {
+		t.Fatalf("first post-recovery delivery is %q, want \"fresh\"", got.Object)
+	}
+	if st := m2.Stats(); st.DroppedDeliveries != 0 {
+		t.Errorf("DroppedDeliveries = %d after recovery, want 0", st.DroppedDeliveries)
+	}
+}
+
+// TestRecoveryRejectsMismatchedSetup pins ErrStateMismatch: a snapshot
+// written under one configuration or community must not restore into
+// another. A WAL-only store, by contrast, holds raw inputs and may be
+// legitimately rebuilt under a new configuration.
+func TestRecoveryRejectsMismatchedSetup(t *testing.T) {
+	com := persistCommunity(t)
+	store := paretomon.NewMemStore()
+	ftv := []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1.2), paretomon.WithStore(store)}
+	m1, err := paretomon.NewMonitor(com, ftv...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, m1, persistScript(10), 0, 10)
+	if err := m1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = paretomon.NewMonitor(com,
+		paretomon.WithAlgorithm(paretomon.AlgorithmBaseline), paretomon.WithStore(store))
+	if !errors.Is(err, paretomon.ErrStateMismatch) {
+		t.Fatalf("algorithm change over snapshot: got %v, want ErrStateMismatch", err)
+	}
+
+	bigger := persistCommunity(t)
+	if _, err := bigger.AddUser("u6"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = paretomon.NewMonitor(bigger, ftv...)
+	if !errors.Is(err, paretomon.ErrStateMismatch) {
+		t.Fatalf("community change over snapshot: got %v, want ErrStateMismatch", err)
+	}
+
+	// WAL-only: a config change rebuilds from raw inputs instead.
+	walOnly := paretomon.NewMemStore()
+	m2, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(1.2), paretomon.WithStore(walOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, m2, persistScript(10), 0, 10)
+	m3, err := paretomon.NewMonitor(com,
+		paretomon.WithAlgorithm(paretomon.AlgorithmBaseline), paretomon.WithStore(walOnly))
+	if err != nil {
+		t.Fatalf("WAL-only rebuild under new algorithm: %v", err)
+	}
+	if m3.Stats().Processed != m2.Stats().Processed {
+		t.Errorf("WAL-only rebuild lost objects: %d vs %d", m3.Stats().Processed, m2.Stats().Processed)
+	}
+}
+
+// storeFiles lists the store directory's files matching a prefix.
+func storeFiles(t *testing.T, dir, prefix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+// TestRecoveryCorruptionHandling drives the documented corruption
+// policy end to end against real files: a torn WAL tail recovers the
+// surviving prefix, a deleted newest snapshot falls back to the older
+// one, and an unreadable snapshot set refuses with ErrCorrupt.
+func TestRecoveryCorruptionHandling(t *testing.T) {
+	com := persistCommunity(t)
+	ops := persistScript(24)
+
+	t.Run("torn WAL tail", func(t *testing.T) {
+		dir := t.TempDir()
+		m1, err := paretomon.Open(com, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, m1, ops, 0, len(ops))
+		processed := m1.Stats().Processed
+		m1.Close()
+		segs := storeFiles(t, dir, "wal-")
+		if len(segs) == 0 {
+			t.Fatal("no WAL segments")
+		}
+		last := segs[len(segs)-1]
+		data, err := os.ReadFile(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(last, data[:len(data)-5], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := paretomon.Open(com, dir)
+		if err != nil {
+			t.Fatalf("recovery over torn tail: %v", err)
+		}
+		defer m2.Close()
+		got := m2.Stats().Processed
+		if got == 0 || got >= processed {
+			t.Errorf("recovered %d objects; want a non-empty strict prefix of %d", got, processed)
+		}
+	})
+
+	t.Run("deleted newest snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		m1, err := paretomon.Open(com, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, m1, ops, 0, len(ops)/2)
+		if err := m1.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, m1, ops, len(ops)/2, len(ops))
+		if err := m1.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := m1.Frontier("u1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		processed := m1.Stats().Processed
+		m1.Close()
+		snaps := storeFiles(t, dir, "snap-")
+		if len(snaps) != 2 {
+			t.Fatalf("expected 2 retained snapshots, found %d", len(snaps))
+		}
+		if err := os.Remove(snaps[len(snaps)-1]); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := paretomon.Open(com, dir)
+		if err != nil {
+			t.Fatalf("fallback recovery: %v", err)
+		}
+		defer m2.Close()
+		if got := m2.Stats().Processed; got != processed {
+			t.Errorf("recovered %d objects, want %d", got, processed)
+		}
+		if got, _ := m2.Frontier("u1"); !reflect.DeepEqual(got, want) {
+			t.Errorf("frontier after fallback: %v, want %v", got, want)
+		}
+	})
+
+	t.Run("all snapshots corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		m1, err := paretomon.Open(com, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, m1, ops, 0, len(ops))
+		if err := m1.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		m1.Close()
+		for _, snap := range storeFiles(t, dir, "snap-") {
+			data, err := os.ReadFile(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0xff
+			if err := os.WriteFile(snap, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, err = paretomon.Open(com, dir)
+		if !errors.Is(err, paretomon.ErrCorrupt) {
+			t.Fatalf("all-corrupt snapshots: got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestPersistenceOptionValidation pins the new options' error cases.
+func TestPersistenceOptionValidation(t *testing.T) {
+	com := persistCommunity(t)
+	if _, err := paretomon.NewMonitor(com, paretomon.WithStore(nil)); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("WithStore(nil): %v", err)
+	}
+	if _, err := paretomon.NewMonitor(com, paretomon.WithSnapshotEvery(-1)); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("WithSnapshotEvery(-1): %v", err)
+	}
+	if _, err := paretomon.NewMonitor(com, paretomon.WithSnapshotEvery(5)); !errors.Is(err, paretomon.ErrInvalidConfig) {
+		t.Errorf("WithSnapshotEvery without store: %v", err)
+	}
+	m, err := paretomon.NewMonitor(com)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Snapshot(); !errors.Is(err, paretomon.ErrUnsupported) {
+		t.Errorf("Snapshot without store: %v", err)
+	}
+	if _, err := m.StorageStats(); !errors.Is(err, paretomon.ErrUnsupported) {
+		t.Errorf("StorageStats without store: %v", err)
+	}
+}
+
+// TestCloseOwnedStoreFailsTyped pins the Close contract for Open-built
+// monitors: after Close, durable mutations fail with an error wrapping
+// ErrMonitorClosed (so the HTTP layer maps it to 503, not 400), while
+// reads keep answering.
+func TestCloseOwnedStoreFailsTyped(t *testing.T) {
+	com := persistCommunity(t)
+	m, err := paretomon.Open(com, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add("o1", "c0", "b0", "s0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add("o2", "c0", "b0", "s0"); !errors.Is(err, paretomon.ErrMonitorClosed) {
+		t.Errorf("Add after Close: %v, want ErrMonitorClosed", err)
+	}
+	if err := m.AddPreference("u0", "color", "c0", "c1"); !errors.Is(err, paretomon.ErrMonitorClosed) {
+		t.Errorf("AddPreference after Close: %v, want ErrMonitorClosed", err)
+	}
+	if err := m.Snapshot(); !errors.Is(err, paretomon.ErrMonitorClosed) {
+		t.Errorf("Snapshot after Close: %v, want ErrMonitorClosed", err)
+	}
+	if f, err := m.Frontier("u0"); err != nil || len(f) != 1 {
+		t.Errorf("Frontier after Close: %v, %v (reads must keep working)", f, err)
+	}
+}
+
+// TestRejectedPreferenceLeavesNoTrace pins log-before-apply for
+// AddPreference: a tuple the engine would reject is refused before
+// anything is logged or mutated, so recovery sees nothing of it.
+func TestRejectedPreferenceLeavesNoTrace(t *testing.T) {
+	com := persistCommunity(t)
+	store := paretomon.NewMemStore()
+	m1, err := paretomon.NewMonitor(com, paretomon.WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.AddPreference("u0", "color", "c4", "c5"); err != nil {
+		t.Fatal(err)
+	}
+	// The reverse tuple now violates asymmetry.
+	if err := m1.AddPreference("u0", "color", "c5", "c4"); !errors.Is(err, paretomon.ErrCycle) {
+		t.Fatalf("reversed tuple: %v, want ErrCycle", err)
+	}
+	before, err := store.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.AppendedRecords != 1 {
+		t.Fatalf("WAL has %d records; the rejected update must not be logged", before.AppendedRecords)
+	}
+	m2, err := paretomon.NewMonitor(com, paretomon.WithStore(store))
+	if err != nil {
+		t.Fatalf("recovery after rejected preference: %v", err)
+	}
+	// The accepted tuple survived; the rejected one is still rejectable
+	// (i.e. the accepted direction still stands).
+	if err := m2.AddPreference("u0", "color", "c5", "c4"); !errors.Is(err, paretomon.ErrCycle) {
+		t.Errorf("reversed tuple after recovery: %v, want ErrCycle", err)
+	}
+}
+
+// TestOpenLockedDirectory pins the single-writer guard end to end: a
+// second Open of a live data directory fails with ErrLocked instead of
+// corrupting the first monitor's WAL.
+func TestOpenLockedDirectory(t *testing.T) {
+	com := persistCommunity(t)
+	dir := t.TempDir()
+	m1, err := paretomon.Open(com, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := paretomon.Open(com, dir); !errors.Is(err, paretomon.ErrLocked) {
+		t.Fatalf("second Open: got %v, want ErrLocked", err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := paretomon.Open(com, dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	m2.Close()
+}

@@ -143,11 +143,22 @@ func (m *Monitor) Subscribe(user string) (<-chan Delivery, CancelFunc, error) {
 }
 
 // Close shuts down delivery fan-out: every subscription channel is
-// closed and further Subscribe calls return ErrMonitorClosed. Ingestion
-// and reads keep working; Close only ends the push side. It always
-// returns nil and implements io.Closer for composition with server
-// lifecycles.
+// closed and further Subscribe calls return ErrMonitorClosed. Reads
+// (Frontier, Stats, Clusters, TargetsOf) keep working. On a monitor
+// built with Open — which owns its file store — the store is closed
+// too, after which Add, AddBatch and AddPreference fail with an error
+// wrapping ErrMonitorClosed; with a caller-provided WithStore the
+// caller owns the store's lifecycle and ingestion keeps working. Close
+// implements io.Closer for composition with server lifecycles.
 func (m *Monitor) Close() error {
 	m.subs.closeAll()
+	if m.ownsStore && m.store != nil {
+		m.mu.Lock()
+		if m.storeErr == nil {
+			m.storeErr = ErrMonitorClosed
+		}
+		m.mu.Unlock()
+		return m.store.Close()
+	}
 	return nil
 }

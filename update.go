@@ -1,6 +1,17 @@
 package paretomon
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/order"
+	"repro/internal/storage"
+)
+
+// prefApplier is the engine surface for online preference updates;
+// every engine implements it.
+type prefApplier interface {
+	ApplyPreference(user, dim, better, worse int) error
+}
 
 // AddPreference teaches a *running* monitor that user now also prefers
 // better over worse on attr, repairing the affected frontiers in place —
@@ -16,6 +27,9 @@ import "fmt"
 // Every engine supports the update, including the sharded ones
 // (WithWorkers > 1): the repair routes to the shard owning the user, so
 // the cost is the same as on a sequential engine of that shard's size.
+// On a durable monitor the update is validated first, WAL-logged, and
+// only then applied — like Add, an acknowledged update is in the log
+// before any state changes, and a rejected tuple changes nothing.
 func (m *Monitor) AddPreference(user, attr, better, worse string) error {
 	idx, err := m.user(user)
 	if err != nil {
@@ -25,16 +39,42 @@ func (m *Monitor) AddPreference(user, attr, better, worse string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
 	}
-	type applier interface {
-		ApplyPreference(user, dim, better, worse int) error
+	if _, ok := m.eng.(prefApplier); !ok {
+		return fmt.Errorf("%w: %T does not support online preference updates", ErrUnsupported, m.eng)
 	}
-	eng, ok := m.eng.(applier)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Validate without mutating, so the update can be logged before it
+	// applies: CanAdd mirrors exactly the strict-partial-order check the
+	// engine's apply performs. (Interning may grow the shared domain
+	// tables even on rejection, which is harmless — ids are opaque and
+	// each monitor's value→id mapping stays internally consistent.)
+	doms := m.schema.doms
+	b, w := doms[d].Intern(better), doms[d].Intern(worse)
+	if !m.profiles[idx].Relation(d).CanAdd(b, w) {
+		return fmt.Errorf("%w: user %q, attribute %q: cannot prefer %q over %q: %w",
+			ErrCycle, user, attr, better, worse, order.ErrNotStrictPartialOrder)
+	}
+	if err := m.appendWAL([]WALRecord{{
+		Op: OpPreference, User: user, Attr: attr, Better: better, Worse: worse,
+	}}); err != nil {
+		return err
+	}
+	if err := m.applyPreferenceLocked(idx, d, user, attr, better, worse); err != nil {
+		return err // unreachable: CanAdd above is Add's exact validation
+	}
+	m.maybeSnapshotLocked(1)
+	return nil
+}
+
+// applyPreferenceLocked grows the user's preference relation in the
+// engine and records the update for future snapshots. Caller holds mu
+// (or is the construction-time recovery, which is single-threaded).
+func (m *Monitor) applyPreferenceLocked(idx, d int, user, attr, better, worse string) error {
+	eng, ok := m.eng.(prefApplier)
 	if !ok {
 		return fmt.Errorf("%w: %T does not support online preference updates", ErrUnsupported, m.eng)
 	}
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	// Intern under the write lock: it may grow the shared domain tables.
 	doms := m.schema.doms
 	b, w := doms[d].Intern(better), doms[d].Intern(worse)
@@ -42,5 +82,6 @@ func (m *Monitor) AddPreference(user, attr, better, worse string) error {
 		return fmt.Errorf("%w: user %q, attribute %q: cannot prefer %q over %q: %w",
 			cycleOr(err), user, attr, better, worse, err)
 	}
+	m.prefLog = append(m.prefLog, storage.PrefUpdate{User: idx, Dim: d, Better: better, Worse: worse})
 	return nil
 }
