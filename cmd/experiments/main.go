@@ -10,13 +10,17 @@
 //	            [-workers 1,2,4,8] [-benchout BENCH_parallel.json]
 //
 // Experiment ids: fig4 fig5 fig6 fig7 table11 fig8 fig9 fig10 fig11 table12
-// parallel recovery. The parallel sweep measures ingest throughput of the
-// sharded engines at each -workers count and, with -benchout, records the
-// sweep as JSON so CI can track the perf trajectory. The recovery
-// benchmark crashes a durable monitor (internal/storage) mid-stream,
-// restarts it, verifies the recovered state is identical to an
-// uninterrupted run, and measures snapshot size, WAL write amplification,
-// and cold-start recovery time (-benchout writes BENCH_recovery.json).
+// parallel recovery lifecycle. The parallel sweep measures ingest
+// throughput of the sharded engines at each -workers count and, with
+// -benchout, records the sweep as JSON so CI can track the perf
+// trajectory. The recovery benchmark crashes a durable monitor
+// (internal/storage) mid-stream, restarts it, verifies the recovered
+// state is identical to an uninterrupted run, and measures snapshot size,
+// WAL write amplification, and cold-start recovery time (-benchout writes
+// BENCH_recovery.json). The lifecycle benchmark measures the v3 mutation
+// costs — mend comparisons and wall time per RemoveObject /
+// RetractPreference / AddUser — against the alive state (-benchout writes
+// BENCH_lifecycle.json).
 package main
 
 import (

@@ -20,6 +20,12 @@ var (
 	// (negative window, θ out of range, unknown algorithm, ...).
 	ErrInvalidConfig = errors.New("paretomon: invalid configuration")
 
+	// ErrBadOption reports a With* option called with an out-of-range
+	// value (negative window, worker count, snapshot interval, cluster
+	// count below one, ...). It wraps ErrInvalidConfig, so existing
+	// errors.Is(err, ErrInvalidConfig) dispatch keeps matching.
+	ErrBadOption = fmt.Errorf("%w: bad option value", ErrInvalidConfig)
+
 	// ErrEmptyCommunity reports a NewMonitor call over a community with
 	// no users.
 	ErrEmptyCommunity = errors.New("paretomon: community has no users")
@@ -34,8 +40,14 @@ var (
 	ErrUnknownAttribute = errors.New("paretomon: unknown attribute")
 
 	// ErrUnknownObject reports an object name the monitor has never
-	// ingested.
+	// ingested — or one RemoveObject has deleted.
 	ErrUnknownObject = errors.New("paretomon: unknown object")
+
+	// ErrUnknownPreference reports a RetractPreference of a tuple the
+	// user never asserted: unknown values, a never-added pair, or a pair
+	// only implied transitively by other assertions (retract an
+	// asserting edge instead).
+	ErrUnknownPreference = errors.New("paretomon: preference was never asserted")
 
 	// ErrDuplicateUser reports a second AddUser with an existing name.
 	ErrDuplicateUser = errors.New("paretomon: duplicate user")

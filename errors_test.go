@@ -201,3 +201,76 @@ func subErr(m *paretomon.Monitor, user string) error {
 	_, _, err := m.Subscribe(user)
 	return err
 }
+
+// TestLifecycleErrorTaxonomy pins the v3 lifecycle sentinels: every
+// failure dispatches with errors.Is, never by message.
+func TestLifecycleErrorTaxonomy(t *testing.T) {
+	s := paretomon.NewSchema("brand")
+	com := paretomon.NewCommunity(s)
+	u, err := com.AddUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Prefer("brand", "Apple", "Sony"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add("o1", "Apple"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.AddUser("alice", nil); !errors.Is(err, paretomon.ErrDuplicateUser) {
+		t.Errorf("duplicate AddUser: %v, want ErrDuplicateUser", err)
+	}
+	if err := m.AddUser("", nil); !errors.Is(err, paretomon.ErrEmptyName) {
+		t.Errorf("empty AddUser: %v, want ErrEmptyName", err)
+	}
+	if err := m.AddUser("bob", []paretomon.Preference{{Attr: "nope", Better: "x", Worse: "y"}}); !errors.Is(err, paretomon.ErrUnknownAttribute) {
+		t.Errorf("unknown attribute: %v, want ErrUnknownAttribute", err)
+	}
+	if err := m.AddUser("bob", []paretomon.Preference{
+		{Attr: "brand", Better: "x", Worse: "y"},
+		{Attr: "brand", Better: "y", Worse: "x"},
+	}); !errors.Is(err, paretomon.ErrCycle) {
+		t.Errorf("cyclic seed: %v, want ErrCycle", err)
+	}
+	if _, err := m.Frontier("bob"); !errors.Is(err, paretomon.ErrUnknownUser) {
+		t.Errorf("rejected user must not exist: %v, want ErrUnknownUser", err)
+	}
+
+	if err := m.RemoveUser("ghost"); !errors.Is(err, paretomon.ErrUnknownUser) {
+		t.Errorf("RemoveUser(ghost): %v, want ErrUnknownUser", err)
+	}
+	if err := m.RemoveObject("ghost"); !errors.Is(err, paretomon.ErrUnknownObject) {
+		t.Errorf("RemoveObject(ghost): %v, want ErrUnknownObject", err)
+	}
+	if err := m.RetractPreference("ghost", "brand", "Apple", "Sony"); !errors.Is(err, paretomon.ErrUnknownUser) {
+		t.Errorf("RetractPreference(ghost): %v, want ErrUnknownUser", err)
+	}
+	if err := m.RetractPreference("alice", "nope", "Apple", "Sony"); !errors.Is(err, paretomon.ErrUnknownAttribute) {
+		t.Errorf("retract unknown attribute: %v, want ErrUnknownAttribute", err)
+	}
+	// Never-asserted and merely-implied tuples both refuse.
+	if err := m.RetractPreference("alice", "brand", "Sony", "Apple"); !errors.Is(err, paretomon.ErrUnknownPreference) {
+		t.Errorf("retract unasserted: %v, want ErrUnknownPreference", err)
+	}
+
+	// The real thing still works, and errors left no trace of state.
+	if err := m.RetractPreference("alice", "brand", "Apple", "Sony"); err != nil {
+		t.Errorf("valid retraction: %v", err)
+	}
+	if err := m.RemoveObject("o1"); err != nil {
+		t.Errorf("valid removal: %v", err)
+	}
+	// Removing the last user is allowed; the monitor serves an empty
+	// community until someone joins.
+	if err := m.RemoveUser("alice"); err != nil {
+		t.Errorf("RemoveUser of last member: %v", err)
+	}
+	if err := m.AddUser("carol", nil); err != nil {
+		t.Errorf("AddUser on emptied community: %v", err)
+	}
+}

@@ -25,6 +25,13 @@ func NewBaseline(users []*pref.Profile, ctr *stats.Counters) *Baseline {
 	return newBaselineShard(users, nil, ctr)
 }
 
+// NewBaselineFor creates a Baseline maintaining only the given member
+// user indices (ascending); recovery of an evolved community uses it to
+// leave removed users' slots blank.
+func NewBaselineFor(users []*pref.Profile, members []int, ctr *stats.Counters) *Baseline {
+	return newBaselineShard(users, members, ctr)
+}
+
 // newBaselineShard creates a Baseline restricted to the given member
 // user indices; ParallelBaseline builds one per worker over disjoint
 // member sets. members == nil means every user. Frontiers exist only
@@ -38,15 +45,26 @@ func newBaselineShard(users []*pref.Profile, members []int, ctr *stats.Counters)
 		targets: newTargetTracker(),
 		ctr:     ctr,
 	}
-	b.each(func(c int) { b.fronts[c] = NewFrontier() })
+	if members == nil {
+		for c := range users {
+			b.fronts[c] = NewFrontier()
+		}
+	} else {
+		for _, c := range members {
+			b.fronts[c] = NewFrontier()
+		}
+	}
 	return b
 }
 
-// each calls fn for every user this instance maintains.
+// each calls fn for every user this instance maintains. Removed users
+// leave a nil frontier slot behind and are skipped.
 func (b *Baseline) each(fn func(c int)) {
 	if b.members == nil {
 		for c := range b.users {
-			fn(c)
+			if b.fronts[c] != nil {
+				fn(c)
+			}
 		}
 		return
 	}
@@ -99,6 +117,12 @@ scan:
 	}
 	return isPareto
 }
+
+// SetClusterTotal is a no-op: Baseline has no cluster tier.
+func (b *Baseline) SetClusterTotal(int) {}
+
+// SetCommonFn is a no-op: Baseline has no cluster relations.
+func (b *Baseline) SetCommonFn(CommonFn) {}
 
 // UserFrontier returns P_c as object ids.
 func (b *Baseline) UserFrontier(c int) []int { return b.fronts[c].IDs() }

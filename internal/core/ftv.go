@@ -33,6 +33,11 @@ type FilterThenVerify struct {
 	targets       *targetTracker
 	ctr           *stats.Counters
 
+	// commonFn recomputes a cluster's common relation when membership or
+	// member preferences change online; nil means pref.Common (the exact
+	// engines). The monitor wires approx.Profile for the approximate one.
+	commonFn CommonFn
+
 	// globalIdx maps local cluster indices to the monitor's full cluster
 	// list and total is that list's length; both are set only for shard
 	// instances, whose clusters field is a round-robin subset. State
@@ -62,6 +67,15 @@ func ValidatePartition(users []*pref.Profile, clusters []Cluster) {
 	}
 }
 
+// NewFilterThenVerifyFor builds the engine over a cluster list that need
+// not cover every user: removed users belong to no cluster and dormant
+// (memberless) clusters are carried as placeholders so cluster indices
+// stay stable. Recovery of an evolved community uses it; fresh monitors
+// use NewFilterThenVerify, which insists on a full partition.
+func NewFilterThenVerifyFor(users []*pref.Profile, clusters []Cluster, ctr *stats.Counters) *FilterThenVerify {
+	return newShard(users, clusters, nil, len(clusters), ctr)
+}
+
 // NewFilterThenVerify builds the engine. Every user must belong to exactly
 // one cluster; the constructor panics otherwise.
 func NewFilterThenVerify(users []*pref.Profile, clusters []Cluster, ctr *stats.Counters) *FilterThenVerify {
@@ -84,10 +98,14 @@ func NewFilterThenVerify(users []*pref.Profile, clusters []Cluster, ctr *stats.C
 }
 
 // Process implements Alg. 2: filter per cluster, then verify per member.
+// Clusters whose last member was removed are dormant and skipped.
 func (f *FilterThenVerify) Process(o object.Object) []int {
 	f.ctr.AddProcessed()
 	var co []int
 	for ui := range f.clusters {
+		if len(f.clusters[ui].Members) == 0 {
+			continue
+		}
 		if f.updateClusterFrontier(ui, o) {
 			for _, c := range f.clusters[ui].Members {
 				if f.verifyUser(c, o) {

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"repro/internal/object"
+	"repro/internal/pref"
+)
+
+// Lifecycle operations on the append-only engines: the community and the
+// object set become mutable after construction. Each operation mirrors a
+// public Monitor call; validation and WAL logging happen above, so the
+// engine methods only transform state (and count the comparisons the
+// transformation performs).
+//
+// The central mechanism is frontier *mending* — the inverse of the
+// arrival scan. Retracting a preference tuple or deleting an object
+// removes dominance pairs, so objects the frontier previously rejected
+// can become Pareto-optimal again. The windowed engines already mend on
+// expiry (Alg. 4/5's mendParetoFrontierSW); here the same mechanism is
+// exposed as a first-class operation for the append-only engines, with
+// the alive-object registry standing in for the window ring as the
+// candidate source.
+//
+// Correctness of mendFrontier's candidate check: a candidate x enters
+// the new frontier iff no alive object dominates it. It suffices to test
+// x against the surviving frontier members and the other candidates: any
+// alive dominator z outside both is itself dominated by a frontier
+// member w (append-only invariant: every non-frontier alive object has a
+// frontier dominator, transitively), and w — which survives, since
+// frontiers only grow under retraction/removal mends — dominates x
+// transitively.
+
+// CommonFn recomputes a cluster's common preference relation from its
+// member profiles. The exact engines use pref.Common (Def. 4.1); the
+// approximate engine substitutes approx.Profile so cluster relations
+// stay in the approximate regime across membership and preference
+// changes.
+type CommonFn func(members []*pref.Profile) *pref.Profile
+
+// LifecycleEngine is the mutation surface every engine (sequential and
+// sharded, append-only and windowed) implements for the v3 lifecycle
+// API. Indices are monitor-global: c is the user's construction-order
+// slot, cluster the index into the monitor's full cluster list. alive
+// holds every currently alive object in arrival order; windowed engines
+// ignore it and consult their ring instead.
+type LifecycleEngine interface {
+	// RegisterUser extends the engine's user table with profile p at slot
+	// c (== current table length). The user owns no frontier until
+	// ActivateUser runs; split so sharded harnesses can grow every
+	// shard's table while only the owning shard activates.
+	RegisterUser(c int, p *pref.Profile)
+	// ActivateUser gives user c a live frontier built over the alive
+	// objects. For clustered engines, cluster selects the joined cluster
+	// (== cluster-list length to found a new one) and common is the
+	// cluster's recomputed common relation including c.
+	ActivateUser(c int, cluster int, common *pref.Profile, alive []object.Object)
+	// DeactivateUser drops user c's structures without any mending; used
+	// during recovery to blank the slots of removed users.
+	DeactivateUser(c int)
+	// RemoveUser removes user c: its frontier disappears and, for
+	// clustered engines, its cluster's common relation becomes common
+	// (recomputed without c; nil when the cluster emptied) with the
+	// filter tier resynced.
+	RemoveUser(c int, common *pref.Profile, alive []object.Object)
+	// RetractPreference mends user c's frontier after the caller removed
+	// a tuple from c's (shared) profile; common is the cluster's
+	// recomputed relation for clustered engines (nil for baselines).
+	RetractPreference(c int, common *pref.Profile, alive []object.Object)
+	// RemoveObject deletes o from every structure it occupies and mends
+	// the frontiers it was shielding. alive excludes o already.
+	RemoveObject(o object.Object, alive []object.Object)
+}
+
+var (
+	_ LifecycleEngine = (*Baseline)(nil)
+	_ LifecycleEngine = (*FilterThenVerify)(nil)
+	_ LifecycleEngine = (*Sharded)(nil)
+)
+
+// drop forgets an object entirely (its C_o becomes empty).
+func (t *targetTracker) drop(objID int) { delete(t.m, objID) }
+
+// MendFrontier admits candidates into f. A candidate enters iff neither
+// a pre-existing frontier member nor another candidate dominates it
+// under p; every dominance test invokes count. cands must be in arrival
+// order, disjoint from f, and — together with f — cover every alive
+// object that could dominate a candidate (see the package comment).
+// Returns the admitted objects.
+func MendFrontier(f *Frontier, cands []object.Object, p *pref.Profile, count func(int)) []object.Object {
+	preLen := f.Len() // members admitted during the mend sit past this
+	var admitted []object.Object
+	for i, x := range cands {
+		dominated := false
+		for j := 0; j < preLen && !dominated; j++ {
+			count(1)
+			dominated = p.Dominates(f.At(j), x)
+		}
+		for j := 0; j < len(cands) && !dominated; j++ {
+			if j == i {
+				continue
+			}
+			count(1)
+			dominated = p.Dominates(cands[j], x)
+		}
+		if !dominated {
+			f.Add(x)
+			admitted = append(admitted, x)
+		}
+	}
+	return admitted
+}
+
+// --- Baseline ---
+
+// RegisterUser appends profile p as user c. The slot stays frontierless
+// until ActivateUser.
+func (b *Baseline) RegisterUser(c int, p *pref.Profile) {
+	if c != len(b.users) {
+		panic("core: RegisterUser out of order")
+	}
+	b.users = append(b.users, p)
+	b.fronts = append(b.fronts, nil)
+}
+
+// ActivateUser builds user c's frontier by replaying the alive objects
+// through the standard arrival scan (cluster and common are ignored:
+// Baseline has no shared tier).
+func (b *Baseline) ActivateUser(c int, _ int, _ *pref.Profile, alive []object.Object) {
+	if b.members != nil {
+		b.members = append(b.members, c)
+	}
+	b.fronts[c] = NewFrontier()
+	for _, o := range alive {
+		b.updateUser(c, o)
+	}
+}
+
+// DeactivateUser blanks user c's slot without mending (recovery path).
+func (b *Baseline) DeactivateUser(c int) {
+	b.fronts[c] = nil
+	b.dropMember(c)
+}
+
+func (b *Baseline) dropMember(c int) {
+	for i, m := range b.members {
+		if m == c {
+			b.members = append(b.members[:i], b.members[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveUser drops user c's frontier and target entries.
+func (b *Baseline) RemoveUser(c int, _ *pref.Profile, _ []object.Object) {
+	if b.fronts[c] == nil {
+		return
+	}
+	for _, id := range b.fronts[c].IDs() {
+		b.targets.remove(id, c)
+	}
+	b.DeactivateUser(c)
+}
+
+// RetractPreference mends user c's frontier after the caller shrank c's
+// preference relation: candidates are every alive non-frontier object
+// (any of them may have lost its last dominator).
+func (b *Baseline) RetractPreference(c int, _ *pref.Profile, alive []object.Object) {
+	f := b.fronts[c]
+	var cands []object.Object
+	for _, x := range alive {
+		if !f.Contains(x.ID) {
+			cands = append(cands, x)
+		}
+	}
+	for _, x := range MendFrontier(f, cands, b.users[c], b.ctr.AddVerify) {
+		b.targets.add(x.ID, c)
+	}
+}
+
+// RemoveObject deletes o and, for every user whose frontier held it,
+// promotes the alive objects whose only frontier shield was o.
+func (b *Baseline) RemoveObject(o object.Object, alive []object.Object) {
+	b.each(func(c int) {
+		f := b.fronts[c]
+		if !f.Remove(o.ID) {
+			return // o was dominated for c: its dominator still shields everything o did
+		}
+		b.targets.remove(o.ID, c)
+		u := b.users[c]
+		var cands []object.Object
+		for _, x := range alive {
+			if f.Contains(x.ID) {
+				continue
+			}
+			b.ctr.AddVerify(1)
+			if u.Dominates(o, x) {
+				cands = append(cands, x)
+			}
+		}
+		for _, x := range MendFrontier(f, cands, u, b.ctr.AddVerify) {
+			b.targets.add(x.ID, c)
+		}
+	})
+	b.targets.drop(o.ID)
+}
+
+// --- FilterThenVerify ---
+
+// common recomputes a cluster relation from member profiles through the
+// configured CommonFn (exact intersection by default).
+func (f *FilterThenVerify) common(members []int) *pref.Profile {
+	ps := make([]*pref.Profile, len(members))
+	for i, m := range members {
+		ps[i] = f.users[m]
+	}
+	if f.commonFn != nil {
+		return f.commonFn(ps)
+	}
+	return pref.Common(ps)
+}
+
+// SetCommonFn installs the cluster-relation recompute used by online
+// preference updates (the monitor wires approx.Profile for the
+// approximate engine).
+func (f *FilterThenVerify) SetCommonFn(fn CommonFn) { f.commonFn = fn }
+
+// SetClusterTotal grows the full-cluster-list length a shard instance
+// keys its state against; no-op on the sequential engine, whose local
+// list is the full list.
+func (f *FilterThenVerify) SetClusterTotal(n int) {
+	if f.globalIdx != nil && n > f.total {
+		f.total = n
+	}
+}
+
+// localCluster maps a monitor-global cluster index to this instance's
+// local list, or -1 if another shard owns it.
+func (f *FilterThenVerify) localCluster(cluster int) int {
+	if f.globalIdx == nil {
+		if cluster < len(f.clusters) {
+			return cluster
+		}
+		return -1
+	}
+	for li, gi := range f.globalIdx {
+		if gi == cluster {
+			return li
+		}
+	}
+	return -1
+}
+
+// RegisterUser appends profile p as user c (no frontier yet).
+func (f *FilterThenVerify) RegisterUser(c int, p *pref.Profile) {
+	if c != len(f.users) {
+		panic("core: RegisterUser out of order")
+	}
+	f.users = append(f.users, p)
+	f.userFronts = append(f.userFronts, nil)
+}
+
+// ActivateUser joins user c to the given cluster (or founds it when the
+// index is one past the current list), resyncs the cluster's filter tier
+// under the recomputed common relation, and builds c's frontier from the
+// filter frontier by the Lemma 4.6 criterion.
+func (f *FilterThenVerify) ActivateUser(c int, cluster int, common *pref.Profile, alive []object.Object) {
+	f.userFronts[c] = NewFrontier()
+	li := f.localCluster(cluster)
+	if li < 0 {
+		// Found a new cluster owned by this instance.
+		li = len(f.clusters)
+		f.clusters = append(f.clusters, Cluster{Members: []int{c}, Common: common})
+		f.clusterFronts = append(f.clusterFronts, NewFrontier())
+		if f.globalIdx != nil {
+			f.globalIdx = append(f.globalIdx, cluster)
+			if cluster+1 > f.total {
+				f.total = cluster + 1
+			}
+		}
+		for _, o := range alive {
+			f.updateClusterFrontier(li, o)
+		}
+	} else {
+		cl := &f.clusters[li]
+		old := cl.Common
+		cl.Common = common
+		cl.Members = append(cl.Members, c)
+		f.resyncCluster(li, old, alive)
+	}
+	f.mendMemberFrontier(li, c)
+}
+
+// mendMemberFrontier admits missing filter-frontier objects into a
+// member frontier: x enters P_c iff no other filter-frontier member
+// dominates x under ≻_c (Lemma 4.6; exact whenever ≻_U ⊆ ≻_c). Over an
+// empty frontier it builds P_c from scratch (ActivateUser).
+func (f *FilterThenVerify) mendMemberFrontier(li, c int) {
+	fu := f.clusterFronts[li]
+	u := f.users[c]
+	fc := f.userFronts[c]
+	for _, x := range fu.Objects() {
+		if fc.Contains(x.ID) {
+			continue
+		}
+		dominated := false
+		for j := 0; j < fu.Len() && !dominated; j++ {
+			op := fu.At(j)
+			if op.ID == x.ID {
+				continue
+			}
+			f.ctr.AddVerify(1)
+			dominated = u.Dominates(op, x)
+		}
+		if !dominated {
+			fc.Add(x)
+			f.targets.add(x.ID, c)
+		}
+	}
+}
+
+// DeactivateUser blanks user c's slot without mending (recovery path).
+func (f *FilterThenVerify) DeactivateUser(c int) { f.userFronts[c] = nil }
+
+// RemoveUser drops user c from its cluster. The shrunken membership
+// can only grow the common relation for exact engines (intersection of
+// fewer members), shrinking the filter frontier; resyncCluster also
+// covers the approximate engine, where the relation may move either way.
+// An emptied cluster goes dormant: its structures clear and Process
+// skips it.
+func (f *FilterThenVerify) RemoveUser(c int, common *pref.Profile, alive []object.Object) {
+	li := f.clusterOf(c)
+	cl := &f.clusters[li]
+	for i, m := range cl.Members {
+		if m == c {
+			cl.Members = append(cl.Members[:i], cl.Members[i+1:]...)
+			break
+		}
+	}
+	for _, id := range f.userFronts[c].IDs() {
+		f.targets.remove(id, c)
+	}
+	f.userFronts[c] = nil
+	if len(cl.Members) == 0 {
+		cl.Common = nil
+		f.clusterFronts[li] = NewFrontier()
+		return
+	}
+	old := cl.Common
+	cl.Common = common
+	f.resyncCluster(li, old, alive)
+}
+
+// RetractPreference resyncs user c's cluster under the recomputed common
+// relation (the caller already shrank c's shared profile), then mends
+// c's own frontier from the filter frontier.
+func (f *FilterThenVerify) RetractPreference(c int, common *pref.Profile, alive []object.Object) {
+	li := f.clusterOf(c)
+	cl := &f.clusters[li]
+	old := cl.Common
+	cl.Common = common
+	f.resyncCluster(li, old, alive)
+	f.mendMemberFrontier(li, c)
+}
+
+// resyncCluster reconciles the filter frontier with a changed common
+// relation. The direction decides the work: a grown relation (new ⊇ old)
+// can only evict members — the pairwise filter; a shrunken one (new ⊆
+// old) can only admit — the alive-candidate mend. The approximate
+// engine's relation can move both ways at once (the θ1 cap displaces
+// tuples), so an incomparable change runs both phases.
+func (f *FilterThenVerify) resyncCluster(li int, old *pref.Profile, alive []object.Object) {
+	cl := &f.clusters[li]
+	super := cl.Common.Subsumes(old)
+	sub := old.Subsumes(cl.Common)
+	if super && sub {
+		return // unchanged
+	}
+	if !sub {
+		f.filterClusterFrontier(li)
+	}
+	if !super {
+		fu := f.clusterFronts[li]
+		var cands []object.Object
+		for _, x := range alive {
+			if !fu.Contains(x.ID) {
+				cands = append(cands, x)
+			}
+		}
+		MendFrontier(fu, cands, cl.Common, f.ctr.AddFilter)
+	}
+}
+
+// filterClusterFrontier evicts filter-frontier members dominated under
+// the (grown) common relation, propagating each eviction to the member
+// frontiers (P_c ⊆ P_U is the engine invariant).
+func (f *FilterThenVerify) filterClusterFrontier(li int) {
+	cl := &f.clusters[li]
+	fu := f.clusterFronts[li]
+	ids := append([]int(nil), fu.IDs()...)
+	for _, id := range ids {
+		if !fu.Contains(id) {
+			continue
+		}
+		o := fu.list[fu.pos[id]]
+		for j := 0; j < fu.Len(); j++ {
+			op := fu.At(j)
+			if op.ID == id {
+				continue
+			}
+			f.ctr.AddFilter(1)
+			if cl.Common.Dominates(op, o) {
+				fu.Remove(id)
+				for _, m := range cl.Members {
+					if f.userFronts[m].Remove(id) {
+						f.targets.remove(id, m)
+					}
+				}
+				break
+			}
+		}
+	}
+}
+
+// RemoveObject deletes o from the filter and member frontiers of every
+// cluster and mends what it was shielding: first the filter frontier
+// from the alive candidates o dominated under ≻_U, then — only for
+// members whose own frontier held o — the member frontiers from the
+// mended filter frontier. A member whose P_c did not hold o cannot gain:
+// anything o shielded for that member is still shielded by o's own
+// ≻_c-dominator, which survives in the filter frontier.
+func (f *FilterThenVerify) RemoveObject(o object.Object, alive []object.Object) {
+	for li := range f.clusters {
+		cl := &f.clusters[li]
+		if len(cl.Members) == 0 {
+			continue
+		}
+		var holders []int
+		for _, c := range cl.Members {
+			if f.userFronts[c].Remove(o.ID) {
+				f.targets.remove(o.ID, c)
+				holders = append(holders, c)
+			}
+		}
+		fu := f.clusterFronts[li]
+		if !fu.Remove(o.ID) {
+			continue
+		}
+		var cands []object.Object
+		for _, x := range alive {
+			if fu.Contains(x.ID) {
+				continue
+			}
+			f.ctr.AddFilter(1)
+			if cl.Common.Dominates(o, x) {
+				cands = append(cands, x)
+			}
+		}
+		MendFrontier(fu, cands, cl.Common, f.ctr.AddFilter)
+		for _, c := range holders {
+			f.mendMemberAfterRemoval(li, c, o)
+		}
+	}
+	f.targets.drop(o.ID)
+}
+
+// mendMemberAfterRemoval promotes filter-frontier objects into P_c after
+// o left it: only objects o dominated under ≻_c can have lost their last
+// shield (covers freshly promoted filter objects too, since o ≻_U x
+// implies o ≻_c x).
+func (f *FilterThenVerify) mendMemberAfterRemoval(li, c int, o object.Object) {
+	fu := f.clusterFronts[li]
+	u := f.users[c]
+	fc := f.userFronts[c]
+	for _, x := range fu.Objects() {
+		if fc.Contains(x.ID) {
+			continue
+		}
+		f.ctr.AddVerify(1)
+		if !u.Dominates(o, x) {
+			continue
+		}
+		dominated := false
+		for j := 0; j < fu.Len() && !dominated; j++ {
+			op := fu.At(j)
+			if op.ID == x.ID {
+				continue
+			}
+			f.ctr.AddVerify(1)
+			dominated = u.Dominates(op, x)
+		}
+		if !dominated {
+			fc.Add(x)
+			f.targets.add(x.ID, c)
+		}
+	}
+}

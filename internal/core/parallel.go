@@ -27,6 +27,14 @@ type ParallelFilterThenVerify struct {
 // partition the user set, as with NewFilterThenVerify.
 func NewParallelFilterThenVerify(users []*pref.Profile, clusters []Cluster, workers int, ctr *stats.Counters) *ParallelFilterThenVerify {
 	ValidatePartition(users, clusters)
+	return NewParallelFilterThenVerifyFor(users, clusters, workers, ctr)
+}
+
+// NewParallelFilterThenVerifyFor builds the sharded engine without the
+// full-partition check: removed users belong to no cluster and dormant
+// clusters ride along as placeholders. Recovery of an evolved community
+// uses it; fresh monitors go through NewParallelFilterThenVerify.
+func NewParallelFilterThenVerifyFor(users []*pref.Profile, clusters []Cluster, workers int, ctr *stats.Counters) *ParallelFilterThenVerify {
 	// Each shard gets an engine built over the full user slice but only
 	// its own clusters (the unused users' frontiers stay empty and cost
 	// nothing).

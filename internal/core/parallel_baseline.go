@@ -18,7 +18,15 @@ type ParallelBaseline struct {
 // NewParallelBaseline distributes the users round-robin over at most
 // workers goroutines (0 means GOMAXPROCS).
 func NewParallelBaseline(users []*pref.Profile, workers int, ctr *stats.Counters) *ParallelBaseline {
-	return &ParallelBaseline{Sharded: ShardedByUser(len(users), workers, ctr,
+	return NewParallelBaselineFor(users, nil, workers, ctr)
+}
+
+// NewParallelBaselineFor is NewParallelBaseline over a user table with
+// removed slots: active[c] == false leaves user c unowned by any shard's
+// member list. active == nil means all users. Recovery of an evolved
+// community uses it.
+func NewParallelBaselineFor(users []*pref.Profile, active []bool, workers int, ctr *stats.Counters) *ParallelBaseline {
+	return &ParallelBaseline{Sharded: ShardedByUserActive(len(users), active, workers, ctr,
 		func(members []int, ctr *stats.Counters) ShardEngine {
 			return newBaselineShard(users, members, ctr)
 		})}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/object"
+	"repro/internal/pref"
 	"repro/internal/stats"
 )
 
@@ -22,6 +23,17 @@ type ShardEngine interface {
 	// slots of a unit-keyed EngineState (see state.go).
 	CaptureState(st *EngineState)
 	RestoreState(st *EngineState) error
+	// Lifecycle mutations (see LifecycleEngine). RegisterUser and
+	// RemoveObject apply to every shard (all shards index the full user
+	// table and, for windowed engines, age private rings); the remaining
+	// calls go to the owning shard only.
+	LifecycleEngine
+	// SetClusterTotal tells a cluster-sharded instance the full cluster
+	// list grew (its state capture is keyed by global cluster index).
+	SetClusterTotal(n int)
+	// SetCommonFn installs the cluster-relation recompute for online
+	// preference updates; no-op on baseline engines.
+	SetCommonFn(fn CommonFn)
 }
 
 // Sharded is the shared fan-out harness behind every parallel engine:
@@ -44,7 +56,8 @@ type Sharded struct {
 	perShard []stats.Counters
 	mu       sync.Mutex // guards perShard and the drain-and-fold
 
-	clusterCount int // full cluster-list length (0 for user-sharded)
+	clusterCount int   // full cluster-list length (0 for user-sharded)
+	clusterOwner []int // cluster index -> shard index (nil for user-sharded)
 }
 
 // NewSharded assembles a harness from pre-built shards. ctrs[i] must be
@@ -68,15 +81,34 @@ func NewSharded(shards []ShardEngine, ctrs []*stats.Counters, owner []int, ctr *
 // private counter, both passed to build. Baseline-style engines (no
 // shared tier) shard this way.
 func ShardedByUser(userCount, workers int, ctr *stats.Counters, build func(members []int, ctr *stats.Counters) ShardEngine) *Sharded {
-	workers = ResolveWorkers(workers, userCount)
+	return ShardedByUserActive(userCount, nil, workers, ctr, build)
+}
+
+// ShardedByUserActive is ShardedByUser over a user table with removed
+// (inactive) slots: every user index keeps an owner so future
+// re-activations route consistently, but only active users join a
+// shard's member list. active == nil means every user is active.
+func ShardedByUserActive(userCount int, active []bool, workers int, ctr *stats.Counters, build func(members []int, ctr *stats.Counters) ShardEngine) *Sharded {
+	units := userCount
+	if active != nil {
+		units = 0
+		for _, a := range active {
+			if a {
+				units++
+			}
+		}
+	}
+	workers = ResolveWorkers(workers, units)
 	shards := make([]ShardEngine, workers)
 	ctrs := make([]*stats.Counters, workers)
 	owner := make([]int, userCount)
 	perShard := make([][]int, workers)
 	for c := 0; c < userCount; c++ {
 		s := c % workers
-		perShard[s] = append(perShard[s], c)
 		owner[c] = s
+		if active == nil || active[c] {
+			perShard[s] = append(perShard[s], c)
+		}
 	}
 	for s := range shards {
 		ctrs[s] = &stats.Counters{}
@@ -112,6 +144,10 @@ func ShardedByCluster(userCount int, clusters []Cluster, workers int, ctr *stats
 	}
 	s := NewSharded(shards, ctrs, owner, ctr)
 	s.clusterCount = len(clusters)
+	s.clusterOwner = make([]int, len(clusters))
+	for i := range clusters {
+		s.clusterOwner[i] = i % workers
+	}
 	return s
 }
 
@@ -245,6 +281,89 @@ func (s *Sharded) ApplyPreference(c, d, better, worse int) error {
 	}
 	s.merge(0)
 	return nil
+}
+
+// RegisterUser extends every shard's user table: shards index users
+// globally, so the table grows everywhere while only the owner will
+// activate the slot.
+func (s *Sharded) RegisterUser(c int, p *pref.Profile) {
+	for _, sh := range s.shards {
+		sh.RegisterUser(c, p)
+	}
+}
+
+// ActivateUser routes the activation to the owning shard: the shard that
+// owns the joined cluster for cluster-sharded engines (founding clusters
+// round-robin, continuing the construction-time assignment), round-robin
+// over users otherwise.
+func (s *Sharded) ActivateUser(c int, cluster int, common *pref.Profile, alive []object.Object) {
+	var sh int
+	if s.clusterOwner != nil {
+		if cluster >= len(s.clusterOwner) {
+			sh = cluster % len(s.shards)
+			s.clusterOwner = append(s.clusterOwner, sh)
+			s.clusterCount = cluster + 1
+			for _, e := range s.shards {
+				e.SetClusterTotal(s.clusterCount)
+			}
+		} else {
+			sh = s.clusterOwner[cluster]
+		}
+	} else {
+		sh = c % len(s.shards)
+	}
+	for len(s.owner) <= c {
+		s.owner = append(s.owner, 0)
+	}
+	s.owner[c] = sh
+	s.shards[sh].ActivateUser(c, cluster, common, alive)
+	s.merge(0)
+}
+
+// DeactivateUser blanks the slot on every shard (only the owner holds
+// state; the rest no-op).
+func (s *Sharded) DeactivateUser(c int) {
+	for _, sh := range s.shards {
+		sh.DeactivateUser(c)
+	}
+}
+
+// RemoveUser routes the removal (and its cluster resync) to the owner.
+func (s *Sharded) RemoveUser(c int, common *pref.Profile, alive []object.Object) {
+	s.shards[s.owner[c]].RemoveUser(c, common, alive)
+	s.merge(0)
+}
+
+// RetractPreference routes the mend to the shard owning the user's
+// frontier (and cluster); the shared profile was already shrunk by the
+// caller, once.
+func (s *Sharded) RetractPreference(c int, common *pref.Profile, alive []object.Object) {
+	s.shards[s.owner[c]].RetractPreference(c, common, alive)
+	s.merge(0)
+}
+
+// RemoveObject fans the deletion to every shard: each owns disjoint
+// frontiers (and, for windowed engines, a private ring) the object may
+// occupy.
+func (s *Sharded) RemoveObject(o object.Object, alive []object.Object) {
+	for _, sh := range s.shards {
+		sh.RemoveObject(o, alive)
+	}
+	s.merge(0)
+}
+
+// SetClusterTotal forwards the full-cluster-list length to every shard.
+func (s *Sharded) SetClusterTotal(n int) {
+	for _, sh := range s.shards {
+		sh.SetClusterTotal(n)
+	}
+}
+
+// SetCommonFn forwards the cluster-relation recompute to every shard.
+func (s *Sharded) SetCommonFn(fn CommonFn) {
+	for _, sh := range s.shards {
+		sh.SetCommonFn(fn)
+	}
 }
 
 // Shards reports how many workers the engine fans out to.

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"repro/internal/pref"
 )
 
 // Online preference updates. The paper assumes preferences "stand or only
@@ -77,42 +75,18 @@ func (f *FilterThenVerify) ApplyPreference(c, d, better, worse int) error {
 	ui := f.clusterOf(c)
 	cl := &f.clusters[ui]
 
-	// Recompute the common relation of the affected cluster. (Only grow:
-	// the new intersection subsumes the old one.)
-	members := make([]*pref.Profile, len(cl.Members))
-	for i, m := range cl.Members {
-		members[i] = f.users[m]
-	}
-	cl.Common = pref.Common(members)
+	// Recompute the common relation of the affected cluster through the
+	// configured CommonFn. For the exact engines (pref.Common) it can
+	// only grow — the new intersection subsumes the old one — so the
+	// pairwise filter below is exact; the approximate relation may move
+	// either way, keeping the same one-sided repair the arrival path
+	// applies (Sec. 6.2's bounded inaccuracy).
+	cl.Common = f.common(cl.Members)
 
-	// Filter P_U pairwise under the grown common relation; removals
+	// Filter P_U pairwise under the recomputed common relation; removals
 	// propagate to every member frontier (the removed object is dominated
 	// under ≻_U, hence under every member's preferences).
-	fu := f.clusterFronts[ui]
-	ids := append([]int(nil), fu.IDs()...)
-	for _, id := range ids {
-		if !fu.Contains(id) {
-			continue
-		}
-		i := fu.pos[id]
-		o := fu.list[i]
-		for j := 0; j < fu.Len(); j++ {
-			op := fu.At(j)
-			if op.ID == id {
-				continue
-			}
-			f.ctr.AddFilter(1)
-			if cl.Common.Dominates(op, o) {
-				fu.Remove(id)
-				for _, m := range cl.Members {
-					if f.userFronts[m].Remove(id) {
-						f.targets.remove(id, m)
-					}
-				}
-				break
-			}
-		}
-	}
+	f.filterClusterFrontier(ui)
 
 	// Filter the changed user's own frontier under their new preferences.
 	f.repairMember(c)

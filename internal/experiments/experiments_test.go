@@ -189,9 +189,9 @@ func TestRecoveryBenchmark(t *testing.T) {
 }
 
 func TestAllRegistryComplete(t *testing.T) {
-	// 10 paper experiments, the parallel sweep and the recovery
-	// benchmark, plus 4 ablations.
-	if len(experiments.Order) != 12 || len(experiments.All) != 16 {
+	// 10 paper experiments, the parallel sweep, the recovery and
+	// lifecycle benchmarks, plus 4 ablations.
+	if len(experiments.Order) != 13 || len(experiments.All) != 17 {
 		t.Fatalf("registry: %d runners, %d ordered", len(experiments.All), len(experiments.Order))
 	}
 	for _, id := range experiments.Order {

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	paretomon "repro"
+)
+
+// The lifecycle benchmark is an engineering experiment beyond the paper:
+// it measures what the v3 mutation API costs on a live monitor — the
+// frontier-mend work of RemoveObject and RetractPreference, and the
+// frontier-build work of AddUser — as a function of how much alive state
+// the mend must consider. Retraction is the expensive direction by
+// design: deleting a dominance edge can promote any alive non-frontier
+// object, so the mend scans the alive set per affected frontier, while
+// object removal pre-filters candidates to the objects the removed one
+// dominated. The benchmark quantifies that asymmetry and how both grow
+// with the ingested prefix (append-only engines) so capacity planning
+// has numbers, not adjectives.
+
+// LifecycleRun is one (algorithm, prefix length) measurement.
+type LifecycleRun struct {
+	Algorithm string `json:"algorithm"`
+	// Objects is the ingested prefix length; AvgFrontier the mean
+	// per-user frontier size at that point (the mend's working set).
+	Objects     int     `json:"objects"`
+	AvgFrontier float64 `json:"avg_frontier"`
+	// RemoveObject: frontier objects removed, mean comparisons and mean
+	// wall time per removal (mend included).
+	RemoveOps         int     `json:"remove_ops"`
+	RemoveCmpPerOp    float64 `json:"remove_cmp_per_op"`
+	RemoveMicrosPerOp float64 `json:"remove_micros_per_op"`
+	// RetractPreference: asserted tuples retracted, mean comparisons and
+	// mean wall time per retraction.
+	RetractOps         int     `json:"retract_ops"`
+	RetractCmpPerOp    float64 `json:"retract_cmp_per_op"`
+	RetractMicrosPerOp float64 `json:"retract_micros_per_op"`
+	// AddUser: users added (each frontier built over the alive set),
+	// mean comparisons and wall time per addition.
+	AddUserOps         int     `json:"adduser_ops"`
+	AddUserCmpPerOp    float64 `json:"adduser_cmp_per_op"`
+	AddUserMicrosPerOp float64 `json:"adduser_micros_per_op"`
+}
+
+// LifecycleBench is the BENCH_lifecycle.json document.
+type LifecycleBench struct {
+	Workload string         `json:"workload"`
+	Users    int            `json:"users"`
+	Dims     int            `json:"dims"`
+	Runs     []LifecycleRun `json:"runs"`
+}
+
+// Lifecycle runs the mutation-cost benchmark. Options.BenchOut, when
+// non-empty, also writes the result as JSON (BENCH_lifecycle.json).
+func Lifecycle(o Options) []*Report {
+	o = o.withDefaults()
+	ds := o.dataset("movie")
+	dims := min(o.Dims, len(ds.Domains))
+	com, rows, err := recoveryCommunity(ds, dims)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building lifecycle community: %v", err))
+	}
+	users := com.Users()
+
+	algos := []struct {
+		name string
+		opts []paretomon.Option
+	}{
+		{"Baseline", []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)}},
+		{"FilterThenVerify", []paretomon.Option{
+			paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify), paretomon.WithBranchCut(o.H)}},
+	}
+	prefixes := []int{len(rows) / 4, len(rows) / 2, len(rows)}
+	const sampleOps = 24
+
+	bench := LifecycleBench{Workload: "movie", Users: len(users), Dims: dims}
+	rep := &Report{
+		ID:    "lifecycle",
+		Title: "v3 mutation cost vs alive state (mend comparisons and wall time per op)",
+		Columns: []string{"algorithm", "objects", "avg |P_c|",
+			"remove cmp/op", "remove µs/op", "retract cmp/op", "retract µs/op", "adduser cmp/op", "adduser µs/op"},
+	}
+
+	for _, algo := range algos {
+		for _, prefix := range prefixes {
+			if prefix == 0 {
+				continue
+			}
+			o.logf("lifecycle: %s over %d objects", algo.name, prefix)
+			mon, err := paretomon.NewMonitor(com, algo.opts...)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: lifecycle monitor: %v", err))
+			}
+			if err := recoveryIngest(mon, rows, 0, prefix); err != nil {
+				panic(fmt.Sprintf("experiments: lifecycle ingest: %v", err))
+			}
+			run := LifecycleRun{Algorithm: algo.name, Objects: prefix}
+
+			total := 0
+			for _, u := range users {
+				f, err := mon.Frontier(u)
+				if err != nil {
+					panic(err)
+				}
+				total += len(f)
+			}
+			run.AvgFrontier = float64(total) / float64(len(users))
+
+			// RemoveObject: take frontier members round-robin across users
+			// (frontier objects are the ones whose removal mends).
+			var victims []string
+			seen := map[string]bool{}
+			for _, u := range users {
+				f, _ := mon.Frontier(u)
+				for _, name := range f {
+					if !seen[name] {
+						seen[name] = true
+						victims = append(victims, name)
+					}
+					break // one per user is plenty
+				}
+				if len(victims) >= sampleOps {
+					break
+				}
+			}
+			cmp0 := mon.Stats().Comparisons
+			t0 := time.Now()
+			for _, name := range victims {
+				if err := mon.RemoveObject(name); err != nil {
+					panic(fmt.Sprintf("experiments: RemoveObject(%s): %v", name, err))
+				}
+			}
+			if n := len(victims); n > 0 {
+				run.RemoveOps = n
+				run.RemoveCmpPerOp = float64(mon.Stats().Comparisons-cmp0) / float64(n)
+				run.RemoveMicrosPerOp = float64(time.Since(t0).Microseconds()) / float64(n)
+			}
+
+			// RetractPreference: undo each sampled user's first asserted
+			// Hasse edge on the first attribute that has one.
+			retracts := 0
+			cmp0 = mon.Stats().Comparisons
+			t0 = time.Now()
+			for i, u := range users {
+				if retracts >= sampleOps {
+					break
+				}
+				p := ds.Users[i]
+				for d := 0; d < dims; d++ {
+					edges := p.Relation(d).HasseTuples()
+					if len(edges) == 0 {
+						continue
+					}
+					attr := ds.Domains[d].Name()
+					better := ds.Domains[d].Value(edges[0].Better)
+					worse := ds.Domains[d].Value(edges[0].Worse)
+					if err := mon.RetractPreference(u, attr, better, worse); err != nil {
+						panic(fmt.Sprintf("experiments: RetractPreference(%s): %v", u, err))
+					}
+					retracts++
+					break
+				}
+			}
+			if retracts > 0 {
+				run.RetractOps = retracts
+				run.RetractCmpPerOp = float64(mon.Stats().Comparisons-cmp0) / float64(retracts)
+				run.RetractMicrosPerOp = float64(time.Since(t0).Microseconds()) / float64(retracts)
+			}
+
+			// AddUser: join newcomers mirroring existing users' tastes.
+			adds := min(sampleOps, len(users))
+			cmp0 = mon.Stats().Comparisons
+			t0 = time.Now()
+			for i := 0; i < adds; i++ {
+				var prefs []paretomon.Preference
+				p := ds.Users[i]
+				for d := 0; d < dims; d++ {
+					for _, e := range p.Relation(d).HasseTuples() {
+						prefs = append(prefs, paretomon.Preference{
+							Attr:   ds.Domains[d].Name(),
+							Better: ds.Domains[d].Value(e.Better),
+							Worse:  ds.Domains[d].Value(e.Worse),
+						})
+					}
+				}
+				if err := mon.AddUser(fmt.Sprintf("new%d", i), prefs); err != nil {
+					panic(fmt.Sprintf("experiments: AddUser: %v", err))
+				}
+			}
+			if adds > 0 {
+				run.AddUserOps = adds
+				run.AddUserCmpPerOp = float64(mon.Stats().Comparisons-cmp0) / float64(adds)
+				run.AddUserMicrosPerOp = float64(time.Since(t0).Microseconds()) / float64(adds)
+			}
+
+			bench.Runs = append(bench.Runs, run)
+			rep.Rows = append(rep.Rows, []string{
+				algo.name, fmtInt(prefix), fmt.Sprintf("%.1f", run.AvgFrontier),
+				fmt.Sprintf("%.0f", run.RemoveCmpPerOp), fmt.Sprintf("%.0f", run.RemoveMicrosPerOp),
+				fmt.Sprintf("%.0f", run.RetractCmpPerOp), fmt.Sprintf("%.0f", run.RetractMicrosPerOp),
+				fmt.Sprintf("%.0f", run.AddUserCmpPerOp), fmt.Sprintf("%.0f", run.AddUserMicrosPerOp),
+			})
+		}
+	}
+
+	if o.BenchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.BenchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("experiments: writing %s: %v", o.BenchOut, err))
+		}
+	}
+	return []*Report{rep}
+}
+
+func init() {
+	All["lifecycle"] = Lifecycle
+	Order = append(Order, "lifecycle")
+}

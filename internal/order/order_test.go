@@ -528,3 +528,93 @@ func TestQuickTopoOrderIsTopological(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRelationAssertedTracking(t *testing.T) {
+	dom := NewDomain("brand")
+	r := NewRelation(dom)
+	a, b, c := dom.Intern("a"), dom.Intern("b"), dom.Intern("c")
+	if err := r.Add(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(b, c); err != nil {
+		t.Fatal(err)
+	}
+	// (a,c) is implied, not asserted.
+	if !r.Has(a, c) {
+		t.Fatal("closure missing implied (a,c)")
+	}
+	if r.HasAsserted(a, c) {
+		t.Error("implied tuple reported as asserted")
+	}
+	// Asserting an implied tuple records it without changing the closure.
+	if err := r.Add(a, c); err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasAsserted(a, c) {
+		t.Error("explicit assertion of implied tuple not recorded")
+	}
+	if got := len(r.Asserted()); got != 3 {
+		t.Errorf("asserted count = %d, want 3", got)
+	}
+	// Re-asserting is idempotent.
+	if err := r.Add(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Asserted()); got != 3 {
+		t.Errorf("asserted count after re-add = %d, want 3", got)
+	}
+}
+
+func TestRelationRemove(t *testing.T) {
+	dom := NewDomain("brand")
+	r := NewRelation(dom)
+	a, b, c := dom.Intern("a"), dom.Intern("b"), dom.Intern("c")
+	for _, e := range [][2]int{{a, b}, {b, c}} {
+		if err := r.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Implied pairs cannot be removed on their own.
+	if err := r.Remove(a, c); !errors.Is(err, ErrUnknownTuple) {
+		t.Fatalf("removing implied tuple: %v, want ErrUnknownTuple", err)
+	}
+	// Removing (a,b) drops it and the implication (a,c); (b,c) survives.
+	if err := r.Remove(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has(a, b) || r.Has(a, c) {
+		t.Errorf("closure retains removed/implied pairs: %v", r)
+	}
+	if !r.Has(b, c) {
+		t.Error("unrelated assertion lost")
+	}
+	if r.Size() != 1 {
+		t.Errorf("size = %d, want 1", r.Size())
+	}
+	// A pair still derivable from another assertion survives removal of
+	// one of its sources.
+	r2 := NewRelation(dom)
+	for _, e := range [][2]int{{a, b}, {b, c}, {a, c}} {
+		if err := r2.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r2.Remove(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Has(a, c) {
+		t.Error("independently asserted (a,c) lost with (a,b)")
+	}
+	// The reverse of a removed tuple becomes addable again.
+	if err := r.Add(b, a); err != nil {
+		t.Errorf("reverse of removed tuple rejected: %v", err)
+	}
+	// Clone carries the asserted base.
+	cl := r2.Clone()
+	if err := cl.Remove(b, c); err != nil {
+		t.Errorf("clone lost asserted base: %v", err)
+	}
+	if !r2.Has(b, c) {
+		t.Error("removing from clone mutated the original")
+	}
+}

@@ -13,6 +13,11 @@ import (
 // irreflexivity or asymmetry (and hence, with closure, transitivity).
 var ErrNotStrictPartialOrder = errors.New("order: tuple would violate strict partial order")
 
+// ErrUnknownTuple is returned by Remove for a tuple that was never
+// asserted through Add. Implied closure pairs cannot be removed on their
+// own: retracting an implication requires retracting an asserting edge.
+var ErrUnknownTuple = errors.New("order: tuple was never asserted")
+
 // Tuple is one preference tuple (Better, Worse): "Better is preferred to
 // Worse" (Def. 3.1 of the paper).
 type Tuple struct {
@@ -33,6 +38,12 @@ type Relation struct {
 	n    int
 	succ []*bitset.Set // succ[x] = {y : x ≻ y}, transitively closed
 	size int           // total number of tuples = Σ |succ[x]|
+
+	// asserted records the tuples explicitly inserted through Add, in
+	// insertion order — the base the closure is derived from. Remove
+	// retracts an asserted tuple and rebuilds the closure from the rest;
+	// implied pairs are not individually retractable.
+	asserted []Tuple
 
 	// lazy derived state
 	derived *derivedViews
@@ -96,19 +107,31 @@ func (r *Relation) CanAdd(x, y int) bool {
 // Add inserts tuple (x ≻ y) and every pair its transitive closure implies:
 // p ≻ s for all p ∈ pred(x) ∪ {x}, s ∈ succ(y) ∪ {y}. It returns
 // ErrNotStrictPartialOrder if the insertion would violate the axioms and
-// leaves the relation unchanged in that case. Adding an existing tuple is a
-// no-op. This implements the (R_{i-1} ∪ {A_i})⁺ step of Def. 6.1.
+// leaves the relation unchanged in that case. Adding a tuple the closure
+// already implies leaves the closure unchanged but still records the
+// assertion, so the tuple is individually retractable by Remove.
+// This implements the (R_{i-1} ∪ {A_i})⁺ step of Def. 6.1.
 func (r *Relation) Add(x, y int) error {
 	if !r.CanAdd(x, y) {
 		return fmt.Errorf("%w: (%d,%d)", ErrNotStrictPartialOrder, x, y)
 	}
+	if !r.HasAsserted(x, y) {
+		r.asserted = append(r.asserted, Tuple{Better: x, Worse: y})
+	}
+	r.addClosure(x, y)
+	return nil
+}
+
+// addClosure performs Add's closure math without touching the asserted
+// base; Remove's rebuild re-applies retained assertions through it.
+func (r *Relation) addClosure(x, y int) {
 	m := x
 	if y > m {
 		m = y
 	}
 	r.ensure(m + 1)
 	if r.succ[x].Contains(y) {
-		return nil
+		return
 	}
 
 	// down = {y} ∪ succ(y): everything that becomes worse than x and its preds.
@@ -128,7 +151,63 @@ func (r *Relation) Add(x, y int) error {
 		}
 	}
 	r.derived = nil
+}
+
+// HasAsserted reports whether tuple (x ≻ y) was explicitly asserted
+// through Add (as opposed to merely implied by the closure).
+func (r *Relation) HasAsserted(x, y int) bool {
+	for _, t := range r.asserted {
+		if t.Better == x && t.Worse == y {
+			return true
+		}
+	}
+	return false
+}
+
+// Asserted returns the asserted base tuples in insertion order. The
+// caller must not mutate the slice.
+func (r *Relation) Asserted() []Tuple { return r.asserted }
+
+// Remove retracts asserted tuple (x ≻ y) and rebuilds the closure from
+// the remaining assertions. Pairs implied only through the retracted
+// tuple disappear; pairs still derivable from other assertions survive.
+// It returns ErrUnknownTuple if (x, y) was never asserted — implied
+// closure pairs are not retractable on their own. Re-adding retained
+// assertions cannot fail: a subset of a valid base implies a subset of
+// the old closure, so no retained tuple can meet its own reverse.
+func (r *Relation) Remove(x, y int) error {
+	idx := -1
+	for i, t := range r.asserted {
+		if t.Better == x && t.Worse == y {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: (%d,%d)", ErrUnknownTuple, x, y)
+	}
+	kept := append(append([]Tuple(nil), r.asserted[:idx]...), r.asserted[idx+1:]...)
+	for i := range r.succ {
+		r.succ[i] = bitset.New(r.n)
+	}
+	r.size = 0
+	r.derived = nil
+	for _, t := range kept {
+		r.addClosure(t.Better, t.Worse)
+	}
+	r.asserted = kept
 	return nil
+}
+
+// RemoveValues is Remove over raw string values; values never interned
+// cannot have been asserted.
+func (r *Relation) RemoveValues(better, worse string) error {
+	b, ok1 := r.dom.ID(better)
+	w, ok2 := r.dom.ID(worse)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("%w: (%q,%q)", ErrUnknownTuple, better, worse)
+	}
+	return r.Remove(b, w)
 }
 
 // AddValues is a convenience wrapper interning both strings before Add.
@@ -145,6 +224,17 @@ func (r *Relation) HasValues(better, worse string) bool {
 	return ok1 && ok2 && r.Has(b, w)
 }
 
+// CloneOnto returns a deep copy re-seated on another domain instance.
+// The target must hold the same value table (a clone of the original):
+// monitors deep-copy their schema at construction and re-seat the
+// community's relations onto the copy, so later interning on the
+// monitor's side cannot diverge from the ids baked in here.
+func (r *Relation) CloneOnto(dom *Domain) *Relation {
+	c := r.Clone()
+	c.dom = dom
+	return c
+}
+
 // Clone returns a deep copy sharing the domain.
 func (r *Relation) Clone() *Relation {
 	c := &Relation{dom: r.dom, n: r.n, size: r.size}
@@ -152,6 +242,7 @@ func (r *Relation) Clone() *Relation {
 	for i, s := range r.succ {
 		c.succ[i] = s.Clone()
 	}
+	c.asserted = append([]Tuple(nil), r.asserted...)
 	return c
 }
 

@@ -79,6 +79,21 @@ func (p *Profile) Clone() *Profile {
 	return c
 }
 
+// Rehome deep-copies the profile onto another domain set (clones of the
+// originals, value tables identical). Monitors use it at construction so
+// every profile they hold — community members and later AddUser arrivals
+// alike — shares the monitor's own domain instances.
+func (p *Profile) Rehome(doms []*order.Domain) *Profile {
+	if len(doms) != len(p.doms) {
+		panic(fmt.Sprintf("pref: rehoming %d-attribute profile onto %d domains", len(p.doms), len(doms)))
+	}
+	c := &Profile{doms: doms, rels: make([]*order.Relation, len(p.rels))}
+	for i, r := range p.rels {
+		c.rels[i] = r.CloneOnto(doms[i])
+	}
+	return c
+}
+
 // Project returns a profile restricted to the first d attributes, sharing
 // the underlying relations. Used by the dimensionality sweeps.
 func (p *Profile) Project(d int) *Profile {

@@ -27,25 +27,37 @@ import (
 
 // Server is an http.Handler serving one Monitor.
 //
-//	POST /objects           {"name": "o1", "values": ["13-15.9", "Apple", "dual"]}
+//	POST   /objects           {"name": "o1", "values": ["13-15.9", "Apple", "dual"]}
 //	  → 200 {"object": "o1", "users": ["c2"]}
-//	POST /objects/batch     {"objects": [{"name": "o1", "values": [...]}, ...]}
+//	POST   /objects/batch     {"objects": [{"name": "o1", "values": [...]}, ...]}
 //	  → 200 {"deliveries": [{"object": "o1", "users": [...]}, ...]}
-//	GET  /frontier/{user}   → 200 {"user": "c2", "frontier": ["o2", "o3"]}
-//	GET  /targets/{object}  → 200 {"object": "o2", "users": ["c1", "c2"]}
-//	GET  /subscribe/{user}  → SSE stream, one "delivery" event per push
-//	POST /preferences       {"user": "c1", "attribute": "brand",
-//	                         "better": "Apple", "worse": "Sony"}
-//	GET  /stats             → 200 {"Comparisons": ..., "Workers": ...,
-//	                               "Shards": [...], ...}
-//	GET  /clusters          → 200 [["c1","c2"], ...]
-//	POST /snapshot          → 200 {"status": "ok", "storage": {...}}
-//	GET  /storage/stats     → 200 {"dir": ..., "segments": ...,
-//	                               "wal_bytes": ..., "snapshots": ..., ...}
+//	DELETE /objects/{object}  → 200 {"status": "ok"}          (v3 lifecycle)
+//	POST   /users             {"name": "c9", "preferences": [{"attribute": "brand",
+//	                           "better": "Apple", "worse": "Sony"}, ...]}
+//	  → 200 {"status": "ok"}                                  (v3 lifecycle)
+//	DELETE /users/{user}      → 200 {"status": "ok"}          (v3 lifecycle)
+//	GET    /users             → 200 ["c1", "c2", ...]
+//	GET    /frontier/{user}   → 200 {"user": "c2", "frontier": ["o2", "o3"]}
+//	GET    /targets/{object}  → 200 {"object": "o2", "users": ["c1", "c2"]}
+//	GET    /subscribe/{user}  → SSE stream, one "delivery" event per push
+//	                            (v2 enter-only payload; deprecated)
+//	GET    /deltas/{user}     → SSE stream, one "delta" event per frontier
+//	                            change: {"object": ..., "entered": [...],
+//	                            "left": [...]}                (v3 payload)
+//	POST   /preferences       {"user": "c1", "attribute": "brand",
+//	                           "better": "Apple", "worse": "Sony"}
+//	DELETE /preferences       same body: retract the asserted tuple
+//	GET    /stats             → 200 {"Comparisons": ..., "Workers": ...,
+//	                                 "Shards": [...], ...}
+//	GET    /clusters          → 200 [["c1","c2"], ...]
+//	POST   /snapshot          → 200 {"status": "ok", "storage": {...}}
+//	GET    /storage/stats     → 200 {"dir": ..., "segments": ...,
+//	                                 "wal_bytes": ..., "snapshots": ...,  ...}
 //
-// Unknown users and objects yield 404; malformed bodies, duplicate
-// objects and invalid preferences yield 400; the storage endpoints
-// yield 501 on a monitor built without a store (no -data-dir).
+// Unknown users, objects and never-asserted preferences yield 404;
+// malformed bodies, duplicate names and invalid preferences yield 400;
+// the storage endpoints yield 501 on a monitor built without a store
+// (no -data-dir).
 type Server struct {
 	mon *paretomon.Monitor
 	mux *http.ServeMux
@@ -56,9 +68,13 @@ func New(mon *paretomon.Monitor) *Server {
 	s := &Server{mon: mon, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/objects", s.handleObjects)
 	s.mux.HandleFunc("/objects/batch", s.handleBatch)
+	s.mux.HandleFunc("/objects/", s.handleObjectDelete)
+	s.mux.HandleFunc("/users", s.handleUsers)
+	s.mux.HandleFunc("/users/", s.handleUserDelete)
 	s.mux.HandleFunc("/frontier/", s.handleFrontier)
 	s.mux.HandleFunc("/targets/", s.handleTargets)
 	s.mux.HandleFunc("/subscribe/", s.handleSubscribe)
+	s.mux.HandleFunc("/deltas/", s.handleDeltas)
 	s.mux.HandleFunc("/preferences", s.handlePreferences)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/clusters", s.handleClusters)
@@ -75,7 +91,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, paretomon.ErrUnknownUser),
-		errors.Is(err, paretomon.ErrUnknownObject):
+		errors.Is(err, paretomon.ErrUnknownObject),
+		errors.Is(err, paretomon.ErrUnknownPreference):
 		return http.StatusNotFound
 	case errors.Is(err, paretomon.ErrMonitorClosed):
 		return http.StatusServiceUnavailable
@@ -140,6 +157,13 @@ type batchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodDelete {
+		// The exact "/objects/batch" pattern shadows the "/objects/"
+		// subtree, so an object literally named "batch" would otherwise
+		// be undeletable over HTTP.
+		s.handleObjectDelete(w, r)
+		return
+	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -201,8 +225,13 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 // shape GET /prefix/{arg}; on failure it writes the error and reports
 // false.
 func (s *Server) pathArg(w http.ResponseWriter, r *http.Request, prefix, what string) (string, bool) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+	return s.pathArgMethod(w, r, http.MethodGet, prefix, what)
+}
+
+// pathArgMethod is pathArg for an arbitrary required method.
+func (s *Server) pathArgMethod(w http.ResponseWriter, r *http.Request, method, prefix, what string) (string, bool) {
+	if r.Method != method {
+		httpError(w, http.StatusMethodNotAllowed, "%s only", method)
 		return "", false
 	}
 	arg := strings.TrimPrefix(r.URL.Path, prefix)
@@ -211,6 +240,68 @@ func (s *Server) pathArg(w http.ResponseWriter, r *http.Request, prefix, what st
 		return "", false
 	}
 	return arg, true
+}
+
+// handleObjectDelete serves DELETE /objects/{object}: the v3 lifecycle
+// takedown. The object leaves every frontier it occupies and the users
+// it was shielding regain their promoted objects; /deltas subscribers
+// observe both sides of the change.
+func (s *Server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.pathArgMethod(w, r, http.MethodDelete, "/objects/", "object")
+	if !ok {
+		return
+	}
+	if err := s.mon.RemoveObject(name); err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+type addUserRequest struct {
+	Name        string              `json:"name"`
+	Preferences []preferenceRequest `json:"preferences"`
+}
+
+// handleUsers serves POST /users (join the community with initial
+// preferences) and GET /users (list alive members).
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, s.mon.Users())
+	case http.MethodPost:
+		var req addUserRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		prefs := make([]paretomon.Preference, len(req.Preferences))
+		for i, p := range req.Preferences {
+			prefs[i] = paretomon.Preference{Attr: p.Attribute, Better: p.Better, Worse: p.Worse}
+		}
+		if err := s.mon.AddUser(req.Name, prefs); err != nil {
+			s.monitorError(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// handleUserDelete serves DELETE /users/{user}: the user's frontier
+// disappears, their subscription streams end, and their cluster resyncs
+// without them.
+func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.pathArgMethod(w, r, http.MethodDelete, "/users/", "user")
+	if !ok {
+		return
+	}
+	if err := s.mon.RemoveUser(name); err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
 }
 
 // handleSubscribe streams the user's deliveries as server-sent events:
@@ -261,6 +352,71 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDeltas streams the user's frontier changes as server-sent
+// events: one "delta" event per observed mutation, carrying the v3
+// payload {"object": ..., "entered": [...], "left": [...]} — unlike the
+// deprecated /subscribe stream, removals and retractions are visible.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.pathArg(w, r, "/deltas/", "user")
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel, err := s.mon.SubscribeDeltas(user)
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case d, open := <-ch:
+			if !open {
+				return // monitor closed or user removed
+			}
+			payload, err := json.Marshal(toDeltaResponse(d))
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: delta\ndata: %s\n\n", payload); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+type deltaResponse struct {
+	Object  string   `json:"object"`
+	Entered []string `json:"entered"`
+	Left    []string `json:"left"`
+}
+
+func toDeltaResponse(d paretomon.FrontierDelta) deltaResponse {
+	entered, left := d.Entered, d.Left
+	if entered == nil {
+		entered = []string{}
+	}
+	if left == nil {
+		left = []string{}
+	}
+	return deltaResponse{Object: d.Object, Entered: entered, Left: left}
+}
+
 type preferenceRequest struct {
 	User      string `json:"user"`
 	Attribute string `json:"attribute"`
@@ -268,9 +424,12 @@ type preferenceRequest struct {
 	Worse     string `json:"worse"`
 }
 
+// handlePreferences serves POST /preferences (assert a tuple) and
+// DELETE /preferences (retract an asserted tuple), both taking the same
+// body. Retracting a tuple the user never asserted yields 404.
 func (s *Server) handlePreferences(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "POST or DELETE only")
 		return
 	}
 	var req preferenceRequest
@@ -278,7 +437,13 @@ func (s *Server) handlePreferences(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	if err := s.mon.AddPreference(req.User, req.Attribute, req.Better, req.Worse); err != nil {
+	var err error
+	if r.Method == http.MethodPost {
+		err = s.mon.AddPreference(req.User, req.Attribute, req.Better, req.Worse)
+	} else {
+		err = s.mon.RetractPreference(req.User, req.Attribute, req.Better, req.Worse)
+	}
+	if err != nil {
 		s.monitorError(w, err)
 		return
 	}

@@ -467,3 +467,179 @@ func TestStorageEndpointsWithoutStore(t *testing.T) {
 		t.Errorf("GET /storage/stats without store: %d", resp.StatusCode)
 	}
 }
+
+// doJSON issues a request with an arbitrary method and optional JSON body.
+func doJSON(t *testing.T, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	return resp, out
+}
+
+// TestLifecycleEndpoints drives the v3 lifecycle over HTTP: join a user,
+// retract a preference, delete an object, delete a user — and checks the
+// status mapping for the failure shapes (404 unknown, 400 duplicate).
+func TestLifecycleEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+
+	post(t, ts.URL+"/objects", `{"name":"o1","values":["Apple","dual"]}`)
+	post(t, ts.URL+"/objects", `{"name":"o2","values":["Lenovo","quad"]}`)
+
+	// Join bob preferring Lenovo over Apple and quad over dual: o2
+	// (Lenovo, quad) dominates o1 (Apple, dual) for him.
+	resp, _ := doJSON(t, "POST", ts.URL+"/users",
+		`{"name":"bob","preferences":[{"attribute":"brand","better":"Lenovo","worse":"Apple"},
+		                              {"attribute":"CPU","better":"quad","worse":"dual"}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /users: %d", resp.StatusCode)
+	}
+	resp, out := get(t, ts.URL+"/frontier/bob")
+	if resp.StatusCode != 200 {
+		t.Fatalf("frontier of new user: %d", resp.StatusCode)
+	}
+	if f := out["frontier"].([]any); len(f) != 1 || f[0] != "o2" {
+		t.Fatalf("bob's frontier = %v, want [o2]", f)
+	}
+
+	// Duplicate join → 400; GET /users lists both.
+	resp, _ = doJSON(t, "POST", ts.URL+"/users", `{"name":"bob","preferences":[]}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("duplicate user: %d, want 400", resp.StatusCode)
+	}
+	r2, err := http.Get(ts.URL + "/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var users []string
+	if err := json.NewDecoder(r2.Body).Decode(&users); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if !reflect.DeepEqual(users, []string{"alice", "bob"}) {
+		t.Fatalf("GET /users = %v", users)
+	}
+
+	// Retract bob's brand preference: brands become incomparable, so o1
+	// re-enters his frontier.
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/preferences",
+		`{"user":"bob","attribute":"brand","better":"Lenovo","worse":"Apple"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE /preferences: %d", resp.StatusCode)
+	}
+	_, out = get(t, ts.URL+"/frontier/bob")
+	if f := out["frontier"].([]any); len(f) != 2 {
+		t.Fatalf("bob's frontier after retract = %v, want [o1 o2]", f)
+	}
+	// Retracting it again → 404 (never asserted anymore).
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/preferences",
+		`{"user":"bob","attribute":"brand","better":"Lenovo","worse":"Apple"}`)
+	if resp.StatusCode != 404 {
+		t.Fatalf("double retract: %d, want 404", resp.StatusCode)
+	}
+
+	// Delete o1: gone from frontiers and targets; double delete → 404.
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/objects/o1", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE /objects/o1: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/targets/o1")
+	if resp.StatusCode != 404 {
+		t.Fatalf("targets of removed object: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/objects/o1", "")
+	if resp.StatusCode != 404 {
+		t.Fatalf("double object delete: %d, want 404", resp.StatusCode)
+	}
+
+	// Delete bob: frontier 404s, delete again 404s.
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/users/bob", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE /users/bob: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/frontier/bob")
+	if resp.StatusCode != 404 {
+		t.Fatalf("frontier of removed user: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/users/bob", "")
+	if resp.StatusCode != 404 {
+		t.Fatalf("double user delete: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSSEDeltas pins the v3 stream payload: an ingestion shows up as an
+// enter-only delta with the triggering object, an object removal as a
+// delta whose Left names it (plus any promotions in Entered).
+func TestSSEDeltas(t *testing.T) {
+	ts := newTestServer(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/deltas/alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("deltas status %d", resp.StatusCode)
+	}
+
+	// o1 arrives (delivered to alice), o2 dominates nothing for alice
+	// but also enters, then o1 is removed.
+	post(t, ts.URL+"/objects", `{"name":"o1","values":["Apple","dual"]}`)
+	post(t, ts.URL+"/objects", `{"name":"o2","values":["Lenovo","quad"]}`)
+	doJSON(t, "DELETE", ts.URL+"/objects/o1", "")
+
+	type delta struct {
+		Object  string   `json:"object"`
+		Entered []string `json:"entered"`
+		Left    []string `json:"left"`
+	}
+	var got []delta
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(got) < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var d delta
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &d); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		got = append(got, d)
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("deltas = %+v, want 3 events", got)
+	}
+	if got[0].Object != "o1" || !reflect.DeepEqual(got[0].Entered, []string{"o1"}) {
+		t.Errorf("first delta = %+v, want o1 entering", got[0])
+	}
+	if got[1].Object != "o2" || !reflect.DeepEqual(got[1].Entered, []string{"o2"}) {
+		t.Errorf("second delta = %+v, want o2 entering", got[1])
+	}
+	if got[2].Object != "" || !reflect.DeepEqual(got[2].Left, []string{"o1"}) {
+		t.Errorf("removal delta = %+v, want o1 in left", got[2])
+	}
+}

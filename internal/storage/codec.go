@@ -33,6 +33,13 @@ func (e *enc) uvar(v uint64) {
 func (e *enc) f64(v float64) {
 	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
 }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
 func (e *enc) str(s string) {
 	e.uvar(uint64(len(s)))
 	e.b = append(e.b, s...)
@@ -68,6 +75,8 @@ func (d *dec) u8() uint8 {
 	d.pos++
 	return v
 }
+
+func (d *dec) bool() bool { return d.u8() == 1 }
 
 func (d *dec) uvar() uint64 {
 	if d.fail {
@@ -132,8 +141,12 @@ func (d *dec) done() bool { return !d.fail && d.pos == len(d.b) }
 // encodeRecord serializes a WAL record payload:
 //
 //	uvar seq, u8 op, then per op:
-//	  OpObject:     str name, list<str> values
-//	  OpPreference: str user, str attr, str better, str worse
+//	  OpObject:            str name, list<str> values
+//	  OpPreference:        str user, str attr, str better, str worse
+//	  OpAddUser:           str name, list<pref>(str attr, str better, str worse)
+//	  OpRemoveUser:        str user
+//	  OpRetractPreference: str user, str attr, str better, str worse
+//	  OpRemoveObject:      str name
 func encodeRecord(rec Record) []byte {
 	e := &enc{b: make([]byte, 0, 16+len(rec.Name))}
 	e.uvar(rec.Seq)
@@ -142,11 +155,23 @@ func encodeRecord(rec Record) []byte {
 	case OpObject:
 		e.str(rec.Name)
 		e.strs(rec.Values)
-	case OpPreference:
+	case OpPreference, OpRetractPreference:
 		e.str(rec.User)
 		e.str(rec.Attr)
 		e.str(rec.Better)
 		e.str(rec.Worse)
+	case OpAddUser:
+		e.str(rec.Name)
+		e.uvar(uint64(len(rec.Prefs)))
+		for _, p := range rec.Prefs {
+			e.str(p.Attr)
+			e.str(p.Better)
+			e.str(p.Worse)
+		}
+	case OpRemoveUser:
+		e.str(rec.User)
+	case OpRemoveObject:
+		e.str(rec.Name)
 	}
 	return e.b
 }
@@ -159,11 +184,24 @@ func decodeRecord(b []byte) (Record, error) {
 	case OpObject:
 		rec.Name = d.str()
 		rec.Values = d.strs()
-	case OpPreference:
+	case OpPreference, OpRetractPreference:
 		rec.User = d.str()
 		rec.Attr = d.str()
 		rec.Better = d.str()
 		rec.Worse = d.str()
+	case OpAddUser:
+		rec.Name = d.str()
+		n := d.length()
+		if !d.fail && n > 0 {
+			rec.Prefs = make([]RecordPref, n)
+			for i := range rec.Prefs {
+				rec.Prefs[i] = RecordPref{Attr: d.str(), Better: d.str(), Worse: d.str()}
+			}
+		}
+	case OpRemoveUser:
+		rec.User = d.str()
+	case OpRemoveObject:
+		rec.Name = d.str()
 	default:
 		if !d.fail {
 			return Record{}, fmt.Errorf("%w: unknown WAL op %d", ErrCorrupt, rec.Op)
@@ -179,15 +217,16 @@ func decodeRecord(b []byte) (Record, error) {
 }
 
 // Marshal encodes the snapshot body (the bytes under the snapshot file
-// header). Layout, in order:
+// header). Layout, in order (format version 2):
 //
 //	u8 algorithm, uvar window, u8 measure, f64 branchCut,
 //	uvar clusterCount, uvar theta1, f64 theta2
-//	list<str> userNames
-//	list<list<uvar>> clusters           (member user indices)
+//	uvar baseUsers
 //	list<list<str>> domains             (interned values, id order)
-//	list<str> objects                   (object names, id order)
-//	list<pref> prefs                    (uvar user, uvar dim, str better, str worse)
+//	list<user> users                    (str name, u8 alive,
+//	                                     nDims × list<tuple>(uvar better, uvar worse))
+//	list<list<uvar>> clusters           (member user indices; empty = dormant)
+//	list<obj> objects                   (str name, u8 alive, nDims × uvar attr)
 //	uvar ×5 counters                    (comparisons, filter, verify, delivered, processed)
 //	engine state                        (see encodeEngine)
 func (s *Snapshot) Marshal() []byte {
@@ -199,29 +238,46 @@ func (s *Snapshot) Marshal() []byte {
 	e.uvar(uint64(s.ClusterCount))
 	e.uvar(uint64(s.Theta1))
 	e.f64(s.Theta2)
-	e.strs(s.UserNames)
-	e.uvar(uint64(len(s.Clusters)))
-	for _, members := range s.Clusters {
-		e.ints(members)
-	}
+	e.uvar(uint64(s.BaseUsers))
 	e.uvar(uint64(len(s.Domains)))
 	for _, values := range s.Domains {
 		e.strs(values)
 	}
-	e.strs(s.Objects)
-	e.uvar(uint64(len(s.Prefs)))
-	for _, p := range s.Prefs {
-		e.uvar(uint64(p.User))
-		e.uvar(uint64(p.Dim))
-		e.str(p.Better)
-		e.str(p.Worse)
+	dims := len(s.Domains)
+	e.uvar(uint64(len(s.Users)))
+	for _, u := range s.Users {
+		e.str(u.Name)
+		e.bool(u.Alive)
+		for d := 0; d < dims; d++ {
+			var tuples [][2]int
+			if d < len(u.Prefs) {
+				tuples = u.Prefs[d]
+			}
+			e.uvar(uint64(len(tuples)))
+			for _, t := range tuples {
+				e.uvar(uint64(t[0]))
+				e.uvar(uint64(t[1]))
+			}
+		}
+	}
+	e.uvar(uint64(len(s.Clusters)))
+	for _, members := range s.Clusters {
+		e.ints(members)
+	}
+	e.uvar(uint64(len(s.Objects)))
+	for _, o := range s.Objects {
+		e.str(o.Name)
+		e.bool(o.Alive)
+		for d := 0; d < dims; d++ {
+			e.uvar(uint64(o.Attrs[d]))
+		}
 	}
 	e.uvar(s.Counters.Comparisons)
 	e.uvar(s.Counters.FilterComparisons)
 	e.uvar(s.Counters.VerifyComparisons)
 	e.uvar(s.Counters.Delivered)
 	e.uvar(s.Counters.Processed)
-	encodeEngine(e, s.Engine, len(s.Domains))
+	encodeEngine(e, s.Engine, dims)
 	return e.b
 }
 
@@ -237,24 +293,44 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 		ClusterCount: int(d.uvar()),
 		Theta1:       int(d.uvar()),
 		Theta2:       d.f64(),
-		UserNames:    d.strs(),
-	}
-	s.Clusters = make([][]int, d.length())
-	for i := range s.Clusters {
-		s.Clusters[i] = d.intList()
+		BaseUsers:    int(d.uvar()),
 	}
 	s.Domains = make([][]string, d.length())
 	for i := range s.Domains {
 		s.Domains[i] = d.strs()
 	}
-	s.Objects = d.strs()
-	s.Prefs = make([]PrefUpdate, d.length())
-	for i := range s.Prefs {
-		s.Prefs[i] = PrefUpdate{
-			User:   int(d.uvar()),
-			Dim:    int(d.uvar()),
-			Better: d.str(),
-			Worse:  d.str(),
+	dims := len(s.Domains)
+	s.Users = make([]UserState, d.length())
+	for i := range s.Users {
+		u := UserState{Name: d.str(), Alive: d.bool(), Prefs: make([][][2]int, dims)}
+		for dim := 0; dim < dims && !d.fail; dim++ {
+			n := d.length()
+			if d.fail {
+				break
+			}
+			u.Prefs[dim] = make([][2]int, n)
+			for t := range u.Prefs[dim] {
+				u.Prefs[dim][t] = [2]int{int(d.uvar()), int(d.uvar())}
+			}
+		}
+		s.Users[i] = u
+		if d.fail {
+			break
+		}
+	}
+	s.Clusters = make([][]int, d.length())
+	for i := range s.Clusters {
+		s.Clusters[i] = d.intList()
+	}
+	s.Objects = make([]ObjectState, d.length())
+	for i := range s.Objects {
+		o := ObjectState{Name: d.str(), Alive: d.bool(), Attrs: make([]int32, dims)}
+		for dim := 0; dim < dims; dim++ {
+			o.Attrs[dim] = int32(d.uvar())
+		}
+		s.Objects[i] = o
+		if d.fail {
+			break
 		}
 	}
 	s.Counters.Comparisons = d.uvar()
@@ -263,7 +339,7 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 	s.Counters.Delivered = d.uvar()
 	s.Counters.Processed = d.uvar()
 	var err error
-	if s.Engine, err = decodeEngine(d, len(s.Domains)); err != nil {
+	if s.Engine, err = decodeEngine(d, dims); err != nil {
 		return nil, err
 	}
 	if !d.done() {
@@ -304,13 +380,19 @@ func (d *dec) intList() []int {
 //	list<list<uvar>> clusterFronts
 //	u8 hasUserBuffers [+ list<list<uvar>>]
 //	u8 hasClusterBuffers [+ list<list<uvar>>]
-//	u8 hasRing [+ uvar seen, list<uvar> ring tail]
+//	u8 hasRing [+ uvar seen, list<uvar> ring tail as id+1; 0 = tombstone]
+//
+// Ring entries are shifted by one because a slot whose object was
+// removed (RemoveObject) holds a tombstone with a negative id: 0 encodes
+// the tombstone, id+1 encodes a live slot.
 func encodeEngine(e *enc, st *core.EngineState, dims int) {
 	refs := map[int]object.Object{}
 	collect := func(lists [][]object.Object) {
 		for _, l := range lists {
 			for _, o := range l {
-				refs[o.ID] = o
+				if o.ID >= 0 {
+					refs[o.ID] = o
+				}
 			}
 		}
 	}
@@ -362,7 +444,14 @@ func encodeEngine(e *enc, st *core.EngineState, dims int) {
 	if st.HasRing {
 		e.u8(1)
 		e.uvar(uint64(st.RingSeen))
-		idList(st.Ring)
+		e.uvar(uint64(len(st.Ring)))
+		for _, o := range st.Ring {
+			if o.ID < 0 {
+				e.uvar(0) // tombstone
+			} else {
+				e.uvar(uint64(o.ID) + 1)
+			}
+		}
 	} else {
 		e.u8(0)
 	}
@@ -427,7 +516,22 @@ func decodeEngine(d *dec, wantDims int) (*core.EngineState, error) {
 	if d.u8() == 1 {
 		st.HasRing = true
 		st.RingSeen = int(d.uvar())
-		st.Ring = idList()
+		n := d.length()
+		if !d.fail {
+			st.Ring = make([]object.Object, n)
+			for i := range st.Ring {
+				shifted := int(d.uvar())
+				if shifted == 0 {
+					st.Ring[i] = object.Object{ID: -1} // tombstone
+					continue
+				}
+				o, ok := refs[shifted-1]
+				if !ok && !d.fail && missing == nil {
+					missing = fmt.Errorf("%w: engine state references unknown object %d", ErrCorrupt, shifted-1)
+				}
+				st.Ring[i] = o
+			}
+		}
 	}
 	if err := d.err(); err != nil {
 		return nil, err

@@ -35,6 +35,7 @@ func (m *MemStore) Append(recs ...Record) error {
 			return fmt.Errorf("%w: WAL sequence gap: record %d follows record %d", ErrCorrupt, rec.Seq, m.recs[n-1].Seq)
 		}
 		rec.Values = append([]string(nil), rec.Values...)
+		rec.Prefs = append([]RecordPref(nil), rec.Prefs...)
 		m.recs = append(m.recs, rec)
 		m.appendedRecords++
 		m.appendedBytes += uint64(len(encodeRecord(rec)) + recFrameLen)

@@ -10,7 +10,17 @@ import (
 // FormatVersion is the on-disk format version written into every WAL
 // segment header and snapshot header. Readers reject other versions with
 // ErrVersion; see docs/PERSISTENCE.md for the version-bump policy.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1  PR 3: objects + online preference additions; snapshots pin a
+//	   fixed community and carry object names only.
+//	2  v3 lifecycle API: four new record types (user add/remove,
+//	   preference retraction, object removal); snapshots become
+//	   self-contained — full user table with asserted preference tuples
+//	   and alive flags, full object table with attribute values and
+//	   alive flags — so recovery can rebuild an evolved community.
+const FormatVersion = 2
 
 var (
 	// ErrCorrupt reports on-disk state that cannot be trusted: a bad
@@ -41,7 +51,25 @@ const (
 	// OpPreference logs one online preference-tuple addition
 	// (Monitor.AddPreference).
 	OpPreference Op = 2
+	// OpAddUser logs a user joining the community with their initial
+	// preference tuples (Monitor.AddUser).
+	OpAddUser Op = 3
+	// OpRemoveUser logs a user leaving the community
+	// (Monitor.RemoveUser).
+	OpRemoveUser Op = 4
+	// OpRetractPreference logs an online preference-tuple retraction
+	// (Monitor.RetractPreference).
+	OpRetractPreference Op = 5
+	// OpRemoveObject logs an object deletion (Monitor.RemoveObject).
+	OpRemoveObject Op = 6
 )
+
+// RecordPref is one preference tuple inside an OpAddUser record.
+type RecordPref struct {
+	Attr   string
+	Better string
+	Worse  string
+}
 
 // Record is one write-ahead-log entry: the raw input of a single
 // monitor mutation, sufficient to replay it through a fresh engine.
@@ -54,16 +82,23 @@ type Record struct {
 	Op Op
 
 	// Name and Values describe an OpObject record: the object's unique
-	// name and its attribute values in schema order.
+	// name and its attribute values in schema order. OpRemoveObject uses
+	// Name alone.
 	Name   string
 	Values []string
 
-	// User, Attr, Better and Worse describe an OpPreference record: the
-	// user now prefers value Better over value Worse on attribute Attr.
+	// User, Attr, Better and Worse describe an OpPreference or
+	// OpRetractPreference record: the user now also / no longer prefers
+	// value Better over value Worse on attribute Attr. OpRemoveUser uses
+	// User alone.
 	User   string
 	Attr   string
 	Better string
 	Worse  string
+
+	// Prefs lists an OpAddUser record's initial preference tuples (Name
+	// carries the user name).
+	Prefs []RecordPref
 }
 
 // Stats describes a store's footprint for observability endpoints and
@@ -119,21 +154,36 @@ type Store interface {
 	Close() error
 }
 
-// PrefUpdate is one applied online preference addition, recorded inside
-// snapshots so restore can re-grow the rebuilt preference profiles
-// (frontier state in the snapshot already reflects the repairs).
-type PrefUpdate struct {
-	// User and Dim are the construction-order user index and attribute
-	// index; Better and Worse are the raw attribute values.
-	User   int
-	Dim    int
-	Better string
-	Worse  string
+// UserState is one user slot of a snapshot's community table: slots are
+// construction-order (removed users stay in place, tombstoned, so user
+// indices baked into the engine state stay stable).
+type UserState struct {
+	Name string
+	// Alive is false for removed users; their Prefs are empty and their
+	// engine-state slots blank.
+	Alive bool
+	// Prefs[d] lists attribute d's asserted preference tuples as
+	// (better, worse) value-id pairs into Domains[d], in assertion
+	// order. Re-asserting them in order reproduces both the closure and
+	// the retractable base.
+	Prefs [][][2]int
+}
+
+// ObjectState is one object slot of a snapshot's object table, in id
+// (arrival) order. Attribute values ride along so the alive objects can
+// serve as mend candidates after future retractions and removals.
+type ObjectState struct {
+	Name  string
+	Alive bool
+	Attrs []int32
 }
 
 // Snapshot is the complete durable state of a Monitor at one log
-// position, independent of the worker-shard layout. Marshal/Unmarshal
-// define its byte encoding (see docs/PERSISTENCE.md).
+// position, independent of the worker-shard layout. Since format
+// version 2 it is self-contained: the community (users, preferences,
+// clusters) and the object registry are stored in full, so recovery
+// rebuilds an evolved monitor without replaying its lifecycle history.
+// Marshal/Unmarshal define the byte encoding (see docs/PERSISTENCE.md).
 type Snapshot struct {
 	// Configuration fingerprint: restore refuses state written under a
 	// semantically different engine configuration.
@@ -145,19 +195,21 @@ type Snapshot struct {
 	Theta1       int
 	Theta2       float64
 
-	// UserNames pins the community: user names in construction order.
-	UserNames []string
-	// Clusters pins the clustering: member user indices per cluster, in
-	// cluster order (empty for Baseline). Restore verifies the freshly
-	// re-clustered community matches, guarding against nondeterminism.
+	// BaseUsers is how many leading user slots came from the
+	// construction-time community; recovery pins the caller's community
+	// against exactly those.
+	BaseUsers int
+	// Users is the full community table in construction order.
+	Users []UserState
+	// Clusters holds member user indices per cluster, in cluster order
+	// (empty for Baseline; a memberless entry is a dormant cluster kept
+	// as a placeholder so cluster indices stay stable).
 	Clusters [][]int
 	// Domains holds each attribute's interned values in id order, so
 	// restored value ids match the ones baked into frontier objects.
 	Domains [][]string
-	// Objects holds every ingested object name in id order.
-	Objects []string
-	// Prefs lists the online preference updates applied so far.
-	Prefs []PrefUpdate
+	// Objects is the full object registry in id order.
+	Objects []ObjectState
 	// Counters is the work accounting at the snapshot position.
 	Counters stats.Counters
 	// Engine is the engine-facing state: frontiers in scan order,

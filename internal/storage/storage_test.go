@@ -22,8 +22,21 @@ func sampleRecords() []Record {
 	}
 }
 
+func lifecycleRecords() []Record {
+	return []Record{
+		{Seq: 4, Op: OpAddUser, Name: "carol", Prefs: []RecordPref{
+			{Attr: "brand", Better: "Apple", Worse: "Sony"},
+			{Attr: "size", Better: "small", Worse: "large"},
+		}},
+		{Seq: 5, Op: OpAddUser, Name: "dave"}, // no initial preferences
+		{Seq: 6, Op: OpRetractPreference, User: "carol", Attr: "brand", Better: "Apple", Worse: "Sony"},
+		{Seq: 7, Op: OpRemoveUser, User: "dave"},
+		{Seq: 8, Op: OpRemoveObject, Name: "o1"},
+	}
+}
+
 func TestRecordCodecRoundTrip(t *testing.T) {
-	for _, rec := range sampleRecords() {
+	for _, rec := range append(sampleRecords(), lifecycleRecords()...) {
 		got, err := decodeRecord(encodeRecord(rec))
 		if err != nil {
 			t.Fatalf("decode(%+v): %v", rec, err)
@@ -58,16 +71,26 @@ func sampleSnapshot() *Snapshot {
 	st.EnsureClusterBuffers()
 	st.ClusterBuffers[0] = []object.Object{obj(2, 1, 1), obj(3, 0, 0)}
 	st.SetRing(7, []object.Object{obj(2, 1, 1), obj(3, 0, 0)})
+	st.Ring = append(st.Ring, object.Object{ID: -1}) // a removed object's tombstone slot
 	return &Snapshot{
 		Algorithm: 1, Window: 2, Measure: 3, BranchCut: 0.55,
 		ClusterCount: 0, Theta1: 500, Theta2: 0.5,
-		UserNames: []string{"alice", "bob"},
-		Clusters:  [][]int{{0, 1}},
-		Domains:   [][]string{{"x", "y"}, {"p", "q", "r"}},
-		Objects:   []string{"o1", "o2", "o3", "o4"},
-		Prefs:     []PrefUpdate{{User: 1, Dim: 0, Better: "x", Worse: "y"}},
-		Counters:  stats.Counters{Comparisons: 10, FilterComparisons: 4, VerifyComparisons: 6, Delivered: 3, Processed: 4},
-		Engine:    st,
+		BaseUsers: 2,
+		Users: []UserState{
+			{Name: "alice", Alive: true, Prefs: [][][2]int{{{0, 1}}, {{1, 2}, {0, 2}}}},
+			{Name: "bob", Alive: false, Prefs: [][][2]int{{}, {}}},
+			{Name: "carol", Alive: true, Prefs: [][][2]int{{}, {{0, 1}}}},
+		},
+		Clusters: [][]int{{0, 2}, {}},
+		Domains:  [][]string{{"x", "y"}, {"p", "q", "r"}},
+		Objects: []ObjectState{
+			{Name: "o1", Alive: true, Attrs: []int32{1, 2}},
+			{Name: "o2", Alive: false, Attrs: []int32{0, 0}},
+			{Name: "o3", Alive: true, Attrs: []int32{1, 1}},
+			{Name: "o4", Alive: true, Attrs: []int32{0, 0}},
+		},
+		Counters: stats.Counters{Comparisons: 10, FilterComparisons: 4, VerifyComparisons: 6, Delivered: 3, Processed: 4},
+		Engine:   st,
 	}
 }
 
@@ -540,5 +563,50 @@ func TestFileStoreInteriorDamageInNewestSegment(t *testing.T) {
 	defer s2.Close()
 	if err := s2.Replay(0, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("interior damage in newest segment: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFormatVersionSkew pins the v1→v2 bump: files written by the
+// previous format version (PR 3's fixed-community snapshots and
+// pre-lifecycle WAL) are intact bytes this build must refuse with
+// ErrVersion — migrate or roll back, never silently misread.
+func TestFormatVersionSkew(t *testing.T) {
+	if FormatVersion != 2 {
+		t.Fatalf("FormatVersion = %d; this test pins the v2 bump", FormatVersion)
+	}
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(1, sampleSnapshot().Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Rewrite both headers to claim format version 1.
+	for _, name := range append(segmentFiles(t, dir), filepath.Join(dir, snapName(1))) {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[6], data[7] = 1, 0 // u16 LE version
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Replay(0, func(Record) error { return nil }); !errors.Is(err, ErrVersion) {
+		t.Errorf("v1 WAL segment: got %v, want ErrVersion", err)
+	}
+	if _, _, _, err := s2.LoadSnapshot(); !errors.Is(err, ErrVersion) {
+		t.Errorf("v1 snapshot: got %v, want ErrVersion", err)
 	}
 }

@@ -25,6 +25,13 @@ func NewBaselineSW(users []*pref.Profile, w int, ctr *stats.Counters) *BaselineS
 	return newBaselineSWShard(users, nil, w, ctr)
 }
 
+// NewBaselineSWFor creates a BaselineSW maintaining only the given
+// member user indices (ascending); recovery of an evolved community uses
+// it to leave removed users' slots blank.
+func NewBaselineSWFor(users []*pref.Profile, members []int, w int, ctr *stats.Counters) *BaselineSW {
+	return newBaselineSWShard(users, members, w, ctr)
+}
+
 // newBaselineSWShard creates a BaselineSW restricted to the given member
 // user indices; ParallelBaselineSW builds one per worker over disjoint
 // member sets, each with its own window ring so expiry stays local.
@@ -41,18 +48,30 @@ func newBaselineSWShard(users []*pref.Profile, members []int, w int, ctr *stats.
 		targets: newTargetTracker(),
 		ctr:     ctr,
 	}
-	b.each(func(c int) {
+	init := func(c int) {
 		b.fronts[c] = core.NewFrontier()
 		b.buffers[c] = newBuffer()
-	})
+	}
+	if members == nil {
+		for c := range users {
+			init(c)
+		}
+	} else {
+		for _, c := range members {
+			init(c)
+		}
+	}
 	return b
 }
 
-// each calls fn for every user this instance maintains.
+// each calls fn for every user this instance maintains. Removed users
+// leave a nil frontier slot behind and are skipped.
 func (b *BaselineSW) each(fn func(c int)) {
 	if b.members == nil {
 		for c := range b.users {
-			fn(c)
+			if b.fronts[c] != nil {
+				fn(c)
+			}
 		}
 		return
 	}
@@ -65,7 +84,7 @@ func (b *BaselineSW) each(fn func(c int)) {
 // returns C_oin.
 func (b *BaselineSW) Process(oin object.Object) []int {
 	b.ctr.AddProcessed()
-	if oout, ok := b.win.push(oin); ok {
+	if oout, ok := b.win.push(oin); ok && oout.ID >= 0 {
 		b.each(func(c int) { b.expireUser(c, oout) })
 		b.targets.drop(oout.ID)
 	}

@@ -16,27 +16,38 @@ import (
 // With approximate common preference relations the same engine is
 // FilterThenVerifyApproxSW.
 type FilterThenVerifySW struct {
-	users      []*pref.Profile
-	clusters   []core.Cluster
-	clusterFs  []*core.Frontier // P_U
-	buffers    []*buffer        // PB_U
-	userFs     []*core.Frontier // P_c
-	userExpire [][]int          // cluster index -> member list (alias of clusters)
-	win        *ring
-	targets    *targetTracker
-	ctr        *stats.Counters
+	users     []*pref.Profile
+	clusters  []core.Cluster
+	clusterFs []*core.Frontier // P_U
+	buffers   []*buffer        // PB_U
+	userFs    []*core.Frontier // P_c
+	win       *ring
+	targets   *targetTracker
+	ctr       *stats.Counters
 
 	// globalIdx / total map this instance's cluster subset into the
 	// monitor's full cluster list; set only for shard instances, used by
 	// state capture (see state.go).
 	globalIdx []int
 	total     int
+
+	// commonFn recomputes a cluster's common relation when membership or
+	// member preferences change online; nil means pref.Common (the exact
+	// engines). The monitor wires approx.Profile for the approximate one.
+	commonFn core.CommonFn
 }
 
 // NewFilterThenVerifySW creates the monitor with window size w. Clusters
 // must partition the user set.
 func NewFilterThenVerifySW(users []*pref.Profile, clusters []core.Cluster, w int, ctr *stats.Counters) *FilterThenVerifySW {
 	core.ValidatePartition(users, clusters)
+	return newFTVSWShard(users, clusters, w, ctr)
+}
+
+// NewFilterThenVerifySWFor builds the engine without the full-partition
+// check: removed users belong to no cluster and dormant clusters ride
+// along as placeholders. Recovery of an evolved community uses it.
+func NewFilterThenVerifySWFor(users []*pref.Profile, clusters []core.Cluster, w int, ctr *stats.Counters) *FilterThenVerifySW {
 	return newFTVSWShard(users, clusters, w, ctr)
 }
 
@@ -73,14 +84,20 @@ func newFTVSWShard(users []*pref.Profile, clusters []core.Cluster, w int, ctr *s
 // returns C_oin.
 func (f *FilterThenVerifySW) Process(oin object.Object) []int {
 	f.ctr.AddProcessed()
-	if oout, ok := f.win.push(oin); ok {
+	if oout, ok := f.win.push(oin); ok && oout.ID >= 0 {
 		for ui := range f.clusters {
+			if len(f.clusters[ui].Members) == 0 {
+				continue
+			}
 			f.expireCluster(ui, oout)
 		}
 		f.targets.drop(oout.ID)
 	}
 	var co []int
 	for ui := range f.clusters {
+		if len(f.clusters[ui].Members) == 0 {
+			continue
+		}
 		if f.arriveCluster(ui, oin) {
 			for _, c := range f.clusters[ui].Members {
 				if f.verifyUser(c, oin) {

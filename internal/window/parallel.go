@@ -26,7 +26,14 @@ type ParallelBaselineSW struct {
 // NewParallelBaselineSW distributes the users round-robin over at most
 // workers goroutines (0 means GOMAXPROCS), each with window size w.
 func NewParallelBaselineSW(users []*pref.Profile, w, workers int, ctr *stats.Counters) *ParallelBaselineSW {
-	return &ParallelBaselineSW{Sharded: core.ShardedByUser(len(users), workers, ctr,
+	return NewParallelBaselineSWFor(users, nil, w, workers, ctr)
+}
+
+// NewParallelBaselineSWFor is NewParallelBaselineSW over a user table
+// with removed slots (active[c] == false). Recovery of an evolved
+// community uses it; active == nil means all users.
+func NewParallelBaselineSWFor(users []*pref.Profile, active []bool, w, workers int, ctr *stats.Counters) *ParallelBaselineSW {
+	return &ParallelBaselineSW{Sharded: core.ShardedByUserActive(len(users), active, workers, ctr,
 		func(members []int, ctr *stats.Counters) core.ShardEngine {
 			return newBaselineSWShard(users, members, w, ctr)
 		})}
@@ -44,6 +51,13 @@ type ParallelFilterThenVerifySW struct {
 // NewFilterThenVerifySW.
 func NewParallelFilterThenVerifySW(users []*pref.Profile, clusters []core.Cluster, w, workers int, ctr *stats.Counters) *ParallelFilterThenVerifySW {
 	core.ValidatePartition(users, clusters)
+	return NewParallelFilterThenVerifySWFor(users, clusters, w, workers, ctr)
+}
+
+// NewParallelFilterThenVerifySWFor builds the sharded engine without the
+// full-partition check (removed users, dormant placeholder clusters).
+// Recovery of an evolved community uses it.
+func NewParallelFilterThenVerifySWFor(users []*pref.Profile, clusters []core.Cluster, w, workers int, ctr *stats.Counters) *ParallelFilterThenVerifySW {
 	total := len(clusters)
 	return &ParallelFilterThenVerifySW{Sharded: core.ShardedByCluster(len(users), clusters, workers, ctr,
 		func(clusters []core.Cluster, globalIdx []int, ctr *stats.Counters) core.ShardEngine {

@@ -75,43 +75,15 @@ func (f *FilterThenVerifySW) ApplyPreference(c, d, better, worse int) error {
 	}
 	ui := f.clusterOf(c)
 	cl := &f.clusters[ui]
-	members := make([]*pref.Profile, len(cl.Members))
-	for i, m := range cl.Members {
-		members[i] = f.users[m]
-	}
-	cl.Common = pref.Common(members)
+	cl.Common = f.common(cl.Members)
 
 	filterBuffer(f.buffers[ui], cl.Common, func() { f.ctr.AddFilter(1) })
-
-	fu := f.clusterFs[ui]
-	ids := append([]int(nil), fu.IDs()...)
-	for _, id := range ids {
-		if !fu.Contains(id) {
-			continue
-		}
-		o := objectIn(fu.Objects(), id)
-		for j := 0; j < fu.Len(); j++ {
-			op := fu.At(j)
-			if op.ID == id {
-				continue
-			}
-			f.ctr.AddFilter(1)
-			if cl.Common.Dominates(op, o) {
-				fu.Remove(id)
-				for _, m := range cl.Members {
-					if f.userFs[m].Remove(id) {
-						f.targets.remove(id, m)
-					}
-				}
-				break
-			}
-		}
-	}
+	f.filterClusterFrontier(ui)
 
 	// The changed user's own frontier, filtered under their new prefs.
 	u := f.users[c]
 	fc := f.userFs[c]
-	ids = append(ids[:0], fc.IDs()...)
+	ids := append([]int(nil), fc.IDs()...)
 	for _, id := range ids {
 		if !fc.Contains(id) {
 			continue

@@ -2,6 +2,7 @@ package window
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/object"
@@ -22,7 +23,9 @@ func newRing(w int) *ring {
 	return &ring{buf: make([]object.Object, w), w: w}
 }
 
-// push inserts o and returns the object it evicts, if the window was full.
+// push inserts o and returns the object it evicts, if the window was
+// full. The evicted object may be a tombstone (ID < 0) left by an
+// explicit removal; callers skip expiry work for those.
 func (r *ring) push(o object.Object) (object.Object, bool) {
 	slot := r.seen % r.w
 	var out object.Object
@@ -33,6 +36,45 @@ func (r *ring) push(o object.Object) (object.Object, bool) {
 	r.buf[slot] = o
 	r.seen++
 	return out, full
+}
+
+// tombstoneID marks a ring slot whose object was explicitly removed. The
+// slot keeps aging — removal does not extend other objects' lifetimes —
+// but expiry of a tombstone is a no-op.
+const tombstoneID = -1
+
+// knockOut tombstones the in-window slot holding object id, reporting
+// whether it was found (false: the object already expired or was never
+// in this window).
+func (r *ring) knockOut(id int) bool {
+	n := r.seen
+	if n > r.w {
+		n = r.w
+	}
+	for i := r.seen - n; i < r.seen; i++ {
+		slot := i % r.w
+		if r.buf[slot].ID == id {
+			r.buf[slot] = object.Object{ID: tombstoneID}
+			return true
+		}
+	}
+	return false
+}
+
+// aliveTail returns the in-window objects in arrival order, skipping
+// tombstones: the candidate set for lifecycle mends.
+func (r *ring) aliveTail() []object.Object {
+	n := r.seen
+	if n > r.w {
+		n = r.w
+	}
+	out := make([]object.Object, 0, n)
+	for i := r.seen - n; i < r.seen; i++ {
+		if o := r.buf[i%r.w]; o.ID >= 0 {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // buffer is an arrival-ordered Pareto frontier buffer. Mending must walk
@@ -84,6 +126,27 @@ func (b *buffer) removeIf(fn func(o object.Object) bool) {
 
 // objects returns the buffer in arrival order; callers must not mutate it.
 func (b *buffer) objects() []object.Object { return b.list }
+
+// has reports buffer membership.
+func (b *buffer) has(id int) bool {
+	_, ok := b.ids[id]
+	return ok
+}
+
+// insert adds o at its arrival position. Object ids are assigned in
+// arrival order, so the buffer's arrival order is ascending-ID order and
+// the position is found by binary search. Lifecycle mends use it to
+// re-admit objects mid-buffer; add only ever appends.
+func (b *buffer) insert(o object.Object) {
+	if _, ok := b.ids[o.ID]; ok {
+		return
+	}
+	b.ids[o.ID] = struct{}{}
+	i := sort.Search(len(b.list), func(i int) bool { return b.list[i].ID > o.ID })
+	b.list = append(b.list, object.Object{})
+	copy(b.list[i+1:], b.list[i:])
+	b.list[i] = o
+}
 
 func (b *buffer) idSlice() []int {
 	out := make([]int, 0, len(b.list))

@@ -193,28 +193,39 @@ type engine interface {
 	UserFrontier(c int) []int
 }
 
-// Monitor is a running dissemination engine over a fixed community.
-// Preferences are snapshotted at construction; later Prefer calls do not
-// affect an existing monitor (the paper's setting: "users' preferences
-// stand or only change occasionally" — rebuild the monitor when they do).
+// Monitor is a running dissemination engine over a community. Since v3
+// the community and the object set are mutable: AddUser, RemoveUser,
+// RetractPreference and RemoveObject evolve a live monitor — no rebuild,
+// no replay — by mending the affected frontiers in place (the windowed
+// engines' expiry mechanism, exposed as a first-class operation).
 //
-// A Monitor is safe for concurrent use: Add, AddBatch and AddPreference
-// serialize as writers, while Frontier, Stats, Clusters and TargetsOf run
-// concurrently as readers.
+// A Monitor is safe for concurrent use: mutations (Add, AddBatch,
+// AddPreference, and the lifecycle calls) serialize as writers, while
+// Frontier, Stats, Clusters, Users and TargetsOf run concurrently as
+// readers.
 type Monitor struct {
 	schema *Schema
 	cfg    Config
 
-	// Snapshot of the community's users at construction: the Monitor
-	// never reads the live Community again (its schema above is a deep
-	// copy too), so registering users or preferences after NewMonitor —
-	// e.g. to prepare a rebuild — cannot race a serving monitor.
+	// The community table. Slots are append-only — a removed user keeps
+	// its index (userAlive false) so indices baked into engine state and
+	// snapshots stay stable; re-adding the same name claims a fresh
+	// slot. userIdx maps alive names only. baseUsers counts the leading
+	// slots that came from the construction-time Community: recovery
+	// pins the caller's community against exactly those.
 	userIdx   map[string]int
 	userNames []string
+	userAlive []bool
+	baseUsers int
 	// profiles aliases the engine's (shared, mutable) preference
-	// profiles, letting AddPreference validate a tuple without applying
-	// it so the update can be WAL-logged first.
+	// profiles, letting AddPreference and RetractPreference validate a
+	// tuple without applying it so the update can be WAL-logged first.
 	profiles []*pref.Profile
+
+	// commonFn recomputes a cluster's common relation when membership or
+	// member preferences change: pref.Common for the exact engines,
+	// approx.Profile for the approximate one.
+	commonFn core.CommonFn
 
 	// mu orders ingestion (writers) against reads. The engines mutate
 	// frontiers in place on every Process, so they are single-writer by
@@ -226,8 +237,13 @@ type Monitor struct {
 	clusters       [][]string // member names per cluster (nil for Baseline)
 	clusterMembers [][]int    // raw member indices per cluster, in cluster order
 
-	names  map[string]int // object name -> id
-	lookup []string       // object id -> name
+	// The object registry. Slots are append-only in arrival order (slot
+	// index == engine object id); RemoveObject tombstones a slot and
+	// frees its name. names maps alive names only. The interned objects
+	// ride along so retraction and removal mends can rebuild frontiers
+	// from the alive set.
+	names   map[string]int // alive object name -> id
+	objects []objEntry     // object id -> registry entry
 
 	subs subscriptions
 
@@ -235,11 +251,10 @@ type Monitor struct {
 	// walSeq is the last appended-or-replayed log position and sinceSnap
 	// counts records toward the next automatic snapshot (both under mu).
 	// replaying suppresses WAL appends and subscriber publication while
-	// recovery re-ingests history; prefLog accumulates the online
-	// preference updates a future snapshot must carry. storeErr, once
-	// set (failed append, or Close on an owned store), permanently fails
-	// durable mutations and snapshots: the log can no longer be trusted
-	// to match memory, so restart-and-recover is the only way forward.
+	// recovery re-ingests history. storeErr, once set (failed append, or
+	// Close on an owned store), permanently fails durable mutations and
+	// snapshots: the log can no longer be trusted to match memory, so
+	// restart-and-recover is the only way forward.
 	store     Store
 	ownsStore bool
 	snapEvery int
@@ -247,7 +262,13 @@ type Monitor struct {
 	sinceSnap int
 	replaying bool
 	storeErr  error
-	prefLog   []storage.PrefUpdate
+}
+
+// objEntry is one object registry slot.
+type objEntry struct {
+	name  string
+	obj   object.Object
+	alive bool
 }
 
 // NewMonitor builds a monitor for the community. With no options it runs
@@ -277,65 +298,147 @@ func NewMonitorFromConfig(c *Community, cfg Config) (*Monitor, error) {
 }
 
 func newMonitor(c *Community, cfg Config) (*Monitor, error) {
-	if c.Len() == 0 {
-		return nil, ErrEmptyCommunity
-	}
-	if cfg.Window < 0 {
-		return nil, fmt.Errorf("%w: negative window %d", ErrInvalidConfig, cfg.Window)
-	}
-	if cfg.ClusterCount < 0 {
-		return nil, fmt.Errorf("%w: negative cluster count %d", ErrInvalidConfig, cfg.ClusterCount)
-	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("%w: negative worker count %d", ErrInvalidConfig, cfg.Workers)
-	}
-	if cfg.SnapshotEvery < 0 {
-		return nil, fmt.Errorf("%w: negative snapshot interval %d", ErrInvalidConfig, cfg.SnapshotEvery)
-	}
-	if cfg.SnapshotEvery > 0 && cfg.Store == nil {
-		return nil, fmt.Errorf("%w: SnapshotEvery without a Store", ErrInvalidConfig)
+	if err := validateConfig(c, cfg); err != nil {
+		return nil, err
 	}
 	if cfg.SubscriptionBuffer == 0 {
 		cfg.SubscriptionBuffer = defaultSubscriptionBuffer
 	}
+	m := &Monitor{
+		schema:  c.schema.clone(),
+		cfg:     cfg,
+		ctr:     &stats.Counters{},
+		userIdx: make(map[string]int, c.Len()),
+		names:   make(map[string]int),
+	}
+	if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
+		t1, t2 := cfg.Theta1, cfg.Theta2
+		m.commonFn = func(members []*pref.Profile) *pref.Profile {
+			return approx.Profile(members, t1, t2)
+		}
+	} else {
+		m.commonFn = pref.Common
+	}
+	m.subs.init(cfg.SubscriptionBuffer)
+	m.store = cfg.Store
+	m.snapEvery = cfg.SnapshotEvery
+
+	// A non-empty store recovers first: the newest valid snapshot is
+	// authoritative for the evolved community (users may have joined or
+	// left since construction), with the caller's community pinned
+	// against the snapshot's construction-time base. Without a snapshot
+	// the monitor builds fresh from the community and the WAL tail —
+	// which may itself contain lifecycle records — replays through the
+	// normal mutation paths.
+	var snap *storage.Snapshot
+	var snapSeq uint64
+	if m.store != nil {
+		seq, body, ok, err := m.store.LoadSnapshot()
+		if err != nil {
+			return nil, fmt.Errorf("paretomon: loading snapshot: %w", err)
+		}
+		if ok {
+			if snap, err = storage.UnmarshalSnapshot(body); err != nil {
+				return nil, fmt.Errorf("paretomon: decoding snapshot: %w", err)
+			}
+			snapSeq = seq
+		}
+	}
+	if snap != nil {
+		if err := m.buildFromSnapshot(c, snap); err != nil {
+			return nil, err
+		}
+		m.walSeq = snapSeq
+	} else if err := m.buildFromCommunity(c); err != nil {
+		return nil, err
+	}
+	if m.store != nil {
+		m.replaying = true
+		err := m.store.Replay(m.walSeq, m.replayRecord)
+		m.replaying = false
+		if err != nil {
+			return nil, err
+		}
+		// Per-shard cumulative counters exist to show live load skew;
+		// recovery work (state restore, log replay) would skew that
+		// picture, so they restart at zero while the public totals are
+		// restored exactly.
+		if eng, ok := m.eng.(interface{ ResetShardCounters() }); ok {
+			eng.ResetShardCounters()
+		}
+	}
+	return m, nil
+}
+
+// validateConfig rejects malformed configurations before any state is
+// built.
+func validateConfig(c *Community, cfg Config) error {
+	if c.Len() == 0 {
+		return ErrEmptyCommunity
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("%w: negative window %d", ErrInvalidConfig, cfg.Window)
+	}
+	if cfg.ClusterCount < 0 {
+		return fmt.Errorf("%w: negative cluster count %d", ErrInvalidConfig, cfg.ClusterCount)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("%w: negative worker count %d", ErrInvalidConfig, cfg.Workers)
+	}
+	if cfg.SnapshotEvery < 0 {
+		return fmt.Errorf("%w: negative snapshot interval %d", ErrInvalidConfig, cfg.SnapshotEvery)
+	}
+	if cfg.SnapshotEvery > 0 && cfg.Store == nil {
+		return fmt.Errorf("%w: SnapshotEvery without a Store", ErrInvalidConfig)
+	}
 	if cfg.SubscriptionBuffer < 0 {
-		return nil, fmt.Errorf("%w: negative subscription buffer %d", ErrInvalidConfig, cfg.SubscriptionBuffer)
+		return fmt.Errorf("%w: negative subscription buffer %d", ErrInvalidConfig, cfg.SubscriptionBuffer)
 	}
 	switch cfg.Measure {
 	case MeasureIntersectionSize, MeasureJaccard, MeasureWeightedIntersection,
 		MeasureWeightedJaccard, MeasureVectorJaccard, MeasureVectorWeightedJaccard:
 	default:
-		return nil, fmt.Errorf("%w: unknown measure %d", ErrInvalidConfig, int(cfg.Measure))
+		return fmt.Errorf("%w: unknown measure %d", ErrInvalidConfig, int(cfg.Measure))
+	}
+	switch cfg.Algorithm {
+	case AlgorithmBaseline, AlgorithmFilterThenVerify, AlgorithmFilterThenVerifyApprox:
+	default:
+		return fmt.Errorf("%w: unknown algorithm %v", ErrInvalidConfig, cfg.Algorithm)
 	}
 	if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
 		if cfg.Theta1 <= 0 || cfg.Theta2 < 0 || cfg.Theta2 >= 1 {
-			return nil, fmt.Errorf("%w: approx engine needs Theta1 > 0 and Theta2 in [0,1), got θ1=%d θ2=%v",
+			return fmt.Errorf("%w: approx engine needs Theta1 > 0 and Theta2 in [0,1), got θ1=%d θ2=%v",
 				ErrInvalidConfig, cfg.Theta1, cfg.Theta2)
 		}
 	}
+	return nil
+}
 
+// buildFromCommunity assembles the monitor's state and engine from the
+// construction-time community: profiles are cloned, the filter-then-
+// verify engines cluster the users, and the engine starts empty.
+func (m *Monitor) buildFromCommunity(c *Community) error {
+	cfg := m.cfg
 	profiles := make([]*pref.Profile, c.Len())
-	m := &Monitor{
-		schema:    c.schema.clone(),
-		cfg:       cfg,
-		ctr:       &stats.Counters{},
-		userIdx:   make(map[string]int, c.Len()),
-		userNames: make([]string, c.Len()),
-		names:     make(map[string]int),
-	}
+	m.userNames = make([]string, c.Len())
+	m.userAlive = make([]bool, c.Len())
+	m.baseUsers = c.Len()
 	for i, u := range c.users {
-		profiles[i] = u.profile.Clone()
+		// Rehome, not Clone: the monitor's schema is a deep copy, and
+		// profiles built later (AddUser) live on the copy's domains —
+		// relation algebra (Common, Intersect) requires one domain set.
+		profiles[i] = u.profile.Rehome(m.schema.doms)
 		m.userIdx[u.name] = i
 		m.userNames[i] = u.name
+		m.userAlive[i] = true
 	}
 	m.profiles = profiles
-	m.subs.init(cfg.SubscriptionBuffer)
 
 	var clusters []core.Cluster
 	switch cfg.Algorithm {
 	case AlgorithmBaseline:
 		// no clustering
-	case AlgorithmFilterThenVerify, AlgorithmFilterThenVerifyApprox:
+	default:
 		var res *cluster.Result
 		if cfg.ClusterCount > 0 {
 			res = cluster.AgglomerativeK(profiles, cfg.Measure.internal(), cfg.ClusterCount)
@@ -344,12 +447,6 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 		}
 		for _, ci := range res.Clusters {
 			common := ci.Common
-			switch cfg.Measure {
-			case MeasureIntersectionSize, MeasureJaccard, MeasureWeightedIntersection,
-				MeasureWeightedJaccard, MeasureVectorJaccard, MeasureVectorWeightedJaccard:
-			default:
-				return nil, fmt.Errorf("%w: unknown measure %d", ErrInvalidConfig, int(cfg.Measure))
-			}
 			if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
 				members := make([]*pref.Profile, len(ci.Members))
 				for i, id := range ci.Members {
@@ -361,8 +458,6 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 			m.clusters = append(m.clusters, m.sortedNames(ci.Members))
 			m.clusterMembers = append(m.clusterMembers, append([]int(nil), ci.Members...))
 		}
-	default:
-		return nil, fmt.Errorf("%w: unknown algorithm %v", ErrInvalidConfig, cfg.Algorithm)
 	}
 
 	// Resolve the shard count: 0 means GOMAXPROCS, and the effective count
@@ -401,15 +496,69 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 			m.eng = window.NewFilterThenVerifySW(profiles, clusters, cfg.Window, m.ctr)
 		}
 	}
+	m.wireCommonFn()
+	return nil
+}
 
-	m.store = cfg.Store
-	m.snapEvery = cfg.SnapshotEvery
-	if m.store != nil {
-		if err := m.recover(); err != nil {
-			return nil, err
+// buildEngineFor assembles the engine over an evolved (recovered)
+// community: removed users own no frontier, dormant clusters ride along
+// as placeholders, and the engine starts empty for RestoreState to fill.
+func (m *Monitor) buildEngineFor(clusters []core.Cluster) {
+	cfg := m.cfg
+	var activeUsers []int
+	activeBool := make([]bool, len(m.userNames))
+	for i, alive := range m.userAlive {
+		activeBool[i] = alive
+		if alive {
+			activeUsers = append(activeUsers, i)
 		}
 	}
-	return m, nil
+	units := len(activeUsers)
+	if cfg.Algorithm != AlgorithmBaseline {
+		units = 0
+		for _, cl := range clusters {
+			if len(cl.Members) > 0 {
+				units++
+			}
+		}
+	}
+	workers := core.ResolveWorkers(cfg.Workers, units)
+
+	switch {
+	case cfg.Algorithm == AlgorithmBaseline && cfg.Window == 0:
+		if workers > 1 {
+			m.eng = core.NewParallelBaselineFor(m.profiles, activeBool, workers, m.ctr)
+		} else {
+			m.eng = core.NewBaselineFor(m.profiles, activeUsers, m.ctr)
+		}
+	case cfg.Algorithm == AlgorithmBaseline:
+		if workers > 1 {
+			m.eng = window.NewParallelBaselineSWFor(m.profiles, activeBool, cfg.Window, workers, m.ctr)
+		} else {
+			m.eng = window.NewBaselineSWFor(m.profiles, activeUsers, cfg.Window, m.ctr)
+		}
+	case cfg.Window == 0:
+		if workers > 1 {
+			m.eng = core.NewParallelFilterThenVerifyFor(m.profiles, clusters, workers, m.ctr)
+		} else {
+			m.eng = core.NewFilterThenVerifyFor(m.profiles, clusters, m.ctr)
+		}
+	default:
+		if workers > 1 {
+			m.eng = window.NewParallelFilterThenVerifySWFor(m.profiles, clusters, cfg.Window, workers, m.ctr)
+		} else {
+			m.eng = window.NewFilterThenVerifySWFor(m.profiles, clusters, cfg.Window, m.ctr)
+		}
+	}
+	m.wireCommonFn()
+}
+
+// wireCommonFn hands the engine the cluster-relation recompute used by
+// online preference updates (approx.Profile for the approximate engine).
+func (m *Monitor) wireCommonFn() {
+	if eng, ok := m.eng.(interface{ SetCommonFn(core.CommonFn) }); ok {
+		eng.SetCommonFn(m.commonFn)
+	}
 }
 
 // validateObject checks one object against the monitor state and the
@@ -436,10 +585,23 @@ func (m *Monitor) intern(o Object) object.Object {
 	for d, v := range o.Values {
 		attrs[d] = int32(doms[d].Intern(v))
 	}
-	id := len(m.lookup)
+	id := len(m.objects)
+	obj := object.Object{ID: id, Attrs: attrs}
 	m.names[o.Name] = id
-	m.lookup = append(m.lookup, o.Name)
-	return object.Object{ID: id, Attrs: attrs}
+	m.objects = append(m.objects, objEntry{name: o.Name, obj: obj, alive: true})
+	return obj
+}
+
+// aliveObjects snapshots the alive object set in arrival order: the
+// mend-candidate source for the lifecycle operations. Caller holds mu.
+func (m *Monitor) aliveObjects() []object.Object {
+	out := make([]object.Object, 0, len(m.objects))
+	for _, e := range m.objects {
+		if e.alive {
+			out = append(out, e.obj)
+		}
+	}
+	return out
 }
 
 // ingest processes one pre-validated object. Caller holds mu. During
@@ -531,30 +693,44 @@ func (m *Monitor) AddBatch(objs []Object) ([]Delivery, error) {
 // Frontier returns the named user's current Pareto frontier as sorted
 // object names.
 func (m *Monitor) Frontier(user string) ([]string, error) {
+	m.mu.RLock()
 	idx, err := m.user(user)
 	if err != nil {
+		m.mu.RUnlock()
 		return nil, err
 	}
-	m.mu.RLock()
 	ids := m.eng.UserFrontier(idx)
 	out := make([]string, len(ids))
 	for i, id := range ids {
-		out[i] = m.lookup[id]
+		out[i] = m.objects[id].name
 	}
 	m.mu.RUnlock()
 	sort.Strings(out)
 	return out, nil
 }
 
-// user resolves a user name against the construction-time community
-// snapshot: users registered after NewMonitor are unknown to this
-// monitor.
+// user resolves a user name against the monitor's live community table:
+// construction-time users plus AddUser arrivals, minus RemoveUser
+// departures. Caller holds mu (read or write).
 func (m *Monitor) user(name string) (int, error) {
 	idx, ok := m.userIdx[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownUser, name)
 	}
 	return idx, nil
+}
+
+// Users returns the alive community members in registration order.
+func (m *Monitor) Users() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.userNames))
+	for i, name := range m.userNames {
+		if m.userAlive[i] {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // sortedNames maps snapshot user indices to sorted names.
@@ -567,10 +743,22 @@ func (m *Monitor) sortedNames(idx []int) []string {
 	return out
 }
 
-// Clusters returns the user names per cluster, or nil for Baseline. The
-// clustering is fixed at construction; callers must not mutate the
-// returned slices.
-func (m *Monitor) Clusters() [][]string { return m.clusters }
+// Clusters returns the user names per cluster, or nil for Baseline.
+// Lifecycle operations evolve the clustering (AddUser joins or founds a
+// cluster, RemoveUser can leave one dormant and empty), so the result is
+// a point-in-time copy.
+func (m *Monitor) Clusters() [][]string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.clusters == nil {
+		return nil
+	}
+	out := make([][]string, len(m.clusters))
+	for i, names := range m.clusters {
+		out[i] = append([]string(nil), names...)
+	}
+	return out
+}
 
 // Stats returns a snapshot of the monitor's work counters. For sharded
 // monitors (WithWorkers > 1) it also breaks the totals down per shard.
@@ -608,9 +796,9 @@ func (m *Monitor) Stats() Stats {
 // Config returns the configuration the monitor was built with.
 func (m *Monitor) Config() Config { return m.cfg }
 
-// HasObject reports whether an object with the given name has been
-// ingested over the monitor's lifetime, including recovered objects
-// (window expiry does not unregister a name).
+// HasObject reports whether an alive object with the given name is
+// registered, including recovered objects. Window expiry does not
+// unregister a name; RemoveObject does, freeing it for re-use.
 func (m *Monitor) HasObject(name string) bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()

@@ -5,8 +5,9 @@ import "fmt"
 // Option configures a Monitor at construction time. Options are applied
 // in order over the package defaults (exact FilterThenVerify,
 // weighted-Jaccard clustering at h = 0.55, append-only); a later option
-// overrides an earlier one. Invalid values are rejected by NewMonitor
-// with an error wrapping ErrInvalidConfig.
+// overrides an earlier one. Out-of-range values are rejected by
+// NewMonitor with an error wrapping ErrBadOption (and, through it,
+// ErrInvalidConfig).
 type Option func(*Config) error
 
 // WithAlgorithm selects the monitoring engine.
@@ -17,7 +18,7 @@ func WithAlgorithm(a Algorithm) Option {
 			c.Algorithm = a
 			return nil
 		default:
-			return fmt.Errorf("%w: WithAlgorithm(%d): unknown algorithm", ErrInvalidConfig, int(a))
+			return fmt.Errorf("%w: WithAlgorithm(%d): unknown algorithm", ErrBadOption, int(a))
 		}
 	}
 }
@@ -28,7 +29,7 @@ func WithAlgorithm(a Algorithm) Option {
 func WithWindow(n int) Option {
 	return func(c *Config) error {
 		if n < 0 {
-			return fmt.Errorf("%w: WithWindow(%d): window must be >= 0", ErrInvalidConfig, n)
+			return fmt.Errorf("%w: WithWindow(%d): window must be >= 0", ErrBadOption, n)
 		}
 		c.Window = n
 		return nil
@@ -45,7 +46,7 @@ func WithMeasure(m Measure) Option {
 			c.Measure = m
 			return nil
 		default:
-			return fmt.Errorf("%w: WithMeasure(%d): unknown measure", ErrInvalidConfig, int(m))
+			return fmt.Errorf("%w: WithMeasure(%d): unknown measure", ErrBadOption, int(m))
 		}
 	}
 }
@@ -57,7 +58,7 @@ func WithMeasure(m Measure) Option {
 func WithBranchCut(h float64) Option {
 	return func(c *Config) error {
 		if h < 0 {
-			return fmt.Errorf("%w: WithBranchCut(%v): branch cut must be >= 0", ErrInvalidConfig, h)
+			return fmt.Errorf("%w: WithBranchCut(%v): branch cut must be >= 0", ErrBadOption, h)
 		}
 		c.BranchCut = h
 		c.ClusterCount = 0
@@ -73,7 +74,7 @@ func WithBranchCut(h float64) Option {
 func WithClusterCount(k int) Option {
 	return func(c *Config) error {
 		if k < 1 {
-			return fmt.Errorf("%w: WithClusterCount(%d): cluster count must be >= 1", ErrInvalidConfig, k)
+			return fmt.Errorf("%w: WithClusterCount(%d): cluster count must be >= 1", ErrBadOption, k)
 		}
 		c.ClusterCount = k
 		return nil
@@ -87,10 +88,10 @@ func WithClusterCount(k int) Option {
 func WithThetas(theta1 int, theta2 float64) Option {
 	return func(c *Config) error {
 		if theta1 <= 0 {
-			return fmt.Errorf("%w: WithThetas: theta1 must be > 0, got %d", ErrInvalidConfig, theta1)
+			return fmt.Errorf("%w: WithThetas: theta1 must be > 0, got %d", ErrBadOption, theta1)
 		}
 		if theta2 < 0 || theta2 >= 1 {
-			return fmt.Errorf("%w: WithThetas: theta2 must be in [0,1), got %v", ErrInvalidConfig, theta2)
+			return fmt.Errorf("%w: WithThetas: theta2 must be in [0,1), got %v", ErrBadOption, theta2)
 		}
 		c.Theta1, c.Theta2 = theta1, theta2
 		return nil
@@ -109,7 +110,7 @@ func WithThetas(theta1 int, theta2 float64) Option {
 func WithWorkers(n int) Option {
 	return func(c *Config) error {
 		if n < 0 {
-			return fmt.Errorf("%w: WithWorkers(%d): worker count must be >= 0", ErrInvalidConfig, n)
+			return fmt.Errorf("%w: WithWorkers(%d): worker count must be >= 0", ErrBadOption, n)
 		}
 		c.Workers = n
 		return nil
@@ -123,7 +124,7 @@ func WithWorkers(n int) Option {
 func WithSubscriptionBuffer(n int) Option {
 	return func(c *Config) error {
 		if n < 1 {
-			return fmt.Errorf("%w: WithSubscriptionBuffer(%d): buffer must be >= 1", ErrInvalidConfig, n)
+			return fmt.Errorf("%w: WithSubscriptionBuffer(%d): buffer must be >= 1", ErrBadOption, n)
 		}
 		c.SubscriptionBuffer = n
 		return nil
@@ -142,7 +143,7 @@ func WithSubscriptionBuffer(n int) Option {
 func WithStore(s Store) Option {
 	return func(c *Config) error {
 		if s == nil {
-			return fmt.Errorf("%w: WithStore(nil)", ErrInvalidConfig)
+			return fmt.Errorf("%w: WithStore(nil)", ErrBadOption)
 		}
 		c.Store = s
 		return nil
@@ -160,7 +161,7 @@ func WithStore(s Store) Option {
 func WithSnapshotEvery(n int) Option {
 	return func(c *Config) error {
 		if n < 0 {
-			return fmt.Errorf("%w: WithSnapshotEvery(%d): interval must be >= 0", ErrInvalidConfig, n)
+			return fmt.Errorf("%w: WithSnapshotEvery(%d): interval must be >= 0", ErrBadOption, n)
 		}
 		c.SnapshotEvery = n
 		return nil

@@ -41,20 +41,30 @@
 //	d, _ := mon.Add("laptop-1", "13-15.9", "Apple", "dual")
 //	fmt.Println(d.Users) // users who should see laptop-1
 //
-// WithStore (or Open, which bundles a file store) makes a monitor
-// durable: mutations are written to a write-ahead log before they
-// apply, WithSnapshotEvery(n) bounds recovery replay with periodic
-// state snapshots, and reopening over the same store recovers state
-// byte-for-byte equivalent to an uninterrupted run — an acknowledged
-// ingestion survives kill -9. See docs/PERSISTENCE.md.
+// The community and the object set are mutable on a live monitor (the
+// v3 lifecycle API): AddUser and RemoveUser evolve the membership,
+// AddPreference and RetractPreference grow and shrink preference
+// relations, and RemoveObject takes an object down — each mending the
+// affected frontiers in place (objects a removed dominance source alone
+// was shielding get promoted back, the mechanism the windowed engines
+// use on expiry). Affected subscribers observe the changes as typed
+// FrontierDelta events through SubscribeDeltas.
 //
-// Monitors are safe for concurrent use: one ingester (Add / AddBatch /
-// AddPreference) runs at a time while any number of readers (Frontier,
-// Stats, Clusters, TargetsOf) proceed in parallel. Consumers can also
-// receive deliveries push-style through Subscribe instead of polling.
-// Every error returned by the package wraps one of the Err* sentinels in
-// errors.go, so callers dispatch with errors.Is rather than string
-// matching.
+// WithStore (or Open, which bundles a file store) makes a monitor
+// durable: mutations — ingestion and lifecycle alike — are written to a
+// write-ahead log before they apply, WithSnapshotEvery(n) bounds
+// recovery replay with periodic state snapshots, and reopening over the
+// same store recovers state byte-for-byte equivalent to an
+// uninterrupted run — an acknowledged mutation survives kill -9. See
+// docs/PERSISTENCE.md.
+//
+// Monitors are safe for concurrent use: one mutator (Add / AddBatch /
+// AddPreference / the lifecycle calls) runs at a time while any number
+// of readers (Frontier, Stats, Clusters, Users, TargetsOf) proceed in
+// parallel. Consumers can also receive deliveries push-style through
+// Subscribe or SubscribeDeltas instead of polling. Every error returned
+// by the package wraps one of the Err* sentinels in errors.go, so
+// callers dispatch with errors.Is rather than string matching.
 package paretomon
 
 import (

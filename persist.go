@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/pref"
 	"repro/internal/storage"
 )
 
@@ -34,11 +36,16 @@ type WALRecord = storage.Record
 // WALOp discriminates WALRecord types.
 type WALOp = storage.Op
 
-// WAL record types: an object ingestion (Add or one AddBatch element)
-// or an online preference addition (AddPreference).
+// WAL record types: object ingestion (Add or one AddBatch element),
+// online preference addition (AddPreference), and the v3 lifecycle
+// mutations (AddUser, RemoveUser, RetractPreference, RemoveObject).
 const (
-	OpObject     WALOp = storage.OpObject
-	OpPreference WALOp = storage.OpPreference
+	OpObject            WALOp = storage.OpObject
+	OpPreference        WALOp = storage.OpPreference
+	OpAddUser           WALOp = storage.OpAddUser
+	OpRemoveUser        WALOp = storage.OpRemoveUser
+	OpRetractPreference WALOp = storage.OpRetractPreference
+	OpRemoveObject      WALOp = storage.OpRemoveObject
 )
 
 // StoreStats describes a store's footprint: live WAL segments and
@@ -110,13 +117,13 @@ func (m *Monitor) StorageStats() (StoreStats, error) {
 }
 
 // ObjectCount returns how many objects the monitor has ingested over
-// its lifetime, including recovered ones (window expiry does not
-// decrease it). Stream replayers use it to skip rows a recovered
-// monitor already holds.
+// its lifetime, including recovered ones (neither window expiry nor
+// RemoveObject decreases it). Stream replayers use it to skip rows a
+// recovered monitor already holds.
 func (m *Monitor) ObjectCount() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.lookup)
+	return len(m.objects)
 }
 
 // appendWAL assigns sequence numbers to the pre-validated records and
@@ -167,7 +174,11 @@ func (m *Monitor) maybeSnapshotLocked(applied int) {
 }
 
 // writeSnapshotLocked captures and persists the full monitor state at
-// the current WAL position, then prunes. Caller holds mu.
+// the current WAL position, then prunes. Since format version 2 the
+// snapshot is self-contained: the evolved community (user table with
+// asserted preference tuples), the clustering, and the full object
+// registry travel with the engine state, so recovery needs no lifecycle
+// replay behind the snapshot position. Caller holds mu.
 func (m *Monitor) writeSnapshotLocked() error {
 	eng, ok := m.eng.(core.StateEngine)
 	if !ok {
@@ -175,6 +186,23 @@ func (m *Monitor) writeSnapshotLocked() error {
 	}
 	st := core.NewEngineState(len(m.userNames), len(m.clusterMembers))
 	eng.CaptureState(st)
+	dims := len(m.schema.doms)
+	users := make([]storage.UserState, len(m.userNames))
+	for i := range m.userNames {
+		us := storage.UserState{Name: m.userNames[i], Alive: m.userAlive[i], Prefs: make([][][2]int, dims)}
+		if m.userAlive[i] {
+			for d := 0; d < dims; d++ {
+				for _, t := range m.profiles[i].Relation(d).Asserted() {
+					us.Prefs[d] = append(us.Prefs[d], [2]int{t.Better, t.Worse})
+				}
+			}
+		}
+		users[i] = us
+	}
+	objs := make([]storage.ObjectState, len(m.objects))
+	for i, e := range m.objects {
+		objs[i] = storage.ObjectState{Name: e.name, Alive: e.alive, Attrs: e.obj.Attrs}
+	}
 	snap := &storage.Snapshot{
 		Algorithm:    uint8(m.cfg.Algorithm),
 		Window:       m.cfg.Window,
@@ -183,11 +211,11 @@ func (m *Monitor) writeSnapshotLocked() error {
 		ClusterCount: m.cfg.ClusterCount,
 		Theta1:       m.cfg.Theta1,
 		Theta2:       m.cfg.Theta2,
-		UserNames:    m.userNames,
+		BaseUsers:    m.baseUsers,
+		Users:        users,
 		Clusters:     m.clusterMembers,
 		Domains:      m.schema.domainValues(),
-		Objects:      m.lookup,
-		Prefs:        m.prefLog,
+		Objects:      objs,
 		Counters:     m.ctr.Snapshot(),
 		Engine:       st,
 	}
@@ -210,63 +238,68 @@ func (s *Schema) domainValues() [][]string {
 	return out
 }
 
-// recover rebuilds state from the store: newest valid snapshot first,
-// then the WAL tail behind it, replayed through the normal ingestion
-// path with publication and re-logging suppressed. Runs during
-// construction, before the monitor is shared, so no locking is needed.
-func (m *Monitor) recover() error {
-	m.replaying = true
-	defer func() { m.replaying = false }()
-	seq, body, ok, err := m.store.LoadSnapshot()
-	if err != nil {
-		return fmt.Errorf("paretomon: loading snapshot: %w", err)
-	}
-	if ok {
-		snap, err := storage.UnmarshalSnapshot(body)
-		if err != nil {
-			return fmt.Errorf("paretomon: decoding snapshot: %w", err)
-		}
-		if err := m.restoreSnapshot(snap); err != nil {
-			return err
-		}
-		m.walSeq = seq
-	}
-	if err := m.store.Replay(m.walSeq, m.replayRecord); err != nil {
-		return err
-	}
-	// Per-shard cumulative counters exist to show live load skew;
-	// recovery work (state restore, preference re-application, log
-	// replay) would skew that picture, so they restart at zero while
-	// the public totals above are restored exactly.
-	if eng, ok := m.eng.(interface{ ResetShardCounters() }); ok {
-		eng.ResetShardCounters()
-	}
-	return nil
-}
-
-// replayRecord applies one WAL record during recovery. A record that no
-// longer applies cleanly means the log and the provided community have
-// diverged — corrupt state, not a caller input error.
+// replayRecord applies one WAL record during recovery through the same
+// code paths the live mutations use, so a recovered monitor's state and
+// work counters are identical to an uninterrupted run's. A record that
+// no longer applies cleanly means the log and the provided community
+// have diverged — corrupt state, not a caller input error.
 func (m *Monitor) replayRecord(rec WALRecord) error {
+	corrupt := func(err error) error {
+		return fmt.Errorf("%w: replaying WAL record %d: %v", ErrCorrupt, rec.Seq, err)
+	}
 	switch rec.Op {
 	case OpObject:
 		o := Object{Name: rec.Name, Values: rec.Values}
 		if err := m.validateObject(o, nil); err != nil {
-			return fmt.Errorf("%w: replaying WAL record %d: %v", ErrCorrupt, rec.Seq, err)
+			return corrupt(err)
 		}
 		m.ingest(o)
 	case OpPreference:
 		idx, err := m.user(rec.User)
 		if err != nil {
-			return fmt.Errorf("%w: replaying WAL record %d: %v", ErrCorrupt, rec.Seq, err)
+			return corrupt(err)
 		}
 		d, ok := m.schema.attrIndex(rec.Attr)
 		if !ok {
-			return fmt.Errorf("%w: replaying WAL record %d: unknown attribute %q", ErrCorrupt, rec.Seq, rec.Attr)
+			return corrupt(fmt.Errorf("unknown attribute %q", rec.Attr))
 		}
 		if err := m.applyPreferenceLocked(idx, d, rec.User, rec.Attr, rec.Better, rec.Worse); err != nil {
-			return fmt.Errorf("%w: replaying WAL record %d: %v", ErrCorrupt, rec.Seq, err)
+			return corrupt(err)
 		}
+	case OpAddUser:
+		if rec.Name == "" {
+			return corrupt(fmt.Errorf("empty user name"))
+		}
+		if _, dup := m.userIdx[rec.Name]; dup {
+			return corrupt(fmt.Errorf("user %q already alive", rec.Name))
+		}
+		prefs := make([]Preference, len(rec.Prefs))
+		for i, p := range rec.Prefs {
+			prefs[i] = Preference{Attr: p.Attr, Better: p.Better, Worse: p.Worse}
+		}
+		p, err := m.buildUserProfile(rec.Name, prefs)
+		if err != nil {
+			return corrupt(err)
+		}
+		m.applyAddUserLocked(rec.Name, p)
+	case OpRemoveUser:
+		idx, err := m.user(rec.User)
+		if err != nil {
+			return corrupt(err)
+		}
+		m.applyRemoveUserLocked(idx)
+	case OpRetractPreference:
+		idx, d, b, w, err := m.checkRetractLocked(rec.User, rec.Attr, rec.Better, rec.Worse)
+		if err != nil {
+			return corrupt(err)
+		}
+		m.applyRetractLocked(idx, d, b, w)
+	case OpRemoveObject:
+		id, ok := m.names[rec.Name]
+		if !ok {
+			return corrupt(fmt.Errorf("unknown object %q", rec.Name))
+		}
+		m.applyRemoveObjectLocked(id)
 	default:
 		return fmt.Errorf("%w: WAL record %d has unknown op %d", ErrCorrupt, rec.Seq, rec.Op)
 	}
@@ -274,48 +307,38 @@ func (m *Monitor) replayRecord(rec WALRecord) error {
 	return nil
 }
 
-// restoreSnapshot rebuilds the monitor from a decoded snapshot. The
-// freshly constructed monitor (community, options, clustering) must
-// match what the snapshot was written under; every divergence is
-// ErrStateMismatch so recovery fails loudly instead of serving wrong
-// frontiers.
-func (m *Monitor) restoreSnapshot(snap *storage.Snapshot) error {
+// buildFromSnapshot rebuilds the monitor from a decoded self-contained
+// snapshot. The snapshot is authoritative for the evolved community —
+// users added or removed, preferences grown or retracted, objects
+// deleted — while the caller-provided community must match the
+// snapshot's construction-time base (its first BaseUsers slots); every
+// divergence from the recorded configuration is ErrStateMismatch so
+// recovery fails loudly instead of serving wrong frontiers.
+func (m *Monitor) buildFromSnapshot(c *Community, snap *storage.Snapshot) error {
 	if snap.Algorithm != uint8(m.cfg.Algorithm) || snap.Window != m.cfg.Window ||
 		snap.Measure != uint8(m.cfg.Measure) || snap.BranchCut != m.cfg.BranchCut ||
 		snap.ClusterCount != m.cfg.ClusterCount ||
 		snap.Theta1 != m.cfg.Theta1 || snap.Theta2 != m.cfg.Theta2 {
 		return fmt.Errorf("%w: snapshot was written under a different monitor configuration", ErrStateMismatch)
 	}
-	if len(snap.UserNames) != len(m.userNames) {
-		return fmt.Errorf("%w: snapshot has %d users, community has %d", ErrStateMismatch, len(snap.UserNames), len(m.userNames))
+	if snap.BaseUsers != c.Len() || snap.BaseUsers > len(snap.Users) {
+		return fmt.Errorf("%w: snapshot community is based on %d users, provided community has %d",
+			ErrStateMismatch, snap.BaseUsers, c.Len())
 	}
-	for i, name := range snap.UserNames {
-		if name != m.userNames[i] {
-			return fmt.Errorf("%w: snapshot user %d is %q, community has %q", ErrStateMismatch, i, name, m.userNames[i])
+	for i := 0; i < snap.BaseUsers; i++ {
+		if snap.Users[i].Name != c.users[i].name {
+			return fmt.Errorf("%w: snapshot base user %d is %q, community has %q",
+				ErrStateMismatch, i, snap.Users[i].Name, c.users[i].name)
 		}
 	}
-	if len(snap.Clusters) != len(m.clusterMembers) {
-		return fmt.Errorf("%w: snapshot has %d clusters, this monitor clustered %d (changed preferences?)",
-			ErrStateMismatch, len(snap.Clusters), len(m.clusterMembers))
-	}
-	for ui, members := range snap.Clusters {
-		got := m.clusterMembers[ui]
-		if len(members) != len(got) {
-			return fmt.Errorf("%w: cluster %d membership differs from the snapshot's", ErrStateMismatch, ui)
-		}
-		for i, c := range members {
-			if c != got[i] {
-				return fmt.Errorf("%w: cluster %d membership differs from the snapshot's", ErrStateMismatch, ui)
-			}
-		}
-	}
-	if len(snap.Domains) != len(m.schema.doms) {
-		return fmt.Errorf("%w: snapshot has %d attributes, schema has %d", ErrStateMismatch, len(snap.Domains), len(m.schema.doms))
+	dims := len(m.schema.doms)
+	if len(snap.Domains) != dims {
+		return fmt.Errorf("%w: snapshot has %d attributes, schema has %d", ErrStateMismatch, len(snap.Domains), dims)
 	}
 	// Re-intern the snapshot's domain tables in id order. The values the
 	// community's preferences already interned must come back with the
-	// same ids; the rest (first seen in objects) extend the tables so the
-	// value ids baked into restored frontier objects stay meaningful.
+	// same ids; the rest (first seen in objects or lifecycle updates)
+	// extend the tables so recorded value ids stay meaningful.
 	for d, values := range snap.Domains {
 		for want, v := range values {
 			if got := m.schema.doms[d].Intern(v); got != want {
@@ -324,29 +347,91 @@ func (m *Monitor) restoreSnapshot(snap *storage.Snapshot) error {
 			}
 		}
 	}
-	m.lookup = append([]string(nil), snap.Objects...)
-	for id, name := range m.lookup {
-		m.names[name] = id
+	m.baseUsers = snap.BaseUsers
+
+	// Rebuild the community table: profiles re-assert their recorded
+	// tuples in order, reproducing both the closure and the retractable
+	// base exactly.
+	m.userNames = make([]string, len(snap.Users))
+	m.userAlive = make([]bool, len(snap.Users))
+	m.profiles = make([]*pref.Profile, len(snap.Users))
+	for i, us := range snap.Users {
+		m.userNames[i] = us.Name
+		m.userAlive[i] = us.Alive
+		p := pref.NewProfile(m.schema.doms)
+		for d := 0; d < dims && d < len(us.Prefs); d++ {
+			domSize := m.schema.doms[d].Size()
+			for _, t := range us.Prefs[d] {
+				if t[0] < 0 || t[0] >= domSize || t[1] < 0 || t[1] >= domSize {
+					return fmt.Errorf("%w: snapshot preference tuple (%d,%d) outside attribute %q's domain",
+						ErrCorrupt, t[0], t[1], m.schema.doms[d].Name())
+				}
+				if err := p.Relation(d).Add(t[0], t[1]); err != nil {
+					return fmt.Errorf("%w: reasserting snapshot preferences of %q: %v", ErrCorrupt, us.Name, err)
+				}
+			}
+		}
+		m.profiles[i] = p
+		if us.Alive {
+			if _, dup := m.userIdx[us.Name]; dup {
+				return fmt.Errorf("%w: snapshot has two alive users named %q", ErrCorrupt, us.Name)
+			}
+			m.userIdx[us.Name] = i
+		}
 	}
+
+	// Rebuild the object registry.
+	m.objects = make([]objEntry, len(snap.Objects))
+	for id, os := range snap.Objects {
+		if len(os.Attrs) != dims {
+			return fmt.Errorf("%w: snapshot object %q has %d attributes, schema has %d", ErrCorrupt, os.Name, len(os.Attrs), dims)
+		}
+		m.objects[id] = objEntry{name: os.Name, obj: object.Object{ID: id, Attrs: os.Attrs}, alive: os.Alive}
+		if os.Alive {
+			if _, dup := m.names[os.Name]; dup {
+				return fmt.Errorf("%w: snapshot has two alive objects named %q", ErrCorrupt, os.Name)
+			}
+			m.names[os.Name] = id
+		}
+	}
+
+	// Rebuild the clustering (dormant clusters stay as placeholders so
+	// cluster indices keyed into the engine state resolve), recompute
+	// each common relation from the restored member profiles, and
+	// construct the engine over the evolved community.
+	var clusters []core.Cluster
+	if m.cfg.Algorithm != AlgorithmBaseline {
+		clusters = make([]core.Cluster, len(snap.Clusters))
+		for ui, members := range snap.Clusters {
+			ms := append([]int(nil), members...)
+			for _, c := range ms {
+				if c < 0 || c >= len(m.profiles) || !m.userAlive[c] {
+					return fmt.Errorf("%w: snapshot cluster %d references user %d", ErrCorrupt, ui, c)
+				}
+			}
+			cl := core.Cluster{Members: ms}
+			if len(ms) > 0 {
+				ps := make([]*pref.Profile, len(ms))
+				for i, c := range ms {
+					ps[i] = m.profiles[c]
+				}
+				cl.Common = m.commonFn(ps)
+			}
+			clusters[ui] = cl
+			m.clusterMembers = append(m.clusterMembers, ms)
+			m.clusters = append(m.clusters, m.sortedNames(ms))
+		}
+	} else if len(snap.Clusters) != 0 {
+		return fmt.Errorf("%w: snapshot has clusters but the configured algorithm is Baseline", ErrCorrupt)
+	}
+	m.buildEngineFor(clusters)
+
 	eng, ok := m.eng.(core.StateEngine)
 	if !ok {
 		return fmt.Errorf("%w: %T does not support state restore", ErrUnsupported, m.eng)
 	}
 	if err := eng.RestoreState(snap.Engine); err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	// Re-grow the rebuilt preference profiles with the recorded online
-	// updates. The restored frontiers already reflect their repairs
-	// (growth is monotone, so re-repairing removes nothing), and the
-	// counter overwrite below erases the re-repairs' comparison counts.
-	for _, p := range snap.Prefs {
-		if p.User < 0 || p.User >= len(m.userNames) || p.Dim < 0 || p.Dim >= len(m.schema.doms) {
-			return fmt.Errorf("%w: snapshot preference update references user %d / attribute %d", ErrCorrupt, p.User, p.Dim)
-		}
-		attr := m.schema.doms[p.Dim].Name()
-		if err := m.applyPreferenceLocked(p.User, p.Dim, m.userNames[p.User], attr, p.Better, p.Worse); err != nil {
-			return fmt.Errorf("%w: reapplying snapshot preference update: %v", ErrCorrupt, err)
-		}
 	}
 	*m.ctr = snap.Counters
 	return nil

@@ -13,10 +13,45 @@ const defaultSubscriptionBuffer = 64
 // and its channel closed. Safe to call more than once.
 type CancelFunc func()
 
-// subscriber is one push-delivery consumer for one user.
+// FrontierDelta is one observed change to a subscribed user's Pareto
+// frontier — the v3 subscription payload, which makes removals
+// observable (the v2 payload only reported entering objects).
+type FrontierDelta struct {
+	// Object names the triggering arrival for ingestion events (Add /
+	// AddBatch); lifecycle events (RemoveObject, RetractPreference,
+	// AddPreference) leave it empty.
+	Object string
+	// Entered lists, sorted, the object names that joined the user's
+	// frontier: the arriving object, or objects promoted by a removal
+	// or retraction mend.
+	Entered []string
+	// Left lists, sorted, the object names that left the frontier: a
+	// removed object, or objects evicted by an AddPreference repair.
+	// Ingestion events do not track evictions (nor window expiry);
+	// consumers needing the full picture resynchronize via Frontier.
+	Left []string
+}
+
+// subscriber is one push-delivery consumer for one user: a legacy
+// Delivery channel (Subscribe) or a FrontierDelta channel
+// (SubscribeDeltas), never both.
 type subscriber struct {
 	ch     chan Delivery
+	dch    chan FrontierDelta
 	closed bool // guarded by subscriptions.mu
+}
+
+func (s *subscriber) close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.ch != nil {
+		close(s.ch)
+	}
+	if s.dch != nil {
+		close(s.dch)
+	}
 }
 
 // subscriptions is the Monitor's push-delivery fan-out. It has its own
@@ -36,15 +71,14 @@ func (s *subscriptions) init(buffer int) {
 }
 
 // add registers a subscriber for the user index.
-func (s *subscriptions) add(user int) (*subscriber, error) {
+func (s *subscriptions) add(user int, sub *subscriber) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrMonitorClosed
+		return ErrMonitorClosed
 	}
-	sub := &subscriber{ch: make(chan Delivery, s.buffer)}
 	s.byUser[user] = append(s.byUser[user], sub)
-	return sub, nil
+	return nil
 }
 
 // remove unregisters and closes a subscriber. Idempotent.
@@ -54,8 +88,7 @@ func (s *subscriptions) remove(user int, sub *subscriber) {
 	if sub.closed {
 		return
 	}
-	sub.closed = true
-	close(sub.ch)
+	sub.close()
 	list := s.byUser[user]
 	for i, candidate := range list {
 		if candidate == sub {
@@ -68,33 +101,91 @@ func (s *subscriptions) remove(user int, sub *subscriber) {
 	}
 }
 
-// publish fans a delivery out to every subscriber of every target user.
-// Sends never block ingestion: when a subscriber's buffer is full, the
-// oldest pending delivery is discarded to make room for the newest, and
-// the loss is counted.
+// send delivers on a legacy channel without ever blocking ingestion:
+// when the buffer is full, the oldest pending delivery is discarded to
+// make room for the newest, and the loss is counted.
+func (s *subscriptions) send(sub *subscriber, d Delivery) {
+	for {
+		select {
+		case sub.ch <- d:
+			return
+		default:
+			select {
+			case <-sub.ch:
+				s.dropped.Add(1)
+			default:
+			}
+		}
+	}
+}
+
+// sendDelta is send for delta channels.
+func (s *subscriptions) sendDelta(sub *subscriber, d FrontierDelta) {
+	for {
+		select {
+		case sub.dch <- d:
+			return
+		default:
+			select {
+			case <-sub.dch:
+				s.dropped.Add(1)
+			default:
+			}
+		}
+	}
+}
+
+// publish fans an ingestion delivery out to every subscriber of every
+// target user: legacy subscribers receive the Delivery, delta
+// subscribers an enter-only FrontierDelta for the arriving object.
 func (s *subscriptions) publish(d Delivery, users []int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || len(s.byUser) == 0 {
 		return
 	}
+	var delta *FrontierDelta
 	for _, u := range users {
 		for _, sub := range s.byUser[u] {
-			for {
-				select {
-				case sub.ch <- d:
-				default:
-					select {
-					case <-sub.ch:
-						s.dropped.Add(1)
-					default:
-					}
-					continue
-				}
-				break
+			if sub.ch != nil {
+				s.send(sub, d)
+				continue
 			}
+			if delta == nil {
+				delta = &FrontierDelta{Object: d.Object, Entered: []string{d.Object}}
+			}
+			s.sendDelta(sub, *delta)
 		}
 	}
+}
+
+// publishDelta fans a lifecycle frontier change out to one user's delta
+// subscribers (legacy subscribers keep the v2 enter-only contract and
+// see nothing).
+func (s *subscriptions) publishDelta(user int, delta FrontierDelta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, sub := range s.byUser[user] {
+		if sub.dch != nil {
+			s.sendDelta(sub, delta)
+		}
+	}
+}
+
+// closeUser closes and unregisters every subscriber of one user
+// (RemoveUser teardown): consumers ranging over the channel observe the
+// close and stop; a later Subscribe for the name fails with
+// ErrUnknownUser until the name is re-added.
+func (s *subscriptions) closeUser(user int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sub := range s.byUser[user] {
+		sub.close()
+	}
+	delete(s.byUser, user)
 }
 
 // closeAll closes every subscriber and rejects future Subscribe calls.
@@ -107,8 +198,7 @@ func (s *subscriptions) closeAll() {
 	s.closed = true
 	for _, list := range s.byUser {
 		for _, sub := range list {
-			sub.closed = true
-			close(sub.ch)
+			sub.close()
 		}
 	}
 	s.byUser = map[int][]*subscriber{}
@@ -127,29 +217,63 @@ func (s *subscriptions) droppedCount() uint64 { return s.dropped.Load() }
 // consumers needing a complete picture should resynchronize via Frontier.
 //
 // The returned CancelFunc unregisters the subscription and closes the
-// channel; after Monitor.Close the channel is closed too, so consumers
-// should simply range over it.
+// channel; after Monitor.Close — or a RemoveUser of this user — the
+// channel is closed too, so consumers should simply range over it.
+//
+// Deprecated: Subscribe carries the v2 enter-only payload and never
+// reports objects leaving a frontier. New code should use
+// SubscribeDeltas, whose FrontierDelta events also observe RemoveObject,
+// RetractPreference and AddPreference changes.
 func (m *Monitor) Subscribe(user string) (<-chan Delivery, CancelFunc, error) {
+	// Hold the read lock across lookup AND registration: RemoveUser
+	// closes a user's subscribers under the write lock, so registering
+	// after an unlocked lookup could attach a channel to a user removed
+	// in between — a channel nothing would ever close.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	idx, err := m.user(user)
 	if err != nil {
 		return nil, nil, err
 	}
-	sub, err := m.subs.add(idx)
-	if err != nil {
+	sub := &subscriber{ch: make(chan Delivery, m.subs.buffer)}
+	if err := m.subs.add(idx, sub); err != nil {
 		return nil, nil, err
 	}
 	cancel := func() { m.subs.remove(idx, sub) }
 	return sub.ch, cancel, nil
 }
 
+// SubscribeDeltas registers for push delivery of the named user's
+// frontier changes: one FrontierDelta per observed mutation — an
+// arriving object entering the frontier, objects promoted by
+// RemoveObject or RetractPreference mends, objects evicted by an
+// AddPreference repair. Buffering, loss accounting and teardown follow
+// the Subscribe contract; the channel closes on cancel, Monitor.Close,
+// and RemoveUser of this user.
+func (m *Monitor) SubscribeDeltas(user string) (<-chan FrontierDelta, CancelFunc, error) {
+	// See Subscribe for why the read lock spans lookup + registration.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	idx, err := m.user(user)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub := &subscriber{dch: make(chan FrontierDelta, m.subs.buffer)}
+	if err := m.subs.add(idx, sub); err != nil {
+		return nil, nil, err
+	}
+	cancel := func() { m.subs.remove(idx, sub) }
+	return sub.dch, cancel, nil
+}
+
 // Close shuts down delivery fan-out: every subscription channel is
 // closed and further Subscribe calls return ErrMonitorClosed. Reads
 // (Frontier, Stats, Clusters, TargetsOf) keep working. On a monitor
 // built with Open — which owns its file store — the store is closed
-// too, after which Add, AddBatch and AddPreference fail with an error
-// wrapping ErrMonitorClosed; with a caller-provided WithStore the
-// caller owns the store's lifecycle and ingestion keeps working. Close
-// implements io.Closer for composition with server lifecycles.
+// too, after which mutations fail with an error wrapping
+// ErrMonitorClosed; with a caller-provided WithStore the caller owns the
+// store's lifecycle and ingestion keeps working. Close implements
+// io.Closer for composition with server lifecycles.
 func (m *Monitor) Close() error {
 	m.subs.closeAll()
 	if m.ownsStore && m.store != nil {

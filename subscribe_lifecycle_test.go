@@ -1,0 +1,239 @@
+package paretomon_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	paretomon "repro"
+)
+
+func lifecycleSubCommunity(t *testing.T) *paretomon.Community {
+	t.Helper()
+	s := paretomon.NewSchema("brand", "cpu")
+	com := paretomon.NewCommunity(s)
+	for _, name := range []string{"alice", "bob"} {
+		u, err := com.AddUser(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.PreferChain("brand", "Apple", "Sony", "Acer"); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.PreferChain("cpu", "quad", "dual"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return com
+}
+
+// TestSubscriptionTeardownOnRemoveUser pins the removed-user contract:
+// every subscription channel of the removed user closes (consumers
+// ranging over it terminate instead of leaking), and a post-removal
+// Subscribe fails with ErrUnknownUser. Run under -race this also
+// exercises concurrent consumers against the removal path.
+func TestSubscriptionTeardownOnRemoveUser(t *testing.T) {
+	com := lifecycleSubCommunity(t)
+	m, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, cancelLegacy, err := m.Subscribe("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelLegacy()
+	deltas, cancelDeltas, err := m.SubscribeDeltas("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelDeltas()
+
+	// Concurrent consumers draining until close; they must terminate.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for range legacy {
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for range deltas {
+		}
+	}()
+
+	if _, err := m.Add("o1", "Apple", "quad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveUser("bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber channels not closed on RemoveUser: consumers leaked")
+	}
+
+	if _, _, err := m.Subscribe("bob"); !errors.Is(err, paretomon.ErrUnknownUser) {
+		t.Errorf("Subscribe after removal: %v, want ErrUnknownUser", err)
+	}
+	if _, _, err := m.SubscribeDeltas("bob"); !errors.Is(err, paretomon.ErrUnknownUser) {
+		t.Errorf("SubscribeDeltas after removal: %v, want ErrUnknownUser", err)
+	}
+
+	// Other users' subscriptions are untouched: alice still receives.
+	ach, acancel, err := m.SubscribeDeltas("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acancel()
+	if _, err := m.Add("o2", "Apple", "quad"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-ach:
+		if d.Object != "o2" {
+			t.Errorf("alice's delta = %+v, want o2", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("alice's subscription died with bob's removal")
+	}
+
+	// Re-adding the name starts fresh: Subscribe works again.
+	if err := m.AddUser("bob", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, bcancel, err := m.Subscribe("bob"); err != nil {
+		t.Errorf("Subscribe after re-add: %v", err)
+	} else {
+		bcancel()
+	}
+}
+
+// TestFrontierDeltaEvents pins the v3 subscription payload end to end:
+// ingestion is enter-only with the triggering object, RemoveObject
+// reports the departure plus promotions, RetractPreference reports
+// promotions, AddPreference reports evictions.
+func TestFrontierDeltaEvents(t *testing.T) {
+	com := lifecycleSubCommunity(t)
+	m, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := m.SubscribeDeltas("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	next := func(what string) paretomon.FrontierDelta {
+		t.Helper()
+		select {
+		case d := <-ch:
+			return d
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no delta for %s", what)
+			panic("unreachable")
+		}
+	}
+
+	// o1 (Apple, dual) enters; o2 (Sony, quad) is incomparable and enters.
+	if _, err := m.Add("o1", "Apple", "dual"); err != nil {
+		t.Fatal(err)
+	}
+	if d := next("o1"); d.Object != "o1" || !reflect.DeepEqual(d.Entered, []string{"o1"}) || d.Left != nil {
+		t.Errorf("o1 delta = %+v", d)
+	}
+	if _, err := m.Add("o2", "Sony", "quad"); err != nil {
+		t.Fatal(err)
+	}
+	next("o2")
+
+	// o3 (Apple, quad) dominates both: enter-only event for o3 (the v3
+	// ingestion payload does not track evictions), frontier now {o3}.
+	if _, err := m.Add("o3", "Apple", "quad"); err != nil {
+		t.Fatal(err)
+	}
+	if d := next("o3"); d.Object != "o3" || !reflect.DeepEqual(d.Entered, []string{"o3"}) {
+		t.Errorf("o3 delta = %+v", d)
+	}
+
+	// Removing o3 promotes o1 and o2 back.
+	if err := m.RemoveObject("o3"); err != nil {
+		t.Fatal(err)
+	}
+	if d := next("remove o3"); d.Object != "" ||
+		!reflect.DeepEqual(d.Left, []string{"o3"}) ||
+		!reflect.DeepEqual(d.Entered, []string{"o1", "o2"}) {
+		t.Errorf("removal delta = %+v, want o3 left, o1+o2 entered", d)
+	}
+
+	// A retraction that changes nothing publishes nothing: both alive
+	// objects are already frontier members.
+	if err := m.RetractPreference("alice", "brand", "Apple", "Sony"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-ch:
+		t.Fatalf("no-op retraction published %+v", d)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fr, err := m.Frontier("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fr, []string{"o1", "o2"}) {
+		t.Fatalf("frontier before eviction test = %v", fr)
+	}
+
+	// Reversing the brand order makes o2 (Sony, quad) dominate o1
+	// (Apple, dual): the AddPreference repair evicts o1.
+	if err := m.AddPreference("alice", "brand", "Sony", "Apple"); err != nil {
+		t.Fatal(err)
+	}
+	if d := next("addpref"); !reflect.DeepEqual(d.Left, []string{"o1"}) || len(d.Entered) != 0 {
+		t.Errorf("AddPreference delta = %+v, want o1 evicted", d)
+	}
+
+	// Retracting that same tuple mends o1 back: a promotion event.
+	if err := m.RetractPreference("alice", "brand", "Sony", "Apple"); err != nil {
+		t.Fatal(err)
+	}
+	if d := next("retract promotes"); !reflect.DeepEqual(d.Entered, []string{"o1"}) || len(d.Left) != 0 {
+		t.Errorf("retraction delta = %+v, want o1 promoted", d)
+	}
+}
+
+// TestDeltaDropAccounting pins lossy backpressure on the delta channel:
+// a stalled consumer loses oldest events, counted in DroppedDeliveries.
+func TestDeltaDropAccounting(t *testing.T) {
+	com := lifecycleSubCommunity(t)
+	m, err := paretomon.NewMonitor(com,
+		paretomon.WithAlgorithm(paretomon.AlgorithmBaseline),
+		paretomon.WithSubscriptionBuffer(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cancel, err := m.SubscribeDeltas("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	for i := 0; i < 8; i++ {
+		// Identical twins: every one is Pareto-optimal and delivered.
+		if _, err := m.Add(fmt.Sprintf("d%d", i), "Apple", "quad"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.DroppedDeliveries == 0 {
+		t.Error("stalled delta consumer recorded no drops")
+	}
+}

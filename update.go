@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/order"
-	"repro/internal/storage"
 )
 
 // prefApplier is the engine surface for online preference updates;
@@ -15,10 +14,10 @@ type prefApplier interface {
 
 // AddPreference teaches a *running* monitor that user now also prefers
 // better over worse on attr, repairing the affected frontiers in place —
-// no rebuild, no replay. Only this growth direction is supported online:
-// adding preference tuples can only shrink Pareto frontiers, so the repair
-// is exact; *removing* a preference could resurrect objects the engine
-// has already discarded, and needs a fresh NewMonitor.
+// no rebuild, no replay. Adding preference tuples can only shrink Pareto
+// frontiers, so the repair is exact; the tuple is recorded as an
+// assertion, so the opposite direction is available too — see
+// RetractPreference, which mends the shrunken frontiers back.
 //
 // Note the distinction from User.Prefer: Prefer edits the community's
 // preference record used by future NewMonitor calls; AddPreference edits
@@ -29,8 +28,12 @@ type prefApplier interface {
 // the cost is the same as on a sequential engine of that shard's size.
 // On a durable monitor the update is validated first, WAL-logged, and
 // only then applied — like Add, an acknowledged update is in the log
-// before any state changes, and a rejected tuple changes nothing.
+// before any state changes, and a rejected tuple changes nothing. The
+// user's delta subscribers observe evicted objects as a FrontierDelta
+// with a populated Left list.
 func (m *Monitor) AddPreference(user, attr, better, worse string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	idx, err := m.user(user)
 	if err != nil {
 		return err
@@ -42,8 +45,6 @@ func (m *Monitor) AddPreference(user, attr, better, worse string) error {
 	if _, ok := m.eng.(prefApplier); !ok {
 		return fmt.Errorf("%w: %T does not support online preference updates", ErrUnsupported, m.eng)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	// Validate without mutating, so the update can be logged before it
 	// applies: CanAdd mirrors exactly the strict-partial-order check the
 	// engine's apply performs. (Interning may grow the shared domain
@@ -60,16 +61,20 @@ func (m *Monitor) AddPreference(user, attr, better, worse string) error {
 	}}); err != nil {
 		return err
 	}
+	before := m.frontierIDs(idx)
 	if err := m.applyPreferenceLocked(idx, d, user, attr, better, worse); err != nil {
 		return err // unreachable: CanAdd above is Add's exact validation
 	}
+	m.publishDeltaLocked(idx, "", before)
 	m.maybeSnapshotLocked(1)
 	return nil
 }
 
 // applyPreferenceLocked grows the user's preference relation in the
-// engine and records the update for future snapshots. Caller holds mu
-// (or is the construction-time recovery, which is single-threaded).
+// engine. Caller holds mu (or is the construction-time recovery, which
+// is single-threaded). The assertion is recorded on the relation itself,
+// making the tuple retractable and letting snapshots carry the full
+// preference base.
 func (m *Monitor) applyPreferenceLocked(idx, d int, user, attr, better, worse string) error {
 	eng, ok := m.eng.(prefApplier)
 	if !ok {
@@ -82,6 +87,5 @@ func (m *Monitor) applyPreferenceLocked(idx, d int, user, attr, better, worse st
 		return fmt.Errorf("%w: user %q, attribute %q: cannot prefer %q over %q: %w",
 			cycleOr(err), user, attr, better, worse, err)
 	}
-	m.prefLog = append(m.prefLog, storage.PrefUpdate{User: idx, Dim: d, Better: better, Worse: worse})
 	return nil
 }
