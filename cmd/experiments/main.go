@@ -10,9 +10,9 @@
 //	            [-workers 1,2,4,8] [-benchout BENCH_parallel.json]
 //
 // Experiment ids: fig4 fig5 fig6 fig7 table11 fig8 fig9 fig10 fig11 table12
-// parallel recovery lifecycle. The parallel sweep measures ingest
-// throughput of the sharded engines at each -workers count and, with
-// -benchout, records the sweep as JSON so CI can track the perf
+// parallel recovery lifecycle replication. The parallel sweep measures
+// ingest throughput of the sharded engines at each -workers count and,
+// with -benchout, records the sweep as JSON so CI can track the perf
 // trajectory. The recovery benchmark crashes a durable monitor
 // (internal/storage) mid-stream, restarts it, verifies the recovered
 // state is identical to an uninterrupted run, and measures snapshot size,
@@ -20,7 +20,11 @@
 // BENCH_recovery.json). The lifecycle benchmark measures the v3 mutation
 // costs — mend comparisons and wall time per RemoveObject /
 // RetractPreference / AddUser — against the alive state (-benchout writes
-// BENCH_lifecycle.json).
+// BENCH_lifecycle.json). The replication benchmark bootstraps a read-only
+// follower from a live primary over HTTP (snapshot + WAL changefeed) and
+// measures catch-up time, steady-state lag vs write rate, and
+// reconnect-after-disconnect, gating on primary/follower state identity
+// (-benchout writes BENCH_replication.json).
 package main
 
 import (

@@ -7,7 +7,8 @@
 //
 //	paretomon -objects movie.objects.csv -prefs movie.prefs.json \
 //	          -algorithm ftv -h 3.3 -window 0 [-workers N] [-quiet] [-limit N]
-//	          [-serve :8080 [-data-dir ./data] [-snapshot-every N]]
+//	          [-serve :8080 [-data-dir ./data] [-snapshot-every N]
+//	           [-follow http://primary:8080]]
 //
 // Algorithms: baseline, ftv (FilterThenVerify), ftva (approximate).
 // -window > 0 switches to sliding-window semantics. -workers shards
@@ -23,14 +24,29 @@
 // holds. -snapshot-every bounds recovery replay; POST /snapshot forces
 // a snapshot on demand. See docs/PERSISTENCE.md for the full
 // operations walkthrough, including a kill -9 exercise.
+//
+// -follow (with -serve) starts a read-only follower instead: the
+// monitor bootstraps from the primary's newest snapshot, tails its WAL
+// changefeed, and serves the full read API — frontiers, targets, stats,
+// SSE subscriptions — locally while writes are answered 403 (send them
+// to the primary). The CSV/JSON inputs supply only the schema and base
+// community, which must match the primary's; no rows are boot-ingested.
+// See docs/REPLICATION.md. On SIGINT/SIGTERM the server shuts down
+// gracefully: in-flight SSE and changefeed streams are cancelled so
+// clients and downstream followers disconnect cleanly.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	paretomon "repro"
 	"repro/internal/approx"
@@ -64,6 +80,7 @@ func main() {
 		serve    = flag.String("serve", "", "serve HTTP on this address after replaying the objects (e.g. :8080)")
 		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + snapshots); requires -serve")
 		snapEvry = flag.Int("snapshot-every", 0, "snapshot after every N WAL records (0 = explicit POST /snapshot only)")
+		follow   = flag.String("follow", "", "serve as a read-only follower of this primary URL; requires -serve")
 	)
 	flag.Parse()
 	if *objPath == "" || *prefPath == "" {
@@ -78,9 +95,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paretomon: -snapshot-every requires -data-dir")
 		os.Exit(2)
 	}
+	if *follow != "" && *serve == "" {
+		fmt.Fprintln(os.Stderr, "paretomon: -follow requires -serve")
+		os.Exit(2)
+	}
+	if *follow != "" && *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "paretomon: -follow and -data-dir are mutually exclusive (the primary owns the log)")
+		os.Exit(2)
+	}
 
 	if *serve != "" {
-		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit, *dataDir, *snapEvry)
+		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit, *dataDir, *snapEvry, *follow)
 		return
 	}
 
@@ -170,11 +195,14 @@ func main() {
 // limit objects as one batch, and exposes the monitor as a REST + SSE
 // service: POST /objects[,/batch], GET /frontier/{user},
 // GET /targets/{object}, GET /subscribe/{user}, POST /preferences,
-// GET /stats, GET /clusters, and — when dataDir is set — POST /snapshot
-// and GET /storage/stats. With dataDir the monitor is durable: a
+// GET /stats, GET /clusters, and — when dataDir is set — POST /snapshot,
+// GET /storage/stats, and the replication changefeed (GET /wal,
+// GET /snapshot/latest). With dataDir the monitor is durable: a
 // restart recovers the previous incarnation's exact state and only the
-// CSV rows it does not already hold are replayed.
-func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int, dataDir string, snapshotEvery int) {
+// CSV rows it does not already hold are replayed. With follow the
+// monitor is a read-only replica of the primary at that URL and no rows
+// are boot-ingested at all — state streams in over the changefeed.
+func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int, dataDir string, snapshotEvery int, follow string) {
 	of, err := os.Open(objPath)
 	check(err)
 	pf, err := os.Open(prefPath)
@@ -204,15 +232,25 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 		os.Exit(2)
 	}
 	var mon *paretomon.Monitor
-	if dataDir != "" {
+	switch {
+	case follow != "":
+		mon, err = paretomon.OpenFollower(com, follow, opts...)
+	case dataDir != "":
 		if snapshotEvery > 0 {
 			opts = append(opts, paretomon.WithSnapshotEvery(snapshotEvery))
 		}
 		mon, err = paretomon.Open(com, dataDir, opts...)
-	} else {
+	default:
 		mon, err = paretomon.NewMonitor(com, opts...)
 	}
 	check(err)
+	if follow != "" {
+		rs := mon.Replication()
+		fmt.Fprintf(os.Stderr, "following %s from seq %d; serving read API on %s\n",
+			follow, rs.AppliedSeq, addr)
+		runServer(addr, mon)
+		return
+	}
 	n := len(rows)
 	if limit > 0 && limit < n {
 		n = limit
@@ -239,7 +277,34 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 	}
 	fmt.Fprintf(os.Stderr, "replayed %d objects for %d users; serving on %s\n",
 		n-start, com.Len(), addr)
-	check(http.ListenAndServe(addr, server.New(mon)))
+	runServer(addr, mon)
+}
+
+// runServer serves the monitor until SIGINT/SIGTERM, then shuts down
+// gracefully: in-flight SSE and changefeed streams are cancelled
+// (Server.Close) so clients and downstream followers disconnect cleanly,
+// the listener drains, and the monitor closes (releasing the store lock
+// and, on a follower, stopping the feed tail).
+func runServer(addr string, mon *paretomon.Monitor) {
+	srv := server.New(mon)
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "paretomon: shutting down")
+		_ = srv.Close() // cancel in-flight streams first, or Shutdown hangs on them
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		check(err)
+	}
+	<-done
+	check(mon.Close())
 }
 
 func check(err error) {

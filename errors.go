@@ -102,6 +102,20 @@ var (
 	// already held by another live process; the WAL is single-writer.
 	// The lock releases when the owner exits, kill -9 included.
 	ErrLocked = storage.ErrLocked
+
+	// ErrReadOnly reports a mutation — Add, AddBatch, AddPreference,
+	// RetractPreference, AddUser, RemoveUser, RemoveObject — on a
+	// follower monitor (OpenFollower). Followers replicate the primary's
+	// log; writes go to the primary, whose changefeed delivers them back
+	// to every follower.
+	ErrReadOnly = errors.New("paretomon: monitor is a read-only follower; write to the primary")
+
+	// ErrWALRetired reports a changefeed request (Monitor.WALAfter, the
+	// server's GET /wal) for a log position the store has pruned away:
+	// snapshots made the records unnecessary for recovery and Prune
+	// removed them. A follower that far behind re-bootstraps from the
+	// newest snapshot instead of replaying the gap.
+	ErrWALRetired = errors.New("paretomon: requested WAL position is no longer retained")
 )
 
 // BatchError locates the first rejected object of an AddBatch call. The

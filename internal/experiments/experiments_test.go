@@ -188,10 +188,28 @@ func TestRecoveryBenchmark(t *testing.T) {
 	}
 }
 
+// The replication benchmark must report a follower byte-identical to
+// its primary after catch-up, paced steady-state, and the forced
+// disconnect.
+func TestReplicationBenchmark(t *testing.T) {
+	o := tiny()
+	o.Objects, o.Users = 300, 24
+	rep := experiments.Replication(o)[0]
+	if rep.ID != "replication" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+	if len(rep.Rows) != 5 { // catchup + 3 rates + reconnect
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.Rows[0][6] != "true" || rep.Rows[0][7] != "true" {
+		t.Errorf("follower diverged from primary: %v", rep.Rows[0])
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
-	// 10 paper experiments, the parallel sweep, the recovery and
-	// lifecycle benchmarks, plus 4 ablations.
-	if len(experiments.Order) != 13 || len(experiments.All) != 17 {
+	// 10 paper experiments, the parallel sweep, the recovery, lifecycle
+	// and replication benchmarks, plus 4 ablations.
+	if len(experiments.Order) != 14 || len(experiments.All) != 18 {
 		t.Fatalf("registry: %d runners, %d ordered", len(experiments.All), len(experiments.Order))
 	}
 	for _, id := range experiments.Order {

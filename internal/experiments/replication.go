@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/server"
+)
+
+// The replication benchmark is an engineering experiment beyond the
+// paper: it measures the read-scaling topology end to end over real
+// HTTP — a durable primary serving its WAL changefeed, a read-only
+// follower (paretomon.OpenFollower) bootstrapping from the newest
+// snapshot and tailing the feed. Three questions, three phases:
+//
+//  1. Catch-up: a follower joining a primary that already holds half
+//     the stream — how long from OpenFollower to fully synced, and how
+//     many WAL records does the tail replay beyond the snapshot?
+//  2. Steady-state lag: with the primary ingesting at a fixed rate,
+//     how far behind (in log records) does the follower trail? Swept
+//     across write rates.
+//  3. Forced disconnect: every feed connection is killed mid-stream;
+//     how long until the follower reconnects and re-syncs?
+//
+// The identity gate CI enforces on BENCH_replication.json: after all
+// phases the follower's frontiers, per-object target sets, and work
+// counters must be byte-identical to the primary's.
+
+// ReplicationRate is one steady-state write-rate measurement.
+type ReplicationRate struct {
+	// RatePerSec is the offered primary write rate (objects/second);
+	// Objects is how many were ingested at that rate.
+	RatePerSec int `json:"rate_per_sec"`
+	Objects    int `json:"objects"`
+	// MeanLag / MaxLag are the follower's lag in log records, sampled
+	// every few milliseconds during the run; FinalMillis is how long
+	// after the last write the follower reached the primary's head.
+	MeanLag     float64 `json:"mean_lag"`
+	MaxLag      uint64  `json:"max_lag"`
+	FinalMillis float64 `json:"final_millis"`
+}
+
+// ReplicationBench is the BENCH_replication.json document.
+type ReplicationBench struct {
+	Workload string `json:"workload"`
+	Dataset  string `json:"dataset"`
+	Objects  int    `json:"objects"`
+	Users    int    `json:"users"`
+	Dims     int    `json:"dims"`
+
+	// Catch-up phase: the snapshot position the follower bootstrapped
+	// from, the WAL records replayed beyond it, and the wall time from
+	// OpenFollower to synced.
+	BootstrapObjects int     `json:"bootstrap_objects"`
+	SnapshotSeq      uint64  `json:"snapshot_seq"`
+	CatchupRecords   uint64  `json:"catchup_records"`
+	CatchupMillis    float64 `json:"catchup_millis"`
+
+	Rates []ReplicationRate `json:"rates"`
+
+	// Disconnect phase: wall time from killing every feed connection
+	// (with writes continuing) to the follower being synced again.
+	ReconnectMillis float64 `json:"reconnect_millis"`
+
+	// The identity gates: the follower must mirror the primary exactly.
+	FrontiersMatch bool `json:"frontiers_match"`
+	StatsMatch     bool `json:"stats_match"`
+}
+
+// Replication runs the follower replication benchmark. Options.BenchOut,
+// when non-empty, also writes the result as JSON
+// (BENCH_replication.json).
+func Replication(o Options) []*Report {
+	o = o.withDefaults()
+	ds := o.dataset("movie")
+	com, rows, err := recoveryCommunity(ds, o.Dims)
+	if err != nil {
+		panic("experiments: building replication community: " + err.Error())
+	}
+	n := len(rows)
+	half := n / 2
+	users := com.Users()
+	opts := []paretomon.Option{
+		paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify),
+		paretomon.WithBranchCut(mapH("movie", false, o.H, o.Dims)),
+	}
+
+	dir, err := os.MkdirTemp("", "paretomon-replication-")
+	if err != nil {
+		panic("experiments: replication tmpdir: " + err.Error())
+	}
+	defer os.RemoveAll(dir)
+	primary, err := paretomon.Open(com, dir, opts...)
+	if err != nil {
+		panic("experiments: replication primary: " + err.Error())
+	}
+	defer primary.Close()
+	ts := httptest.NewServer(server.New(primary))
+	defer ts.Close()
+
+	bench := &ReplicationBench{
+		Workload: "fig4",
+		Dataset:  "movie",
+		Objects:  n,
+		Users:    len(users),
+		Dims:     o.Dims,
+	}
+	ctx := context.Background()
+
+	// Phase 1 — catch-up. The primary holds half the stream and a
+	// snapshot that is deliberately stale (taken at one quarter), so the
+	// follower exercises both bootstrap paths: snapshot load plus a real
+	// WAL tail replay.
+	o.logf("replication: primary ingests %d objects, snapshot at %d ...", half, half/2)
+	if err := recoveryIngest(primary, rows, 0, half/2); err != nil {
+		panic("experiments: replication ingest: " + err.Error())
+	}
+	if err := primary.Snapshot(); err != nil {
+		panic("experiments: replication snapshot: " + err.Error())
+	}
+	if err := recoveryIngest(primary, rows, half/2, half); err != nil {
+		panic("experiments: replication ingest: " + err.Error())
+	}
+	// The bootstrap position is the primary's newest snapshot, read
+	// before the follower exists (its tail starts applying immediately,
+	// so the follower's own applied seq would already be past it).
+	pst, err := primary.StorageStats()
+	if err != nil {
+		panic("experiments: replication storage stats: " + err.Error())
+	}
+	snapSeq := pst.LastSnapshotSeq
+	start := time.Now()
+	follower, err := paretomon.OpenFollower(com, ts.URL, opts...)
+	if err != nil {
+		panic("experiments: replication follower: " + err.Error())
+	}
+	defer follower.Close()
+	if err := follower.WaitSynced(ctx); err != nil {
+		panic("experiments: replication catch-up: " + err.Error())
+	}
+	bench.BootstrapObjects = half
+	bench.SnapshotSeq = snapSeq
+	bench.CatchupRecords = follower.AppliedSeq() - snapSeq
+	bench.CatchupMillis = float64(time.Since(start).Microseconds()) / 1000.0
+	o.logf("replication: follower caught up %d records in %.1fms (snapshot seq %d)",
+		bench.CatchupRecords, bench.CatchupMillis, snapSeq)
+
+	// Phase 2 — steady-state lag vs write rate. The remaining half of
+	// the stream is split across the rates; writes are paced in small
+	// batches while a sampler watches the follower's lag.
+	rates := []int{500, 2000, 8000}
+	perRate := (n - half) / (len(rates) + 1) // save one slice for the disconnect phase
+	next := half
+	for _, rate := range rates {
+		lo, hi := next, next+perRate
+		next = hi
+		run := paceIngest(primary, follower, rows, lo, hi, rate)
+		o.logf("replication: %d obj/s over %d objects: mean lag %.1f, max %d, drained in %.1fms",
+			rate, hi-lo, run.MeanLag, run.MaxLag, run.FinalMillis)
+		bench.Rates = append(bench.Rates, run)
+	}
+
+	// Phase 3 — forced disconnect: kill every open feed connection,
+	// keep writing, and time the resync (reconnect backoff + replay).
+	start = time.Now()
+	ts.CloseClientConnections()
+	if err := recoveryIngest(primary, rows, next, n); err != nil {
+		panic("experiments: replication ingest: " + err.Error())
+	}
+	if err := follower.WaitSynced(ctx); err != nil {
+		panic("experiments: replication reconnect: " + err.Error())
+	}
+	bench.ReconnectMillis = float64(time.Since(start).Microseconds()) / 1000.0
+	o.logf("replication: resynced %.1fms after a forced disconnect", bench.ReconnectMillis)
+
+	// Identity gates: the follower must be indistinguishable from the
+	// primary on every read surface.
+	bench.FrontiersMatch, bench.StatsMatch = recoveryEquals(primary, follower, users, n)
+
+	rep := &Report{
+		ID: "replication",
+		Title: fmt.Sprintf("WAL-shipped follower over HTTP, movie (Fig. 4 workload), |O|=%d, |C|=%d, d=%d",
+			n, len(users), o.Dims),
+		Columns: []string{"phase", "rate", "objects", "mean_lag", "max_lag", "millis", "frontiers", "stats"},
+	}
+	rep.Rows = append(rep.Rows, []string{
+		"catchup", "-", fmtInt(int(bench.CatchupRecords)), "-", "-", fmtMS(bench.CatchupMillis),
+		fmt.Sprintf("%t", bench.FrontiersMatch), fmt.Sprintf("%t", bench.StatsMatch),
+	})
+	for _, r := range bench.Rates {
+		rep.Rows = append(rep.Rows, []string{
+			"steady", fmtInt(r.RatePerSec), fmtInt(r.Objects), fmt.Sprintf("%.1f", r.MeanLag),
+			fmtInt(int(r.MaxLag)), fmtMS(r.FinalMillis), "", "",
+		})
+	}
+	rep.Rows = append(rep.Rows, []string{
+		"reconnect", "-", fmtInt(n - next), "-", "-", fmtMS(bench.ReconnectMillis), "", "",
+	})
+
+	if o.BenchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.BenchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			o.logf("replication: writing %s: %v", o.BenchOut, err)
+		}
+	}
+	return []*Report{rep}
+}
+
+// paceIngest feeds rows [lo, hi) into the primary at ratePerSec in
+// 32-object batches, sampling the follower's lag every 2ms, then waits
+// for the follower to drain and reports the lag statistics.
+func paceIngest(primary, follower *paretomon.Monitor, rows [][]string, lo, hi, ratePerSec int) ReplicationRate {
+	const batch = 32
+	interval := time.Duration(float64(batch) / float64(ratePerSec) * float64(time.Second))
+
+	stop := make(chan struct{})
+	samples := make(chan uint64, 4096)
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				close(samples)
+				return
+			case <-tick.C:
+				select {
+				case samples <- follower.Lag():
+				default:
+				}
+			}
+		}
+	}()
+
+	next := time.Now()
+	for cur := lo; cur < hi; cur += batch {
+		end := min(cur+batch, hi)
+		if err := recoveryIngest(primary, rows, cur, end); err != nil {
+			panic("experiments: replication paced ingest: " + err.Error())
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	lastWrite := time.Now()
+	close(stop)
+
+	var sum, count, maxLag uint64
+	for lag := range samples {
+		sum += lag
+		count++
+		if lag > maxLag {
+			maxLag = lag
+		}
+	}
+	if err := follower.WaitSynced(context.Background()); err != nil {
+		panic("experiments: replication drain: " + err.Error())
+	}
+	run := ReplicationRate{
+		RatePerSec:  ratePerSec,
+		Objects:     hi - lo,
+		MaxLag:      maxLag,
+		FinalMillis: float64(time.Since(lastWrite).Microseconds()) / 1000.0,
+	}
+	if count > 0 {
+		run.MeanLag = float64(sum) / float64(count)
+	}
+	return run
+}
+
+func init() {
+	All["replication"] = Replication
+	Order = append(Order, "replication")
+}

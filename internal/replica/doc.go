@@ -1,0 +1,42 @@
+// Package replica implements the read-scaling replication protocol: the
+// wire format and client side of the primary's changefeed, which ships
+// the write-ahead log to read-only follower monitors over HTTP.
+//
+// The primary (a durable Monitor behind internal/server) exposes two
+// endpoints:
+//
+//	GET /snapshot/latest    the newest snapshot body (codec v2) with its
+//	                        log position in the X-Paretomon-Seq header;
+//	                        404 when no snapshot exists yet.
+//	GET /wal?after=<seq>    a stream of feed messages carrying every WAL
+//	                        record with Seq > after, long-polling at the
+//	                        tail; 410 Gone when the position has been
+//	                        pruned away (re-bootstrap from the snapshot);
+//	                        501 when the primary has no store.
+//
+// A follower bootstraps from the snapshot, then tails the feed from its
+// applied position, applying each record through the monitor's live
+// mutation paths — the same code recovery replay uses — so follower
+// frontiers, targets, and work counters are byte-identical to the
+// primary's at the same log position.
+//
+// # Feed framing
+//
+// The /wal response body is a sequence of messages, each introduced by a
+// one-byte type tag:
+//
+//	'H' (head)    u64 little-endian: the primary's last-appended seq at
+//	              send time. Sent before every record burst and whenever
+//	              the stream goes idle, so followers can compute lag
+//	              (head - applied) without a second request.
+//	'R' (record)  u32 little-endian payload length, u32 little-endian
+//	              CRC32-IEEE of the payload, then the payload: one
+//	              codec-v2 WAL record (storage.EncodeRecord), the exact
+//	              bytes the primary's WAL segments frame.
+//
+// A torn or corrupt frame terminates the stream client-side; the
+// follower reconnects from its applied seq, so records are applied
+// exactly once regardless of where the transport failed.
+//
+// See docs/REPLICATION.md for the full topology and operations guide.
+package replica

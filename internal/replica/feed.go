@@ -1,0 +1,123 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/storage"
+)
+
+// Message type tags on the feed stream.
+const (
+	tagHead   byte = 'H'
+	tagRecord byte = 'R'
+)
+
+// maxFramePayload bounds a record frame; a length above it is treated as
+// stream corruption rather than attempted (mirrors the WAL reader).
+const maxFramePayload = 64 << 20
+
+// ErrBadFrame reports a feed frame that cannot be trusted: a bad type
+// tag, an implausible length, a CRC mismatch, or a payload that does not
+// decode. The client drops the connection and resumes from its applied
+// position.
+var ErrBadFrame = errors.New("replica: damaged feed frame")
+
+// Msg is one decoded feed message: either a head watermark or a record.
+type Msg struct {
+	// Head is the primary's last-appended seq when IsHead; Rec is the
+	// shipped WAL record otherwise.
+	IsHead bool
+	Head   uint64
+	Rec    storage.Record
+}
+
+// WriteHead writes a head message: the primary's last-appended seq.
+func WriteHead(w io.Writer, seq uint64) error {
+	var buf [9]byte
+	buf[0] = tagHead
+	binary.LittleEndian.PutUint64(buf[1:], seq)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// WriteRecord writes one WAL record as a length-prefixed, CRC-guarded
+// codec-v2 frame.
+func WriteRecord(w io.Writer, rec storage.Record) error {
+	payload := storage.EncodeRecord(rec)
+	var hdr [9]byte
+	hdr[0] = tagRecord
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// FeedReader decodes a feed stream message by message.
+type FeedReader struct {
+	r *bufio.Reader
+}
+
+// NewFeedReader wraps a feed stream body.
+func NewFeedReader(r io.Reader) *FeedReader {
+	return &FeedReader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next message. io.EOF (or the transport error) means
+// the stream ended; ErrBadFrame means the bytes cannot be trusted. In
+// both cases the caller reconnects and resumes from its applied seq.
+func (f *FeedReader) Next() (Msg, error) {
+	tag, err := f.r.ReadByte()
+	if err != nil {
+		return Msg{}, err
+	}
+	switch tag {
+	case tagHead:
+		var buf [8]byte
+		if _, err := io.ReadFull(f.r, buf[:]); err != nil {
+			return Msg{}, eofAsUnexpected(err)
+		}
+		return Msg{IsHead: true, Head: binary.LittleEndian.Uint64(buf[:])}, nil
+	case tagRecord:
+		var hdr [8]byte
+		if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+			return Msg{}, eofAsUnexpected(err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxFramePayload {
+			return Msg{}, fmt.Errorf("%w: record frame claims %d bytes", ErrBadFrame, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f.r, payload); err != nil {
+			return Msg{}, eofAsUnexpected(err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return Msg{}, fmt.Errorf("%w: record frame CRC mismatch", ErrBadFrame)
+		}
+		rec, err := storage.DecodeRecord(payload)
+		if err != nil {
+			return Msg{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		return Msg{Rec: rec}, nil
+	default:
+		return Msg{}, fmt.Errorf("%w: unknown message tag 0x%02x", ErrBadFrame, tag)
+	}
+}
+
+// eofAsUnexpected turns a mid-message EOF into io.ErrUnexpectedEOF so a
+// tear inside a frame is distinguishable from a clean end between
+// messages (both make the client reconnect).
+func eofAsUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

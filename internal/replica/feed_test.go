@@ -1,0 +1,109 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func sampleRecords() []storage.Record {
+	return []storage.Record{
+		{Seq: 1, Op: storage.OpObject, Name: "o1", Values: []string{"Apple", "dual"}},
+		{Seq: 2, Op: storage.OpPreference, User: "alice", Attr: "brand", Better: "Apple", Worse: "Sony"},
+		{Seq: 3, Op: storage.OpAddUser, Name: "bob", Prefs: []storage.RecordPref{{Attr: "CPU", Better: "quad", Worse: "dual"}}},
+		{Seq: 4, Op: storage.OpRemoveUser, User: "bob"},
+		{Seq: 5, Op: storage.OpRetractPreference, User: "alice", Attr: "brand", Better: "Apple", Worse: "Sony"},
+		{Seq: 6, Op: storage.OpRemoveObject, Name: "o1"},
+	}
+}
+
+// TestFeedRoundTrip frames every record type plus head watermarks and
+// reads them back unchanged.
+func TestFeedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHead(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, rec := range recs {
+		if err := WriteRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteHead(&buf, 99); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := NewFeedReader(&buf)
+	msg, err := fr.Next()
+	if err != nil || !msg.IsHead || msg.Head != 42 {
+		t.Fatalf("first message = %+v, %v", msg, err)
+	}
+	for i, want := range recs {
+		msg, err := fr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if msg.IsHead {
+			t.Fatalf("record %d: unexpected head", i)
+		}
+		if !reflect.DeepEqual(msg.Rec, want) {
+			t.Fatalf("record %d: got %+v, want %+v", i, msg.Rec, want)
+		}
+	}
+	msg, err = fr.Next()
+	if err != nil || !msg.IsHead || msg.Head != 99 {
+		t.Fatalf("trailing head = %+v, %v", msg, err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after stream end: %v, want EOF", err)
+	}
+}
+
+// TestFeedDamage: torn frames end the stream with ErrUnexpectedEOF;
+// flipped payload bytes, hostile lengths, and alien tags are ErrBadFrame
+// — never a panic, never a silently wrong record.
+func TestFeedDamage(t *testing.T) {
+	frame := func(rec storage.Record) []byte {
+		var buf bytes.Buffer
+		if err := WriteRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	whole := frame(storage.Record{Seq: 7, Op: storage.OpObject, Name: "x", Values: []string{"v"}})
+
+	t.Run("torn", func(t *testing.T) {
+		for cut := 1; cut < len(whole); cut++ {
+			fr := NewFeedReader(bytes.NewReader(whole[:cut]))
+			if _, err := fr.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut at %d: %v, want ErrUnexpectedEOF", cut, err)
+			}
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), whole...)
+		bad[len(bad)-1] ^= 0xff
+		fr := NewFeedReader(bytes.NewReader(bad))
+		if _, err := fr.Next(); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("corrupt payload: %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("hostile length", func(t *testing.T) {
+		bad := []byte{tagRecord, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+		fr := NewFeedReader(bytes.NewReader(bad))
+		if _, err := fr.Next(); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("hostile length: %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("alien tag", func(t *testing.T) {
+		fr := NewFeedReader(bytes.NewReader([]byte{0x7f}))
+		if _, err := fr.Next(); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("alien tag: %v, want ErrBadFrame", err)
+		}
+	})
+}

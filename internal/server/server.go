@@ -7,6 +7,13 @@
 // errors.Is against the package's typed sentinels and mapped to proper
 // HTTP status codes.
 //
+// A durable monitor (paretomon.Open / WithStore) additionally serves the
+// replication changefeed — GET /snapshot/latest and GET /wal — from
+// which read-only followers (paretomon.OpenFollower, cmd/paretomon
+// -follow) replicate the full read API; a follower's server rejects
+// writes with 403 and reports its lag under GET /storage/stats. See
+// docs/REPLICATION.md.
+//
 // The worker knob is the Monitor's: build it with paretomon.WithWorkers
 // (cmd/paretomon -serve wires its -workers flag through) and ingestion —
 // including POST /objects/batch — fans out across that many shards.
@@ -20,12 +27,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	paretomon "repro"
+	"repro/internal/replica"
 )
 
-// Server is an http.Handler serving one Monitor.
+// Server is an http.Handler serving one Monitor. Routing uses Go 1.22
+// method+wildcard patterns, so a request with a known path but wrong
+// method is answered 405 by the mux itself.
 //
 //	POST   /objects           {"name": "o1", "values": ["13-15.9", "Apple", "dual"]}
 //	  → 200 {"object": "o1", "users": ["c2"]}
@@ -52,39 +64,80 @@ import (
 //	GET    /clusters          → 200 [["c1","c2"], ...]
 //	POST   /snapshot          → 200 {"status": "ok", "storage": {...}}
 //	GET    /storage/stats     → 200 {"dir": ..., "segments": ...,
-//	                                 "wal_bytes": ..., "snapshots": ...,  ...}
+//	                                 "last_appended_seq": ..., "feeds": [...],
+//	                                 "replication": {...}, ...}
+//	GET    /snapshot/latest   → 200 snapshot body (codec v2),
+//	                            X-Paretomon-Seq: log position  (replication)
+//	GET    /wal?after=N       → 200 changefeed stream: every WAL record
+//	                            with Seq > N, long-polling at the tail;
+//	                            410 when N is pruned away      (replication)
 //
 // Unknown users, objects and never-asserted preferences yield 404;
 // malformed bodies, duplicate names and invalid preferences yield 400;
-// the storage endpoints yield 501 on a monitor built without a store
-// (no -data-dir).
+// writes on a follower yield 403; the storage and feed endpoints yield
+// 501 on a monitor built without a store (no -data-dir).
 type Server struct {
 	mon *paretomon.Monitor
 	mux *http.ServeMux
+
+	// done is closed by Close, cancelling in-flight SSE and changefeed
+	// streams so followers and clients disconnect cleanly.
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// Active changefeed streams, for GET /storage/stats observability.
+	feedMu sync.Mutex
+	feedID int64
+	feeds  map[int64]*feedConn
+}
+
+// feedConn is one active /wal stream's observable state.
+type feedConn struct {
+	id     int64
+	cursor atomic.Uint64
 }
 
 // New wraps an existing monitor.
 func New(mon *paretomon.Monitor) *Server {
-	s := &Server{mon: mon, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/objects", s.handleObjects)
-	s.mux.HandleFunc("/objects/batch", s.handleBatch)
-	s.mux.HandleFunc("/objects/", s.handleObjectDelete)
-	s.mux.HandleFunc("/users", s.handleUsers)
-	s.mux.HandleFunc("/users/", s.handleUserDelete)
-	s.mux.HandleFunc("/frontier/", s.handleFrontier)
-	s.mux.HandleFunc("/targets/", s.handleTargets)
-	s.mux.HandleFunc("/subscribe/", s.handleSubscribe)
-	s.mux.HandleFunc("/deltas/", s.handleDeltas)
-	s.mux.HandleFunc("/preferences", s.handlePreferences)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/clusters", s.handleClusters)
-	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("/storage/stats", s.handleStorageStats)
+	s := &Server{
+		mon:   mon,
+		mux:   http.NewServeMux(),
+		done:  make(chan struct{}),
+		feeds: make(map[int64]*feedConn),
+	}
+	s.mux.HandleFunc("POST /objects", s.handleObjects)
+	s.mux.HandleFunc("POST /objects/batch", s.handleBatch)
+	s.mux.HandleFunc("DELETE /objects/{object}", s.handleObjectDelete)
+	s.mux.HandleFunc("GET /users", s.handleUsersList)
+	s.mux.HandleFunc("POST /users", s.handleUserAdd)
+	s.mux.HandleFunc("DELETE /users/{user}", s.handleUserDelete)
+	s.mux.HandleFunc("GET /frontier/{user}", s.handleFrontier)
+	s.mux.HandleFunc("GET /targets/{object}", s.handleTargets)
+	s.mux.HandleFunc("GET /subscribe/{user}", s.handleSubscribe)
+	s.mux.HandleFunc("GET /deltas/{user}", s.handleDeltas)
+	s.mux.HandleFunc("POST /preferences", s.handlePreferenceAdd)
+	s.mux.HandleFunc("DELETE /preferences", s.handlePreferenceRetract)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /clusters", s.handleClusters)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /storage/stats", s.handleStorageStats)
+	s.mux.HandleFunc("GET /snapshot/latest", s.handleSnapshotLatest)
+	s.mux.HandleFunc("GET /wal", s.handleWAL)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every in-flight stream — SSE subscriptions and
+// changefeed tails — so a shutting-down process does not hang on open
+// connections. Subsequent requests still route (pair Close with
+// http.Server.Shutdown to stop accepting); followers tailing this
+// server reconnect with backoff and resume where they left off.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.done) })
+	return nil
+}
 
 // statusOf maps a paretomon error to its HTTP status: missing entities
 // are 404, everything else the client sent wrong is 400.
@@ -94,6 +147,13 @@ func statusOf(err error) int {
 		errors.Is(err, paretomon.ErrUnknownObject),
 		errors.Is(err, paretomon.ErrUnknownPreference):
 		return http.StatusNotFound
+	case errors.Is(err, paretomon.ErrReadOnly):
+		// Followers replicate; writes go to the primary.
+		return http.StatusForbidden
+	case errors.Is(err, paretomon.ErrWALRetired):
+		// The feed position was pruned away: re-bootstrap via
+		// GET /snapshot/latest.
+		return http.StatusGone
 	case errors.Is(err, paretomon.ErrMonitorClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, paretomon.ErrUnsupported):
@@ -131,10 +191,6 @@ func toResponse(d paretomon.Delivery) deliveryResponse {
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	var req objectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -157,17 +213,6 @@ type batchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodDelete {
-		// The exact "/objects/batch" pattern shadows the "/objects/"
-		// subtree, so an object literally named "batch" would otherwise
-		// be undeletable over HTTP.
-		s.handleObjectDelete(w, r)
-		return
-	}
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -190,10 +235,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
-	user, ok := s.pathArg(w, r, "/frontier/", "user")
-	if !ok {
-		return
-	}
+	user := r.PathValue("user")
 	f, err := s.mon.Frontier(user)
 	if err != nil {
 		s.monitorError(w, err)
@@ -206,10 +248,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
-	object, ok := s.pathArg(w, r, "/targets/", "object")
-	if !ok {
-		return
-	}
+	object := r.PathValue("object")
 	users, err := s.mon.TargetsOf(object)
 	if err != nil {
 		s.monitorError(w, err)
@@ -221,37 +260,15 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"object": object, "users": users})
 }
 
-// pathArg extracts the trailing path element for GET endpoints of the
-// shape GET /prefix/{arg}; on failure it writes the error and reports
-// false.
-func (s *Server) pathArg(w http.ResponseWriter, r *http.Request, prefix, what string) (string, bool) {
-	return s.pathArgMethod(w, r, http.MethodGet, prefix, what)
-}
-
-// pathArgMethod is pathArg for an arbitrary required method.
-func (s *Server) pathArgMethod(w http.ResponseWriter, r *http.Request, method, prefix, what string) (string, bool) {
-	if r.Method != method {
-		httpError(w, http.StatusMethodNotAllowed, "%s only", method)
-		return "", false
-	}
-	arg := strings.TrimPrefix(r.URL.Path, prefix)
-	if arg == "" {
-		httpError(w, http.StatusBadRequest, "missing %s", what)
-		return "", false
-	}
-	return arg, true
-}
-
 // handleObjectDelete serves DELETE /objects/{object}: the v3 lifecycle
 // takedown. The object leaves every frontier it occupies and the users
 // it was shielding regain their promoted objects; /deltas subscribers
-// observe both sides of the change.
+// observe both sides of the change. ("POST /objects/batch" is a more
+// specific pattern than "DELETE /objects/{object}" only within its own
+// method, so an object literally named "batch" is deletable — the mux
+// resolves method before specificity.)
 func (s *Server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
-	name, ok := s.pathArgMethod(w, r, http.MethodDelete, "/objects/", "object")
-	if !ok {
-		return
-	}
-	if err := s.mon.RemoveObject(name); err != nil {
+	if err := s.mon.RemoveObject(r.PathValue("object")); err != nil {
 		s.monitorError(w, err)
 		return
 	}
@@ -263,78 +280,79 @@ type addUserRequest struct {
 	Preferences []preferenceRequest `json:"preferences"`
 }
 
-// handleUsers serves POST /users (join the community with initial
-// preferences) and GET /users (list alive members).
-func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		writeJSON(w, s.mon.Users())
-	case http.MethodPost:
-		var req addUserRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-			return
-		}
-		prefs := make([]paretomon.Preference, len(req.Preferences))
-		for i, p := range req.Preferences {
-			prefs[i] = paretomon.Preference{Attr: p.Attribute, Better: p.Better, Worse: p.Worse}
-		}
-		if err := s.mon.AddUser(req.Name, prefs); err != nil {
-			s.monitorError(w, err)
-			return
-		}
-		writeJSON(w, map[string]string{"status": "ok"})
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
-	}
+// handleUsersList serves GET /users: the alive community members.
+func (s *Server) handleUsersList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.mon.Users())
 }
 
-// handleUserDelete serves DELETE /users/{user}: the user's frontier
-// disappears, their subscription streams end, and their cluster resyncs
-// without them.
-func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
-	name, ok := s.pathArgMethod(w, r, http.MethodDelete, "/users/", "user")
-	if !ok {
+// handleUserAdd serves POST /users: join the community with initial
+// preferences.
+func (s *Server) handleUserAdd(w http.ResponseWriter, r *http.Request) {
+	var req addUserRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	if err := s.mon.RemoveUser(name); err != nil {
+	prefs := make([]paretomon.Preference, len(req.Preferences))
+	for i, p := range req.Preferences {
+		prefs[i] = paretomon.Preference{Attr: p.Attribute, Better: p.Better, Worse: p.Worse}
+	}
+	if err := s.mon.AddUser(req.Name, prefs); err != nil {
 		s.monitorError(w, err)
 		return
 	}
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// handleSubscribe streams the user's deliveries as server-sent events:
-// one "delivery" event per object delivered to the user, until the
-// client disconnects or the monitor closes. Slow consumers lose oldest
-// deliveries rather than stalling ingestion (see Monitor.Subscribe).
-func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
-	user, ok := s.pathArg(w, r, "/subscribe/", "user")
-	if !ok {
-		return
-	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
-	ch, cancel, err := s.mon.Subscribe(user)
-	if err != nil {
+// handleUserDelete serves DELETE /users/{user}: the user's frontier
+// disappears, their subscription streams end, and their cluster resyncs
+// without them.
+func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.mon.RemoveUser(r.PathValue("user")); err != nil {
 		s.monitorError(w, err)
 		return
 	}
-	defer cancel()
+	writeJSON(w, map[string]string{"status": "ok"})
+}
 
+// sseStart writes the SSE preamble; it reports false when the
+// ResponseWriter cannot stream.
+func sseStart(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return nil, false
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	return fl, true
+}
 
+// handleSubscribe streams the user's deliveries as server-sent events:
+// one "delivery" event per object delivered to the user, until the
+// client disconnects, the monitor closes, or Server.Close cancels the
+// stream. Slow consumers lose oldest deliveries rather than stalling
+// ingestion (see Monitor.Subscribe).
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := s.mon.Subscribe(r.PathValue("user"))
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	defer cancel()
+	fl, ok := sseStart(w)
+	if !ok {
+		return
+	}
 	ctx := r.Context()
 	for {
 		select {
 		case <-ctx.Done():
+			return
+		case <-s.done:
 			return
 		case d, open := <-ch:
 			if !open {
@@ -357,32 +375,22 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 // payload {"object": ..., "entered": [...], "left": [...]} — unlike the
 // deprecated /subscribe stream, removals and retractions are visible.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
-	user, ok := s.pathArg(w, r, "/deltas/", "user")
-	if !ok {
-		return
-	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
-	ch, cancel, err := s.mon.SubscribeDeltas(user)
+	ch, cancel, err := s.mon.SubscribeDeltas(r.PathValue("user"))
 	if err != nil {
 		s.monitorError(w, err)
 		return
 	}
 	defer cancel()
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	fl.Flush()
-
+	fl, ok := sseStart(w)
+	if !ok {
+		return
+	}
 	ctx := r.Context()
 	for {
 		select {
 		case <-ctx.Done():
+			return
+		case <-s.done:
 			return
 		case d, open := <-ch:
 			if !open {
@@ -424,26 +432,25 @@ type preferenceRequest struct {
 	Worse     string `json:"worse"`
 }
 
-// handlePreferences serves POST /preferences (assert a tuple) and
-// DELETE /preferences (retract an asserted tuple), both taking the same
-// body. Retracting a tuple the user never asserted yields 404.
-func (s *Server) handlePreferences(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
-		httpError(w, http.StatusMethodNotAllowed, "POST or DELETE only")
-		return
-	}
+// handlePreferenceAdd serves POST /preferences: assert a tuple.
+func (s *Server) handlePreferenceAdd(w http.ResponseWriter, r *http.Request) {
+	s.handlePreference(w, r, s.mon.AddPreference)
+}
+
+// handlePreferenceRetract serves DELETE /preferences: retract an
+// asserted tuple (the same body as POST). Retracting a tuple the user
+// never asserted yields 404.
+func (s *Server) handlePreferenceRetract(w http.ResponseWriter, r *http.Request) {
+	s.handlePreference(w, r, s.mon.RetractPreference)
+}
+
+func (s *Server) handlePreference(w http.ResponseWriter, r *http.Request, apply func(user, attr, better, worse string) error) {
 	var req preferenceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	var err error
-	if r.Method == http.MethodPost {
-		err = s.mon.AddPreference(req.User, req.Attribute, req.Better, req.Worse)
-	} else {
-		err = s.mon.RetractPreference(req.User, req.Attribute, req.Better, req.Worse)
-	}
-	if err != nil {
+	if err := apply(req.User, req.Attribute, req.Better, req.Worse); err != nil {
 		s.monitorError(w, err)
 		return
 	}
@@ -451,10 +458,6 @@ func (s *Server) handlePreferences(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	writeJSON(w, s.mon.Stats())
 }
 
@@ -463,10 +466,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // to bound the next recovery's WAL replay. The response carries the
 // post-snapshot storage footprint.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	if err := s.mon.Snapshot(); err != nil {
 		s.monitorError(w, err)
 		return
@@ -479,27 +478,180 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok", "storage": st})
 }
 
+// feedStatus is one active changefeed stream in the storage stats.
+type feedStatus struct {
+	// ID distinguishes concurrent streams; Cursor is the last seq the
+	// stream has shipped, compared against last_appended_seq to spot a
+	// straggling follower.
+	ID     int64  `json:"id"`
+	Cursor uint64 `json:"cursor"`
+}
+
+// storageStatsResponse extends the store footprint with replication
+// observability: the log head, each active feed stream's cursor, and —
+// on followers — the applied-seq watermark and lag.
+type storageStatsResponse struct {
+	paretomon.StoreStats
+	Feeds       []feedStatus                `json:"feeds"`
+	Replication *paretomon.ReplicationStats `json:"replication,omitempty"`
+}
+
 // handleStorageStats reports the store's footprint (WAL segments and
-// bytes, retained snapshots, appends) for dashboards and capacity
-// planning.
+// bytes, retained snapshots, appends) plus replication state for
+// dashboards and capacity planning. A follower has no store of its own
+// and reports its replication watermarks only.
 func (s *Server) handleStorageStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+	resp := storageStatsResponse{Feeds: s.feedStatuses()}
+	st, err := s.mon.StorageStats()
+	switch {
+	case err == nil:
+		resp.StoreStats = st
+	case errors.Is(err, paretomon.ErrUnsupported) && s.mon.IsFollower():
+		// No local store, but the replication section below carries the
+		// interesting numbers.
+	default:
+		s.monitorError(w, err)
 		return
 	}
-	st, err := s.mon.StorageStats()
+	if rs := s.mon.Replication(); rs.Follower {
+		resp.Replication = &rs
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) feedStatuses() []feedStatus {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	out := make([]feedStatus, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		out = append(out, feedStatus{ID: f.id, Cursor: f.cursor.Load()})
+	}
+	return out
+}
+
+func (s *Server) registerFeed(cursor uint64) *feedConn {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	s.feedID++
+	f := &feedConn{id: s.feedID}
+	f.cursor.Store(cursor)
+	s.feeds[f.id] = f
+	return f
+}
+
+func (s *Server) unregisterFeed(f *feedConn) {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	delete(s.feeds, f.id)
+}
+
+// handleSnapshotLatest serves GET /snapshot/latest: the newest snapshot
+// body with its log position in the X-Paretomon-Seq header — the
+// follower bootstrap image. 404 means no snapshot exists yet (tail the
+// feed from 0); 501 means this monitor has no store.
+func (s *Server) handleSnapshotLatest(w http.ResponseWriter, r *http.Request) {
+	seq, body, ok, err := s.mon.LatestSnapshot()
 	if err != nil {
 		s.monitorError(w, err)
 		return
 	}
-	writeJSON(w, st)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no snapshot taken yet; tail /wal from 0")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(replica.SeqHeader, strconv.FormatUint(seq, 10))
+	_, _ = w.Write(body)
+}
+
+// feedBatchLimit bounds one WALAfter page; a catching-up follower
+// receives the backlog as a sequence of flushed bursts. Each page
+// re-reads its containing WAL segment from the OS cache (WALAfter has
+// no positioned cursor), so the page is kept large to amortize that —
+// see the I/O note in docs/REPLICATION.md.
+const feedBatchLimit = 4096
+
+// handleWAL serves GET /wal?after=N: the replication changefeed. The
+// response streams every WAL record with Seq > N as CRC-guarded frames
+// (see internal/replica), interleaved with head-watermark messages, and
+// long-polls at the tail until the client disconnects or Server.Close.
+// A position below the prune floor is 410 Gone: the follower must
+// re-bootstrap from /snapshot/latest.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	after := uint64(0)
+	if q := r.URL.Query().Get("after"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad after=%q: %v", q, err)
+			return
+		}
+		after = v
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	// Fetch the first page before committing to a 200, so retention and
+	// configuration problems surface as proper statuses.
+	recs, head, err := s.mon.WALAfter(after, feedBatchLimit)
+	if err != nil {
+		s.monitorError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set(replica.SeqHeader, strconv.FormatUint(head, 10))
+	w.WriteHeader(http.StatusOK)
+
+	feed := s.registerFeed(after)
+	defer s.unregisterFeed(feed)
+	cursor := after
+	ctx := r.Context()
+	for {
+		if len(recs) > 0 {
+			if err := replica.WriteHead(w, head); err != nil {
+				return
+			}
+			for _, rec := range recs {
+				if err := replica.WriteRecord(w, rec); err != nil {
+					return
+				}
+			}
+			fl.Flush()
+			cursor = recs[len(recs)-1].Seq
+			feed.cursor.Store(cursor)
+		} else {
+			// Caught up: tell the follower where the head is, then
+			// long-poll. Grab the notify channel before the final
+			// re-check below, so an append between the two closes the
+			// channel we wait on — no wakeup is ever missed.
+			if err := replica.WriteHead(w, head); err != nil {
+				return
+			}
+			fl.Flush()
+			notify := s.mon.WALNotify()
+			if recs, head, err = s.mon.WALAfter(cursor, feedBatchLimit); err != nil {
+				return
+			}
+			if len(recs) == 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-s.done:
+					return
+				case <-notify:
+				}
+			}
+			continue
+		}
+		if recs, head, err = s.mon.WALAfter(cursor, feedBatchLimit); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	cl := s.mon.Clusters()
 	if cl == nil {
 		cl = [][]string{}

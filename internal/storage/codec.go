@@ -138,6 +138,15 @@ func (d *dec) strs() []string {
 
 func (d *dec) done() bool { return !d.fail && d.pos == len(d.b) }
 
+// EncodeRecord serializes a WAL record to its codec-v2 payload bytes,
+// the same encoding the file store frames into segments. The replication
+// feed ships these payloads over HTTP (internal/replica frames them).
+func EncodeRecord(rec Record) []byte { return encodeRecord(rec) }
+
+// DecodeRecord parses one codec-v2 WAL record payload; damage is
+// ErrCorrupt, never a panic.
+func DecodeRecord(b []byte) (Record, error) { return decodeRecord(b) }
+
 // encodeRecord serializes a WAL record payload:
 //
 //	uvar seq, u8 op, then per op:

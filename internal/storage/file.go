@@ -54,9 +54,15 @@ const (
 	keepSnapshots = 2
 )
 
-// FileStore is the file-backed Store. All methods are safe for use by
-// one goroutine at a time (the Monitor serializes them under its write
-// lock); an internal mutex additionally guards Stats readers.
+// FileStore is the file-backed Store. Mutating methods — Append,
+// WriteSnapshot, Prune, Close — are single-writer (the Monitor holds
+// its write lock around them); the read-only methods Replay and
+// LoadSnapshot are stateless file scans that may run concurrently with
+// each other (the changefeed serves many /wal streams under the
+// monitor's read lock) but never with the mutators. Any future mutable
+// read-path state (segment caches, cursors) must add its own
+// synchronization. An internal mutex guards the append-side state for
+// Stats readers.
 type FileStore struct {
 	dir string
 	// SegmentBytes is the roll threshold for WAL segments. It may be set
@@ -70,6 +76,7 @@ type FileStore struct {
 
 	appendedRecords uint64
 	appendedBytes   uint64
+	lastAppendedSeq uint64
 }
 
 // OpenFile opens (creating if needed) a file store rooted at dir and
@@ -151,6 +158,7 @@ func (f *FileStore) Append(recs ...Record) error {
 	f.segBytes += int64(len(buf))
 	f.appendedRecords += uint64(len(recs))
 	f.appendedBytes += uint64(len(buf))
+	f.lastAppendedSeq = recs[len(recs)-1].Seq
 	return nil
 }
 
@@ -432,6 +440,7 @@ func (f *FileStore) Stats() (Stats, error) {
 		Dir:             f.dir,
 		AppendedRecords: f.appendedRecords,
 		AppendedBytes:   f.appendedBytes,
+		LastAppendedSeq: f.lastAppendedSeq,
 	}
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {

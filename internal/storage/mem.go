@@ -16,6 +16,7 @@ type MemStore struct {
 
 	appendedRecords uint64
 	appendedBytes   uint64
+	lastAppendedSeq uint64
 }
 
 type memSnap struct {
@@ -39,6 +40,7 @@ func (m *MemStore) Append(recs ...Record) error {
 		m.recs = append(m.recs, rec)
 		m.appendedRecords++
 		m.appendedBytes += uint64(len(encodeRecord(rec)) + recFrameLen)
+		m.lastAppendedSeq = rec.Seq
 	}
 	return nil
 }
@@ -131,6 +133,7 @@ func (m *MemStore) Stats() (Stats, error) {
 	st := Stats{
 		AppendedRecords: m.appendedRecords,
 		AppendedBytes:   m.appendedBytes,
+		LastAppendedSeq: m.lastAppendedSeq,
 	}
 	if len(m.recs) > 0 {
 		st.Segments = 1

@@ -115,6 +115,12 @@ type Stats struct {
 	SnapshotBytes int64 `json:"snapshot_bytes"`
 	// LastSnapshotSeq is the newest snapshot's log position (0 if none).
 	LastSnapshotSeq uint64 `json:"last_snapshot_seq"`
+	// LastAppendedSeq is the newest log position appended by this
+	// process (0 before the first append). Monitor.StorageStats
+	// overrides it with the authoritative value, which also covers
+	// records recovered from prior incarnations; replication dashboards
+	// compare it against follower applied-seq watermarks.
+	LastAppendedSeq uint64 `json:"last_appended_seq"`
 	// AppendedRecords and AppendedBytes count WAL appends performed by
 	// this process (not prior incarnations); the recovery experiment
 	// derives write amplification from them.

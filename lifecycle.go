@@ -42,6 +42,9 @@ type lifecycleEngine = core.LifecycleEngine
 // through AddPreference. The name must not collide with an alive user
 // (ErrDuplicateUser); a removed user's name is free for re-use.
 func (m *Monitor) AddUser(name string, prefs []Preference) error {
+	if m.readOnly {
+		return fmt.Errorf("%w: AddUser(%q)", ErrReadOnly, name)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if name == "" {
@@ -178,6 +181,9 @@ func (m *Monitor) clusterOfLocked(idx int) int {
 // goes dormant). The name becomes free for a future AddUser; the removed
 // user's preference history stays out of all further computation.
 func (m *Monitor) RemoveUser(name string) error {
+	if m.readOnly {
+		return fmt.Errorf("%w: RemoveUser(%q)", ErrReadOnly, name)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	idx, err := m.user(name)
@@ -230,6 +236,9 @@ func (m *Monitor) applyRemoveUserLocked(idx int) {
 // and subscribers of the user observe promotions as FrontierDelta
 // events.
 func (m *Monitor) RetractPreference(user, attr, better, worse string) error {
+	if m.readOnly {
+		return fmt.Errorf("%w: RetractPreference for %q", ErrReadOnly, user)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.eng.(lifecycleEngine); !ok {
@@ -298,6 +307,9 @@ func (m *Monitor) applyRetractLocked(idx, d, b, w int) {
 // does not free its name — removal does); an unknown or already-removed
 // name yields ErrUnknownObject.
 func (m *Monitor) RemoveObject(name string) error {
+	if m.readOnly {
+		return fmt.Errorf("%w: RemoveObject(%q)", ErrReadOnly, name)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id, ok := m.names[name]

@@ -262,6 +262,15 @@ type Monitor struct {
 	sinceSnap int
 	replaying bool
 	storeErr  error
+
+	// Replication (see feed.go and follower.go). walCh is rotated
+	// (closed and replaced) under mu on every WAL append, waking
+	// long-polling changefeed streams; readOnly marks a follower
+	// monitor, whose only writer is the feed apply loop; follower holds
+	// the tail goroutine's state and watermarks.
+	walCh    chan struct{}
+	readOnly bool
+	follower *followerState
 }
 
 // objEntry is one object registry slot.
@@ -297,7 +306,12 @@ func NewMonitorFromConfig(c *Community, cfg Config) (*Monitor, error) {
 	return newMonitor(c, cfg)
 }
 
-func newMonitor(c *Community, cfg Config) (*Monitor, error) {
+// monitorShell validates the configuration and assembles a Monitor with
+// everything but engine state: schema, counters, subscription fan-out,
+// persistence wiring. newMonitor fills it from the community (or a
+// recovered snapshot); OpenFollower fills it from the primary's
+// snapshot.
+func monitorShell(c *Community, cfg Config) (*Monitor, error) {
 	if err := validateConfig(c, cfg); err != nil {
 		return nil, err
 	}
@@ -310,6 +324,7 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 		ctr:     &stats.Counters{},
 		userIdx: make(map[string]int, c.Len()),
 		names:   make(map[string]int),
+		walCh:   make(chan struct{}),
 	}
 	if cfg.Algorithm == AlgorithmFilterThenVerifyApprox {
 		t1, t2 := cfg.Theta1, cfg.Theta2
@@ -322,6 +337,14 @@ func newMonitor(c *Community, cfg Config) (*Monitor, error) {
 	m.subs.init(cfg.SubscriptionBuffer)
 	m.store = cfg.Store
 	m.snapEvery = cfg.SnapshotEvery
+	return m, nil
+}
+
+func newMonitor(c *Community, cfg Config) (*Monitor, error) {
+	m, err := monitorShell(c, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// A non-empty store recovers first: the newest valid snapshot is
 	// authoritative for the evolved community (users may have joined or
@@ -630,6 +653,9 @@ type batchEngine interface {
 // to the WAL before it is applied, so an acknowledged Add survives a
 // crash.
 func (m *Monitor) Add(name string, values ...string) (Delivery, error) {
+	if m.readOnly {
+		return Delivery{}, fmt.Errorf("%w: Add(%q)", ErrReadOnly, name)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	o := Object{Name: name, Values: values}
@@ -652,6 +678,9 @@ func (m *Monitor) Add(name string, values ...string) (Delivery, error) {
 // a durable monitor the batch is logged as one contiguous WAL append
 // before any object is applied.
 func (m *Monitor) AddBatch(objs []Object) ([]Delivery, error) {
+	if m.readOnly {
+		return nil, fmt.Errorf("%w: AddBatch of %d objects", ErrReadOnly, len(objs))
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	inBatch := make(map[string]bool, len(objs))

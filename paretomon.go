@@ -58,6 +58,15 @@
 // uninterrupted run — an acknowledged mutation survives kill -9. See
 // docs/PERSISTENCE.md.
 //
+// The same log scales reads: a durable primary ships its WAL as an
+// HTTP changefeed (internal/server's GET /wal + GET /snapshot/latest),
+// and OpenFollower builds a read-only replica that bootstraps from the
+// newest snapshot, tails the feed, and serves the full read API from
+// state byte-identical to the primary's — mutations on a follower
+// return ErrReadOnly, Lag and Replication report the watermarks, and
+// disconnects resume exactly-once from the applied position. See
+// docs/REPLICATION.md.
+//
 // Monitors are safe for concurrent use: one mutator (Add / AddBatch /
 // AddPreference / the lifecycle calls) runs at a time while any number
 // of readers (Frontier, Stats, Clusters, Users, TargetsOf) proceed in

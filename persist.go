@@ -113,7 +113,18 @@ func (m *Monitor) StorageStats() (StoreStats, error) {
 	if m.store == nil {
 		return StoreStats{}, fmt.Errorf("%w: monitor has no store (use WithStore or Open)", ErrUnsupported)
 	}
-	return m.store.Stats()
+	st, err := m.store.Stats()
+	if err != nil {
+		return st, err
+	}
+	// The store only sees this process's appends; the monitor's log
+	// position also covers records recovered from prior incarnations.
+	// Followers compare against this head (WaitSynced), so it must be
+	// authoritative even on a freshly recovered, idle primary.
+	m.mu.RLock()
+	st.LastAppendedSeq = m.walSeq
+	m.mu.RUnlock()
+	return st, nil
 }
 
 // ObjectCount returns how many objects the monitor has ingested over
@@ -147,7 +158,17 @@ func (m *Monitor) appendWAL(recs []WALRecord) error {
 		return fmt.Errorf("%w: appending to WAL: %w", ErrStore, err)
 	}
 	m.walSeq += uint64(len(recs))
+	m.rotateWALNotifyLocked()
 	return nil
+}
+
+// rotateWALNotifyLocked wakes every WALNotify waiter — long-polling
+// changefeed streams and WaitSynced — by closing the current notify
+// channel and installing a fresh one. Every path that advances walSeq
+// must call it, and must hold mu (write).
+func (m *Monitor) rotateWALNotifyLocked() {
+	close(m.walCh)
+	m.walCh = make(chan struct{})
 }
 
 // objectRecords builds the WAL records for a validated object batch.
@@ -238,10 +259,14 @@ func (s *Schema) domainValues() [][]string {
 	return out
 }
 
-// replayRecord applies one WAL record during recovery through the same
-// code paths the live mutations use, so a recovered monitor's state and
-// work counters are identical to an uninterrupted run's. A record that
-// no longer applies cleanly means the log and the provided community
+// replayRecord applies one WAL record through the same code paths the
+// live mutations use, so the resulting state and work counters are
+// identical to an uninterrupted run's. It serves two callers: recovery
+// replay (m.replaying true — publication suppressed, history must never
+// reach subscribers) and the follower feed apply loop (m.replaying
+// false — subscribers observe replicated mutations as deliveries and
+// FrontierDelta events, exactly as the primary's subscribers do). A
+// record that does not apply cleanly means the log and the local state
 // have diverged — corrupt state, not a caller input error.
 func (m *Monitor) replayRecord(rec WALRecord) error {
 	corrupt := func(err error) error {
@@ -263,9 +288,14 @@ func (m *Monitor) replayRecord(rec WALRecord) error {
 		if !ok {
 			return corrupt(fmt.Errorf("unknown attribute %q", rec.Attr))
 		}
+		var before []int
+		if !m.replaying {
+			before = m.frontierIDs(idx)
+		}
 		if err := m.applyPreferenceLocked(idx, d, rec.User, rec.Attr, rec.Better, rec.Worse); err != nil {
 			return corrupt(err)
 		}
+		m.publishDeltaLocked(idx, "", before)
 	case OpAddUser:
 		if rec.Name == "" {
 			return corrupt(fmt.Errorf("empty user name"))
@@ -293,13 +323,30 @@ func (m *Monitor) replayRecord(rec WALRecord) error {
 		if err != nil {
 			return corrupt(err)
 		}
+		var before []int
+		if !m.replaying {
+			before = m.frontierIDs(idx)
+		}
 		m.applyRetractLocked(idx, d, b, w)
+		m.publishDeltaLocked(idx, "", before)
 	case OpRemoveObject:
 		id, ok := m.names[rec.Name]
 		if !ok {
 			return corrupt(fmt.Errorf("unknown object %q", rec.Name))
 		}
+		var affected []int
+		var before [][]int
+		if t, ok := m.eng.(interface{ Targets(objID int) []int }); ok && !m.replaying {
+			affected = t.Targets(id)
+			before = make([][]int, len(affected))
+			for i, c := range affected {
+				before[i] = m.frontierIDs(c)
+			}
+		}
 		m.applyRemoveObjectLocked(id)
+		for i, c := range affected {
+			m.publishDeltaLocked(c, "", before[i])
+		}
 	default:
 		return fmt.Errorf("%w: WAL record %d has unknown op %d", ErrCorrupt, rec.Seq, rec.Op)
 	}

@@ -268,13 +268,19 @@ func (m *Monitor) SubscribeDeltas(user string) (<-chan FrontierDelta, CancelFunc
 
 // Close shuts down delivery fan-out: every subscription channel is
 // closed and further Subscribe calls return ErrMonitorClosed. Reads
-// (Frontier, Stats, Clusters, TargetsOf) keep working. On a monitor
+// (Frontier, Stats, Clusters, TargetsOf) keep working. On a follower
+// (OpenFollower) the changefeed tail goroutine is stopped first, so no
+// replicated mutation applies after Close returns. On a monitor
 // built with Open — which owns its file store — the store is closed
 // too, after which mutations fail with an error wrapping
 // ErrMonitorClosed; with a caller-provided WithStore the caller owns the
 // store's lifecycle and ingestion keeps working. Close implements
 // io.Closer for composition with server lifecycles.
 func (m *Monitor) Close() error {
+	if m.follower != nil {
+		m.follower.cancel()
+		<-m.follower.done
+	}
 	m.subs.closeAll()
 	if m.ownsStore && m.store != nil {
 		m.mu.Lock()

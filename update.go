@@ -32,6 +32,9 @@ type prefApplier interface {
 // user's delta subscribers observe evicted objects as a FrontierDelta
 // with a populated Left list.
 func (m *Monitor) AddPreference(user, attr, better, worse string) error {
+	if m.readOnly {
+		return fmt.Errorf("%w: AddPreference for %q", ErrReadOnly, user)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	idx, err := m.user(user)
