@@ -1,0 +1,170 @@
+// Command benchdiff compares two BENCH_parallel.json documents and
+// fails (exit 1) when the current run regresses against the committed
+// baseline. It is the CI perf gate: wall-clock numbers are too noisy to
+// compare across runner generations, so the gate checks the two signals
+// that are stable on any machine —
+//
+//   - speedup_vs_sequential: each parallel run's speedup relative to the
+//     sequential engine measured in the SAME process on the SAME
+//     hardware. A drop beyond -max-regression means the parallel path
+//     itself got slower relative to its own baseline, not that the
+//     runner did.
+//   - comparisons: the dominance-comparison count is deterministic for a
+//     fixed workload; any increase is an algorithmic regression (a
+//     filter that stopped pruning, a cluster split), never noise.
+//
+// Runs are matched by (engine, mode, workers). The documents must all
+// describe the same workload (objects, users, dims, gomaxprocs) or the
+// comparison is meaningless and benchdiff refuses (exit 2).
+//
+// -current accepts a comma-separated list of documents from repeated
+// sweeps; each configuration is judged by its best (highest-speedup,
+// lowest-comparisons) measurement across them. One noisy run on a busy
+// runner then can't fail the gate, while a real regression — present in
+// every repeat — still does.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_parallel.json -current run1.json,run2.json,run3.json [-max-regression 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type runKey struct {
+	Engine  string
+	Mode    string
+	Workers int
+}
+
+func load(path string) (*experiments.ParallelBench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc experiments.ParallelBench
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs", path)
+	}
+	return &doc, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_parallel.json", "committed baseline document")
+	currentPaths := flag.String("current", "", "comma-separated freshly measured document(s); best run per config is gated")
+	maxRegression := flag.Float64("max-regression", 0.10, "max allowed fractional drop in speedup_vs_sequential")
+	flag.Parse()
+	if *currentPaths == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Fold the repeats into one best-of document: per configuration the
+	// highest speedup and lowest comparison count seen across sweeps.
+	best := make(map[runKey]experiments.ParallelRun)
+	var order []runKey
+	for _, path := range strings.Split(*currentPaths, ",") {
+		doc, err := load(strings.TrimSpace(path))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+			os.Exit(2)
+		}
+		// Same workload or the numbers aren't comparable at all.
+		if base.Objects != doc.Objects || base.Users != doc.Users ||
+			base.Dims != doc.Dims || base.GOMAXPROCS != doc.GOMAXPROCS ||
+			base.Workload != doc.Workload || base.Dataset != doc.Dataset {
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: workload mismatch — baseline %s/%s %d objects × %d users × %d dims @ GOMAXPROCS=%d, current %s/%s %d × %d × %d @ %d\n",
+				base.Workload, base.Dataset, base.Objects, base.Users, base.Dims, base.GOMAXPROCS,
+				doc.Workload, doc.Dataset, doc.Objects, doc.Users, doc.Dims, doc.GOMAXPROCS)
+			os.Exit(2)
+		}
+		for _, r := range doc.Runs {
+			k := runKey{r.Engine, r.Mode, r.Workers}
+			b, seen := best[k]
+			if !seen {
+				best[k] = r
+				order = append(order, k)
+				continue
+			}
+			if r.SpeedupVsSequential > b.SpeedupVsSequential {
+				b.SpeedupVsSequential = r.SpeedupVsSequential
+			}
+			if r.Comparisons < b.Comparisons {
+				b.Comparisons = r.Comparisons
+			}
+			if !r.IdenticalDeliveries {
+				b.IdenticalDeliveries = false
+			}
+			best[k] = b
+		}
+	}
+
+	baseRuns := make(map[runKey]experiments.ParallelRun, len(base.Runs))
+	for _, r := range base.Runs {
+		baseRuns[runKey{r.Engine, r.Mode, r.Workers}] = r
+	}
+
+	failures := 0
+	for _, k := range order {
+		c := best[k]
+		b, ok := baseRuns[k]
+		if !ok {
+			// New configurations have no baseline yet; report, don't gate.
+			fmt.Printf("NEW   %-18s %-10s workers=%d  speedup=%.3f\n", c.Engine, c.Mode, c.Workers, c.SpeedupVsSequential)
+			continue
+		}
+		delete(baseRuns, k)
+
+		if !c.IdenticalDeliveries {
+			failures++
+			fmt.Printf("FAIL  %-18s %-10s workers=%d  sharded deliveries diverged from sequential\n", c.Engine, c.Mode, c.Workers)
+			continue
+		}
+		status := "ok   "
+		if c.Comparisons > b.Comparisons {
+			failures++
+			fmt.Printf("FAIL  %-18s %-10s workers=%d  comparisons %d → %d (deterministic count grew: algorithmic regression)\n",
+				c.Engine, c.Mode, c.Workers, b.Comparisons, c.Comparisons)
+			continue
+		}
+		drop := 0.0
+		if b.SpeedupVsSequential > 0 {
+			drop = (b.SpeedupVsSequential - c.SpeedupVsSequential) / b.SpeedupVsSequential
+		}
+		if drop > *maxRegression {
+			status = "FAIL "
+			failures++
+		}
+		fmt.Printf("%s %-18s %-10s workers=%d  speedup %.3f → %.3f (%+.1f%%)\n",
+			status, c.Engine, c.Mode, c.Workers, b.SpeedupVsSequential, c.SpeedupVsSequential, -drop*100)
+	}
+	for k := range baseRuns {
+		// A configuration silently disappearing from the sweep is itself a
+		// regression — the gate must not pass by measuring less.
+		failures++
+		fmt.Printf("FAIL  %-18s %-10s workers=%d  present in baseline, missing from current run\n", k.Engine, k.Mode, k.Workers)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% threshold\n", failures, *maxRegression*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions beyond %.0f%% threshold across %d configuration(s)\n", *maxRegression*100, len(order))
+}

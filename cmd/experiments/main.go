@@ -10,7 +10,7 @@
 //	            [-workers 1,2,4,8] [-benchout BENCH_parallel.json]
 //
 // Experiment ids: fig4 fig5 fig6 fig7 table11 fig8 fig9 fig10 fig11 table12
-// parallel recovery lifecycle replication. The parallel sweep measures
+// parallel recovery lifecycle replication partition. The parallel sweep measures
 // ingest throughput of the sharded engines at each -workers count and,
 // with -benchout, records the sweep as JSON so CI can track the perf
 // trajectory. The recovery benchmark crashes a durable monitor
@@ -24,7 +24,10 @@
 // follower from a live primary over HTTP (snapshot + WAL changefeed) and
 // measures catch-up time, steady-state lag vs write rate, and
 // reconnect-after-disconnect, gating on primary/follower state identity
-// (-benchout writes BENCH_replication.json).
+// (-benchout writes BENCH_replication.json). The partition benchmark
+// replays the Fig. 4 stream through a consistent-hash Router fronting
+// fleets of 1/2/4 partition primaries and gates on fleet/single-monitor
+// state identity (-benchout writes BENCH_partition.json).
 package main
 
 import (

@@ -25,6 +25,16 @@
 // a snapshot on demand. See docs/PERSISTENCE.md for the full
 // operations walkthrough, including a kill -9 exercise.
 //
+// -partition i/n (with -serve) serves one slice of a partitioned
+// fleet: the community is cut down to the users the consistent-hash
+// plan assigns to partition i of n, and the process otherwise behaves
+// like any single monitor — durable with -data-dir, replicable with
+// followers. -route url1,url2,... starts the matching front door: a
+// consistent-hash router serving the full API over those n partitions
+// (writes fan out, user calls route to the owner, aggregates merge);
+// it loads no dataset, so -objects/-prefs are not required. See
+// docs/PARTITIONING.md.
+//
 // -follow (with -serve) starts a read-only follower instead: the
 // monitor bootstraps from the primary's newest snapshot, tails its WAL
 // changefeed, and serves the full read API — frontiers, targets, stats,
@@ -45,6 +55,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +66,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/object"
+	"repro/internal/partition"
 	"repro/internal/pref"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -81,10 +94,32 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + snapshots); requires -serve")
 		snapEvry = flag.Int("snapshot-every", 0, "snapshot after every N WAL records (0 = explicit POST /snapshot only)")
 		follow   = flag.String("follow", "", "serve as a read-only follower of this primary URL; requires -serve")
+		partSpec = flag.String("partition", "", "serve one consistent-hash slice i/n of the community (e.g. 1/3); requires -serve")
+		route    = flag.String("route", "", "serve as a router over this comma-separated partition fleet; requires -serve, loads no dataset")
 	)
 	flag.Parse()
+	if *route != "" {
+		if *serve == "" {
+			fmt.Fprintln(os.Stderr, "paretomon: -route requires -serve")
+			os.Exit(2)
+		}
+		if *follow != "" || *dataDir != "" || *partSpec != "" {
+			fmt.Fprintln(os.Stderr, "paretomon: -route is exclusive with -follow, -data-dir and -partition (the partitions own the data)")
+			os.Exit(2)
+		}
+		serveRouter(*route, *serve)
+		return
+	}
 	if *objPath == "" || *prefPath == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *partSpec != "" && *serve == "" {
+		fmt.Fprintln(os.Stderr, "paretomon: -partition requires -serve")
+		os.Exit(2)
+	}
+	if *partSpec != "" && *follow != "" {
+		fmt.Fprintln(os.Stderr, "paretomon: -partition and -follow are mutually exclusive (follow the partition's primary instead)")
 		os.Exit(2)
 	}
 	if *dataDir != "" && *serve == "" {
@@ -105,7 +140,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit, *dataDir, *snapEvry, *follow)
+		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit, *dataDir, *snapEvry, *follow, *partSpec)
 		return
 	}
 
@@ -202,7 +237,7 @@ func main() {
 // CSV rows it does not already hold are replayed. With follow the
 // monitor is a read-only replica of the primary at that URL and no rows
 // are boot-ingested at all — state streams in over the changefeed.
-func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int, dataDir string, snapshotEvery int, follow string) {
+func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int, dataDir string, snapshotEvery int, follow, partSpec string) {
 	of, err := os.Open(objPath)
 	check(err)
 	pf, err := os.Open(prefPath)
@@ -211,6 +246,15 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 	check(err)
 	check(of.Close())
 	check(pf.Close())
+
+	if partSpec != "" {
+		idx, n := parsePartition(partSpec)
+		plan, err := partition.NewPlan(n, 0)
+		check(err)
+		total := com.Len()
+		com = com.Subset(func(name string) bool { return plan.Owner(name) == idx })
+		fmt.Fprintf(os.Stderr, "partition %d/%d: %d of %d users\n", idx, n, com.Len(), total)
+	}
 
 	opts := []paretomon.Option{
 		paretomon.WithBranchCut(h),
@@ -248,7 +292,7 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 		rs := mon.Replication()
 		fmt.Fprintf(os.Stderr, "following %s from seq %d; serving read API on %s\n",
 			follow, rs.AppliedSeq, addr)
-		runServer(addr, mon)
+		runServer(addr, server.New(mon), mon.Close)
 		return
 	}
 	n := len(rows)
@@ -277,16 +321,54 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 	}
 	fmt.Fprintf(os.Stderr, "replayed %d objects for %d users; serving on %s\n",
 		n-start, com.Len(), addr)
-	runServer(addr, mon)
+	runServer(addr, server.New(mon), mon.Close)
 }
 
-// runServer serves the monitor until SIGINT/SIGTERM, then shuts down
-// gracefully: in-flight SSE and changefeed streams are cancelled
-// (Server.Close) so clients and downstream followers disconnect cleanly,
-// the listener drains, and the monitor closes (releasing the store lock
-// and, on a follower, stopping the feed tail).
-func runServer(addr string, mon *paretomon.Monitor) {
-	srv := server.New(mon)
+// serveRouter fronts a running partition fleet: a consistent-hash
+// router over the comma-separated URLs, serving the full API on addr.
+// The router owns no data and loads no dataset; the URL order must
+// match the fleet's -partition indices.
+func serveRouter(urls, addr string) {
+	var list []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			list = append(list, u)
+		}
+	}
+	rt, err := partition.New(partition.Config{URLs: list})
+	check(err)
+	fmt.Fprintf(os.Stderr, "routing %d partition(s); serving on %s\n", len(list), addr)
+	runServer(addr, server.NewRouter(rt), rt.Close)
+}
+
+// parsePartition parses "i/n" with 0 <= i < n.
+func parsePartition(spec string) (idx, n int) {
+	i := strings.IndexByte(spec, '/')
+	if i > 0 {
+		idx, err1 := strconv.Atoi(spec[:i])
+		n, err2 := strconv.Atoi(spec[i+1:])
+		if err1 == nil && err2 == nil && n > 0 && idx >= 0 && idx < n {
+			return idx, n
+		}
+	}
+	fmt.Fprintf(os.Stderr, "paretomon: bad -partition %q (want i/n with 0 <= i < n)\n", spec)
+	os.Exit(2)
+	return 0, 0
+}
+
+// closableHandler is what runServer serves: a mux whose Close cancels
+// in-flight streams (server.Server, server.RouterServer).
+type closableHandler interface {
+	http.Handler
+	Close() error
+}
+
+// runServer serves until SIGINT/SIGTERM, then shuts down gracefully:
+// in-flight SSE and changefeed streams are cancelled (srv.Close) so
+// clients and downstream followers disconnect cleanly, the listener
+// drains, and cleanup runs (closing the monitor — releasing the store
+// lock and, on a follower, stopping the feed tail).
+func runServer(addr string, srv closableHandler, cleanup func() error) {
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	done := make(chan struct{})
 	go func() {
@@ -304,7 +386,7 @@ func runServer(addr string, mon *paretomon.Monitor) {
 		check(err)
 	}
 	<-done
-	check(mon.Close())
+	check(cleanup())
 }
 
 func check(err error) {

@@ -206,10 +206,27 @@ func TestReplicationBenchmark(t *testing.T) {
 	}
 }
 
+func TestPartitionExperiment(t *testing.T) {
+	o := tiny()
+	o.Objects, o.Users = 300, 24
+	rep := experiments.Partition(o)[0]
+	if rep.ID != "partition" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+	if len(rep.Rows) != 3 { // fleets of 1, 2, 4
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[5] != "true" || row[6] != "true" {
+			t.Errorf("fleet diverged from single monitor: %v", row)
+		}
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
-	// 10 paper experiments, the parallel sweep, the recovery, lifecycle
-	// and replication benchmarks, plus 4 ablations.
-	if len(experiments.Order) != 14 || len(experiments.All) != 18 {
+	// 10 paper experiments, the parallel sweep, the recovery, lifecycle,
+	// replication and partition benchmarks, plus 4 ablations.
+	if len(experiments.Order) != 15 || len(experiments.All) != 19 {
 		t.Fatalf("registry: %d runners, %d ordered", len(experiments.All), len(experiments.Order))
 	}
 	for _, id := range experiments.Order {

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/partition"
+	"repro/internal/server"
+)
+
+// The partition benchmark is an engineering experiment beyond the paper:
+// it replays the Fig. 4 workload through a consistent-hash Router
+// fronting fleets of 1, 2 and 4 partition primaries (each a real HTTP
+// server holding its ring-assigned slice of the community) and checks
+// the write-scaling contract — the router-fronted fleet must be
+// frontier-, target- and counter-identical to a single monitor over the
+// same stream, which is the divergence gate CI enforces on
+// BENCH_partition.json. Baseline is the engine under test because its
+// per-user work partitions exactly: the fleet's summed comparison
+// counters equal the single monitor's, so any drift is a routing bug,
+// never clustering noise.
+//
+// The throughput column is honest about what partitioning buys at this
+// scale: every write fans out to all n partitions over loopback HTTP, so
+// a fleet pays n requests per batch and the speedup over one monitor
+// stays modest until per-user verification work — which splits 1/n —
+// dominates the constant per-request cost. The experiment reports the
+// measured ratio rather than assuming it.
+
+// PartitionRun is one fleet size's measurement.
+type PartitionRun struct {
+	// Partitions is the fleet size n under test.
+	Partitions int `json:"partitions"`
+	// Millis is the wall-clock time to replay the whole stream through
+	// the router; ObjectsPerSec derives from it.
+	Millis        float64 `json:"millis"`
+	ObjectsPerSec float64 `json:"objects_per_sec"`
+	// SpeedupVsSingle divides the plain single-monitor replay time by
+	// this fleet's (values < 1 mean the HTTP fan-out tax exceeds the
+	// verification split at this scale).
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+	// UsersPerPartition is the ring's ownership spread.
+	UsersPerPartition []int `json:"users_per_partition"`
+	// FrontiersMatch / StatsMatch report the identity gate: every user's
+	// frontier, every object's target set, and the summed work counters
+	// against the single monitor.
+	FrontiersMatch bool `json:"frontiers_match"`
+	StatsMatch     bool `json:"stats_match"`
+}
+
+// PartitionBench is the BENCH_partition.json document.
+type PartitionBench struct {
+	Workload     string         `json:"workload"`
+	Dataset      string         `json:"dataset"`
+	Objects      int            `json:"objects"`
+	Users        int            `json:"users"`
+	Dims         int            `json:"dims"`
+	SingleMillis float64        `json:"single_millis"`
+	Runs         []PartitionRun `json:"runs"`
+}
+
+// Partition runs the write-scaling benchmark. Options.BenchOut, when
+// non-empty, also writes the result as JSON (BENCH_partition.json).
+func Partition(o Options) []*Report {
+	o = o.withDefaults()
+	ds := o.dataset("movie")
+	com, rows, err := recoveryCommunity(ds, o.Dims)
+	if err != nil {
+		panic("experiments: building partition community: " + err.Error())
+	}
+	n := len(rows)
+	users := com.Users()
+	opts := []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)}
+
+	o.logf("partition: single-monitor reference over %d objects ...", n)
+	ref, err := paretomon.NewMonitor(com, opts...)
+	if err != nil {
+		panic("experiments: partition reference: " + err.Error())
+	}
+	defer ref.Close()
+	start := time.Now()
+	if err := recoveryIngest(ref, rows, 0, n); err != nil {
+		panic("experiments: partition reference ingest: " + err.Error())
+	}
+	singleMs := float64(time.Since(start).Microseconds()) / 1000.0
+
+	bench := &PartitionBench{
+		Workload:     "fig4",
+		Dataset:      "movie",
+		Objects:      n,
+		Users:        len(users),
+		Dims:         o.Dims,
+		SingleMillis: singleMs,
+	}
+	rep := &Report{
+		ID: "partition",
+		Title: fmt.Sprintf("consistent-hash router over 1/2/4 partition primaries, movie (Fig. 4 workload), |O|=%d, |C|=%d, d=%d",
+			n, len(users), o.Dims),
+		Columns: []string{"partitions", "millis", "obj_per_sec", "speedup_vs_single", "users_per_part", "frontiers", "stats"},
+	}
+
+	for _, parts := range []int{1, 2, 4} {
+		run := func() PartitionRun {
+			plan, err := partition.NewPlan(parts, 0)
+			if err != nil {
+				panic("experiments: partition plan: " + err.Error())
+			}
+			urls := make([]string, parts)
+			for i := 0; i < parts; i++ {
+				idx := i
+				sub := com.Subset(func(name string) bool { return plan.Owner(name) == idx })
+				mon, err := paretomon.NewMonitor(sub, opts...)
+				if err != nil {
+					panic("experiments: partition monitor: " + err.Error())
+				}
+				defer mon.Close()
+				hs := httptest.NewServer(server.New(mon))
+				defer hs.Close()
+				urls[i] = hs.URL
+			}
+			rt, err := partition.New(partition.Config{URLs: urls})
+			if err != nil {
+				panic("experiments: partition router: " + err.Error())
+			}
+			defer rt.Close()
+
+			start := time.Now()
+			if err := recoveryIngest(rt, rows, 0, n); err != nil {
+				panic("experiments: partition ingest: " + err.Error())
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000.0
+			frontiersMatch, statsMatch := recoveryEquals(ref, rt, users, n)
+
+			spread := make([]int, parts)
+			for i, bucket := range plan.Assign(users) {
+				spread[i] = len(bucket)
+			}
+			return PartitionRun{
+				Partitions:        parts,
+				Millis:            ms,
+				ObjectsPerSec:     float64(n) / (ms / 1000.0),
+				SpeedupVsSingle:   singleMs / ms,
+				UsersPerPartition: spread,
+				FrontiersMatch:    frontiersMatch,
+				StatsMatch:        statsMatch,
+			}
+		}()
+		o.logf("partition: n=%d replayed in %.1fms (%.2fx vs single, frontiers=%t stats=%t, spread=%v)",
+			run.Partitions, run.Millis, run.SpeedupVsSingle, run.FrontiersMatch, run.StatsMatch, run.UsersPerPartition)
+		bench.Runs = append(bench.Runs, run)
+		rep.Rows = append(rep.Rows, []string{
+			fmtInt(run.Partitions), fmtMS(run.Millis), fmt.Sprintf("%.0f", run.ObjectsPerSec),
+			fmt.Sprintf("%.2fx", run.SpeedupVsSingle), fmt.Sprintf("%v", run.UsersPerPartition),
+			fmt.Sprintf("%t", run.FrontiersMatch), fmt.Sprintf("%t", run.StatsMatch),
+		})
+	}
+
+	if o.BenchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.BenchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			o.logf("partition: writing %s: %v", o.BenchOut, err)
+		}
+	}
+	return []*Report{rep}
+}
+
+func init() {
+	All["partition"] = Partition
+	Order = append(Order, "partition")
+}

@@ -95,8 +95,9 @@ func recoveryCommunity(ds *datagen.Dataset, dims int) (*paretomon.Community, [][
 }
 
 // recoveryIngest replays rows [from, to) in 256-object batches under
-// stable names o<index+1>.
-func recoveryIngest(m *paretomon.Monitor, rows [][]string, from, to int) error {
+// stable names o<index+1>. It takes the Driver interface so the
+// partition experiment can feed the same stream through a Router.
+func recoveryIngest(m paretomon.Driver, rows [][]string, from, to int) error {
 	const batchSize = 256
 	for lo := from; lo < to; lo += batchSize {
 		hi := min(lo+batchSize, to)
@@ -111,9 +112,9 @@ func recoveryIngest(m *paretomon.Monitor, rows [][]string, from, to int) error {
 	return nil
 }
 
-// recoveryEquals compares a recovered-and-finished monitor against the
-// uninterrupted reference.
-func recoveryEquals(ref, got *paretomon.Monitor, users []string, objects int) (frontiers, stats bool) {
+// recoveryEquals compares a recovered-and-finished driver (monitor or
+// router-fronted fleet) against the uninterrupted reference.
+func recoveryEquals(ref, got paretomon.Driver, users []string, objects int) (frontiers, stats bool) {
 	frontiers = true
 	for _, u := range users {
 		fr, err1 := ref.Frontier(u)

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// client is one partition's HTTP surface: the existing internal/server
+// JSON API, spoken with explicit contexts so the Router's retry budget
+// bounds every attempt.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func newClient(base string, hc *http.Client) *client {
+	return &client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do performs one JSON request. in (when non-nil) is the request body;
+// out (when non-nil) receives the decoded 200 response. Non-2xx
+// responses decode the server's {"error": ...} envelope into a
+// *StatusError; everything transport-level is returned as-is (and
+// therefore retryable).
+func (c *client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("partition: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeStatusError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("partition: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeStatusError turns a non-200 response into a *StatusError,
+// preserving the server's error message when the body carries the
+// JSON envelope.
+func decodeStatusError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
+		msg = envelope.Error
+	}
+	return &StatusError{Status: resp.StatusCode, Msg: msg}
+}
+
+// ready probes GET /readyz: nil means the partition is serving (store
+// open, follower synced — see Monitor.Ready).
+func (c *client) ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}

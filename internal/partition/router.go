@@ -1,0 +1,755 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	paretomon "repro"
+)
+
+// Default retry parameters: how long a Router keeps trying to land an
+// operation on an unresponsive partition before declaring it down, and
+// how long it sleeps between readiness probes while waiting.
+const (
+	DefaultRetryBudget   = 30 * time.Second
+	DefaultRetryInterval = 25 * time.Millisecond
+)
+
+// Config describes the fleet a Router fronts.
+type Config struct {
+	// URLs are the partition base URLs in plan order: URLs[i] must be the
+	// process started with -partition i/len(URLs) (or an equivalent
+	// Subset), or the plan's owners and the fleet's holdings disagree.
+	URLs []string
+	// VNodes is the per-partition virtual-node count; 0 selects
+	// DefaultVNodes. It must match the partitions' own plans.
+	VNodes int
+	// Client is the HTTP client for partition calls; nil selects
+	// http.DefaultClient.
+	Client *http.Client
+	// RetryBudget bounds how long one operation keeps retrying a
+	// partition that fails with a retryable error (transport, 5xx)
+	// before giving up with ErrPartitionDown; 0 selects
+	// DefaultRetryBudget.
+	RetryBudget time.Duration
+	// RetryInterval is the pause between readiness probes while waiting
+	// out a down partition; 0 selects DefaultRetryInterval.
+	RetryInterval time.Duration
+}
+
+// remote is one partition as the Router sees it.
+type remote struct {
+	*client
+	idx int
+	url string
+}
+
+// Router presents a partitioned fleet as one paretomon.Driver: writes
+// fan out to every partition (each holds a consistent-hash slice of the
+// users, so each does its share of the work), user-scoped calls route
+// to the owner, and aggregates merge. See the package comment and
+// docs/PARTITIONING.md.
+//
+// Mutations are serialized router-wide by an internal mutex, so every
+// partition observes the same mutation order — the property that makes
+// a fleet's frontiers reproducible against a single monitor fed the
+// same stream. Reads bypass the mutex entirely.
+type Router struct {
+	plan     *Plan
+	parts    []*remote
+	hc       *http.Client
+	budget   time.Duration
+	interval time.Duration
+
+	// mu serializes mutations fleet-wide; see the type comment.
+	mu sync.Mutex
+}
+
+var _ paretomon.Driver = (*Router)(nil)
+
+// New builds a Router over the given fleet.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.URLs) == 0 {
+		return nil, errors.New("partition: router needs at least one partition URL")
+	}
+	plan, err := NewPlan(len(cfg.URLs), cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	budget := cfg.RetryBudget
+	if budget <= 0 {
+		budget = DefaultRetryBudget
+	}
+	interval := cfg.RetryInterval
+	if interval <= 0 {
+		interval = DefaultRetryInterval
+	}
+	r := &Router{plan: plan, hc: hc, budget: budget, interval: interval}
+	for i, u := range cfg.URLs {
+		c := newClient(u, hc)
+		r.parts = append(r.parts, &remote{client: c, idx: i, url: c.base})
+	}
+	return r, nil
+}
+
+// Plan returns the Router's user → partition assignment.
+func (r *Router) Plan() *Plan { return r.plan }
+
+// Owner returns the partition index owning the named user.
+func (r *Router) Owner(user string) int { return r.plan.Owner(user) }
+
+// PartitionURL returns partition i's base URL.
+func (r *Router) PartitionURL(i int) string { return r.parts[i].url }
+
+// HTTPClient returns the client used for partition calls — a fronting
+// server reuses it to proxy subscription streams to owner partitions.
+func (r *Router) HTTPClient() *http.Client { return r.hc }
+
+// Close releases the Router. The partitions are independent processes
+// and keep running; Close exists to satisfy paretomon.Driver.
+func (r *Router) Close() error { return nil }
+
+// Ready probes every partition's /readyz; nil means the whole fleet is
+// serving. The error aggregates each unready partition.
+func (r *Router) Ready(ctx context.Context) error {
+	errs := make([]error, len(r.parts))
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			if err := p.ready(ctx); err != nil {
+				errs[i] = &PartitionError{Partition: p.idx, URL: p.url, Err: err}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return collect("Ready", errs)
+}
+
+// collect folds per-partition failures into one *RouteError (nil when
+// none failed).
+func collect(op string, errs []error) error {
+	var fails []*PartitionError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var pe *PartitionError
+		if !errors.As(err, &pe) {
+			pe = &PartitionError{Partition: i, Err: err}
+		}
+		fails = append(fails, pe)
+	}
+	if len(fails) == 0 {
+		return nil
+	}
+	return &RouteError{Op: op, Failures: fails}
+}
+
+// sleepCtx sleeps d, reporting false if ctx expired first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// awaitReady waits (within ctx) until the partition answers /readyz,
+// probing every retry interval. A restarting partition replays its WAL
+// before serving; probing instead of blind re-sends keeps the retry
+// loop from hammering a process mid-recovery.
+func (r *Router) awaitReady(ctx context.Context, p *remote) {
+	for {
+		if !sleepCtx(ctx, r.interval) {
+			return
+		}
+		if p.ready(ctx) == nil {
+			return
+		}
+	}
+}
+
+// downError wraps the last attempt error as an exhausted-budget
+// *PartitionError carrying ErrPartitionDown.
+func downError(p *remote, lastErr error) *PartitionError {
+	return &PartitionError{
+		Partition: p.idx,
+		URL:       p.url,
+		Err:       fmt.Errorf("%w: retry budget exhausted: %w", ErrPartitionDown, lastErr),
+	}
+}
+
+// withRetry runs fn against one partition under the retry budget:
+// retryable failures (transport, 5xx) wait for /readyz and try again;
+// authoritative failures (4xx) return immediately. Exhausting the
+// budget yields a *PartitionError wrapping ErrPartitionDown.
+func (r *Router) withRetry(p *remote, fn func(ctx context.Context) error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.budget)
+	defer cancel()
+	var lastErr error
+	for ctx.Err() == nil {
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		lastErr = err
+		r.awaitReady(ctx, p)
+	}
+	return downError(p, lastErr)
+}
+
+// Wire shadows of internal/server's request/response bodies. The server
+// package keeps them unexported; the shapes are the stable HTTP API.
+type objectPayload struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+type batchPayload struct {
+	Objects []objectPayload `json:"objects"`
+}
+
+type deliveryPayload struct {
+	Object string   `json:"object"`
+	Users  []string `json:"users"`
+}
+
+type batchReply struct {
+	Deliveries []deliveryPayload `json:"deliveries"`
+}
+
+type preferencePayload struct {
+	User      string `json:"user"`
+	Attribute string `json:"attribute"`
+	Better    string `json:"better"`
+	Worse     string `json:"worse"`
+}
+
+type addUserPayload struct {
+	Name        string              `json:"name"`
+	Preferences []preferencePayload `json:"preferences"`
+}
+
+type frontierReply struct {
+	User     string   `json:"user"`
+	Frontier []string `json:"frontier"`
+}
+
+type targetsReply struct {
+	Object string   `json:"object"`
+	Users  []string `json:"users"`
+}
+
+// mapNotFound rewraps a 404 from a partition with the matching
+// paretomon sentinel, so library callers keep their errors.Is dispatch;
+// the *StatusError stays in the chain for HTTP passthrough.
+func mapNotFound(err, sentinel error) error {
+	var se *StatusError
+	if errors.As(err, &se) && se.Status == http.StatusNotFound {
+		return fmt.Errorf("%w: %w", sentinel, se)
+	}
+	return err
+}
+
+// Add ingests one object fleet-wide; the delivery unions every
+// partition's targets. It is AddBatch of one.
+func (r *Router) Add(name string, values ...string) (paretomon.Delivery, error) {
+	ds, err := r.AddBatch([]paretomon.Object{{Name: name, Values: values}})
+	if err != nil {
+		return paretomon.Delivery{}, err
+	}
+	return ds[0], nil
+}
+
+// AddBatch fans the batch to every partition concurrently. Each
+// partition ingests the full batch against its own users, so the
+// merged deliveries — per-object union of each partition's targets,
+// sorted — match what a single monitor over the whole community would
+// deliver.
+//
+// Failure semantics: a partition that fails retryably is retried under
+// the budget, probing /readyz between attempts. Because a partition
+// may have applied the batch (fully or, after a crash mid-append, as a
+// prefix) before the response was lost, every retry first resolves the
+// applied prefix by probing GET /targets object by object — WAL records
+// apply in batch order — reconstructs those deliveries from current
+// targets, and re-sends only the remainder. The reconstruction is an
+// approximation in one corner: a user whose delivery was dominated by a
+// later object of the same batch before the crash is not re-reported.
+//
+// If any partition stays down past the budget the call returns a
+// *RouteError and the fleet may hold the batch partially; re-issuing
+// the same AddBatch is safe (applied partitions resolve it as the
+// prefix probe above) — see the failure playbook in
+// docs/PARTITIONING.md.
+func (r *Router) AddBatch(objs []paretomon.Object) ([]paretomon.Delivery, error) {
+	if len(objs) == 0 {
+		return []paretomon.Delivery{}, nil
+	}
+	req := batchPayload{Objects: make([]objectPayload, len(objs))}
+	for i, o := range objs {
+		req.Objects[i] = objectPayload{Name: o.Name, Values: o.Values}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	results := make([][]paretomon.Delivery, len(r.parts))
+	errs := make([]error, len(r.parts))
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			results[i], errs[i] = r.addBatchOne(p, req)
+		}(i, p)
+	}
+	wg.Wait()
+	if err := collect("AddBatch", errs); err != nil {
+		return nil, err
+	}
+	return mergeDeliveries(objs, results), nil
+}
+
+// addBatchOne lands one batch on one partition, resuming across
+// retryable failures per the AddBatch contract.
+func (r *Router) addBatchOne(p *remote, req batchPayload) ([]paretomon.Delivery, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.budget)
+	defer cancel()
+	out := make([]paretomon.Delivery, 0, len(req.Objects))
+	start := 0         // first object not known to be applied on p
+	ambiguous := false // a failed attempt may have (partially) applied
+	var lastErr error
+	for start < len(req.Objects) {
+		if ctx.Err() != nil {
+			return nil, downError(p, lastErr)
+		}
+		if ambiguous {
+			n, err := r.advanceApplied(ctx, p, req, start, &out)
+			if err != nil {
+				if retryable(err) {
+					lastErr = err
+					r.awaitReady(ctx, p)
+					continue
+				}
+				return nil, err
+			}
+			start = n
+			ambiguous = false
+			if start == len(req.Objects) {
+				break
+			}
+		}
+		var reply batchReply
+		err := p.do(ctx, http.MethodPost, "/objects/batch", batchPayload{Objects: req.Objects[start:]}, &reply)
+		if err == nil {
+			for _, d := range reply.Deliveries {
+				out = append(out, paretomon.Delivery{Object: d.Object, Users: d.Users})
+			}
+			return out, nil
+		}
+		if !retryable(err) {
+			// A 4xx can still mean "already applied": a retry of a batch
+			// the partition fully holds is rejected as a duplicate name.
+			// The applied-prefix probe disambiguates.
+			n, perr := r.advanceApplied(ctx, p, req, start, &out)
+			if perr == nil && n > start {
+				start = n
+				continue
+			}
+			return nil, err
+		}
+		lastErr = err
+		ambiguous = true
+		r.awaitReady(ctx, p)
+	}
+	return out, nil
+}
+
+// advanceApplied walks the batch from start, probing GET /targets for
+// each object to learn which the partition already holds — a crash
+// mid-batch applies a prefix, in order — and reconstructs their
+// deliveries from current targets. Returns the index of the first
+// object not applied.
+func (r *Router) advanceApplied(ctx context.Context, p *remote, req batchPayload, start int, out *[]paretomon.Delivery) (int, error) {
+	for start < len(req.Objects) {
+		name := req.Objects[start].Name
+		var reply targetsReply
+		if err := p.do(ctx, http.MethodGet, "/targets/"+url.PathEscape(name), nil, &reply); err != nil {
+			var se *StatusError
+			if errors.As(err, &se) && se.Status == http.StatusNotFound {
+				return start, nil // not applied; the rest of the batch is not either
+			}
+			return start, err
+		}
+		*out = append(*out, paretomon.Delivery{Object: name, Users: reply.Users})
+		start++
+	}
+	return start, nil
+}
+
+// mergeDeliveries unions each object's per-partition targets into one
+// community-wide delivery, sorted like a Monitor's.
+func mergeDeliveries(objs []paretomon.Object, results [][]paretomon.Delivery) []paretomon.Delivery {
+	out := make([]paretomon.Delivery, len(objs))
+	for i, o := range objs {
+		users := []string{}
+		for _, ds := range results {
+			users = append(users, ds[i].Users...)
+		}
+		sort.Strings(users)
+		out[i] = paretomon.Delivery{Object: o.Name, Users: users}
+	}
+	return out
+}
+
+// ownerOp routes one mutation or read to the user's owning partition
+// with retries.
+func (r *Router) ownerOp(user string, fn func(ctx context.Context, p *remote) error) error {
+	p := r.parts[r.plan.Owner(user)]
+	return r.withRetry(p, func(ctx context.Context) error { return fn(ctx, p) })
+}
+
+// AddUser registers a user (with initial preferences) on its owning
+// partition.
+func (r *Router) AddUser(name string, prefs []paretomon.Preference) error {
+	req := addUserPayload{Name: name, Preferences: make([]preferencePayload, len(prefs))}
+	for i, pr := range prefs {
+		req.Preferences[i] = preferencePayload{Attribute: pr.Attr, Better: pr.Better, Worse: pr.Worse}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ownerOp(name, func(ctx context.Context, p *remote) error {
+		return p.do(ctx, http.MethodPost, "/users", req, nil)
+	})
+}
+
+// RemoveUser removes a user from its owning partition.
+func (r *Router) RemoveUser(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.ownerOp(name, func(ctx context.Context, p *remote) error {
+		return p.do(ctx, http.MethodDelete, "/users/"+url.PathEscape(name), nil, nil)
+	})
+	return mapNotFound(err, paretomon.ErrUnknownUser)
+}
+
+// AddPreference asserts a preference tuple on the user's owning
+// partition.
+func (r *Router) AddPreference(user, attr, better, worse string) error {
+	req := preferencePayload{User: user, Attribute: attr, Better: better, Worse: worse}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
+		return p.do(ctx, http.MethodPost, "/preferences", req, nil)
+	})
+	return mapNotFound(err, paretomon.ErrUnknownUser)
+}
+
+// RetractPreference retracts a previously asserted tuple on the user's
+// owning partition.
+func (r *Router) RetractPreference(user, attr, better, worse string) error {
+	req := preferencePayload{User: user, Attribute: attr, Better: better, Worse: worse}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
+		return p.do(ctx, http.MethodDelete, "/preferences", req, nil)
+	})
+	return mapNotFound(err, paretomon.ErrUnknownPreference)
+}
+
+// RemoveObject removes the object fleet-wide: every partition ingested
+// it, so every partition must drop it. Partial failure returns a
+// *RouteError; re-issuing is safe (partitions that already removed it
+// answer 404, which the Router treats as done).
+func (r *Router) RemoveObject(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	errs := make([]error, len(r.parts))
+	var wg sync.WaitGroup
+	notFound := make([]bool, len(r.parts))
+	for i, p := range r.parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			errs[i] = r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodDelete, "/objects/"+url.PathEscape(name), nil, nil)
+			})
+			var se *StatusError
+			if errs[i] != nil && errors.As(errs[i], &se) && se.Status == http.StatusNotFound {
+				notFound[i] = true
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	// All partitions ingest every object, so 404s agree — except on a
+	// retry after partial failure, where partitions that already removed
+	// it answer 404 and must count as success.
+	all404 := true
+	for i := range r.parts {
+		if !notFound[i] {
+			all404 = false
+		} else {
+			errs[i] = nil
+		}
+	}
+	if all404 {
+		return fmt.Errorf("%w: %q", paretomon.ErrUnknownObject, name)
+	}
+	return collect("RemoveObject", errs)
+}
+
+// Frontier returns the user's frontier from its owning partition.
+func (r *Router) Frontier(user string) ([]string, error) {
+	var reply frontierReply
+	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
+		return p.do(ctx, http.MethodGet, "/frontier/"+url.PathEscape(user), nil, &reply)
+	})
+	if err != nil {
+		return nil, mapNotFound(err, paretomon.ErrUnknownUser)
+	}
+	return reply.Frontier, nil
+}
+
+// TargetsOf unions the object's current targets across the fleet —
+// each partition reports its own users, the union is the community's
+// C_o, sorted. Any unreachable partition fails the call (a partial
+// union would silently under-report).
+func (r *Router) TargetsOf(object string) ([]string, error) {
+	replies := make([]targetsReply, len(r.parts))
+	errs := make([]error, len(r.parts))
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			errs[i] = r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodGet, "/targets/"+url.PathEscape(object), nil, &replies[i])
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			var se *StatusError
+			if errors.As(err, &se) && se.Status == http.StatusNotFound {
+				return nil, fmt.Errorf("%w: %w", paretomon.ErrUnknownObject, se)
+			}
+			return nil, collect("TargetsOf", errs)
+		}
+	}
+	users := []string{}
+	for _, reply := range replies {
+		users = append(users, reply.Users...)
+	}
+	sort.Strings(users)
+	return users, nil
+}
+
+// Users returns the merged community membership, name-sorted (a
+// Monitor reports registration order; partitions register
+// independently, so the Router sorts for determinism). Unreachable
+// partitions are skipped — Users has no error return — so the listing
+// is best-effort under failure, like Stats.
+func (r *Router) Users() []string {
+	lists := make([][]string, len(r.parts))
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			_ = r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodGet, "/users", nil, &lists[i])
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	users := []string{}
+	for _, l := range lists {
+		users = append(users, l...)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// Clusters concatenates each partition's clusters in partition order.
+// Clustering is a per-partition work-sharing structure (users cluster
+// only with co-located users), so the fleet's clustering is the
+// concatenation, not a re-clustering of the union. Best-effort under
+// failure, like Users.
+func (r *Router) Clusters() [][]string {
+	lists := make([][][]string, len(r.parts))
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			_ = r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodGet, "/clusters", nil, &lists[i])
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	out := [][]string{}
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// Stats returns the fleet's merged work counters: Comparisons,
+// Delivered and friends sum across partitions; Processed — the stream
+// position — is the maximum, because every partition processes the
+// whole stream; Workers sums (total ingestion goroutines fleet-wide);
+// Shards stays empty (per-partition shards are reported by
+// FleetStats). Unreachable partitions contribute zeros.
+func (r *Router) Stats() paretomon.Stats {
+	return r.FleetStats().Stats
+}
+
+// PartitionStats is one partition's slice of a FleetStats report.
+type PartitionStats struct {
+	Partition int    `json:"partition"`
+	URL       string `json:"url"`
+	// Ready reports whether the partition answered; Err carries the
+	// failure when it did not (its Stats are then zero).
+	Ready bool   `json:"ready"`
+	Err   string `json:"error,omitempty"`
+	// Stats are the partition's own counters, including its per-shard
+	// breakdown.
+	Stats paretomon.Stats `json:"stats"`
+}
+
+// FleetStats is the Router's /stats payload: the merged counters (see
+// Stats for the merge rules) plus each partition's own view.
+type FleetStats struct {
+	paretomon.Stats
+	Partitions []PartitionStats `json:"partitions"`
+}
+
+// FleetStats fetches every partition's /stats concurrently and merges.
+func (r *Router) FleetStats() FleetStats {
+	out := FleetStats{Partitions: make([]PartitionStats, len(r.parts))}
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		out.Partitions[i] = PartitionStats{Partition: p.idx, URL: p.url}
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			err := r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodGet, "/stats", nil, &out.Partitions[i].Stats)
+			})
+			if err != nil {
+				out.Partitions[i].Err = err.Error()
+			} else {
+				out.Partitions[i].Ready = true
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, ps := range out.Partitions {
+		s := ps.Stats
+		out.Comparisons += s.Comparisons
+		out.FilterComparisons += s.FilterComparisons
+		out.VerifyComparisons += s.VerifyComparisons
+		out.Delivered += s.Delivered
+		out.DroppedDeliveries += s.DroppedDeliveries
+		out.Workers += s.Workers
+		if s.Processed > out.Processed {
+			out.Processed = s.Processed
+		}
+	}
+	return out
+}
+
+// PartitionStorage is one partition's slice of a FleetStorageStats
+// report.
+type PartitionStorage struct {
+	Partition int    `json:"partition"`
+	URL       string `json:"url"`
+	Err       string `json:"error,omitempty"`
+	// Storage is the partition's own store footprint (nil when the
+	// partition was unreachable or runs without a store).
+	Storage *paretomon.StoreStats `json:"storage,omitempty"`
+}
+
+// FleetStorageStats aggregates the fleet's storage footprint.
+type FleetStorageStats struct {
+	Partitions         []PartitionStorage `json:"partitions"`
+	TotalSegments      int                `json:"total_segments"`
+	TotalWALBytes      int64              `json:"total_wal_bytes"`
+	TotalSnapshots     int                `json:"total_snapshots"`
+	TotalSnapshotBytes int64              `json:"total_snapshot_bytes"`
+}
+
+// StorageStats fetches every partition's /storage/stats concurrently
+// and totals the footprint. Partitions without a store (or down)
+// report an error entry and contribute nothing to the totals.
+func (r *Router) StorageStats() FleetStorageStats {
+	out := FleetStorageStats{Partitions: make([]PartitionStorage, len(r.parts))}
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		out.Partitions[i] = PartitionStorage{Partition: p.idx, URL: p.url}
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			var st paretomon.StoreStats
+			err := r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodGet, "/storage/stats", nil, &st)
+			})
+			if err != nil {
+				out.Partitions[i].Err = err.Error()
+				return
+			}
+			out.Partitions[i].Storage = &st
+		}(i, p)
+	}
+	wg.Wait()
+	for _, ps := range out.Partitions {
+		if ps.Storage == nil {
+			continue
+		}
+		out.TotalSegments += ps.Storage.Segments
+		out.TotalWALBytes += ps.Storage.WALBytes
+		out.TotalSnapshots += ps.Storage.Snapshots
+		out.TotalSnapshotBytes += ps.Storage.SnapshotBytes
+	}
+	return out
+}
+
+// Snapshot forces a checked snapshot on every partition (POST
+// /snapshot fleet-wide). Partial failure returns a *RouteError; the
+// partitions that succeeded keep their snapshots.
+func (r *Router) Snapshot() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	errs := make([]error, len(r.parts))
+	var wg sync.WaitGroup
+	for i, p := range r.parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			errs[i] = r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodPost, "/snapshot", nil, nil)
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	return collect("Snapshot", errs)
+}

@@ -1,0 +1,472 @@
+package partition_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/partition"
+	"repro/internal/server"
+)
+
+// testSchema builds a small community whose users disagree enough that
+// frontiers differ per user: three attributes with five values each,
+// user i preferring a chain rotated by i.
+func testCommunity(t *testing.T, users int) *paretomon.Community {
+	t.Helper()
+	attrs := []string{"a", "b", "c"}
+	com := paretomon.NewCommunity(paretomon.NewSchema(attrs...))
+	vals := []string{"v0", "v1", "v2", "v3", "v4"}
+	for i := 0; i < users; i++ {
+		u, err := com.AddUser(fmt.Sprintf("u%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, attr := range attrs {
+			// Rotate the chain per (user, attribute) so profiles differ.
+			chain := make([]string, len(vals))
+			for j := range vals {
+				chain[j] = vals[(j+i+d)%len(vals)]
+			}
+			if err := u.PreferChain(attr, chain...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return com
+}
+
+// stream generates count deterministic objects over the test schema.
+func stream(count int) []paretomon.Object {
+	vals := []string{"v0", "v1", "v2", "v3", "v4"}
+	out := make([]paretomon.Object, count)
+	seed := uint64(42)
+	for i := range out {
+		row := make([]string, 3)
+		for d := range row {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			row[d] = vals[seed>>33%uint64(len(vals))]
+		}
+		out[i] = paretomon.Object{Name: fmt.Sprintf("o%d", i+1), Values: row}
+	}
+	return out
+}
+
+// fleet is a router-fronted set of in-process partitions plus the
+// single-monitor reference fed the same community.
+type fleet struct {
+	router *partition.Router
+	ref    *paretomon.Monitor
+	mons   []*paretomon.Monitor
+	https  []*httptest.Server
+}
+
+func (f *fleet) close() {
+	for _, s := range f.https {
+		s.Close()
+	}
+	for _, m := range f.mons {
+		_ = m.Close()
+	}
+	_ = f.ref.Close()
+}
+
+// startFleet carves the community into n consistent-hash slices, serves
+// each from its own in-process HTTP server, and fronts them with a
+// Router. Baseline algorithm so work counters partition exactly.
+func startFleet(t *testing.T, com *paretomon.Community, n int) *fleet {
+	t.Helper()
+	opts := []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)}
+	ref, err := paretomon.NewMonitor(com, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.NewPlan(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fleet{ref: ref}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		sub := com.Subset(func(name string) bool { return plan.Owner(name) == i })
+		if sub.Len() == 0 {
+			t.Fatalf("partition %d owns no users — grow the test community", i)
+		}
+		mon, err := paretomon.NewMonitor(sub, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(server.New(mon))
+		f.mons = append(f.mons, mon)
+		f.https = append(f.https, hs)
+		urls[i] = hs.URL
+	}
+	f.router, err = partition.New(partition.Config{
+		URLs:          urls,
+		RetryBudget:   5 * time.Second,
+		RetryInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// assertIdentical checks the router and the reference agree on every
+// frontier and every object's targets.
+func assertIdentical(t *testing.T, f *fleet, objects int) {
+	t.Helper()
+	for _, u := range f.ref.Users() {
+		want, err1 := f.ref.Frontier(u)
+		got, err2 := f.router.Frontier(u)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("frontier(%s): %v / %v", u, err1, err2)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frontier(%s): reference %v, router %v", u, want, got)
+		}
+	}
+	for i := 1; i <= objects; i++ {
+		name := fmt.Sprintf("o%d", i)
+		want, err1 := f.ref.TargetsOf(name)
+		got, err2 := f.router.TargetsOf(name)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("targets(%s): %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("targets(%s): reference %v, router %v", name, want, got)
+		}
+	}
+}
+
+// TestRouterMatchesSingleMonitor: the tentpole identity — a 3-partition
+// fleet behind the Router delivers, frontier-for-frontier and
+// counter-for-counter, what one monitor over the whole community does.
+func TestRouterMatchesSingleMonitor(t *testing.T) {
+	com := testCommunity(t, 30)
+	f := startFleet(t, com, 3)
+	defer f.close()
+
+	objs := stream(120)
+	for lo := 0; lo < len(objs); lo += 7 {
+		hi := min(lo+7, len(objs))
+		want, err1 := f.ref.AddBatch(objs[lo:hi])
+		got, err2 := f.router.AddBatch(objs[lo:hi])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("batch [%d,%d): %v / %v", lo, hi, err1, err2)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("batch [%d,%d): deliveries differ:\nref:    %v\nrouter: %v", lo, hi, want, got)
+		}
+	}
+	assertIdentical(t, f, len(objs))
+
+	// Baseline work partitions exactly: summed counters equal the
+	// reference's, and the stream position is the max, not the sum.
+	rs, ms := f.router.Stats(), f.ref.Stats()
+	if rs.Comparisons != ms.Comparisons || rs.Delivered != ms.Delivered {
+		t.Errorf("merged stats: router %+v, reference %+v", rs, ms)
+	}
+	if rs.Processed != ms.Processed {
+		t.Errorf("Processed should be the per-partition max %d, got %d", ms.Processed, rs.Processed)
+	}
+
+	// Merged listings: same membership (sorted).
+	users := f.router.Users()
+	if len(users) != com.Len() {
+		t.Fatalf("router lists %d users, want %d", len(users), com.Len())
+	}
+}
+
+// TestRouterClustersMerge: with a clustering engine, the fleet's
+// clusters are the concatenation of each partition's — covering every
+// user exactly once.
+func TestRouterClustersMerge(t *testing.T) {
+	com := testCommunity(t, 30)
+	plan, err := partition.NewPlan(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var https []*httptest.Server
+	var mons []*paretomon.Monitor
+	defer func() {
+		for _, s := range https {
+			s.Close()
+		}
+		for _, m := range mons {
+			_ = m.Close()
+		}
+	}()
+	urls := make([]string, 3)
+	for i := range urls {
+		sub := com.Subset(func(name string) bool { return plan.Owner(name) == i })
+		mon, err := paretomon.NewMonitor(sub, paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(server.New(mon))
+		mons = append(mons, mon)
+		https = append(https, hs)
+		urls[i] = hs.URL
+	}
+	rt, err := partition.New(partition.Config{URLs: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	clusters := rt.Clusters()
+	for _, cl := range clusters {
+		for _, u := range cl {
+			if seen[u] {
+				t.Fatalf("user %s appears in two clusters", u)
+			}
+			seen[u] = true
+		}
+	}
+	if len(seen) != com.Len() {
+		t.Fatalf("clusters cover %d users, want %d", len(seen), com.Len())
+	}
+	wantLen := 0
+	for _, m := range mons {
+		wantLen += len(m.Clusters())
+	}
+	if len(clusters) != wantLen {
+		t.Fatalf("router lists %d clusters, partitions hold %d", len(clusters), wantLen)
+	}
+}
+
+// TestRouterLifecycle drives the v3 surface through the router and the
+// reference in lockstep.
+func TestRouterLifecycle(t *testing.T) {
+	com := testCommunity(t, 24)
+	f := startFleet(t, com, 3)
+	defer f.close()
+
+	objs := stream(60)
+	if _, err := f.ref.AddBatch(objs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.router.AddBatch(objs); err != nil {
+		t.Fatal(err)
+	}
+
+	prefs := []paretomon.Preference{{Attr: "a", Better: "v3", Worse: "v0"}}
+	for _, d := range []paretomon.Driver{f.ref, f.router} {
+		if err := d.AddUser("newcomer", prefs); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddPreference("newcomer", "b", "v1", "v4"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RetractPreference("newcomer", "b", "v1", "v4"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RemoveObject("o7"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RemoveUser("u3"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range f.ref.Users() {
+		want, _ := f.ref.Frontier(u)
+		got, err := f.router.Frontier(u)
+		if err != nil || !reflect.DeepEqual(want, got) {
+			t.Fatalf("frontier(%s) after lifecycle: ref %v, router %v (%v)", u, want, got, err)
+		}
+	}
+
+	// Error mapping: unknown entities keep their sentinels through HTTP.
+	if _, err := f.router.Frontier("u3"); !errors.Is(err, paretomon.ErrUnknownUser) {
+		t.Errorf("Frontier(removed user) = %v, want ErrUnknownUser", err)
+	}
+	if err := f.router.RemoveObject("o7"); !errors.Is(err, paretomon.ErrUnknownObject) {
+		t.Errorf("second RemoveObject = %v, want ErrUnknownObject", err)
+	}
+	if err := f.router.RetractPreference("newcomer", "b", "v1", "v4"); !errors.Is(err, paretomon.ErrUnknownPreference) {
+		t.Errorf("second retract = %v, want ErrUnknownPreference", err)
+	}
+}
+
+// TestRouterPartitionDown: a dead partition fails writes with the
+// taxonomy — a *RouteError aggregating ErrPartitionDown — while
+// user-scoped reads on live partitions keep working.
+func TestRouterPartitionDown(t *testing.T) {
+	com := testCommunity(t, 24)
+	f := startFleet(t, com, 3)
+	defer f.close()
+
+	if _, err := f.router.AddBatch(stream(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.router.Ready(context.Background()); err != nil {
+		t.Fatalf("healthy fleet not ready: %v", err)
+	}
+
+	// Kill partition 1 and shrink the budget so the test stays fast.
+	fast, err := partition.New(partition.Config{
+		URLs: []string{f.https[0].URL, f.https[1].URL, f.https[2].URL},
+
+		RetryBudget:   150 * time.Millisecond,
+		RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.https[1].Close()
+
+	_, err = fast.AddBatch(stream(12)[10:])
+	var re *partition.RouteError
+	if !errors.As(err, &re) {
+		t.Fatalf("AddBatch with a dead partition = %v, want *RouteError", err)
+	}
+	if !errors.Is(err, partition.ErrPartitionDown) {
+		t.Fatalf("RouteError should wrap ErrPartitionDown, got %v", err)
+	}
+	if len(re.Failures) != 1 || re.Failures[0].Partition != 1 {
+		t.Fatalf("failures = %+v, want exactly partition 1", re.Failures)
+	}
+
+	if err := fast.Ready(context.Background()); err == nil {
+		t.Fatal("Ready should fail with a dead partition")
+	}
+
+	// Users owned by live partitions still read fine; the dead
+	// partition's users fail with ErrPartitionDown.
+	downUsers, liveUsers := 0, 0
+	for _, u := range f.ref.Users() {
+		_, err := fast.Frontier(u)
+		switch fast.Owner(u) {
+		case 1:
+			if !errors.Is(err, partition.ErrPartitionDown) {
+				t.Fatalf("Frontier(%s) on dead partition = %v, want ErrPartitionDown", u, err)
+			}
+			downUsers++
+		default:
+			if err != nil {
+				t.Fatalf("Frontier(%s) on live partition: %v", u, err)
+			}
+			liveUsers++
+		}
+	}
+	if downUsers == 0 || liveUsers == 0 {
+		t.Fatalf("test community too small: %d down, %d live", downUsers, liveUsers)
+	}
+}
+
+// TestRouterRetryResume: a partition that applies a batch but loses the
+// response (injected 500) must not double-apply on retry — the Router
+// probes the applied prefix and reconstructs, and the fleet stays
+// identical to the reference.
+func TestRouterRetryResume(t *testing.T) {
+	com := testCommunity(t, 24)
+	f := startFleet(t, com, 3)
+	defer f.close()
+
+	// Wrap partition 0 in a proxy that applies the first batch on the
+	// backend but answers 500 — the "response lost in transit" crash.
+	var injected atomic.Int32
+	backend := f.https[0].Config.Handler
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/objects/batch" && injected.Add(1) == 1 {
+			rec := httptest.NewRecorder()
+			backend.ServeHTTP(rec, r) // backend applies the batch
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"error": "injected: response lost"}`)
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	rt, err := partition.New(partition.Config{
+		URLs:          []string{flaky.URL, f.https[1].URL, f.https[2].URL},
+		RetryBudget:   5 * time.Second,
+		RetryInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objs := stream(40)
+	want, err := f.ref.AddBatch(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.AddBatch(objs)
+	if err != nil {
+		t.Fatalf("AddBatch through flaky partition: %v", err)
+	}
+	// Exactly one POST: the batch applied on the first (failed) attempt,
+	// so the retry must resolve it entirely from the targets probe —
+	// a second POST would mean a blind, double-applying resend.
+	if injected.Load() != 1 {
+		t.Fatalf("%d POSTs to the flaky partition, want exactly 1 (probe-resumed)", injected.Load())
+	}
+	// Resumed deliveries are reconstructed from current targets — the
+	// documented approximation: a subset of the at-arrival delivery
+	// (users whose delivery a later object of the same batch dominated
+	// are not re-reported), never anything extra.
+	for i := range want {
+		if want[i].Object != got[i].Object {
+			t.Fatalf("delivery %d: object %q vs %q", i, want[i].Object, got[i].Object)
+		}
+		ref := map[string]bool{}
+		for _, u := range want[i].Users {
+			ref[u] = true
+		}
+		for _, u := range got[i].Users {
+			if !ref[u] {
+				t.Fatalf("delivery %q reports user %s the reference never delivered to", got[i].Object, u)
+			}
+		}
+	}
+	// No double-apply: stream positions agree with the reference.
+	if rs, ms := rt.Stats(), f.ref.Stats(); rs.Processed != ms.Processed {
+		t.Fatalf("Processed after resume: router %d, reference %d", rs.Processed, ms.Processed)
+	}
+	for _, u := range f.ref.Users() {
+		want, _ := f.ref.Frontier(u)
+		got, err := rt.Frontier(u)
+		if err != nil || !reflect.DeepEqual(want, got) {
+			t.Fatalf("frontier(%s) after resume: ref %v, router %v (%v)", u, want, got, err)
+		}
+	}
+}
+
+// TestRouterIdempotentReplay: re-sending an entire batch the fleet
+// already holds resolves as applied (the duplicate 4xx is disambiguated
+// by the targets probe) instead of failing — the recovery path the
+// failure playbook prescribes after a partial RouteError.
+func TestRouterIdempotentReplay(t *testing.T) {
+	com := testCommunity(t, 24)
+	f := startFleet(t, com, 3)
+	defer f.close()
+
+	objs := stream(20)
+	first, err := f.router.AddBatch(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := f.router.AddBatch(objs)
+	if err != nil {
+		t.Fatalf("replaying an applied batch: %v", err)
+	}
+	// The replay reconstructs from current targets: every delivery's
+	// users are a subset of the original (objects dominated since then
+	// report fewer), and frontiers are untouched.
+	if len(again) != len(first) {
+		t.Fatalf("replay returned %d deliveries, want %d", len(again), len(first))
+	}
+	if rs := f.router.Stats(); rs.Processed != uint64(len(objs)) {
+		t.Fatalf("replay double-applied: Processed = %d, want %d", rs.Processed, len(objs))
+	}
+}

@@ -1,0 +1,200 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most want,
+// reporting the final count. Leaked handlers never exit, so a generous
+// deadline keeps the test deterministic without masking a real leak.
+func waitGoroutines(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestCloseEndsWALLongPoll: Server.Close during in-flight /wal streams
+// — both parked in the long-poll and busy shipping backlog from a
+// continuously-appending primary — must end every stream cleanly: the
+// follower reads a clean EOF (no torn frame) and the handler
+// goroutines exit (no leak).
+func TestCloseEndsWALLongPoll(t *testing.T) {
+	s := paretomon.NewSchema("brand", "CPU")
+	com := paretomon.NewCommunity(s)
+	alice, err := com.AddUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.PreferChain("brand", "Apple", "Lenovo"); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := paretomon.Open(com, t.TempDir(), paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if _, err := mon.Add("o1", "Apple", "quad"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.New(mon)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	baseline := runtime.NumGoroutine()
+
+	// A writer keeps appending for the whole test, so one stream is
+	// (almost) always in the backlog-shipping branch, never parked in
+	// the long-poll select — the leak the done-check at the top of the
+	// loop exists to prevent. It outlives Close on purpose: appends are
+	// independent of the HTTP server's lifecycle.
+	writerStop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 2; ; i++ {
+			select {
+			case <-writerStop:
+				return
+			default:
+			}
+			if _, err := mon.Add(fmt.Sprintf("o%d", i), "Apple", "dual"); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() { close(writerStop); <-writerDone }()
+
+	// Several concurrent streams: some tail from 0 (backlog-heavy),
+	// some from the head (long-poll-heavy). One shared client, so its
+	// idle connections can be torn down before goroutine accounting.
+	cl := replica.NewClient(ts.URL)
+	const streams = 4
+	errc := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		after := uint64(0)
+		if i%2 == 1 {
+			after = 1
+		}
+		go func(after uint64) {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			stream, err := cl.Tail(ctx, after)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer stream.Close()
+			for {
+				if _, err := stream.Next(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(after)
+	}
+
+	// Let the streams run — backlog shipping and long-polling both —
+	// then cut them off.
+	time.Sleep(150 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < streams; i++ {
+		select {
+		case err := <-errc:
+			// A clean close ends at a frame boundary: the reader sees
+			// plain io.EOF. A torn frame would surface as ErrBadFrame or
+			// ErrUnexpectedEOF instead.
+			if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("stream %d ended with %v, want clean io.EOF", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("stream %d still running %d of %d ended — /wal handler survived Close", i, i, streams)
+		}
+	}
+
+	// All handler goroutines must unwind. Drop the client's keep-alive
+	// connections first so only server-side state is measured; the
+	// writer goroutine and the monitor stay alive by design.
+	cl.HTTP.CloseIdleConnections()
+	if n := waitGoroutines(t, baseline+3); n > baseline+3 {
+		t.Fatalf("%d goroutines after Close, baseline %d — leaked /wal handlers", n, baseline)
+	}
+
+	if len(srv.ActiveFeeds()) != 0 {
+		t.Fatalf("feeds still registered after Close: %v", srv.ActiveFeeds())
+	}
+}
+
+// TestHealthzReadyz: /healthz is pure liveness (200 as long as the
+// process serves HTTP), /readyz is serving-readiness (503 once the
+// monitor can no longer serve, and once the server is shutting down) —
+// the distinction routers and orchestrators key on.
+func TestHealthzReadyz(t *testing.T) {
+	s := paretomon.NewSchema("brand")
+	com := paretomon.NewCommunity(s)
+	if _, err := com.AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := paretomon.NewMonitor(com)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(mon)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/healthz"); got != 200 {
+		t.Fatalf("GET /healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != 200 {
+		t.Fatalf("GET /readyz = %d, want 200", got)
+	}
+
+	// A closed monitor can't serve: not ready, but still live.
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/readyz"); got != 503 {
+		t.Fatalf("GET /readyz after monitor close = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != 200 {
+		t.Fatalf("GET /healthz after monitor close = %d, want 200", got)
+	}
+
+	// A closing server drains: readiness drops even if the monitor is fine.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/readyz"); got != 503 {
+		t.Fatalf("GET /readyz after server close = %d, want 503", got)
+	}
+}

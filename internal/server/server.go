@@ -123,7 +123,36 @@ func New(mon *paretomon.Monitor) *Server {
 	s.mux.HandleFunc("GET /storage/stats", s.handleStorageStats)
 	s.mux.HandleFunc("GET /snapshot/latest", s.handleSnapshotLatest)
 	s.mux.HandleFunc("GET /wal", s.handleWAL)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
+}
+
+// handleHealthz is the liveness probe: the process is up and routing
+// requests. It says nothing about whether the monitor can serve — a
+// poisoned store or a diverged follower is alive but not ready.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only while the monitor can
+// actually serve — not closed, store healthy, and (on a follower) the
+// changefeed connected with the apply loop running. Partition routers
+// probe it before re-sending work to a restarting partition; load
+// balancers use it to keep traffic off replicas that are silently
+// diverging. 503 carries the reason in the error body.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.done:
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+	}
+	if err := s.mon.Ready(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
 }
 
 // ServeHTTP implements http.Handler.
@@ -519,6 +548,19 @@ func (s *Server) handleStorageStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// ActiveFeeds returns the IDs of the /wal streams currently open — the
+// accounting behind GET /storage/stats' feeds array, exported so
+// shutdown tests can assert every stream unregistered.
+func (s *Server) ActiveFeeds() []int64 {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	out := make([]int64, 0, len(s.feeds))
+	for id := range s.feeds {
+		out = append(out, id)
+	}
+	return out
+}
+
 func (s *Server) feedStatuses() []feedStatus {
 	s.feedMu.Lock()
 	defer s.feedMu.Unlock()
@@ -609,6 +651,19 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	cursor := after
 	ctx := r.Context()
 	for {
+		// Re-check cancellation at the top of every iteration, not only
+		// in the long-poll select below: a stream busy shipping backlog
+		// from a continuously-appending primary may never reach the
+		// caught-up branch, and Server.Close must still end it — at a
+		// frame boundary, so the follower sees a clean EOF rather than a
+		// torn frame.
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.done:
+			return
+		default:
+		}
 		if len(recs) > 0 {
 			if err := replica.WriteHead(w, head); err != nil {
 				return

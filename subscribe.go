@@ -206,6 +206,14 @@ func (s *subscriptions) closeAll() {
 
 func (s *subscriptions) droppedCount() uint64 { return s.dropped.Load() }
 
+// isClosed reports whether closeAll has run — the Monitor-level closed
+// flag readiness probes check.
+func (s *subscriptions) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Subscribe registers for push delivery: every future object that is
 // Pareto-optimal for the named user at arrival time is sent on the
 // returned channel as it is ingested, in ingestion order. Multiple
