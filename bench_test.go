@@ -63,6 +63,7 @@ func reportAccuracy(b *testing.B, rep *experiments.Report) {
 
 func benchFigure(b *testing.B, run func(experiments.Options) []*experiments.Report) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reps := run(benchOpts())
 		if len(reps) == 2 {
@@ -133,6 +134,7 @@ func reportAblation(b *testing.B, rep *experiments.Report, col int) {
 // BenchmarkAblationMeasures compares the six similarity measures as the
 // clustering driver for FilterThenVerify.
 func BenchmarkAblationMeasures(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportAblation(b, experiments.AblationMeasures(benchOpts())[0], 4)
 	}
@@ -140,6 +142,7 @@ func BenchmarkAblationMeasures(b *testing.B) {
 
 // BenchmarkAblationTheta sweeps θ1/θ2 for FilterThenVerifyApprox.
 func BenchmarkAblationTheta(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportAblation(b, experiments.AblationTheta(benchOpts())[0], 2)
 	}
@@ -148,6 +151,7 @@ func BenchmarkAblationTheta(b *testing.B) {
 // BenchmarkAblationGranularity sweeps the branch cut across the operative
 // range, exposing the k-vs-m U-shape of Sec. 4's complexity analysis.
 func BenchmarkAblationGranularity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportAblation(b, experiments.AblationGranularity(benchOpts())[0], 3)
 	}

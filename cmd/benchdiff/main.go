@@ -12,6 +12,10 @@
 //   - comparisons: the dominance-comparison count is deterministic for a
 //     fixed workload; any increase is an algorithmic regression (a
 //     filter that stopped pruning, a cluster split), never noise.
+//   - allocs_per_op: heap allocations per ingested object are nearly
+//     deterministic at a fixed GOMAXPROCS; growth beyond -max-allocs
+//     means a hot path started allocating. Baselines recorded before
+//     allocation tracking (allocs_per_op absent or zero) are not gated.
 //
 // Runs are matched by (engine, mode, workers). The documents must all
 // describe the same workload (objects, users, dims, gomaxprocs) or the
@@ -63,6 +67,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_parallel.json", "committed baseline document")
 	currentPaths := flag.String("current", "", "comma-separated freshly measured document(s); best run per config is gated")
 	maxRegression := flag.Float64("max-regression", 0.10, "max allowed fractional drop in speedup_vs_sequential")
+	maxAllocs := flag.Float64("max-allocs", 0.10, "max allowed fractional growth in allocs_per_op (skipped when the baseline has no allocation data)")
 	flag.Parse()
 	if *currentPaths == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -109,6 +114,9 @@ func main() {
 			if r.Comparisons < b.Comparisons {
 				b.Comparisons = r.Comparisons
 			}
+			if r.AllocsPerOp < b.AllocsPerOp {
+				b.AllocsPerOp = r.AllocsPerOp
+			}
 			if !r.IdenticalDeliveries {
 				b.IdenticalDeliveries = false
 			}
@@ -143,6 +151,15 @@ func main() {
 			fmt.Printf("FAIL  %-18s %-10s workers=%d  comparisons %d → %d (deterministic count grew: algorithmic regression)\n",
 				c.Engine, c.Mode, c.Workers, b.Comparisons, c.Comparisons)
 			continue
+		}
+		if b.AllocsPerOp > 0 {
+			growth := (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			if growth > *maxAllocs {
+				failures++
+				fmt.Printf("FAIL  %-18s %-10s workers=%d  allocs/op %.1f → %.1f (%+.1f%%: hot path started allocating)\n",
+					c.Engine, c.Mode, c.Workers, b.AllocsPerOp, c.AllocsPerOp, growth*100)
+				continue
+			}
 		}
 		drop := 0.0
 		if b.SpeedupVsSequential > 0 {

@@ -17,6 +17,7 @@ type Baseline struct {
 	fronts  []*Frontier
 	targets *targetTracker
 	ctr     *stats.Counters
+	scratch ResultScratch
 }
 
 // NewBaseline creates a Baseline monitor for the given users. ctr may be
@@ -77,15 +78,19 @@ func (b *Baseline) each(fn func(c int)) {
 // collect the target users C_o.
 func (b *Baseline) Process(o object.Object) []int {
 	b.ctr.AddProcessed()
-	var co []int
+	co := b.scratch.Start()
 	b.each(func(c int) {
 		if b.updateUser(c, o) {
 			co = append(co, c)
 		}
 	})
 	b.ctr.AddDelivered(len(co))
-	return co
+	return b.scratch.Finish(co)
 }
+
+// EnableScratch switches Process to a reused result slice; only the
+// sharded harness (which copies results out) enables it.
+func (b *Baseline) EnableScratch() { b.scratch.Enable() }
 
 // updateUser is Procedure updateParetoFrontier(c, o) of Alg. 1. It returns
 // whether o is Pareto-optimal for c. Every pairwise comparison is counted

@@ -19,35 +19,40 @@ type Monitor interface {
 
 // targetTracker maintains C_o for every object currently Pareto-optimal
 // for at least one user ("C_o ← C_o ± {c}" bookkeeping in Algs. 1–2).
+// Object ids are dense, so the sets live in an id-indexed slice; a nil
+// slot is an empty C_o.
 type targetTracker struct {
-	m map[int]*bitset.Set // object id -> set of user ids
+	sets []*bitset.Set // object id -> set of user ids; nil = empty
 }
 
 func newTargetTracker() *targetTracker {
-	return &targetTracker{m: make(map[int]*bitset.Set)}
+	return &targetTracker{}
 }
 
 func (t *targetTracker) add(objID, user int) {
-	s, ok := t.m[objID]
-	if !ok {
+	for len(t.sets) <= objID {
+		t.sets = append(t.sets, nil)
+	}
+	s := t.sets[objID]
+	if s == nil {
 		s = &bitset.Set{}
-		t.m[objID] = s
+		t.sets[objID] = s
 	}
 	s.Add(user)
 }
 
 func (t *targetTracker) remove(objID, user int) {
-	if s, ok := t.m[objID]; ok {
-		s.Remove(user)
-		if s.Empty() {
-			delete(t.m, objID)
-		}
+	if objID >= 0 && objID < len(t.sets) && t.sets[objID] != nil {
+		t.sets[objID].Remove(user)
 	}
 }
 
 // users returns C_o as a sorted slice (nil if empty).
 func (t *targetTracker) users(objID int) []int {
-	if s, ok := t.m[objID]; ok {
+	if objID < 0 || objID >= len(t.sets) {
+		return nil
+	}
+	if s := t.sets[objID]; s != nil && !s.Empty() {
 		return s.Slice()
 	}
 	return nil

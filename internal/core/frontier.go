@@ -6,14 +6,26 @@ import "repro/internal/object"
 // dominates another (under the owner's preference profile). Membership
 // tests are O(1); removal is swap-delete. Iteration order is the engine's
 // scan order and is deterministic for a fixed input history.
+//
+// Object ids are dense (the Monitor interns them in arrival order), so
+// positions live in an id-indexed array rather than a map: Contains and
+// Remove on the comparison hot path are a single slice load instead of a
+// map probe.
 type Frontier struct {
 	list []object.Object
-	pos  map[int]int // object id -> index in list
+	pos  []int32 // object id -> index in list; -1 = absent
 }
 
 // NewFrontier returns an empty frontier.
 func NewFrontier() *Frontier {
-	return &Frontier{pos: make(map[int]int)}
+	return &Frontier{}
+}
+
+// grow extends the position index to cover id.
+func (f *Frontier) grow(id int) {
+	for len(f.pos) <= id {
+		f.pos = append(f.pos, -1)
+	}
 }
 
 // Len returns the number of frontier objects.
@@ -21,33 +33,41 @@ func (f *Frontier) Len() int { return len(f.list) }
 
 // Contains reports whether the object with the given id is in the frontier.
 func (f *Frontier) Contains(objID int) bool {
-	_, ok := f.pos[objID]
-	return ok
+	return objID >= 0 && objID < len(f.pos) && f.pos[objID] >= 0
+}
+
+// ByID returns the member object with the given id.
+func (f *Frontier) ByID(objID int) (object.Object, bool) {
+	if objID < 0 || objID >= len(f.pos) || f.pos[objID] < 0 {
+		return object.Object{}, false
+	}
+	return f.list[f.pos[objID]], true
 }
 
 // Add inserts o; inserting an object already present is a no-op.
 func (f *Frontier) Add(o object.Object) {
-	if _, ok := f.pos[o.ID]; ok {
+	if f.Contains(o.ID) {
 		return
 	}
-	f.pos[o.ID] = len(f.list)
+	f.grow(o.ID)
+	f.pos[o.ID] = int32(len(f.list))
 	f.list = append(f.list, o)
 }
 
 // Remove deletes the object with the given id, returning whether it was
 // present.
 func (f *Frontier) Remove(objID int) bool {
-	i, ok := f.pos[objID]
-	if !ok {
+	if !f.Contains(objID) {
 		return false
 	}
+	i := f.pos[objID]
 	last := len(f.list) - 1
-	if i != last {
+	if int(i) != last {
 		f.list[i] = f.list[last]
 		f.pos[f.list[i].ID] = i
 	}
 	f.list = f.list[:last]
-	delete(f.pos, objID)
+	f.pos[objID] = -1
 	return true
 }
 
@@ -71,9 +91,8 @@ func (f *Frontier) Objects() []object.Object { return f.list }
 
 // Clone returns an independent copy.
 func (f *Frontier) Clone() *Frontier {
-	c := NewFrontier()
-	for _, o := range f.list {
-		c.Add(o)
+	return &Frontier{
+		list: append([]object.Object(nil), f.list...),
+		pos:  append([]int32(nil), f.pos...),
 	}
-	return c
 }

@@ -32,6 +32,7 @@ type FilterThenVerify struct {
 	userFronts    []*Frontier // P_c per user
 	targets       *targetTracker
 	ctr           *stats.Counters
+	scratch       ResultScratch
 
 	// commonFn recomputes a cluster's common relation when membership or
 	// member preferences change online; nil means pref.Common (the exact
@@ -101,7 +102,7 @@ func NewFilterThenVerify(users []*pref.Profile, clusters []Cluster, ctr *stats.C
 // Clusters whose last member was removed are dormant and skipped.
 func (f *FilterThenVerify) Process(o object.Object) []int {
 	f.ctr.AddProcessed()
-	var co []int
+	co := f.scratch.Start()
 	for ui := range f.clusters {
 		if len(f.clusters[ui].Members) == 0 {
 			continue
@@ -116,8 +117,12 @@ func (f *FilterThenVerify) Process(o object.Object) []int {
 	}
 	sort.Ints(co)
 	f.ctr.AddDelivered(len(co))
-	return co
+	return f.scratch.Finish(co)
 }
+
+// EnableScratch switches Process to a reused result slice; only the
+// sharded harness (which copies results out) enables it.
+func (f *FilterThenVerify) EnableScratch() { f.scratch.Enable() }
 
 // updateClusterFrontier is Procedure updateParetoFrontierU(U, o) of Alg. 2.
 // Comparisons here are the shared, filter-tier work.

@@ -77,7 +77,11 @@ var (
 )
 
 // drop forgets an object entirely (its C_o becomes empty).
-func (t *targetTracker) drop(objID int) { delete(t.m, objID) }
+func (t *targetTracker) drop(objID int) {
+	if objID >= 0 && objID < len(t.sets) {
+		t.sets[objID] = nil
+	}
+}
 
 // MendFrontier admits candidates into f. A candidate enters iff neither
 // a pre-existing frontier member nor another candidate dominates it
@@ -397,10 +401,10 @@ func (f *FilterThenVerify) filterClusterFrontier(li int) {
 	fu := f.clusterFronts[li]
 	ids := append([]int(nil), fu.IDs()...)
 	for _, id := range ids {
-		if !fu.Contains(id) {
+		o, ok := fu.ByID(id)
+		if !ok {
 			continue
 		}
-		o := fu.list[fu.pos[id]]
 		for j := 0; j < fu.Len(); j++ {
 			op := fu.At(j)
 			if op.ID == id {

@@ -37,8 +37,10 @@ func TestParallelMatchesSequentialPaperExample(t *testing.T) {
 			t.Errorf("user %d frontier mismatch", c)
 		}
 	}
-	if seqCtr.Comparisons != parCtr.Comparisons {
-		t.Errorf("comparison accounting: seq=%d par=%d", seqCtr.Comparisons, parCtr.Comparisons)
+	// The sharded harness accumulates comparisons in per-shard counters;
+	// Totals folds them with the public one.
+	if seqCtr.Comparisons != par.Totals().Comparisons {
+		t.Errorf("comparison accounting: seq=%d par=%d", seqCtr.Comparisons, par.Totals().Comparisons)
 	}
 	if parCtr.Processed != uint64(len(l.Objects)) {
 		t.Errorf("Processed = %d", parCtr.Processed)

@@ -36,43 +36,81 @@ type ShardEngine interface {
 	SetCommonFn(fn CommonFn)
 }
 
+// scratchEngine is implemented by shard engines that can reuse one
+// internal result slice across Process calls instead of allocating a
+// fresh C_o per object. Sharded enables it on every shard it drives —
+// the harness always copies results into its own merged slice before
+// returning, so the aliasing is contained.
+type scratchEngine interface{ EnableScratch() }
+
 // Sharded is the shared fan-out harness behind every parallel engine:
-// user-disjoint shards (one sequential engine each) driven concurrently,
-// with per-shard work counters folded into a public counter after each
-// call. Because shards own disjoint users — and, for the clustered
-// engines, disjoint clusters — the only cross-shard state is the
-// counters, so results are identical to the sequential engines by
+// user-disjoint shards (one sequential engine each) driven either inline
+// or by persistent worker goroutines fed over single-producer/single-
+// consumer rings. Because shards own disjoint users — and, for the
+// clustered engines, disjoint clusters — the only cross-shard state is
+// the counters, so results are identical to the sequential engines by
 // construction; the property tests pin that equivalence.
 //
+// Counter discipline: each shard accumulates comparisons into its own
+// private counter and is never drained on the hot path. The public
+// counter holds only the true Processed count (an object is processed
+// once, not once per shard) plus whatever base recovery folded in;
+// Totals sums the two views on demand. The old harness drained every
+// shard counter under a mutex after every object — measurably the
+// single largest cost of stream-mode fan-out.
+//
+// Dispatch: with async off (the default when GOMAXPROCS == 1) or a
+// single shard, Process runs the shards inline in the caller's
+// goroutine — zero synchronization, which is what lets a sharded engine
+// match the sequential one on a single core. With async on, each shard
+// has a persistent worker goroutine fed through an SPSC ring; a whole
+// ProcessBatch is one ring hand-off per shard (batch coalescing).
+//
 // Sharded itself is single-writer, like the engines it wraps: callers
-// serialize Process / ProcessBatch / ApplyPreference externally (the
-// public Monitor does so under its write lock).
+// serialize Process / ProcessBatch / ApplyPreference / SetAsync / Close
+// externally (the public Monitor does so under its write lock).
 type Sharded struct {
 	shards []ShardEngine
-	ctrs   []*stats.Counters // per-shard private counters, drained on merge
+	ctrs   []*stats.Counters // per-shard private counters; monotonic, folded on read
 	owner  []int             // user index -> shard index
 
-	ctr      *stats.Counters // public merged counter (may be nil)
-	perShard []stats.Counters
-	mu       sync.Mutex // guards perShard and the drain-and-fold
+	// public counter: true Processed count + recovery-folded base
+	// (may be nil)
+	ctr *stats.Counters
 
 	clusterCount int   // full cluster-list length (0 for user-sharded)
 	clusterOwner []int // cluster index -> shard index (nil for user-sharded)
+
+	async     bool           // dispatch through worker goroutines
+	workers   []*shardWorker // started lazily on first async dispatch
+	wg        sync.WaitGroup // per-call completion barrier, reused
+	obj1      [1]object.Object
+	results   [][]int   // per-shard result scratch for the merge
+	batchOuts [][][]int // per-shard per-object results for async batches
+	closed    bool
 }
 
 // NewSharded assembles a harness from pre-built shards. ctrs[i] must be
 // the private counter shards[i] was built with; owner maps every user
-// index to the shard that exclusively maintains its frontier.
+// index to the shard that exclusively maintains its frontier. Shards
+// that support scratch-slice reuse get it enabled — the harness never
+// hands a shard's internal slice to callers.
 func NewSharded(shards []ShardEngine, ctrs []*stats.Counters, owner []int, ctr *stats.Counters) *Sharded {
 	if len(shards) != len(ctrs) {
 		panic("core: sharded engine needs one counter per shard")
 	}
+	for _, sh := range shards {
+		if se, ok := sh.(scratchEngine); ok {
+			se.EnableScratch()
+		}
+	}
 	return &Sharded{
-		shards:   shards,
-		ctrs:     ctrs,
-		owner:    owner,
-		ctr:      ctr,
-		perShard: make([]stats.Counters, len(shards)),
+		shards:  shards,
+		ctrs:    ctrs,
+		owner:   owner,
+		ctr:     ctr,
+		async:   runtime.GOMAXPROCS(0) > 1 && len(shards) > 1,
+		results: make([][]int, len(shards)),
 	}
 }
 
@@ -167,93 +205,129 @@ func ResolveWorkers(workers, units int) int {
 	return workers
 }
 
-// Process fans the object out to every shard concurrently and merges the
-// target users.
-func (s *Sharded) Process(o object.Object) []int {
-	if len(s.shards) == 1 {
-		co := s.shards[0].Process(o)
-		s.merge(1)
-		return co
+// SetAsync overrides the dispatch mode chosen at construction
+// (goroutine-per-shard when GOMAXPROCS > 1, inline otherwise). Tests
+// force both paths; single-core benchmarks force inline. Disabling stops
+// any running workers. Single-shard harnesses always stay inline.
+func (s *Sharded) SetAsync(on bool) {
+	s.async = on && len(s.shards) > 1
+	if !s.async {
+		s.stopWorkers()
 	}
-	results := make([][]int, len(s.shards))
-	var wg sync.WaitGroup
-	for i := range s.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = s.shards[i].Process(o)
-		}(i)
-	}
-	wg.Wait()
-	s.merge(1)
-	return mergeUsers(results)
 }
 
-// ProcessBatch pipelines a whole batch across the shards: each shard
-// walks the full batch in its own goroutine, so synchronization happens
-// once per batch rather than once per object. Results are per object, in
+// Close releases the worker goroutines. The harness remains usable
+// afterwards — a later async dispatch would just restart them — but the
+// Monitor calls this exactly once, at its own Close.
+func (s *Sharded) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.stopWorkers()
+}
+
+func (s *Sharded) stopWorkers() {
+	for _, w := range s.workers {
+		w.stop()
+	}
+	s.workers = nil
+}
+
+func (s *Sharded) ensureWorkers() {
+	if s.workers == nil {
+		s.workers = make([]*shardWorker, len(s.shards))
+		for i, sh := range s.shards {
+			s.workers[i] = newShardWorker(sh)
+		}
+	}
+}
+
+// Process fans the object out to every shard and merges the target
+// users. Inline mode runs the shards sequentially in the caller's
+// goroutine; async mode rings each shard worker's doorbell and waits.
+func (s *Sharded) Process(o object.Object) []int {
+	if s.async {
+		s.ensureWorkers()
+		s.obj1[0] = o
+		s.wg.Add(len(s.workers))
+		for i, w := range s.workers {
+			w.submit(shardJob{objs: s.obj1[:], out: s.results[i : i+1 : i+1], wg: &s.wg})
+		}
+		s.wg.Wait()
+	} else {
+		for i, sh := range s.shards {
+			s.results[i] = sh.Process(o)
+		}
+	}
+	s.ctr.AddProcessedN(1)
+	return mergeUsers(s.results)
+}
+
+// ProcessBatch pipelines a whole batch across the shards. In async mode
+// each shard receives the entire batch as one ring hand-off, so
+// synchronization happens once per batch rather than once per object;
+// inline mode walks the batch object-major. Results are per object, in
 // batch order — identical to calling Process object by object.
 func (s *Sharded) ProcessBatch(objs []object.Object) [][]int {
 	out := make([][]int, len(objs))
-	if len(s.shards) == 1 {
-		for i, o := range objs {
-			out[i] = s.shards[0].Process(o)
+	if s.async && len(objs) > 1 {
+		s.ensureWorkers()
+		if s.batchOuts == nil {
+			s.batchOuts = make([][][]int, len(s.shards))
 		}
-		s.merge(len(objs))
-		return out
-	}
-	results := make([][][]int, len(s.shards))
-	var wg sync.WaitGroup
-	for i := range s.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r := make([][]int, len(objs))
-			for j, o := range objs {
-				r[j] = s.shards[i].Process(o)
+		for i := range s.batchOuts {
+			if cap(s.batchOuts[i]) < len(objs) {
+				s.batchOuts[i] = make([][]int, len(objs))
 			}
-			results[i] = r
-		}(i)
-	}
-	wg.Wait()
-	s.merge(len(objs))
-	perObject := make([][]int, len(s.shards))
-	for j := range objs {
-		for i := range results {
-			perObject[i] = results[i][j]
+			s.batchOuts[i] = s.batchOuts[i][:len(objs)]
 		}
-		out[j] = mergeUsers(perObject)
+		s.wg.Add(len(s.workers))
+		for i, w := range s.workers {
+			w.submit(shardJob{objs: objs, out: s.batchOuts[i], wg: &s.wg})
+		}
+		s.wg.Wait()
+		for j := range objs {
+			for i := range s.shards {
+				s.results[i] = s.batchOuts[i][j]
+			}
+			out[j] = mergeUsers(s.results)
+		}
+	} else {
+		for j, o := range objs {
+			for i, sh := range s.shards {
+				s.results[i] = sh.Process(o)
+			}
+			out[j] = mergeUsers(s.results)
+		}
 	}
+	s.ctr.AddProcessedN(len(objs))
 	return out
 }
 
-// mergeUsers concatenates per-shard target-user lists into one sorted
-// C_o. Shards own disjoint users, so no deduplication is needed.
+// mergeUsers merges per-shard target-user lists into one fresh sorted
+// C_o (nil when empty — the sequential engines' convention). Shards own
+// disjoint users, so no deduplication is needed, and each shard's list
+// is already sorted, so a single non-empty list just gets copied.
 func mergeUsers(results [][]int) []int {
-	var co []int
+	total, nonEmpty := 0, 0
+	for _, r := range results {
+		if len(r) > 0 {
+			total += len(r)
+			nonEmpty++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	co := make([]int, 0, total)
 	for _, r := range results {
 		co = append(co, r...)
 	}
-	sort.Ints(co)
-	return co
-}
-
-// merge drains the shards' private counters into the public counter and
-// the cumulative per-shard totals. Each shard counts Processed on its
-// own; publicly an object is processed once, so the public counter gets
-// the true count and the shard totals keep their own view.
-func (s *Sharded) merge(processed int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, c := range s.ctrs {
-		snap := c.Snapshot()
-		c.Reset()
-		s.perShard[i].Merge(snap)
-		s.ctr.AddFilter(int(snap.FilterComparisons))
-		s.ctr.AddVerify(int(snap.VerifyComparisons))
-		s.ctr.AddDelivered(int(snap.Delivered))
+	if nonEmpty > 1 {
+		sort.Ints(co)
 	}
-	s.ctr.AddProcessedN(processed)
+	return co
 }
 
 // UserFrontier returns P_c from the shard that owns user c.
@@ -276,11 +350,7 @@ func (s *Sharded) Targets(objID int) []int {
 // the relation grows once; only the owning shard holds the user's (and
 // its cluster's) frontiers, so only it needs to repair.
 func (s *Sharded) ApplyPreference(c, d, better, worse int) error {
-	if err := s.shards[s.owner[c]].ApplyPreference(c, d, better, worse); err != nil {
-		return err
-	}
-	s.merge(0)
-	return nil
+	return s.shards[s.owner[c]].ApplyPreference(c, d, better, worse)
 }
 
 // RegisterUser extends every shard's user table: shards index users
@@ -317,7 +387,6 @@ func (s *Sharded) ActivateUser(c int, cluster int, common *pref.Profile, alive [
 	}
 	s.owner[c] = sh
 	s.shards[sh].ActivateUser(c, cluster, common, alive)
-	s.merge(0)
 }
 
 // DeactivateUser blanks the slot on every shard (only the owner holds
@@ -331,7 +400,6 @@ func (s *Sharded) DeactivateUser(c int) {
 // RemoveUser routes the removal (and its cluster resync) to the owner.
 func (s *Sharded) RemoveUser(c int, common *pref.Profile, alive []object.Object) {
 	s.shards[s.owner[c]].RemoveUser(c, common, alive)
-	s.merge(0)
 }
 
 // RetractPreference routes the mend to the shard owning the user's
@@ -339,7 +407,6 @@ func (s *Sharded) RemoveUser(c int, common *pref.Profile, alive []object.Object)
 // caller, once.
 func (s *Sharded) RetractPreference(c int, common *pref.Profile, alive []object.Object) {
 	s.shards[s.owner[c]].RetractPreference(c, common, alive)
-	s.merge(0)
 }
 
 // RemoveObject fans the deletion to every shard: each owns disjoint
@@ -349,7 +416,6 @@ func (s *Sharded) RemoveObject(o object.Object, alive []object.Object) {
 	for _, sh := range s.shards {
 		sh.RemoveObject(o, alive)
 	}
-	s.merge(0)
 }
 
 // SetClusterTotal forwards the full-cluster-list length to every shard.
@@ -369,25 +435,48 @@ func (s *Sharded) SetCommonFn(fn CommonFn) {
 // Shards reports how many workers the engine fans out to.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-// ResetShardCounters zeroes the cumulative per-shard counters. The
-// Monitor calls it after recovery: state restore and log replay fold
-// their work into the per-shard totals, but those are observability for
-// live load skew, so post-recovery they restart from zero (the public
-// totals are restored exactly, separately).
+// Totals returns the engine-wide work counters: the public counter (true
+// Processed count plus any recovery-folded base) plus every shard's
+// comparison, filter, verify and delivery counts. Shard Processed counts
+// are intentionally excluded — every shard sees every object, so they
+// would overcount by the shard factor; they remain visible per shard
+// through ShardCounters.
+func (s *Sharded) Totals() stats.Counters {
+	t := s.ctr.Snapshot()
+	for _, c := range s.ctrs {
+		sn := c.Snapshot()
+		t.Comparisons += sn.Comparisons
+		t.FilterComparisons += sn.FilterComparisons
+		t.VerifyComparisons += sn.VerifyComparisons
+		t.Delivered += sn.Delivered
+	}
+	return t
+}
+
+// ResetShardCounters folds every shard's counters into the public base
+// and zeroes the shards. Totals is unchanged by the fold. The Monitor
+// calls it after recovery: the public counter was just restored to the
+// snapshot's totals and the shard counters hold the replay work, so the
+// fold lands the replay work in the public base while the per-shard
+// load-skew view restarts from zero.
 func (s *Sharded) ResetShardCounters() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range s.perShard {
-		s.perShard[i].Reset()
+	for _, c := range s.ctrs {
+		sn := c.Snapshot()
+		c.Reset()
+		s.ctr.AddFilter(int(sn.FilterComparisons))
+		s.ctr.AddVerify(int(sn.VerifyComparisons))
+		s.ctr.AddDelivered(int(sn.Delivered))
 	}
 }
 
 // ShardCounters returns a snapshot of each shard's cumulative work
-// counters, for per-shard observability (load skew across shards).
+// counters, for per-shard observability (load skew across shards). The
+// returned slice and its elements are copies — callers can hold them
+// across later ingestion without racing the live counters.
 func (s *Sharded) ShardCounters() []stats.Counters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]stats.Counters, len(s.perShard))
-	copy(out, s.perShard)
+	out := make([]stats.Counters, len(s.ctrs))
+	for i, c := range s.ctrs {
+		out[i] = c.Snapshot()
+	}
 	return out
 }

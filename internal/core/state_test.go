@@ -28,6 +28,16 @@ func buildFTV(l *fixtures.Laptops, workers int, ctr *stats.Counters) interface {
 	return core.NewFilterThenVerify(users, clusters, ctr)
 }
 
+// totalsOf reads an engine's true counters: the sharded harness
+// accumulates comparisons in per-shard counters that only fold in via
+// Totals, while sequential engines write ctr directly.
+func totalsOf(eng any, ctr *stats.Counters) stats.Counters {
+	if t, ok := eng.(interface{ Totals() stats.Counters }); ok {
+		return t.Totals()
+	}
+	return ctr.Snapshot()
+}
+
 // TestStateRoundTripFTV processes a stream prefix, captures state,
 // restores it into fresh engines under every worker layout, and checks
 // the continuation is indistinguishable from the uninterrupted engine —
@@ -44,7 +54,7 @@ func TestStateRoundTripFTV(t *testing.T) {
 			}
 			st := core.NewEngineState(2, 2)
 			orig.CaptureState(st)
-			atCapture := ctr.Snapshot()
+			atCapture := totalsOf(orig, ctr)
 
 			restCtr := &stats.Counters{}
 			restored := buildFTV(l, dstWorkers, restCtr)
@@ -67,8 +77,8 @@ func TestStateRoundTripFTV(t *testing.T) {
 					t.Errorf("src=%d dst=%d: targets of o%d mismatch", srcWorkers, dstWorkers, id+1)
 				}
 			}
-			tail := ctr.Snapshot()
-			if got, want := restCtr.Comparisons, tail.Comparisons-atCapture.Comparisons; got != want {
+			tail := totalsOf(orig, ctr)
+			if got, want := totalsOf(restored, restCtr).Comparisons, tail.Comparisons-atCapture.Comparisons; got != want {
 				t.Errorf("src=%d dst=%d: continuation comparisons %d, uninterrupted tail did %d", srcWorkers, dstWorkers, got, want)
 			}
 		}

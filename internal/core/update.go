@@ -42,10 +42,10 @@ func (b *Baseline) repairUser(c int) {
 	f := b.fronts[c]
 	members := append([]int(nil), f.IDs()...)
 	for _, id := range members {
-		if !f.Contains(id) {
+		o, ok := f.ByID(id)
+		if !ok {
 			continue // removed by an earlier iteration
 		}
-		o := f.list[f.pos[id]]
 		for i := 0; i < f.Len(); i++ {
 			op := f.At(i)
 			if op.ID == id {
@@ -99,11 +99,10 @@ func (f *FilterThenVerify) repairMember(c int) {
 	fc := f.userFronts[c]
 	ids := append([]int(nil), fc.IDs()...)
 	for _, id := range ids {
-		if !fc.Contains(id) {
+		o, ok := fc.ByID(id)
+		if !ok {
 			continue
 		}
-		i := fc.pos[id]
-		o := fc.list[i]
 		for j := 0; j < fc.Len(); j++ {
 			op := fc.At(j)
 			if op.ID == id {

@@ -159,12 +159,24 @@ func TestParallelSweep(t *testing.T) {
 	if len(rep.Rows) != 10 {
 		t.Fatalf("rows = %d", len(rep.Rows))
 	}
+	identCol := -1
+	for i, col := range rep.Columns {
+		if col == "identical" {
+			identCol = i
+		}
+	}
+	if identCol < 0 {
+		t.Fatalf("no identical column in %v", rep.Columns)
+	}
 	for _, row := range rep.Rows {
-		if row[len(row)-1] != "true" {
+		if row[identCol] != "true" {
 			t.Errorf("deliveries diverged: %v", row)
 		}
 		if ops := cell(t, row[5]); ops <= 0 {
 			t.Errorf("non-positive throughput: %v", row)
+		}
+		if ao := cell(t, row[len(row)-1]); ao <= 0 {
+			t.Errorf("non-positive allocs/op: %v", row)
 		}
 	}
 }

@@ -45,6 +45,11 @@ type ParallelRun struct {
 	// IdenticalDeliveries reports whether every object's target-user set
 	// matched the sequential engine's, in stream order.
 	IdenticalDeliveries bool `json:"identical_deliveries"`
+	// AllocsPerOp / BytesPerOp are heap allocations and bytes per ingested
+	// object (runtime.MemStats deltas over the replay), so the sweep
+	// catches allocation regressions the same way it catches slowdowns.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // ParallelBench is the BENCH_parallel.json document.
@@ -85,7 +90,7 @@ func Parallel(o Options) []*Report {
 		ID: "parallel",
 		Title: fmt.Sprintf("ingest throughput of sharded engines, movie (Fig. 4 workload), |O|=%d, |C|=%d, d=%d, GOMAXPROCS=%d",
 			n, len(pu), o.Dims, bench.GOMAXPROCS),
-		Columns: []string{"engine", "mode", "workers", "shards", "ms", "objects/sec", "speedup", "identical"},
+		Columns: []string{"engine", "mode", "workers", "shards", "ms", "objects/sec", "speedup", "identical", "allocs/op"},
 	}
 
 	// Materialize the stream once; every run replays the same objects.
@@ -111,22 +116,44 @@ func Parallel(o Options) []*Report {
 	// build (frontiers are stateful) and keeps the fastest wall time,
 	// damping scheduler noise. feed drives one replay and returns the
 	// per-object deliveries.
-	measure := func(build func(ctr *stats.Counters) engine, feed func(eng engine, out [][]int) [][]int) ([][]int, float64, uint64) {
+	measure := func(build func(ctr *stats.Counters) engine, feed func(eng engine, out [][]int) [][]int) ([][]int, float64, uint64, float64, float64) {
 		var deliveries [][]int
-		var millis float64
+		var millis, allocsOp, bytesOp float64
 		var comparisons uint64
 		for replay := 0; replay < 3; replay++ {
 			ctr := &stats.Counters{}
 			eng := build(ctr)
 			out := make([][]int, 0, n)
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			start := time.Now()
 			deliveries = feed(eng, out)
-			if ms := float64(time.Since(start).Microseconds()) / 1000.0; replay == 0 || ms < millis {
+			ms := float64(time.Since(start).Microseconds()) / 1000.0
+			runtime.ReadMemStats(&m1)
+			if replay == 0 || ms < millis {
 				millis = ms
 			}
+			// Keep the per-replay minimum, like wall time: GC noise and
+			// lazily built caches only ever inflate a replay.
+			ao := float64(m1.Mallocs-m0.Mallocs) / float64(n)
+			bo := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n)
+			if replay == 0 || ao < allocsOp {
+				allocsOp = ao
+			}
+			if replay == 0 || bo < bytesOp {
+				bytesOp = bo
+			}
+			// Sharded engines fold per-shard counters in via Totals; the
+			// public counter only carries Processed.
 			comparisons = ctr.Comparisons
+			if tot, ok := eng.(interface{ Totals() stats.Counters }); ok {
+				comparisons = tot.Totals().Comparisons
+			}
+			if c, ok := eng.(interface{ Close() }); ok {
+				c.Close()
+			}
 		}
-		return deliveries, millis, comparisons
+		return deliveries, millis, comparisons, allocsOp, bytesOp
 	}
 	stream := func(eng engine, out [][]int) [][]int {
 		for _, obj := range objs {
@@ -145,7 +172,7 @@ func Parallel(o Options) []*Report {
 
 	for _, k := range kinds {
 		k := k
-		record := func(mode string, w, shards int, deliveries [][]int, millis float64, cmp uint64, base [][]int, baseMillis float64) {
+		record := func(mode string, w, shards int, deliveries [][]int, millis float64, cmp uint64, allocsOp, bytesOp float64, base [][]int, baseMillis float64) {
 			run := ParallelRun{
 				Engine:              k.name,
 				Mode:                mode,
@@ -157,12 +184,14 @@ func Parallel(o Options) []*Report {
 				Comparisons:         cmp,
 				SpeedupVsSequential: baseMillis / millis,
 				IdenticalDeliveries: base == nil || reflect.DeepEqual(deliveries, base),
+				AllocsPerOp:         allocsOp,
+				BytesPerOp:          bytesOp,
 			}
 			bench.Runs = append(bench.Runs, run)
 			rep.Rows = append(rep.Rows, []string{
 				run.Engine, run.Mode, fmtInt(run.Workers), fmtInt(run.Shards), fmtMS(run.Millis),
 				fmt.Sprintf("%.0f", run.ObjectsPerSec), fmt.Sprintf("%.2fx", run.SpeedupVsSequential),
-				fmt.Sprintf("%t", run.IdenticalDeliveries),
+				fmt.Sprintf("%t", run.IdenticalDeliveries), fmt.Sprintf("%.1f", run.AllocsPerOp),
 			})
 		}
 		// One sequential baseline per engine: both modes' speedups divide
@@ -170,10 +199,10 @@ func Parallel(o Options) []*Report {
 		// per-object loop, so measuring it separately would only re-sample
 		// noise into the denominator).
 		o.logf("parallel: %s sequential baseline ...", k.name)
-		base, baseMillis, baseCmp := measure(func(ctr *stats.Counters) engine {
+		base, baseMillis, baseCmp, baseAllocs, baseBytes := measure(func(ctr *stats.Counters) engine {
 			return core.NewFilterThenVerify(pu, k.clusters, ctr)
 		}, stream)
-		record("sequential", 1, 1, base, baseMillis, baseCmp, nil, baseMillis)
+		record("sequential", 1, 1, base, baseMillis, baseCmp, baseAllocs, baseBytes, nil, baseMillis)
 
 		for _, mode := range []string{"stream", "batch"} {
 			feed := stream
@@ -185,13 +214,13 @@ func Parallel(o Options) []*Report {
 					continue
 				}
 				var shards int
-				deliveries, millis, cmp := measure(func(ctr *stats.Counters) engine {
+				deliveries, millis, cmp, allocsOp, bytesOp := measure(func(ctr *stats.Counters) engine {
 					p := core.NewParallelFilterThenVerify(pu, k.clusters, w, ctr)
 					shards = p.Shards()
 					return p
 				}, feed)
 				o.logf("parallel: %s/%s with %d workers (%d shards) done", k.name, mode, w, shards)
-				record(mode, w, shards, deliveries, millis, cmp, base, baseMillis)
+				record(mode, w, shards, deliveries, millis, cmp, allocsOp, bytesOp, base, baseMillis)
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+package order
+
+// Rel codes classify an ordered pair of value ids in one probe. They are
+// the result type of Relation.Rel, the hot-path replacement for paired
+// Has(x,y)/Has(y,x) bitset probes in pref.Profile.Compare.
+const (
+	// RelNone: the values are unrelated (neither x ≻ y nor y ≻ x).
+	RelNone uint8 = iota
+	// RelLeft: x ≻ y.
+	RelLeft
+	// RelRight: y ≻ x.
+	RelRight
+)
+
+// cmpTableMaxN caps the dense table at n×n = 1 MiB of uint8 cells. Real
+// categorical domains (genres, languages, publishers) sit far below this;
+// a pathological domain simply keeps the bitset-probe path.
+const cmpTableMaxN = 1 << 10
+
+// cmpTable is a dense n×n matrix of Rel codes derived from the closed
+// successor bitsets: t[x*n+y] answers "how do x and y relate" in one load,
+// replacing two bitset probes (each a bounds check + word index + shift)
+// on the dominance hot path. Tables are immutable once published; mutators
+// drop the pointer and the next Rel call rebuilds from succ.
+type cmpTable struct {
+	n int
+	t []uint8
+}
+
+// Rel classifies the ordered pair (x, y): RelLeft if x ≻ y, RelRight if
+// y ≻ x, RelNone otherwise. Ids outside the published table (values
+// interned after the last build, or domains past cmpTableMaxN) fall back
+// to exact bitset probes, so the answer never goes stale on domain growth.
+func (r *Relation) Rel(x, y int) uint8 {
+	t := r.cmp.Load()
+	if t == nil {
+		t = r.buildCmp()
+	}
+	if t != nil && x >= 0 && y >= 0 && x < t.n && y < t.n {
+		return t.t[x*t.n+y]
+	}
+	if r.Has(x, y) {
+		return RelLeft
+	}
+	if r.Has(y, x) {
+		return RelRight
+	}
+	return RelNone
+}
+
+// buildCmp materializes the table from the closed succ bitsets and
+// publishes it. Concurrent readers may race to build after an
+// invalidation; each derives an identical table from the same (quiescent —
+// mutation is serialized against reads by the callers' locking) closure,
+// so the last store winning is harmless.
+func (r *Relation) buildCmp() *cmpTable {
+	n := r.n
+	if n > cmpTableMaxN {
+		return nil
+	}
+	t := &cmpTable{n: n, t: make([]uint8, n*n)}
+	for x := 0; x < n; x++ {
+		row := t.t[x*n : (x+1)*n : (x+1)*n]
+		r.succ[x].ForEach(func(y int) bool {
+			row[y] = RelLeft
+			t.t[y*n+x] = RelRight
+			return true
+		})
+	}
+	r.cmp.Store(t)
+	return t
+}

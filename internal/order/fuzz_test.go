@@ -1,0 +1,59 @@
+package order
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzIntern drives the attribute interner with arbitrary strings and
+// checks its invariants: ids are dense and first-seen stable, Value is the
+// exact inverse of Intern (arbitrary bytes included — NUL, invalid UTF-8),
+// re-interning never mints a new id, and a Clone is fully independent.
+func FuzzIntern(f *testing.F) {
+	f.Add("a", "b", "a")
+	f.Add("", "\x00", "\xff\xfe")
+	f.Add("Apple", "Sony", "long value with spaces")
+	f.Fuzz(func(t *testing.T, s1, s2, s3 string) {
+		in := []string{s1, s2, s3, s1, s2} // repeats exercise the dedup path
+		d := NewDomain("fuzz")
+		ids := make([]int, len(in))
+		distinct := map[string]int{}
+		for i, s := range in {
+			ids[i] = d.Intern(s)
+			if prev, seen := distinct[s]; seen {
+				if ids[i] != prev {
+					t.Fatalf("re-interning %q: id %d, first saw %d", s, ids[i], prev)
+				}
+			} else {
+				// Fresh values get the next dense id, in first-seen order.
+				if want := len(distinct); ids[i] != want {
+					t.Fatalf("interning fresh %q: id %d, want dense %d", s, ids[i], want)
+				}
+				distinct[s] = ids[i]
+			}
+			if got := d.Value(ids[i]); got != s {
+				t.Fatalf("Value(Intern(%q)) = %q", s, got)
+			}
+			if id, ok := d.ID(s); !ok || id != ids[i] {
+				t.Fatalf("ID(%q) = (%d, %v), want (%d, true)", s, id, ok, ids[i])
+			}
+		}
+		if d.Size() != len(distinct) {
+			t.Fatalf("Size() = %d, want %d distinct", d.Size(), len(distinct))
+		}
+
+		// A clone must answer identically, and interning on it must not
+		// leak back into the original.
+		c := d.Clone()
+		before := d.Size()
+		c.Intern(fmt.Sprintf("unseen-%d-%s", before, s1))
+		if d.Size() != before {
+			t.Fatalf("interning on clone grew original: %d -> %d", before, d.Size())
+		}
+		for i, s := range in {
+			if got := c.Value(ids[i]); got != s {
+				t.Fatalf("clone Value(%d) = %q, want %q", ids[i], got, s)
+			}
+		}
+	})
+}

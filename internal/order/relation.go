@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 )
@@ -47,6 +48,11 @@ type Relation struct {
 
 	// lazy derived state
 	derived *derivedViews
+
+	// cmp is the lazily built dense pair-classification table behind Rel
+	// (see cmptable.go). Atomic because shard workers race to rebuild it
+	// after an invalidation while sharing one Relation instance.
+	cmp atomic.Pointer[cmpTable]
 }
 
 type derivedViews struct {
@@ -151,6 +157,7 @@ func (r *Relation) addClosure(x, y int) {
 		}
 	}
 	r.derived = nil
+	r.cmp.Store(nil)
 }
 
 // HasAsserted reports whether tuple (x ≻ y) was explicitly asserted
@@ -192,6 +199,7 @@ func (r *Relation) Remove(x, y int) error {
 	}
 	r.size = 0
 	r.derived = nil
+	r.cmp.Store(nil)
 	for _, t := range kept {
 		r.addClosure(t.Better, t.Worse)
 	}

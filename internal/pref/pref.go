@@ -115,7 +115,9 @@ func (p *Profile) Size() int {
 // If on any attribute the two values are distinct and unrelated, neither
 // object can dominate the other and Incomparable is returned immediately;
 // likewise once a strictly-better attribute has been seen in both
-// directions.
+// directions. Each attribute costs one Rel lookup — a single cell load
+// from the relation's dense id-indexed table — rather than a pair of
+// bitset probes.
 func (p *Profile) Compare(a, b object.Object) Cmp {
 	aBetter, bBetter := false, false
 	for d, r := range p.rels {
@@ -123,13 +125,13 @@ func (p *Profile) Compare(a, b object.Object) Cmp {
 		if av == bv {
 			continue
 		}
-		switch {
-		case r.Has(av, bv):
+		switch r.Rel(av, bv) {
+		case order.RelLeft:
 			if bBetter {
 				return Incomparable
 			}
 			aBetter = true
-		case r.Has(bv, av):
+		case order.RelRight:
 			if aBetter {
 				return Incomparable
 			}

@@ -1,0 +1,79 @@
+// Package ring provides a bounded single-producer/single-consumer queue.
+//
+// The sharded ingest harness (core.Sharded) pairs one SPSC ring with each
+// shard worker: the ingest goroutine is the only producer, the shard's
+// worker goroutine the only consumer, so neither side ever takes a lock —
+// each end owns its own index and publishes it with a single atomic
+// store. The pre-overhaul harness paid a goroutine spawn plus a
+// mutex-guarded counter drain per object; a ring hand-off is two atomic
+// operations.
+package ring
+
+import "sync/atomic"
+
+// SPSC is a bounded single-producer/single-consumer queue. Exactly one
+// goroutine may call Push and exactly one may call Pop; under that
+// contract all operations are lock-free and allocation-free.
+//
+// head and tail sit on separate cache lines so the producer's tail
+// stores never invalidate the consumer's head line (false sharing is the
+// classic SPSC throughput killer).
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    [64]byte // pad: keep head off the buf/mask line
+	head atomic.Uint64
+	_    [64]byte // pad: head and tail on separate lines
+	tail atomic.Uint64
+}
+
+// New returns a ring with capacity rounded up to the next power of two
+// (minimum 1).
+func New[T any](capacity int) *SPSC[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &SPSC[T]{buf: make([]T, n)}
+	q.mask = uint64(n - 1)
+	return q
+}
+
+// Cap returns the ring's capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued items. Exact when called from either
+// end; advisory otherwise.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Push enqueues v, returning false if the ring is full. Producer side
+// only. The slot write happens before the tail publish, so the consumer
+// acquiring the new tail observes a fully written slot.
+func (q *SPSC[T]) Push(v T) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Pop dequeues the oldest item, reporting false on an empty ring.
+// Consumer side only. The slot is zeroed before the head publish so the
+// ring never pins freed references, and the producer never rewrites a
+// slot before its head advance is visible.
+func (q *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero
+	q.head.Store(h + 1)
+	return v, true
+}

@@ -1,0 +1,77 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPushPopWrapAround(t *testing.T) {
+	q := New[int](3) // rounds up to 4
+	if q.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", q.Cap())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty ring succeeded")
+	}
+	// Several laps around the buffer: indices must wrap cleanly.
+	next := 0
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < q.Cap(); i++ {
+			if !q.Push(next + i) {
+				t.Fatalf("lap %d: Push(%d) refused on non-full ring", lap, next+i)
+			}
+		}
+		if q.Push(-1) {
+			t.Fatal("Push succeeded on full ring")
+		}
+		if q.Len() != q.Cap() {
+			t.Fatalf("Len() = %d, want %d", q.Len(), q.Cap())
+		}
+		for i := 0; i < q.Cap(); i++ {
+			v, ok := q.Pop()
+			if !ok || v != next+i {
+				t.Fatalf("lap %d: Pop() = (%d, %v), want (%d, true)", lap, v, ok, next+i)
+			}
+		}
+		next += q.Cap()
+	}
+}
+
+// TestConcurrentSPSC drives one producer against one consumer under the
+// race detector: every pushed value must arrive exactly once, in order,
+// and the slot hand-off must be a proper happens-before edge (the -race
+// build fails otherwise).
+func TestConcurrentSPSC(t *testing.T) {
+	const n = 20000
+	q := New[[]int](8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		want := 0
+		for want < n {
+			v, ok := q.Pop()
+			if !ok {
+				// Yield so a single-P scheduler runs the producer instead
+				// of spinning out this goroutine's whole time slice.
+				runtime.Gosched()
+				continue
+			}
+			// The payload (a heap slice written before Push) must be fully
+			// visible, not just the slot.
+			if len(v) != 1 || v[0] != want {
+				t.Errorf("Pop() = %v, want [%d]", v, want)
+				return
+			}
+			want++
+		}
+	}()
+	for i := 0; i < n; i++ {
+		v := []int{i}
+		for !q.Push(v) {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/object"
@@ -348,7 +347,7 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 	s.Counters.Delivered = d.uvar()
 	s.Counters.Processed = d.uvar()
 	var err error
-	if s.Engine, err = decodeEngine(d, dims); err != nil {
+	if s.Engine, err = decodeEngine(d, dims, s.Objects); err != nil {
 		return nil, err
 	}
 	if !d.done() {
@@ -379,12 +378,13 @@ func (d *dec) intList() []int {
 	return out
 }
 
-// encodeEngine serializes an EngineState. Objects are deduplicated into
-// a reference table (an object can sit in many frontiers at once);
-// frontier, buffer, and ring entries then reference it by object id:
+// encodeEngine serializes an EngineState. Since object ids are dense
+// indices into the snapshot's object registry, frontier, buffer, and
+// ring entries are stored as bare ids and resolved against that registry
+// on decode — format v3; v2 carried a per-snapshot dedup table of
+// id → attrs here that duplicated what the registry already holds.
 //
 //	uvar nDims
-//	list<refObj> table                  (uvar id, nDims × uvar attr)
 //	list<list<uvar>> userFronts         (object ids, scan order)
 //	list<list<uvar>> clusterFronts
 //	u8 hasUserBuffers [+ list<list<uvar>>]
@@ -395,35 +395,7 @@ func (d *dec) intList() []int {
 // removed (RemoveObject) holds a tombstone with a negative id: 0 encodes
 // the tombstone, id+1 encodes a live slot.
 func encodeEngine(e *enc, st *core.EngineState, dims int) {
-	refs := map[int]object.Object{}
-	collect := func(lists [][]object.Object) {
-		for _, l := range lists {
-			for _, o := range l {
-				if o.ID >= 0 {
-					refs[o.ID] = o
-				}
-			}
-		}
-	}
-	collect(st.UserFronts)
-	collect(st.ClusterFronts)
-	collect(st.UserBuffers)
-	collect(st.ClusterBuffers)
-	collect([][]object.Object{st.Ring})
-	ids := make([]int, 0, len(refs))
-	for id := range refs {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-
 	e.uvar(uint64(dims))
-	e.uvar(uint64(len(ids)))
-	for _, id := range ids {
-		e.uvar(uint64(id))
-		for _, a := range refs[id].Attrs {
-			e.uvar(uint64(a))
-		}
-	}
 	idList := func(l []object.Object) {
 		e.uvar(uint64(len(l)))
 		for _, o := range l {
@@ -467,8 +439,9 @@ func encodeEngine(e *enc, st *core.EngineState, dims int) {
 }
 
 // decodeEngine parses the engine-state section; ids must resolve in the
-// reference table or the state is corrupt.
-func decodeEngine(d *dec, wantDims int) (*core.EngineState, error) {
+// snapshot's object registry (they are indices into it) or the state is
+// corrupt.
+func decodeEngine(d *dec, wantDims int, objs []ObjectState) (*core.EngineState, error) {
 	dims := int(d.uvar())
 	if d.fail {
 		return nil, d.err()
@@ -476,16 +449,16 @@ func decodeEngine(d *dec, wantDims int) (*core.EngineState, error) {
 	if dims != wantDims {
 		return nil, fmt.Errorf("%w: engine state has %d attribute dims, snapshot schema has %d", ErrCorrupt, dims, wantDims)
 	}
-	nRef := d.length()
-	refs := make(map[int]object.Object, nRef)
-	for i := 0; i < nRef && !d.fail; i++ {
-		o := object.Object{ID: int(d.uvar()), Attrs: make([]int32, dims)}
-		for a := 0; a < dims; a++ {
-			o.Attrs[a] = int32(d.uvar())
-		}
-		refs[o.ID] = o
-	}
 	var missing error
+	resolve := func(id int) object.Object {
+		if id < 0 || id >= len(objs) {
+			if !d.fail && missing == nil {
+				missing = fmt.Errorf("%w: engine state references unknown object %d", ErrCorrupt, id)
+			}
+			return object.Object{}
+		}
+		return object.Object{ID: id, Attrs: objs[id].Attrs}
+	}
 	idList := func() []object.Object {
 		n := d.length()
 		if d.fail {
@@ -493,12 +466,7 @@ func decodeEngine(d *dec, wantDims int) (*core.EngineState, error) {
 		}
 		out := make([]object.Object, n)
 		for i := range out {
-			id := int(d.uvar())
-			o, ok := refs[id]
-			if !ok && !d.fail && missing == nil {
-				missing = fmt.Errorf("%w: engine state references unknown object %d", ErrCorrupt, id)
-			}
-			out[i] = o
+			out[i] = resolve(int(d.uvar()))
 		}
 		return out
 	}
@@ -534,11 +502,7 @@ func decodeEngine(d *dec, wantDims int) (*core.EngineState, error) {
 					st.Ring[i] = object.Object{ID: -1} // tombstone
 					continue
 				}
-				o, ok := refs[shifted-1]
-				if !ok && !d.fail && missing == nil {
-					missing = fmt.Errorf("%w: engine state references unknown object %d", ErrCorrupt, shifted-1)
-				}
-				st.Ring[i] = o
+				st.Ring[i] = resolve(shifted - 1)
 			}
 		}
 	}

@@ -49,6 +49,26 @@ func FuzzUnmarshalSnapshot(f *testing.F) {
 	f.Add(sampleSnapshot().Marshal())
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x00, 0x00})
+	// String-table-heavy seed: empty, unicode, and duplicate interned
+	// values; names that collide with values; an engine section whose ids
+	// index the object table (format v3), including a tombstoned ring slot.
+	rich := sampleSnapshot()
+	rich.Domains = [][]string{{"", "Škoda", "long value with spaces", "x"}, {"x", "x\x00y", "ÿ"}}
+	rich.Users[0].Name = ""
+	rich.Users[1].Name = "Škoda"
+	rich.Objects[1].Name = ""
+	f.Add(rich.Marshal())
+	// Torn tails: cut inside the string table, the object table, and the
+	// engine id lists. Every prefix must decode to ErrCorrupt, not panic.
+	body := rich.Marshal()
+	for _, cut := range []int{1, len(body) / 4, len(body) / 2, len(body) - 3} {
+		f.Add(body[:cut])
+	}
+	// Engine section referencing an id outside the object table: intact
+	// framing, unresolvable state — must be ErrCorrupt.
+	oob := sampleSnapshot()
+	oob.Engine.UserFronts[0][0].ID = 99
+	f.Add(oob.Marshal())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		snap, err := UnmarshalSnapshot(b)
 		if err != nil {

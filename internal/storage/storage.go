@@ -20,7 +20,11 @@ import (
 //	   self-contained — full user table with asserted preference tuples
 //	   and alive flags, full object table with attribute values and
 //	   alive flags — so recovery can rebuild an evolved community.
-const FormatVersion = 2
+//	3  interned-id engine state: the engine section's per-snapshot
+//	   object dedup table is gone; frontier, buffer, and ring entries
+//	   are bare object ids resolved against the snapshot's object
+//	   table (ids are dense indices into it).
+const FormatVersion = 3
 
 var (
 	// ErrCorrupt reports on-disk state that cannot be trusted: a bad

@@ -566,47 +566,50 @@ func TestFileStoreInteriorDamageInNewestSegment(t *testing.T) {
 	}
 }
 
-// TestFormatVersionSkew pins the v1→v2 bump: files written by the
-// previous format version (PR 3's fixed-community snapshots and
-// pre-lifecycle WAL) are intact bytes this build must refuse with
-// ErrVersion — migrate or roll back, never silently misread.
+// TestFormatVersionSkew pins the v2→v3 bump: files written by any
+// previous format version (v2's engine sections carry a dedup object
+// table that v3 dropped; v1 predates lifecycle records) are intact
+// bytes this build must refuse with ErrVersion — migrate or roll back,
+// never silently misread.
 func TestFormatVersionSkew(t *testing.T) {
-	if FormatVersion != 2 {
-		t.Fatalf("FormatVersion = %d; this test pins the v2 bump", FormatVersion)
+	if FormatVersion != 3 {
+		t.Fatalf("FormatVersion = %d; this test pins the v3 bump", FormatVersion)
 	}
-	dir := t.TempDir()
-	s, err := OpenFile(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Append(sampleRecords()[0]); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.WriteSnapshot(1, sampleSnapshot().Marshal()); err != nil {
-		t.Fatal(err)
-	}
-	s.Close()
-
-	// Rewrite both headers to claim format version 1.
-	for _, name := range append(segmentFiles(t, dir), filepath.Join(dir, snapName(1))) {
-		data, err := os.ReadFile(name)
+	for _, stale := range []byte{1, 2} {
+		dir := t.TempDir()
+		s, err := OpenFile(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		data[6], data[7] = 1, 0 // u16 LE version
-		if err := os.WriteFile(name, data, 0o644); err != nil {
+		if err := s.Append(sampleRecords()[0]); err != nil {
 			t.Fatal(err)
 		}
-	}
-	s2, err := OpenFile(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s2.Close()
-	if err := s2.Replay(0, func(Record) error { return nil }); !errors.Is(err, ErrVersion) {
-		t.Errorf("v1 WAL segment: got %v, want ErrVersion", err)
-	}
-	if _, _, _, err := s2.LoadSnapshot(); !errors.Is(err, ErrVersion) {
-		t.Errorf("v1 snapshot: got %v, want ErrVersion", err)
+		if err := s.WriteSnapshot(1, sampleSnapshot().Marshal()); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+
+		// Rewrite both headers to claim the stale format version.
+		for _, name := range append(segmentFiles(t, dir), filepath.Join(dir, snapName(1))) {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[6], data[7] = stale, 0 // u16 LE version
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s2, err := OpenFile(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		if err := s2.Replay(0, func(Record) error { return nil }); !errors.Is(err, ErrVersion) {
+			t.Errorf("v%d WAL segment: got %v, want ErrVersion", stale, err)
+		}
+		if _, _, _, err := s2.LoadSnapshot(); !errors.Is(err, ErrVersion) {
+			t.Errorf("v%d snapshot: got %v, want ErrVersion", stale, err)
+		}
 	}
 }

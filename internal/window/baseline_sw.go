@@ -18,6 +18,7 @@ type BaselineSW struct {
 	win     *ring
 	targets *targetTracker
 	ctr     *stats.Counters
+	scratch core.ResultScratch
 }
 
 // NewBaselineSW creates the monitor with window size w.
@@ -88,15 +89,19 @@ func (b *BaselineSW) Process(oin object.Object) []int {
 		b.each(func(c int) { b.expireUser(c, oout) })
 		b.targets.drop(oout.ID)
 	}
-	var co []int
+	co := b.scratch.Start()
 	b.each(func(c int) {
 		if b.arriveUser(c, oin) {
 			co = append(co, c)
 		}
 	})
 	b.ctr.AddDelivered(len(co))
-	return co
+	return b.scratch.Finish(co)
 }
+
+// EnableScratch switches Process to a reused result slice; only the
+// sharded harness (which copies results out) enables it.
+func (b *BaselineSW) EnableScratch() { b.scratch.Enable() }
 
 // expireUser handles o_out for one user: if o_out occupied P_c, objects it
 // exclusively dominated are promoted from PB_c (Procedure

@@ -24,6 +24,7 @@ type FilterThenVerifySW struct {
 	win       *ring
 	targets   *targetTracker
 	ctr       *stats.Counters
+	scratch   core.ResultScratch
 
 	// globalIdx / total map this instance's cluster subset into the
 	// monitor's full cluster list; set only for shard instances, used by
@@ -93,7 +94,7 @@ func (f *FilterThenVerifySW) Process(oin object.Object) []int {
 		}
 		f.targets.drop(oout.ID)
 	}
-	var co []int
+	co := f.scratch.Start()
 	for ui := range f.clusters {
 		if len(f.clusters[ui].Members) == 0 {
 			continue
@@ -112,8 +113,12 @@ func (f *FilterThenVerifySW) Process(oin object.Object) []int {
 	}
 	sort.Ints(co)
 	f.ctr.AddDelivered(len(co))
-	return co
+	return f.scratch.Finish(co)
 }
+
+// EnableScratch switches Process to a reused result slice; only the
+// sharded harness (which copies results out) enables it.
+func (f *FilterThenVerifySW) EnableScratch() { f.scratch.Enable() }
 
 // expireCluster handles o_out for one cluster: mend P_U from PB_U under
 // ≻_U, then mend each member's P_c from the updated P_U under ≻_c (see

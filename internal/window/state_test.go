@@ -30,6 +30,16 @@ func stateStream(l *fixtures.Laptops, n int) []object.Object {
 	return out
 }
 
+// totalsOf reads an engine's true counters: the sharded harness
+// accumulates comparisons in per-shard counters that only fold in via
+// Totals, while sequential engines write ctr directly.
+func totalsOf(eng any, ctr *stats.Counters) stats.Counters {
+	if t, ok := eng.(interface{ Totals() stats.Counters }); ok {
+		return t.Totals()
+	}
+	return ctr.Snapshot()
+}
+
 // TestStateRoundTripWindow checks, for both sliding-window engines and
 // across worker layouts, that capture + restore mid-stream leaves the
 // continuation identical to the uninterrupted engine: deliveries,
@@ -73,7 +83,7 @@ func TestStateRoundTripWindow(t *testing.T) {
 				}
 				st := core.NewEngineState(2, clustersOf[name])
 				orig.CaptureState(st)
-				atCapture := ctr.Snapshot()
+				atCapture := totalsOf(orig, ctr)
 
 				restCtr := &stats.Counters{}
 				restored := mk(dstWorkers, restCtr)
@@ -96,8 +106,8 @@ func TestStateRoundTripWindow(t *testing.T) {
 						t.Errorf("%s src=%d dst=%d: targets of %d mismatch", name, srcWorkers, dstWorkers, o.ID)
 					}
 				}
-				tail := ctr.Snapshot()
-				if got, want := restCtr.Comparisons, tail.Comparisons-atCapture.Comparisons; got != want {
+				tail := totalsOf(orig, ctr)
+				if got, want := totalsOf(restored, restCtr).Comparisons, tail.Comparisons-atCapture.Comparisons; got != want {
 					t.Errorf("%s src=%d dst=%d: continuation comparisons %d, uninterrupted tail did %d",
 						name, srcWorkers, dstWorkers, got, want)
 				}

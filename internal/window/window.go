@@ -84,24 +84,24 @@ func (r *ring) aliveTail() []object.Object {
 // place on removal.
 type buffer struct {
 	list []object.Object
-	ids  map[int]struct{}
+	ids  bitset.Set // membership; object ids are dense, so a bitset beats a map
 }
 
-func newBuffer() *buffer { return &buffer{ids: make(map[int]struct{})} }
+func newBuffer() *buffer { return &buffer{} }
 
 func (b *buffer) add(o object.Object) {
-	if _, ok := b.ids[o.ID]; ok {
+	if b.ids.Contains(o.ID) {
 		return
 	}
-	b.ids[o.ID] = struct{}{}
+	b.ids.Add(o.ID)
 	b.list = append(b.list, o)
 }
 
 func (b *buffer) remove(id int) {
-	if _, ok := b.ids[id]; !ok {
+	if !b.has(id) {
 		return
 	}
-	delete(b.ids, id)
+	b.ids.Remove(id)
 	for i, o := range b.list {
 		if o.ID == id {
 			b.list = append(b.list[:i], b.list[i+1:]...)
@@ -116,7 +116,7 @@ func (b *buffer) removeIf(fn func(o object.Object) bool) {
 	kept := b.list[:0]
 	for _, o := range b.list {
 		if fn(o) {
-			delete(b.ids, o.ID)
+			b.ids.Remove(o.ID)
 		} else {
 			kept = append(kept, o)
 		}
@@ -129,8 +129,7 @@ func (b *buffer) objects() []object.Object { return b.list }
 
 // has reports buffer membership.
 func (b *buffer) has(id int) bool {
-	_, ok := b.ids[id]
-	return ok
+	return id >= 0 && b.ids.Contains(id)
 }
 
 // insert adds o at its arrival position. Object ids are assigned in
@@ -138,10 +137,10 @@ func (b *buffer) has(id int) bool {
 // the position is found by binary search. Lifecycle mends use it to
 // re-admit objects mid-buffer; add only ever appends.
 func (b *buffer) insert(o object.Object) {
-	if _, ok := b.ids[o.ID]; ok {
+	if b.ids.Contains(o.ID) {
 		return
 	}
-	b.ids[o.ID] = struct{}{}
+	b.ids.Add(o.ID)
 	i := sort.Search(len(b.list), func(i int) bool { return b.list[i].ID > o.ID })
 	b.list = append(b.list, object.Object{})
 	copy(b.list[i+1:], b.list[i:])
@@ -156,35 +155,43 @@ func (b *buffer) idSlice() []int {
 	return out
 }
 
-// targetTracker mirrors core's C_o bookkeeping for the window engines.
+// targetTracker mirrors core's C_o bookkeeping for the window engines:
+// dense object ids index a slice of per-object user sets (nil = empty).
 type targetTracker struct {
-	m map[int]*bitset.Set
+	sets []*bitset.Set
 }
 
-func newTargetTracker() *targetTracker { return &targetTracker{m: make(map[int]*bitset.Set)} }
+func newTargetTracker() *targetTracker { return &targetTracker{} }
 
 func (t *targetTracker) add(objID, user int) {
-	s, ok := t.m[objID]
-	if !ok {
+	for len(t.sets) <= objID {
+		t.sets = append(t.sets, nil)
+	}
+	s := t.sets[objID]
+	if s == nil {
 		s = &bitset.Set{}
-		t.m[objID] = s
+		t.sets[objID] = s
 	}
 	s.Add(user)
 }
 
 func (t *targetTracker) remove(objID, user int) {
-	if s, ok := t.m[objID]; ok {
-		s.Remove(user)
-		if s.Empty() {
-			delete(t.m, objID)
-		}
+	if objID >= 0 && objID < len(t.sets) && t.sets[objID] != nil {
+		t.sets[objID].Remove(user)
 	}
 }
 
-func (t *targetTracker) drop(objID int) { delete(t.m, objID) }
+func (t *targetTracker) drop(objID int) {
+	if objID >= 0 && objID < len(t.sets) {
+		t.sets[objID] = nil
+	}
+}
 
 func (t *targetTracker) users(objID int) []int {
-	if s, ok := t.m[objID]; ok {
+	if objID < 0 || objID >= len(t.sets) {
+		return nil
+	}
+	if s := t.sets[objID]; s != nil && !s.Empty() {
 		return s.Slice()
 	}
 	return nil

@@ -791,9 +791,11 @@ func (m *Monitor) Clusters() [][]string {
 
 // Stats returns a snapshot of the monitor's work counters. For sharded
 // monitors (WithWorkers > 1) it also breaks the totals down per shard.
+// Everything returned is a copy taken under the read lock — callers can
+// hold a Stats across later ingestion without racing live shard state.
 func (m *Monitor) Stats() Stats {
 	m.mu.RLock()
-	s := m.ctr.Snapshot()
+	s := m.counterTotals()
 	st := Stats{
 		Comparisons:       s.Comparisons,
 		FilterComparisons: s.FilterComparisons,
@@ -820,6 +822,17 @@ func (m *Monitor) Stats() Stats {
 	m.mu.RUnlock()
 	st.DroppedDeliveries = m.subs.droppedCount()
 	return st
+}
+
+// counterTotals returns the monitor's true work counters; the caller must
+// hold m.mu. Sharded engines keep comparison counts in per-shard counters
+// that are never drained on the hot path — Totals folds them with the
+// public counter. Sequential engines write the public counter directly.
+func (m *Monitor) counterTotals() stats.Counters {
+	if eng, ok := m.eng.(interface{ Totals() stats.Counters }); ok {
+		return eng.Totals()
+	}
+	return m.ctr.Snapshot()
 }
 
 // Config returns the configuration the monitor was built with.

@@ -237,7 +237,7 @@ func (m *Monitor) writeSnapshotLocked() error {
 		Clusters:     m.clusterMembers,
 		Domains:      m.schema.domainValues(),
 		Objects:      objs,
-		Counters:     m.ctr.Snapshot(),
+		Counters:     m.counterTotals(),
 		Engine:       st,
 	}
 	if err := m.store.WriteSnapshot(m.walSeq, snap.Marshal()); err != nil {
