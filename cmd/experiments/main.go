@@ -10,7 +10,7 @@
 //	            [-workers 1,2,4,8] [-benchout BENCH_parallel.json]
 //
 // Experiment ids: fig4 fig5 fig6 fig7 table11 fig8 fig9 fig10 fig11 table12
-// parallel recovery lifecycle replication partition. The parallel sweep measures
+// parallel recovery lifecycle replication partition rebalance. The parallel sweep measures
 // ingest throughput of the sharded engines at each -workers count and,
 // with -benchout, records the sweep as JSON so CI can track the perf
 // trajectory. The recovery benchmark crashes a durable monitor
@@ -27,7 +27,12 @@
 // (-benchout writes BENCH_replication.json). The partition benchmark
 // replays the Fig. 4 stream through a consistent-hash Router fronting
 // fleets of 1/2/4 partition primaries and gates on fleet/single-monitor
-// state identity (-benchout writes BENCH_partition.json).
+// state identity (-benchout writes BENCH_partition.json). The rebalance
+// benchmark scales a live 2-partition fleet to 3 under sustained batch
+// writes and reports migration throughput, the write-stall distribution
+// the freeze windows induce, and time-to-converge, gating on identity
+// and on batch-for-batch delivery equality (-benchout writes
+// BENCH_rebalance.json).
 package main
 
 import (

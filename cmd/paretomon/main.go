@@ -35,6 +35,15 @@
 // it loads no dataset, so -objects/-prefs are not required. See
 // docs/PARTITIONING.md.
 //
+// -rebalance url1,...,urlM -router http://router:9090 reshapes a
+// *running* fleet online: the router migrates users onto the target
+// partition list (scale-out appends partitions, scale-in removes
+// trailing ones) while writes keep flowing, then the command prints
+// the migration report and exits. -reconcile -router ... repairs the
+// ring after a crashed migration. -router-id (with -route) gives the
+// router an identity for the fleet write lease so a standby router is
+// safe to run. See docs/PARTITIONING.md ("Live rebalancing").
+//
 // -follow (with -serve) starts a read-only follower instead: the
 // monitor bootstraps from the primary's newest snapshot, tails its WAL
 // changefeed, and serves the full read API — frontiers, targets, stats,
@@ -48,10 +57,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -96,8 +108,25 @@ func main() {
 		follow   = flag.String("follow", "", "serve as a read-only follower of this primary URL; requires -serve")
 		partSpec = flag.String("partition", "", "serve one consistent-hash slice i/n of the community (e.g. 1/3); requires -serve")
 		route    = flag.String("route", "", "serve as a router over this comma-separated partition fleet; requires -serve, loads no dataset")
+		routerID = flag.String("router-id", "", "with -route: unique router identity for the fleet write lease (enables HA standby routers)")
+		leaseTTL = flag.Duration("lease-ttl", partition.DefaultLeaseTTL, "with -router-id: write-lease TTL")
+		rebal    = flag.String("rebalance", "", "rebalance a running fleet onto this comma-separated partition URL list (requires -router), then exit")
+		router   = flag.String("router", "", "with -rebalance/-reconcile: the running router's base URL")
+		reconc   = flag.Bool("reconcile", false, "repair a running fleet's ring after a crashed migration (requires -router), then exit")
 	)
 	flag.Parse()
+	if *rebal != "" || *reconc {
+		if *router == "" {
+			fmt.Fprintln(os.Stderr, "paretomon: -rebalance/-reconcile require -router (the running router drives the migration — it owns the write freeze)")
+			os.Exit(2)
+		}
+		runRebalance(*router, *rebal, *reconc)
+		return
+	}
+	if *routerID != "" && *route == "" {
+		fmt.Fprintln(os.Stderr, "paretomon: -router-id requires -route")
+		os.Exit(2)
+	}
 	if *route != "" {
 		if *serve == "" {
 			fmt.Fprintln(os.Stderr, "paretomon: -route requires -serve")
@@ -107,7 +136,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paretomon: -route is exclusive with -follow, -data-dir and -partition (the partitions own the data)")
 			os.Exit(2)
 		}
-		serveRouter(*route, *serve)
+		serveRouter(*route, *serve, *routerID, *leaseTTL)
 		return
 	}
 	if *objPath == "" || *prefPath == "" {
@@ -327,18 +356,71 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 // serveRouter fronts a running partition fleet: a consistent-hash
 // router over the comma-separated URLs, serving the full API on addr.
 // The router owns no data and loads no dataset; the URL order must
-// match the fleet's -partition indices.
-func serveRouter(urls, addr string) {
+// match the fleet's -partition indices. With routerID set the router
+// takes the fleet write lease before mutating, so a standby router on
+// the same fleet is safe: it serves reads immediately and starts
+// writing only once the lease expires or is released. If the fleet has
+// a ring installed (a rebalance ran at some point), the router adopts
+// it on the first stale-version conflict.
+func serveRouter(urls, addr, routerID string, leaseTTL time.Duration) {
 	var list []string
 	for _, u := range strings.Split(urls, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			list = append(list, u)
 		}
 	}
-	rt, err := partition.New(partition.Config{URLs: list})
+	rt, err := partition.New(partition.Config{URLs: list, RouterID: routerID, LeaseTTL: leaseTTL})
 	check(err)
+	if rg, err := rt.RefreshRing(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "paretomon: ring fetch: %v (continuing; will adopt on first conflict)\n", err)
+	} else if rg != nil {
+		fmt.Fprintf(os.Stderr, "adopted ring version %d (%d partitions)\n", rg.Version, rg.Parts)
+	}
+	if routerID != "" {
+		fmt.Fprintf(os.Stderr, "router %q: fleet write lease ttl %s\n", routerID, leaseTTL)
+	}
 	fmt.Fprintf(os.Stderr, "routing %d partition(s); serving on %s\n", len(list), addr)
 	runServer(addr, server.NewRouter(rt), rt.Close)
+}
+
+// runRebalance drives a live fleet reshape through a *running* router:
+// POST /rebalance with the target URL list (scale-out appends
+// partitions, scale-in truncates trailing ones), or POST /reconcile to
+// repair the ring after a crashed migration. The running router must
+// drive it — it owns the write freeze that keeps each migration batch
+// atomic against live traffic — which is why this is an HTTP client
+// and not a second router. The call blocks until the fleet converges
+// and prints the router's report.
+func runRebalance(routerURL, urls string, reconcile bool) {
+	base := strings.TrimRight(routerURL, "/")
+	hc := &http.Client{} // no timeout: a rebalance legitimately runs for minutes
+	var (
+		resp *http.Response
+		err  error
+	)
+	if reconcile {
+		resp, err = hc.Post(base+"/reconcile", "application/json", strings.NewReader("{}"))
+	} else {
+		var list []string
+		for _, u := range strings.Split(urls, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				list = append(list, u)
+			}
+		}
+		body, merr := json.Marshal(map[string]any{"urls": list})
+		check(merr)
+		fmt.Fprintf(os.Stderr, "rebalancing fleet at %s onto %d partition(s)...\n", base, len(list))
+		resp, err = hc.Post(base+"/rebalance", "application/json", bytes.NewReader(body))
+	}
+	check(err)
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "paretomon: router replied %s: %s\n", resp.Status, strings.TrimSpace(string(out)))
+		os.Exit(1)
+	}
+	fmt.Println(strings.TrimSpace(string(out)))
 }
 
 // parsePartition parses "i/n" with 0 <= i < n.

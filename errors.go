@@ -116,6 +116,14 @@ var (
 	// removed them. A follower that far behind re-bootstraps from the
 	// newest snapshot instead of replaying the gap.
 	ErrWALRetired = errors.New("paretomon: requested WAL position is no longer retained")
+
+	// ErrMigrateMismatch reports a migration stream that cannot apply
+	// here: the source exported at a different object-stream position
+	// than this monitor holds (watermarks disagree), or an object-sync
+	// stream whose slots diverge from the local registry. The fleet
+	// orchestrator aligns the destination (object sync under the write
+	// freeze) and retries; applying anyway would build wrong frontiers.
+	ErrMigrateMismatch = errors.New("paretomon: migration stream position does not match this monitor")
 )
 
 // BatchError locates the first rejected object of an AddBatch call. The

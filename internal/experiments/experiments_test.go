@@ -235,10 +235,29 @@ func TestPartitionExperiment(t *testing.T) {
 	}
 }
 
+func TestRebalanceExperiment(t *testing.T) {
+	o := tiny()
+	o.Objects, o.Users = 300, 24
+	rep := experiments.Rebalance(o)[0]
+	if rep.ID != "rebalance" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if row[8] != "true" || row[9] != "true" || row[10] != "true" {
+		t.Errorf("fleet diverged from single monitor across the rebalance: %v", row)
+	}
+	if row[0] == "0" {
+		t.Errorf("rebalance moved no users: %v", row)
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
 	// 10 paper experiments, the parallel sweep, the recovery, lifecycle,
-	// replication and partition benchmarks, plus 4 ablations.
-	if len(experiments.Order) != 15 || len(experiments.All) != 19 {
+	// replication, partition and rebalance benchmarks, plus 4 ablations.
+	if len(experiments.Order) != 16 || len(experiments.All) != 20 {
 		t.Fatalf("registry: %d runners, %d ordered", len(experiments.All), len(experiments.Order))
 	}
 	for _, id := range experiments.Order {

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/partition"
+	"repro/internal/server"
+)
+
+// The rebalance benchmark measures what live migration costs the write
+// path: a 2-partition fleet takes sustained batch traffic while the
+// Router rebalances it onto a third partition, and the experiment
+// reports migration throughput, the write-stall distribution the freeze
+// windows induce, and time-to-converge — gated, as always, on identity
+// with a single uninterrupted monitor. Deliveries are compared
+// batch-for-batch (the "zero lost or duplicated deliveries" contract);
+// the summed Delivered counter is NOT part of the gate because it is
+// only conserved while the partition set is fixed — a freshly admitted
+// partition counts deliveries to its construction community before the
+// strip. Processed is topology-independent and stays in the gate.
+
+// RebalanceBench is the BENCH_rebalance.json document.
+type RebalanceBench struct {
+	Workload string `json:"workload"`
+	Dataset  string `json:"dataset"`
+	Objects  int    `json:"objects"`
+	Users    int    `json:"users"`
+	Dims     int    `json:"dims"`
+
+	// Migration throughput during the 2 → 3 scale-out.
+	UsersMoved     int     `json:"users_moved"`
+	MigrateBatches int     `json:"migrate_batches"`
+	ObjectsSynced  int     `json:"objects_synced"`
+	UsersPerSec    float64 `json:"users_per_sec"`
+
+	// Write stalls observed by the concurrent writer, per batch.
+	WriterBatches  int     `json:"writer_batches"`
+	WriteStallP50  float64 `json:"write_stall_p50_ms"`
+	WriteStallP99  float64 `json:"write_stall_p99_ms"`
+	WriteStallMax  float64 `json:"write_stall_max_ms"`
+	ConvergeMillis float64 `json:"converge_millis"`
+	RingVersion    uint64  `json:"ring_version"`
+
+	// Identity gates against the uninterrupted single monitor.
+	FrontiersMatch   bool `json:"frontiers_match"`
+	StatsMatch       bool `json:"stats_match"`
+	DeliveriesMatch  bool `json:"deliveries_match"`
+	ReconcileRemoved int  `json:"reconcile_removed"`
+}
+
+// rebalanceRecorded is one writer batch and the deliveries the fleet
+// reported for it, kept in issue order for the reference replay.
+type rebalanceRecorded struct {
+	objs       []paretomon.Object
+	deliveries []paretomon.Delivery
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted ms.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Rebalance runs the live-migration benchmark. Options.BenchOut, when
+// non-empty, also writes the result as JSON (BENCH_rebalance.json).
+func Rebalance(o Options) []*Report {
+	o = o.withDefaults()
+	ds := o.dataset("movie")
+	com, rows, err := recoveryCommunity(ds, o.Dims)
+	if err != nil {
+		panic("experiments: building rebalance community: " + err.Error())
+	}
+	n := len(rows)
+	half := n / 2
+	users := com.Users()
+	opts := []paretomon.Option{paretomon.WithAlgorithm(paretomon.AlgorithmBaseline)}
+
+	ref, err := paretomon.NewMonitor(com, opts...)
+	if err != nil {
+		panic("experiments: rebalance reference: " + err.Error())
+	}
+	defer ref.Close()
+	if err := recoveryIngest(ref, rows, 0, half); err != nil {
+		panic("experiments: rebalance reference ingest: " + err.Error())
+	}
+
+	// The running fleet: two partitions on the 2-way plan. The third
+	// partition boots the way `paretomon -partition 2/3` would — holding
+	// its slice of the 3-way plan — and the rebalance strips it before
+	// admitting it to the fan-out.
+	plan2, err := partition.NewPlan(2, 0)
+	if err != nil {
+		panic("experiments: rebalance plan: " + err.Error())
+	}
+	plan3, err := partition.NewPlan(3, 0)
+	if err != nil {
+		panic("experiments: rebalance plan: " + err.Error())
+	}
+	urls := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		idx := i
+		own := func(name string) bool { return plan2.Owner(name) == idx }
+		if i == 2 {
+			own = func(name string) bool { return plan3.Owner(name) == 2 }
+		}
+		mon, err := paretomon.NewMonitor(com.Subset(own), opts...)
+		if err != nil {
+			panic("experiments: rebalance monitor: " + err.Error())
+		}
+		defer mon.Close()
+		hs := httptest.NewServer(server.New(mon))
+		defer hs.Close()
+		urls = append(urls, hs.URL)
+	}
+	rt, err := partition.New(partition.Config{URLs: urls[:2]})
+	if err != nil {
+		panic("experiments: rebalance router: " + err.Error())
+	}
+	defer rt.Close()
+	if err := recoveryIngest(rt, rows, 0, half); err != nil {
+		panic("experiments: rebalance fleet ingest: " + err.Error())
+	}
+
+	// Sustained traffic: the second half of the stream in small batches,
+	// per-batch latency sampled, deliveries recorded for the replay.
+	const writerBatch = 16
+	var (
+		mu       sync.Mutex
+		recorded []rebalanceRecorded
+		stalls   []float64
+		writerE  error
+	)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for lo := half; lo < n; lo += writerBatch {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hi := min(lo+writerBatch, n)
+			batch := make([]paretomon.Object, hi-lo)
+			for i := range batch {
+				batch[i] = paretomon.Object{Name: fmt.Sprintf("o%d", lo+i+1), Values: rows[lo+i]}
+			}
+			t0 := time.Now()
+			dels, err := rt.AddBatch(batch)
+			ms := float64(time.Since(t0).Microseconds()) / 1000.0
+			mu.Lock()
+			if err != nil {
+				writerE = err
+				mu.Unlock()
+				return
+			}
+			recorded = append(recorded, rebalanceRecorded{objs: batch, deliveries: dels})
+			stalls = append(stalls, ms)
+			mu.Unlock()
+		}
+	}()
+
+	o.logf("rebalance: scaling 2 → 3 partitions under sustained writes ...")
+	report, err := rt.Rebalance(context.Background(), urls, partition.RebalanceOptions{BatchSize: 8})
+	if err != nil {
+		panic("experiments: rebalance: " + err.Error())
+	}
+	close(stop)
+	<-done
+	if writerE != nil {
+		panic("experiments: rebalance writer: " + writerE.Error())
+	}
+
+	// A reconcile on the converged fleet must be a no-op: anything it
+	// removes or repins means the rebalance left wreckage.
+	rec, err := rt.Reconcile(context.Background())
+	if err != nil {
+		panic("experiments: rebalance reconcile: " + err.Error())
+	}
+
+	// Replay the recorded batches into the reference and compare
+	// deliveries object-for-object.
+	deliveriesMatch := true
+	written := 0
+	for _, r := range recorded {
+		want, err := ref.AddBatch(r.objs)
+		if err != nil {
+			panic("experiments: rebalance replay: " + err.Error())
+		}
+		if !reflect.DeepEqual(want, r.deliveries) {
+			deliveriesMatch = false
+		}
+		written += len(r.objs)
+	}
+	frontiersMatch := true
+	for _, u := range users {
+		fr, err1 := ref.Frontier(u)
+		fg, err2 := rt.Frontier(u)
+		if err1 != nil || err2 != nil || !reflect.DeepEqual(fr, fg) {
+			frontiersMatch = false
+			break
+		}
+	}
+	if frontiersMatch {
+		for i := 0; i < half+written; i++ {
+			name := fmt.Sprintf("o%d", i+1)
+			tr, err1 := ref.TargetsOf(name)
+			tg, err2 := rt.TargetsOf(name)
+			if err1 != nil || err2 != nil || !reflect.DeepEqual(tr, tg) {
+				frontiersMatch = false
+				break
+			}
+		}
+	}
+	statsMatch := ref.Stats().Processed == rt.Stats().Processed
+
+	sort.Float64s(stalls)
+	migrateMs := float64(report.Millis)
+	usersPerSec := 0.0
+	if migrateMs > 0 {
+		usersPerSec = float64(report.UsersMoved) / (migrateMs / 1000.0)
+	}
+	bench := &RebalanceBench{
+		Workload:         "fig4+rebalance",
+		Dataset:          "movie",
+		Objects:          half + written,
+		Users:            len(users),
+		Dims:             o.Dims,
+		UsersMoved:       report.UsersMoved,
+		MigrateBatches:   report.Batches,
+		ObjectsSynced:    report.ObjectsSynced,
+		UsersPerSec:      usersPerSec,
+		WriterBatches:    len(recorded),
+		WriteStallP50:    percentile(stalls, 0.50),
+		WriteStallP99:    percentile(stalls, 0.99),
+		WriteStallMax:    percentile(stalls, 1.00),
+		ConvergeMillis:   migrateMs,
+		RingVersion:      report.RingVersion,
+		FrontiersMatch:   frontiersMatch,
+		StatsMatch:       statsMatch,
+		DeliveriesMatch:  deliveriesMatch,
+		ReconcileRemoved: rec.Removed,
+	}
+	o.logf("rebalance: moved %d users in %d batches (%.0f users/s), writer saw %d batches, stall p50=%.1fms p99=%.1fms max=%.1fms, frontiers=%t stats=%t deliveries=%t",
+		bench.UsersMoved, bench.MigrateBatches, bench.UsersPerSec, bench.WriterBatches,
+		bench.WriteStallP50, bench.WriteStallP99, bench.WriteStallMax,
+		bench.FrontiersMatch, bench.StatsMatch, bench.DeliveriesMatch)
+
+	rep := &Report{
+		ID: "rebalance",
+		Title: fmt.Sprintf("live 2 → 3 scale-out under sustained writes, movie (Fig. 4 workload), |O|=%d, |C|=%d, d=%d",
+			bench.Objects, bench.Users, o.Dims),
+		Columns: []string{"users_moved", "batches", "users_per_sec", "writer_batches", "stall_p50_ms", "stall_p99_ms", "stall_max_ms", "converge_ms", "frontiers", "stats", "deliveries"},
+		Rows: [][]string{{
+			fmtInt(bench.UsersMoved), fmtInt(bench.MigrateBatches), fmt.Sprintf("%.0f", bench.UsersPerSec),
+			fmtInt(bench.WriterBatches), fmtMS(bench.WriteStallP50), fmtMS(bench.WriteStallP99), fmtMS(bench.WriteStallMax),
+			fmtMS(bench.ConvergeMillis),
+			fmt.Sprintf("%t", bench.FrontiersMatch), fmt.Sprintf("%t", bench.StatsMatch), fmt.Sprintf("%t", bench.DeliveriesMatch),
+		}},
+	}
+
+	if o.BenchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.BenchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			o.logf("rebalance: writing %s: %v", o.BenchOut, err)
+		}
+	}
+	return []*Report{rep}
+}
+
+func init() {
+	All["rebalance"] = Rebalance
+	Order = append(Order, "rebalance")
+}

@@ -1,0 +1,420 @@
+package integration_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/partition"
+	"repro/internal/server"
+)
+
+// rebalanceFleet is an in-process fleet for the rebalancing tests:
+// store-less partition monitors (ring and lease state fall back to the
+// monitor's in-memory meta), each behind a real HTTP server, plus the
+// single-monitor reference fed the same community.
+type rebalanceFleet struct {
+	ref   *paretomon.Monitor
+	mons  []*paretomon.Monitor
+	https []*httptest.Server
+	urls  []string
+}
+
+func (f *rebalanceFleet) close() {
+	for _, s := range f.https {
+		s.Close()
+	}
+	for _, m := range f.mons {
+		_ = m.Close()
+	}
+	_ = f.ref.Close()
+}
+
+// addPartition boots one more monitor holding the given slice of the
+// community and serves it; returns its URL.
+func (f *rebalanceFleet) addPartition(t *testing.T, com *paretomon.Community, own func(string) bool) string {
+	t.Helper()
+	mon, err := paretomon.NewMonitor(com.Subset(own),
+		paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(server.New(mon))
+	f.mons = append(f.mons, mon)
+	f.https = append(f.https, hs)
+	f.urls = append(f.urls, hs.URL)
+	return hs.URL
+}
+
+// startRebalanceFleet carves the community into n consistent-hash
+// slices per the n-partition plan, like the CLI's -partition i/n.
+func startRebalanceFleet(t *testing.T, com *paretomon.Community, n int) *rebalanceFleet {
+	t.Helper()
+	ref, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.NewPlan(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &rebalanceFleet{ref: ref}
+	for i := 0; i < n; i++ {
+		idx := i
+		f.addPartition(t, com, func(name string) bool { return plan.Owner(name) == idx })
+	}
+	return f
+}
+
+// assertOneOwner asserts every user is held by exactly one partition —
+// the invariant a crashed migration must recover to.
+func assertOneOwner(t *testing.T, f *rebalanceFleet) {
+	t.Helper()
+	holders := make(map[string][]int)
+	for i, m := range f.mons {
+		for _, u := range m.Users() {
+			holders[u] = append(holders[u], i)
+		}
+	}
+	for u, hs := range holders {
+		if len(hs) != 1 {
+			t.Errorf("user %q held by partitions %v, want exactly one", u, hs)
+		}
+	}
+	want := append([]string(nil), f.ref.Users()...)
+	sort.Strings(want)
+	got := make([]string, 0, len(holders))
+	for u := range holders {
+		got = append(got, u)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("fleet community %v, reference %v", got, want)
+	}
+}
+
+// assertFleetIdentity compares the router-fronted fleet against the
+// reference monitor: every frontier, every object's target set, and the
+// migration-stable counters (Processed is position, Delivered is the
+// delivery count; Comparisons is excluded by design — an imported
+// user's frontier is recomputed on the destination, which costs
+// comparisons a single monitor never paid).
+func assertFleetIdentity(t *testing.T, rt *partition.Router, f *rebalanceFleet, objects []string, checkDelivered bool) {
+	t.Helper()
+	for _, u := range f.ref.Users() {
+		want, err1 := f.ref.Frontier(u)
+		got, err2 := rt.Frontier(u)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("frontier(%s): reference %v, router %v", u, err1, err2)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frontier(%s): reference %v, router %v", u, want, got)
+		}
+	}
+	for _, name := range objects {
+		want, err1 := f.ref.TargetsOf(name)
+		got, err2 := rt.TargetsOf(name)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("targets(%s): reference err %v, router err %v", name, err1, err2)
+		}
+		if err1 == nil && !reflect.DeepEqual(want, got) {
+			t.Fatalf("targets(%s): reference %v, router %v", name, want, got)
+		}
+	}
+	rs, ms := rt.Stats(), f.ref.Stats()
+	if rs.Processed != ms.Processed {
+		t.Fatalf("Processed: router %d, reference %d", rs.Processed, ms.Processed)
+	}
+	// The summed Delivered counter is conserved only while the partition
+	// set is fixed: a freshly booted partition counts deliveries to its
+	// construction community before the strip, and a retired partition
+	// leaves the fan-out set with its counter history. Callers that
+	// change the topology check deliveries batch-for-batch instead.
+	if checkDelivered && rs.Delivered != ms.Delivered {
+		t.Fatalf("Delivered: router %d, reference %d", rs.Delivered, ms.Delivered)
+	}
+}
+
+// TestRebalanceEquivalenceRandom is the property test behind the
+// migration design: under a randomized Add/AddBatch/lifecycle workload
+// with user migrations running concurrently (each Migrate interleaves
+// with traffic through the router's freeze windows), the fleet must
+// stay frontier-, target-, delivery- and position-identical to a single
+// sequential monitor fed the same operations. Run under -race in CI.
+func TestRebalanceEquivalenceRandom(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const nUsers = 24
+			com := partitionCommunity(t, nUsers)
+			f := startRebalanceFleet(t, com, 3)
+			defer f.close()
+			rt, err := partition.New(partition.Config{
+				URLs:          f.urls,
+				RetryBudget:   10 * time.Second,
+				RetryInterval: 5 * time.Millisecond,
+				RouterID:      "equiv-router",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+
+			// Migrator: keep moving the initial users (never removed by the
+			// workload below, so ownership validation cannot race) between
+			// partitions while traffic flows.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			migrations := 0
+			go func() {
+				defer wg.Done()
+				mrng := rand.New(rand.NewSource(seed * 7919))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					u := fmt.Sprintf("u%d", mrng.Intn(nUsers))
+					from := rt.Owner(u)
+					to := (from + 1 + mrng.Intn(2)) % 3
+					if to == from {
+						continue
+					}
+					if err := rt.Migrate([]string{u}, from, to); err != nil {
+						t.Errorf("migrate %s %d→%d: %v", u, from, to, err)
+						return
+					}
+					migrations++
+				}
+			}()
+
+			// Traffic: the randomized op sequence runs against both drivers
+			// in lockstep, comparing deliveries batch by batch.
+			rng := rand.New(rand.NewSource(seed))
+			nextObj, nextUser := 1, nUsers
+			var objects, alive []string
+			users := append([]string(nil), com.Users()...)
+			for i := 0; i < 50; i++ {
+				switch k := rng.Intn(10); {
+				case k < 5: // ingest a batch
+					n := 1 + rng.Intn(6)
+					batch := make([]paretomon.Object, n)
+					for j := range batch {
+						row := make([]string, len(partitionAttrs))
+						for d := range row {
+							row[d] = partitionVals[rng.Intn(len(partitionVals))]
+						}
+						batch[j] = paretomon.Object{Name: fmt.Sprintf("o%d", nextObj), Values: row}
+						objects = append(objects, batch[j].Name)
+						alive = append(alive, batch[j].Name)
+						nextObj++
+					}
+					want, err1 := f.ref.AddBatch(batch)
+					got, err2 := rt.AddBatch(batch)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("op %d AddBatch: reference %v, router %v", i, err1, err2)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("op %d deliveries:\nreference %v\nrouter    %v", i, want, got)
+					}
+				case k < 6: // join
+					name := fmt.Sprintf("u%d", nextUser)
+					nextUser++
+					users = append(users, name)
+					prefs := []paretomon.Preference{{Attr: "a", Better: "v1", Worse: "v3"}}
+					if err := f.ref.AddUser(name, prefs); err != nil {
+						t.Fatalf("op %d reference AddUser: %v", i, err)
+					}
+					if err := rt.AddUser(name, prefs); err != nil {
+						t.Fatalf("op %d router AddUser: %v", i, err)
+					}
+				case k < 8: // assert + retract a preference
+					u := users[rng.Intn(len(users))]
+					attr := partitionAttrs[rng.Intn(len(partitionAttrs))]
+					better := partitionVals[rng.Intn(len(partitionVals))]
+					worse := partitionVals[rng.Intn(len(partitionVals))]
+					for _, d := range []paretomon.Driver{f.ref, paretomon.Driver(rt)} {
+						if err := d.AddPreference(u, attr, better, worse); err != nil {
+							continue // cycle/reflexive: rejected identically on both sides
+						}
+						if err := d.RetractPreference(u, attr, better, worse); err != nil {
+							t.Fatalf("op %d retract on %T: %v", i, d, err)
+						}
+					}
+				case k < 9 && len(alive) > 0: // takedown
+					name := alive[rng.Intn(len(alive))]
+					for _, d := range []paretomon.Driver{f.ref, paretomon.Driver(rt)} {
+						err := d.RemoveObject(name)
+						if err != nil && !strings.Contains(err.Error(), "unknown object") {
+							t.Fatalf("op %d remove %s on %T: %v", i, name, d, err)
+						}
+					}
+				default: // idle round: let the migrator get a word in
+					time.Sleep(time.Millisecond)
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if migrations == 0 {
+				t.Fatal("no migration completed during the workload — the property was not exercised")
+			}
+			t.Logf("seed %d: %d migrations interleaved, ring version %d", seed, migrations, rt.Ring().Version)
+			assertFleetIdentity(t, rt, f, objects, true)
+			assertOneOwner(t, f)
+		})
+	}
+}
+
+// TestRebalanceScaleOutLiveTraffic is the acceptance exercise: a live
+// 2→3 scale-out (then a 3→2 scale-in) under sustained write traffic
+// must complete with zero lost or duplicated deliveries — every batch
+// the writer lands during the rebalance delivers exactly what the
+// sequential reference delivers for the same stream — and leave the
+// fleet frontier-identical with every user owned by exactly one
+// partition.
+func TestRebalanceScaleOutLiveTraffic(t *testing.T) {
+	com := partitionCommunity(t, 30)
+	f := startRebalanceFleet(t, com, 2)
+	defer f.close()
+	rt, err := partition.New(partition.Config{
+		URLs:          f.urls[:2],
+		RetryBudget:   10 * time.Second,
+		RetryInterval: 5 * time.Millisecond,
+		RouterID:      "scale-router",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// The third partition boots the way the CLI would (-partition 2/3):
+	// constructed with its target-plan slice of the community, which the
+	// rebalance strips before migrating authoritative state in.
+	plan3, err := partition.NewPlan(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.addPartition(t, com, func(name string) bool { return plan3.Owner(name) == 2 })
+
+	// Warm both sides with a shared prefix.
+	objs := partitionStream(40, 13)
+	if _, err := f.ref.AddBatch(objs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddBatch(objs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sustained writer: batches of 5 through the router for as long as
+	// the rebalance runs, recording what each delivered.
+	type recorded struct {
+		batch      []paretomon.Object
+		deliveries []paretomon.Delivery
+	}
+	var (
+		recMu   sync.Mutex
+		rec     []recorded
+		stop    = make(chan struct{})
+		writerE error
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seed := uint64(99)
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]paretomon.Object, 5)
+			for j := range batch {
+				row := make([]string, len(partitionAttrs))
+				for d := range row {
+					seed = seed*6364136223846793005 + 1442695040888963407
+					row[d] = partitionVals[seed>>33%uint64(len(partitionVals))]
+				}
+				batch[j] = paretomon.Object{Name: fmt.Sprintf("w%d", n), Values: row}
+				n++
+			}
+			ds, err := rt.AddBatch(batch)
+			if err != nil {
+				writerE = err
+				return
+			}
+			recMu.Lock()
+			rec = append(rec, recorded{batch: batch, deliveries: ds})
+			recMu.Unlock()
+		}
+	}()
+
+	rep, err := rt.Rebalance(context.Background(), f.urls, partition.RebalanceOptions{BatchSize: 4})
+	if err != nil {
+		t.Fatalf("scale-out: %v (report %+v)", err, rep)
+	}
+	if rep.FromParts != 2 || rep.ToParts != 3 || rep.UsersMoved == 0 {
+		t.Fatalf("scale-out report: %+v", rep)
+	}
+	t.Logf("scale-out: %+v", rep)
+
+	// Scale back in while the writer is still going, then stop it.
+	repIn, err := rt.Rebalance(context.Background(), f.urls[:2], partition.RebalanceOptions{BatchSize: 4})
+	if err != nil {
+		t.Fatalf("scale-in: %v (report %+v)", err, repIn)
+	}
+	if repIn.ToParts != 2 || repIn.UsersMoved == 0 {
+		t.Fatalf("scale-in report: %+v", repIn)
+	}
+	if repIn.RingVersion <= rep.RingVersion {
+		t.Fatalf("ring version did not advance: out %d, in %d", rep.RingVersion, repIn.RingVersion)
+	}
+	close(stop)
+	wg.Wait()
+	if writerE != nil {
+		t.Fatalf("writer failed during rebalance: %v", writerE)
+	}
+	if len(rec) == 0 {
+		t.Fatal("writer landed no batches during the rebalance — nothing was exercised")
+	}
+
+	// Zero lost, zero duplicated: replay the writer's exact stream into
+	// the sequential reference and demand delivery-for-delivery equality.
+	objects := make([]string, 0, 40)
+	for i := range objs {
+		objects = append(objects, objs[i].Name)
+	}
+	for i, r := range rec {
+		want, err := f.ref.AddBatch(r.batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, r.deliveries) {
+			t.Fatalf("writer batch %d deliveries:\nreference %v\nrouter    %v", i, want, r.deliveries)
+		}
+		for _, o := range r.batch {
+			objects = append(objects, o.Name)
+		}
+	}
+
+	assertFleetIdentity(t, rt, f, objects, false)
+	assertOneOwner(t, f)
+	// After the scale-in every user is back on the first two partitions.
+	if n := len(f.mons[2].Users()); n != 0 {
+		t.Errorf("retired partition still holds %d user(s)", n)
+	}
+	t.Logf("writer landed %d batches (%d objects) across scale-out + scale-in", len(rec), 5*len(rec))
+}

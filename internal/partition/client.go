@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // client is one partition's HTTP surface: the existing internal/server
@@ -16,10 +18,23 @@ import (
 type client struct {
 	base string
 	hc   *http.Client
+	// ring, when non-nil, is the router's current ring version; every
+	// request with a non-zero value carries it in RingHeader, and a 409
+	// echoing the header back decodes to *RingVersionError.
+	ring *atomic.Uint64
 }
 
-func newClient(base string, hc *http.Client) *client {
-	return &client{base: strings.TrimRight(base, "/"), hc: hc}
+func newClient(base string, hc *http.Client, ring *atomic.Uint64) *client {
+	return &client{base: strings.TrimRight(base, "/"), hc: hc, ring: ring}
+}
+
+// stampRing attaches the router's ring version, when one is installed.
+func (c *client) stampRing(req *http.Request) {
+	if c.ring != nil {
+		if v := c.ring.Load(); v != 0 {
+			req.Header.Set(RingHeader, strconv.FormatUint(v, 10))
+		}
+	}
 }
 
 // do performs one JSON request. in (when non-nil) is the request body;
@@ -43,6 +58,7 @@ func (c *client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.stampRing(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -63,7 +79,8 @@ func (c *client) do(ctx context.Context, method, path string, in, out any) error
 
 // decodeStatusError turns a non-200 response into a *StatusError,
 // preserving the server's error message when the body carries the
-// JSON envelope.
+// JSON envelope. A 409 that echoes the partition's installed ring
+// version in RingHeader is the typed ring conflict instead.
 func decodeStatusError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var envelope struct {
@@ -73,7 +90,73 @@ func decodeStatusError(resp *http.Response) error {
 	if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
 		msg = envelope.Error
 	}
+	if resp.StatusCode == http.StatusConflict {
+		if hdr := resp.Header.Get(RingHeader); hdr != "" {
+			if have, err := strconv.ParseUint(hdr, 10, 64); err == nil {
+				return &RingVersionError{Have: have, Msg: msg}
+			}
+		}
+	}
 	return &StatusError{Status: resp.StatusCode, Msg: msg}
+}
+
+// getStream performs a request whose 200 response body is a raw stream
+// (replica frames) the caller consumes and closes. in, when non-nil,
+// is a JSON request body.
+func (c *client) getStream(ctx context.Context, method, path string, in any) (io.ReadCloser, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("partition: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.stampRing(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeStatusError(resp)
+	}
+	return resp.Body, nil
+}
+
+// postStream performs a request whose body is a raw stream (typically
+// another partition's getStream response, piped through unbuffered);
+// out, when non-nil, receives the decoded JSON 200 response.
+func (c *client) postStream(ctx context.Context, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	c.stampRing(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeStatusError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("partition: decoding %s response: %w", path, err)
+	}
+	return nil
 }
 
 // ready probes GET /readyz: nil means the partition is serving (store

@@ -12,6 +12,37 @@ import (
 // callers dispatch with errors.Is(err, ErrPartitionDown).
 var ErrPartitionDown = errors.New("partition: partition down")
 
+// ErrRingVersion marks a write the fleet rejected because the router's
+// ring version disagrees with the partition's installed one. The
+// Router handles it internally (refetch /ring, retry); it escapes only
+// when the refetch loop cannot converge — a fleet actively rebalanced
+// by someone else faster than this router can catch up.
+var ErrRingVersion = errors.New("partition: ring version mismatch")
+
+// ErrNotLeaseHolder marks a mutation refused because another router
+// holds the fleet's write lease. The standby keeps renewing; it takes
+// over the moment the holder releases or its TTL lapses.
+var ErrNotLeaseHolder = errors.New("partition: write lease held by another router")
+
+// RingVersionError is the typed form of a ring-version 409: the
+// partition's installed version rides along so the router knows
+// whether to refetch (partition is ahead) or push (partition is
+// behind). It unwraps to ErrRingVersion and is deliberately NOT
+// retryable-as-is — retrying without refreshing the ring would 409
+// forever.
+type RingVersionError struct {
+	// Have is the version the partition has installed.
+	Have uint64
+	// Msg is the server's error message.
+	Msg string
+}
+
+func (e *RingVersionError) Error() string {
+	return fmt.Sprintf("%v (partition has %d): %s", ErrRingVersion, e.Have, e.Msg)
+}
+
+func (e *RingVersionError) Unwrap() error { return ErrRingVersion }
+
 // PartitionError locates one partition's failure inside a fleet call.
 type PartitionError struct {
 	// Partition is the plan index; URL the partition's base URL.
@@ -77,6 +108,10 @@ func (e *StatusError) Error() string {
 // 5xx responses (a partition mid-shutdown or mid-recovery) are
 // retryable; 4xx responses are final.
 func retryable(err error) bool {
+	var rv *RingVersionError
+	if errors.As(err, &rv) {
+		return false // needs a ring refresh first, not a blind retry
+	}
 	var se *StatusError
 	if errors.As(err, &se) {
 		return se.Status >= 500

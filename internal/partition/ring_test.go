@@ -1,0 +1,382 @@
+package partition_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/partition"
+	"repro/internal/server"
+)
+
+// TestRingValidation covers the Ring value type: construction errors,
+// pin-versus-plan ownership, and the wire roundtrip.
+func TestRingValidation(t *testing.T) {
+	urls := []string{"http://a", "http://b", "http://c"}
+	if _, err := partition.NewRing(0, 3, 0, urls, nil); err == nil {
+		t.Error("version 0 accepted; it is reserved for legacy mode")
+	}
+	if _, err := partition.NewRing(1, 4, 0, urls, nil); err == nil {
+		t.Error("parts > len(urls) accepted")
+	}
+	if _, err := partition.NewRing(1, 0, 0, urls, nil); err == nil {
+		t.Error("zero parts accepted")
+	}
+	if _, err := partition.NewRing(1, 3, 0, urls, map[string]int{"u1": 3}); err == nil {
+		t.Error("pin beyond the URL list accepted")
+	}
+
+	rg, err := partition.NewRing(7, 2, 0, urls, map[string]int{"u1": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pinned user resolves to the pin (a retiring partition beyond
+	// Parts is legal), everyone else to the plan — and PlanOwner ignores
+	// the pin.
+	if got := rg.Owner("u1"); got != 2 {
+		t.Errorf("pinned owner = %d, want 2", got)
+	}
+	if got := rg.PlanOwner("u1"); got < 0 || got >= 2 {
+		t.Errorf("plan owner = %d, want a plan partition", got)
+	}
+	for _, u := range []string{"u2", "u3", "u4"} {
+		if got := rg.Owner(u); got != rg.PlanOwner(u) {
+			t.Errorf("unpinned %s: owner %d != plan owner %d", u, got, rg.PlanOwner(u))
+		}
+	}
+
+	back, err := partition.DecodeRing(rg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != rg.Version || back.Parts != rg.Parts || back.VNodes != rg.VNodes ||
+		!reflect.DeepEqual(back.URLs, rg.URLs) || !reflect.DeepEqual(back.Moves, rg.Moves) {
+		t.Errorf("roundtrip mangled the ring: %+v vs %+v", back, rg)
+	}
+	for _, u := range []string{"u1", "u2", "u3", "u4"} {
+		if back.Owner(u) != rg.Owner(u) {
+			t.Errorf("roundtrip changed owner(%s): %d vs %d", u, back.Owner(u), rg.Owner(u))
+		}
+	}
+}
+
+// pushRing installs rg on a partition out-of-band, simulating another
+// router's commit this Router has not heard about.
+func pushRing(t *testing.T, url string, rg *partition.Ring) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url+"/ring", bytes.NewReader(rg.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pushing ring v%d to %s: status %d", rg.Version, url, resp.StatusCode)
+	}
+}
+
+// bumpRing crafts the fleet ring's successor (same topology, version+1)
+// and installs it on every partition behind the Router's back.
+func bumpRing(t *testing.T, f *fleet) *partition.Ring {
+	t.Helper()
+	cur := f.router.Ring()
+	if cur == nil {
+		t.Fatal("no ring installed; bootstrap first")
+	}
+	next, err := partition.NewRing(cur.Version+1, cur.Parts, cur.VNodes, cur.URLs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hs := range f.https {
+		pushRing(t, hs.URL, next)
+	}
+	return next
+}
+
+// TestRingVersionRefetchRetry: every mutating path must survive another
+// router committing a newer ring — the partition's 409 carries the
+// installed version, the Router refetches and retries. Covered paths:
+// the fan-out batch (including the duplicate-batch probe), the
+// owner-routed op, and a cold router that has no ring at all.
+func TestRingVersionRefetchRetry(t *testing.T) {
+	com := testCommunity(t, 12)
+	f := startFleet(t, com, 2)
+	defer f.close()
+
+	// Bootstrap ring v1 (a same-topology rebalance installs it).
+	if _, err := f.router.Rebalance(context.Background(), fleetURLs(f), partition.RebalanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if rg := f.router.Ring(); rg == nil || rg.Version != 1 {
+		t.Fatalf("bootstrap ring %+v, want version 1", f.router.Ring())
+	}
+
+	// Fan-out heal: the fleet moves to v2 behind the Router's back; its
+	// next batch is rejected 409 by every partition, refetched, retried.
+	bumpRing(t, f)
+	objs := stream(10)
+	want, err1 := f.ref.AddBatch(objs)
+	got, err2 := f.router.AddBatch(objs)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("batch through stale router: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("post-heal deliveries differ:\nreference %v\nrouter    %v", want, got)
+	}
+	if rg := f.router.Ring(); rg.Version != 2 {
+		t.Errorf("router ring = v%d after heal, want 2", rg.Version)
+	}
+
+	// Owner-op heal: same dance on the single-owner path.
+	bumpRing(t, f)
+	prefs := []paretomon.Preference{{Attr: "a", Better: "v1", Worse: "v0"}}
+	if err := f.ref.AddUser("u90", prefs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.router.AddUser("u90", prefs); err != nil {
+		t.Fatalf("AddUser through stale router: %v", err)
+	}
+	if rg := f.router.Ring(); rg.Version != 3 {
+		t.Errorf("router ring = v%d after owner-op heal, want 3", rg.Version)
+	}
+
+	// Cold-router heal: a fresh router sends NO version header, which a
+	// ringed partition rejects just like a stale one. Its first write
+	// adopts v3 and lands. Re-sending the batch the fleet already holds
+	// also exercises the duplicate probe: the 4xx duplicate-name
+	// rejection resolves via GET /targets reconstruction.
+	rtB, err := partition.New(partition.Config{
+		URLs:          fleetURLs(f),
+		RetryBudget:   5 * time.Second,
+		RetryInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtB.Close()
+	redo, err := rtB.AddBatch(objs)
+	if err != nil {
+		t.Fatalf("duplicate batch through cold router: %v", err)
+	}
+	for _, d := range redo {
+		wantUsers, err := f.ref.TargetsOf(d.Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantUsers, d.Users) {
+			t.Errorf("probe-reconstructed delivery(%s): %v, want current targets %v", d.Object, d.Users, wantUsers)
+		}
+	}
+	// The duplicate never needed the write path (the probe is a read, and
+	// reads are not ring-gated), so the cold router is STILL ringless —
+	// only a genuinely new write forces the headerless 409 and the heal.
+	if rg := rtB.Ring(); rg != nil {
+		t.Errorf("cold router adopted ring %+v from a read-only resolution", rg)
+	}
+	if err := f.ref.AddUser("u91", prefs); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtB.AddUser("u91", prefs); err != nil {
+		t.Fatalf("AddUser through cold router: %v", err)
+	}
+	if rg := rtB.Ring(); rg == nil || rg.Version != 3 {
+		t.Errorf("cold router ring = %+v after headerless heal, want version 3", rtB.Ring())
+	}
+	assertIdentical(t, f, 10)
+}
+
+// fleetURLs lists the fleet's partition base URLs.
+func fleetURLs(f *fleet) []string {
+	urls := make([]string, len(f.https))
+	for i, hs := range f.https {
+		urls[i] = hs.URL
+	}
+	return urls
+}
+
+// TestRouterLeaseMutualExclusion: with Config.RouterID set, mutations
+// acquire the fleet write lease from partition 0. A second router is
+// fenced out until the holder releases (Close) or its TTL lapses, and
+// every handover bumps the fencing epoch.
+func TestRouterLeaseMutualExclusion(t *testing.T) {
+	com := testCommunity(t, 12)
+	f := startFleet(t, com, 2)
+	defer f.close()
+
+	const ttl = 250 * time.Millisecond
+	mk := func(id string) *partition.Router {
+		t.Helper()
+		rt, err := partition.New(partition.Config{
+			URLs:          fleetURLs(f),
+			RetryBudget:   2 * time.Second,
+			RetryInterval: 5 * time.Millisecond,
+			RouterID:      id,
+			LeaseTTL:      ttl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	ra, rb, rc := mk("ra"), mk("rb"), mk("rc")
+	defer rb.Close()
+	defer rc.Close()
+
+	prefs := []paretomon.Preference{{Attr: "a", Better: "v1", Worse: "v0"}}
+	if err := ra.AddUser("u80", prefs); err != nil {
+		t.Fatalf("first writer blocked: %v", err)
+	}
+	if ra.LeaseEpoch() == 0 {
+		t.Fatal("holder reports epoch 0")
+	}
+	if err := rb.AddUser("u81", prefs); !errors.Is(err, partition.ErrNotLeaseHolder) {
+		t.Fatalf("standby write = %v, want ErrNotLeaseHolder", err)
+	}
+
+	// Clean handover: Close releases the lease and the standby takes it.
+	if err := ra.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.AddUser("u81", prefs); err != nil {
+		t.Fatalf("standby after release: %v", err)
+	}
+	epochB := rb.LeaseEpoch()
+	if epochB == 0 {
+		t.Fatal("new holder reports epoch 0")
+	}
+	if err := rc.AddUser("u82", prefs); !errors.Is(err, partition.ErrNotLeaseHolder) {
+		t.Fatalf("third router while lease live = %v, want ErrNotLeaseHolder", err)
+	}
+
+	// Crash handover: the holder goes silent (no renewal) and the TTL
+	// judges it dead — partition 0's clock, not the standby's.
+	time.Sleep(ttl + 50*time.Millisecond)
+	if err := rc.AddUser("u82", prefs); err != nil {
+		t.Fatalf("takeover after TTL expiry: %v", err)
+	}
+	if rc.LeaseEpoch() <= epochB {
+		t.Errorf("takeover epoch %d, want > %d (fencing must advance)", rc.LeaseEpoch(), epochB)
+	}
+}
+
+// TestRouterRetryBudgetPerPartition: one partition flapping must cost
+// one retry budget, not one per healthy partition — budgets are
+// per-partition and concurrent. The healthy partitions land the batch
+// on the first attempt, the down one exhausts its own budget, and the
+// re-issue after recovery converges via the duplicate probe.
+func TestRouterRetryBudgetPerPartition(t *testing.T) {
+	com := testCommunity(t, 12)
+	plan, err := partition.NewPlan(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := paretomon.NewMonitor(com, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	var healthy atomic.Bool
+	mons := make([]*paretomon.Monitor, 3)
+	urls := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		sub := com.Subset(func(name string) bool { return plan.Owner(name) == i })
+		if sub.Len() == 0 {
+			t.Fatalf("partition %d owns no users", i)
+		}
+		mon, err := paretomon.NewMonitor(sub, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mon.Close()
+		mons[i] = mon
+		h := http.Handler(server.New(mon))
+		if i == 2 {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if !healthy.Load() {
+					http.Error(w, "flapping", http.StatusServiceUnavailable)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		hs := httptest.NewServer(h)
+		defer hs.Close()
+		urls[i] = hs.URL
+	}
+
+	const budget = 500 * time.Millisecond
+	rt, err := partition.New(partition.Config{
+		URLs:          urls,
+		RetryBudget:   budget,
+		RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	objs := stream(6)
+	if _, err := ref.AddBatch(objs); err != nil {
+		t.Fatal(err)
+	}
+	startT := time.Now()
+	_, err = rt.AddBatch(objs)
+	elapsed := time.Since(startT)
+	if !errors.Is(err, partition.ErrPartitionDown) {
+		t.Fatalf("batch with partition 2 down = %v, want ErrPartitionDown", err)
+	}
+	var re *partition.RouteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T, want *RouteError", err)
+	}
+	if len(re.Failures) != 1 || re.Failures[0].Partition != 2 {
+		t.Fatalf("failures %v, want exactly partition 2", re.Failures)
+	}
+	// The regression gate: were budgets shared or sequential, the two
+	// healthy partitions' work would stack onto the flapper's clock.
+	if elapsed > 3*budget {
+		t.Errorf("fan-out with one down partition took %v, want ≈ one budget (%v)", elapsed, budget)
+	}
+	// The healthy partitions hold the batch despite the fleet error.
+	for i := 0; i < 2; i++ {
+		if _, err := mons[i].TargetsOf("o1"); err != nil {
+			t.Errorf("healthy partition %d does not hold o1: %v", i, err)
+		}
+	}
+
+	// Recovery: the same batch re-issued lands everywhere — duplicates
+	// on the healthy partitions resolve via the applied-prefix probe —
+	// and the fleet is identical to the reference.
+	healthy.Store(true)
+	if _, err := rt.AddBatch(objs); err != nil {
+		t.Fatalf("re-issue after recovery: %v", err)
+	}
+	for _, u := range ref.Users() {
+		wantF, err1 := ref.Frontier(u)
+		gotF, err2 := rt.Frontier(u)
+		if err1 != nil || err2 != nil || !reflect.DeepEqual(wantF, gotF) {
+			t.Fatalf("frontier(%s): reference %v (%v), router %v (%v)", u, wantF, err1, gotF, err2)
+		}
+	}
+	for i := 1; i <= len(objs); i++ {
+		name := fmt.Sprintf("o%d", i)
+		wantT, err1 := ref.TargetsOf(name)
+		gotT, err2 := rt.TargetsOf(name)
+		if err1 != nil || err2 != nil || !reflect.DeepEqual(wantT, gotT) {
+			t.Fatalf("targets(%s): reference %v (%v), router %v (%v)", name, wantT, err1, gotT, err2)
+		}
+	}
+}

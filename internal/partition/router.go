@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	paretomon "repro"
@@ -20,6 +21,18 @@ const (
 	DefaultRetryBudget   = 30 * time.Second
 	DefaultRetryInterval = 25 * time.Millisecond
 )
+
+// DefaultLeaseTTL is the write-lease duration when Config.RouterID
+// enables HA and Config.LeaseTTL is zero; the holder renews after a
+// third of it elapses, so a standby waits at most one TTL on failover.
+const DefaultLeaseTTL = 10 * time.Second
+
+// ringRetryRounds bounds how many times one operation refreshes the
+// ring and retries after a version conflict before giving up — enough
+// to chase a concurrent rebalance commit or two, finite so a fleet
+// being rebalanced faster than we can refetch fails loudly instead of
+// looping.
+const ringRetryRounds = 4
 
 // Config describes the fleet a Router fronts.
 type Config struct {
@@ -41,6 +54,19 @@ type Config struct {
 	// RetryInterval is the pause between readiness probes while waiting
 	// out a down partition; 0 selects DefaultRetryInterval.
 	RetryInterval time.Duration
+	// RouterID, when non-empty, enables router HA: before every
+	// mutation the Router acquires (or renews) the fleet write lease
+	// under this identity on partition 0, and refuses to write while
+	// another router holds it (ErrNotLeaseHolder). Two routers fronting
+	// one fleet MUST both set it; a single router may leave it empty.
+	// See docs/PARTITIONING.md "Router HA".
+	RouterID string
+	// LeaseTTL is the write-lease duration; 0 selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Observe, when non-nil, receives rebalance progress events
+	// synchronously as each step completes (keep it fast; it runs under
+	// the write freeze).
+	Observe func(RebalanceEvent)
 }
 
 // remote is one partition as the Router sees it.
@@ -62,10 +88,33 @@ type remote struct {
 // same stream. Reads bypass the mutex entirely.
 type Router struct {
 	plan     *Plan
-	parts    []*remote
 	hc       *http.Client
 	budget   time.Duration
 	interval time.Duration
+
+	// ringMu guards parts and ring. ring is nil until the fleet
+	// installs one (legacy mode: route by the static plan, stamp no
+	// version header); ringVer mirrors ring.Version so the clients
+	// stamp headers without taking the lock. parts is rebuilt wholesale
+	// on ring install — readers snapshot it via remotes().
+	ringMu sync.RWMutex
+	parts  []*remote
+	ring   *Ring
+	// ringVer is shared with every client by pointer.
+	ringVer atomic.Uint64
+
+	// Router HA lease state; see rebalance.go.
+	leaseID  string
+	leaseTTL time.Duration
+	lease    leaseState
+
+	// observe receives rebalance progress events; nil = silent.
+	observe func(RebalanceEvent)
+
+	// rebalancing rejects overlapped Rebalance calls (each one already
+	// interleaves freeze windows with live traffic; two at once would
+	// interleave ring successions).
+	rebalancing atomic.Bool
 
 	// mu serializes mutations fleet-wide; see the type comment.
 	mu sync.Mutex
@@ -94,37 +143,77 @@ func New(cfg Config) (*Router, error) {
 	if interval <= 0 {
 		interval = DefaultRetryInterval
 	}
-	r := &Router{plan: plan, hc: hc, budget: budget, interval: interval}
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	r := &Router{
+		plan: plan, hc: hc, budget: budget, interval: interval,
+		leaseID: cfg.RouterID, leaseTTL: ttl, observe: cfg.Observe,
+	}
 	for i, u := range cfg.URLs {
-		c := newClient(u, hc)
+		c := newClient(u, hc, &r.ringVer)
 		r.parts = append(r.parts, &remote{client: c, idx: i, url: c.base})
 	}
 	return r, nil
 }
 
-// Plan returns the Router's user → partition assignment.
+// Plan returns the Router's static user → partition assignment — the
+// bootstrap plan the fleet was started with. Once a ring is installed
+// (any rebalance), Ring supersedes it for routing.
 func (r *Router) Plan() *Plan { return r.plan }
 
-// Owner returns the partition index owning the named user.
-func (r *Router) Owner(user string) int { return r.plan.Owner(user) }
+// remotes snapshots the current partition set. The slice is replaced,
+// never mutated, on ring install, so holding a snapshot across a ring
+// flip is safe — at worst an operation lands with a stale version
+// header and comes back as a ring conflict.
+func (r *Router) remotes() []*remote {
+	r.ringMu.RLock()
+	defer r.ringMu.RUnlock()
+	return r.parts
+}
+
+// Ring returns the ring the Router currently routes by, nil before any
+// rebalance installs one.
+func (r *Router) Ring() *Ring {
+	r.ringMu.RLock()
+	defer r.ringMu.RUnlock()
+	return r.ring
+}
+
+// Owner returns the partition index owning the named user: the
+// installed ring's say when there is one, the static plan's otherwise.
+func (r *Router) Owner(user string) int {
+	r.ringMu.RLock()
+	defer r.ringMu.RUnlock()
+	if r.ring != nil {
+		return r.ring.Owner(user)
+	}
+	return r.plan.Owner(user)
+}
 
 // PartitionURL returns partition i's base URL.
-func (r *Router) PartitionURL(i int) string { return r.parts[i].url }
+func (r *Router) PartitionURL(i int) string { return r.remotes()[i].url }
 
 // HTTPClient returns the client used for partition calls — a fronting
 // server reuses it to proxy subscription streams to owner partitions.
 func (r *Router) HTTPClient() *http.Client { return r.hc }
 
-// Close releases the Router. The partitions are independent processes
-// and keep running; Close exists to satisfy paretomon.Driver.
-func (r *Router) Close() error { return nil }
+// Close releases the Router: if it holds the write lease it steps down
+// (best-effort) so a standby takes over immediately. The partitions
+// are independent processes and keep running.
+func (r *Router) Close() error {
+	r.releaseLease()
+	return nil
+}
 
 // Ready probes every partition's /readyz; nil means the whole fleet is
 // serving. The error aggregates each unready partition.
 func (r *Router) Ready(ctx context.Context) error {
-	errs := make([]error, len(r.parts))
+	parts := r.remotes()
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
-	for i, p := range r.parts {
+	for i, p := range parts {
 		wg.Add(1)
 		go func(i int, p *remote) {
 			defer wg.Done()
@@ -310,21 +399,33 @@ func (r *Router) AddBatch(objs []paretomon.Object) ([]paretomon.Delivery, error)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	results := make([][]paretomon.Delivery, len(r.parts))
-	errs := make([]error, len(r.parts))
-	var wg sync.WaitGroup
-	for i, p := range r.parts {
-		wg.Add(1)
-		go func(i int, p *remote) {
-			defer wg.Done()
-			results[i], errs[i] = r.addBatchOne(p, req)
-		}(i, p)
-	}
-	wg.Wait()
-	if err := collect("AddBatch", errs); err != nil {
+	if err := r.ensureLease(); err != nil {
 		return nil, err
 	}
-	return mergeDeliveries(objs, results), nil
+	var out []paretomon.Delivery
+	err := r.ringRetry("AddBatch", func() error {
+		parts := r.remotes()
+		results := make([][]paretomon.Delivery, len(parts))
+		errs := make([]error, len(parts))
+		var wg sync.WaitGroup
+		for i, p := range parts {
+			wg.Add(1)
+			go func(i int, p *remote) {
+				defer wg.Done()
+				results[i], errs[i] = r.addBatchOne(p, req)
+			}(i, p)
+		}
+		wg.Wait()
+		if err := collect("AddBatch", errs); err != nil {
+			return err
+		}
+		out = mergeDeliveries(objs, results)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // addBatchOne lands one batch on one partition, resuming across
@@ -405,7 +506,10 @@ func (r *Router) advanceApplied(ctx context.Context, p *remote, req batchPayload
 }
 
 // mergeDeliveries unions each object's per-partition targets into one
-// community-wide delivery, sorted like a Monitor's.
+// community-wide delivery, sorted and deduplicated like a Monitor's —
+// dedup matters during migration's crash window, where a user can
+// transiently be held by both the source and the destination and must
+// still be delivered to once.
 func mergeDeliveries(objs []paretomon.Object, results [][]paretomon.Delivery) []paretomon.Delivery {
 	out := make([]paretomon.Delivery, len(objs))
 	for i, o := range objs {
@@ -414,16 +518,47 @@ func mergeDeliveries(objs []paretomon.Object, results [][]paretomon.Delivery) []
 			users = append(users, ds[i].Users...)
 		}
 		sort.Strings(users)
-		out[i] = paretomon.Delivery{Object: o.Name, Users: users}
+		n := 0
+		for j, u := range users {
+			if j == 0 || u != users[j-1] {
+				users[n] = u
+				n++
+			}
+		}
+		out[i] = paretomon.Delivery{Object: o.Name, Users: users[:n]}
 	}
 	return out
 }
 
+// ringRetry runs one fleet mutation, refreshing the ring and retrying
+// when any partition rejects it with a version conflict. Each attempt
+// re-resolves owners and budgets from the refreshed ring, so a
+// conflicted owner op lands on the NEW owner with a fresh retry
+// budget. Bounded by ringRetryRounds.
+func (r *Router) ringRetry(op string, fn func() error) error {
+	var lastErr error
+	for round := 0; round < ringRetryRounds; round++ {
+		err := fn()
+		if err == nil || !errors.Is(err, ErrRingVersion) {
+			return err
+		}
+		lastErr = err
+		if _, rerr := r.RefreshRing(context.Background()); rerr != nil {
+			return fmt.Errorf("partition: %s hit a ring conflict and the refresh failed: %w (conflict: %w)", op, rerr, err)
+		}
+	}
+	return lastErr
+}
+
 // ownerOp routes one mutation or read to the user's owning partition
-// with retries.
+// with retries, chasing ring flips: a version conflict refreshes the
+// ring and re-resolves the owner — the user may have migrated — before
+// trying again.
 func (r *Router) ownerOp(user string, fn func(ctx context.Context, p *remote) error) error {
-	p := r.parts[r.plan.Owner(user)]
-	return r.withRetry(p, func(ctx context.Context) error { return fn(ctx, p) })
+	return r.ringRetry("ownerOp", func() error {
+		p := r.remotes()[r.Owner(user)]
+		return r.withRetry(p, func(ctx context.Context) error { return fn(ctx, p) })
+	})
 }
 
 // AddUser registers a user (with initial preferences) on its owning
@@ -435,6 +570,9 @@ func (r *Router) AddUser(name string, prefs []paretomon.Preference) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.ensureLease(); err != nil {
+		return err
+	}
 	return r.ownerOp(name, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodPost, "/users", req, nil)
 	})
@@ -444,6 +582,9 @@ func (r *Router) AddUser(name string, prefs []paretomon.Preference) error {
 func (r *Router) RemoveUser(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.ensureLease(); err != nil {
+		return err
+	}
 	err := r.ownerOp(name, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodDelete, "/users/"+url.PathEscape(name), nil, nil)
 	})
@@ -456,6 +597,9 @@ func (r *Router) AddPreference(user, attr, better, worse string) error {
 	req := preferencePayload{User: user, Attribute: attr, Better: better, Worse: worse}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.ensureLease(); err != nil {
+		return err
+	}
 	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodPost, "/preferences", req, nil)
 	})
@@ -468,6 +612,9 @@ func (r *Router) RetractPreference(user, attr, better, worse string) error {
 	req := preferencePayload{User: user, Attribute: attr, Better: better, Worse: worse}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.ensureLease(); err != nil {
+		return err
+	}
 	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodDelete, "/preferences", req, nil)
 	})
@@ -481,38 +628,44 @@ func (r *Router) RetractPreference(user, attr, better, worse string) error {
 func (r *Router) RemoveObject(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	errs := make([]error, len(r.parts))
-	var wg sync.WaitGroup
-	notFound := make([]bool, len(r.parts))
-	for i, p := range r.parts {
-		wg.Add(1)
-		go func(i int, p *remote) {
-			defer wg.Done()
-			errs[i] = r.withRetry(p, func(ctx context.Context) error {
-				return p.do(ctx, http.MethodDelete, "/objects/"+url.PathEscape(name), nil, nil)
-			})
-			var se *StatusError
-			if errs[i] != nil && errors.As(errs[i], &se) && se.Status == http.StatusNotFound {
-				notFound[i] = true
-			}
-		}(i, p)
+	if err := r.ensureLease(); err != nil {
+		return err
 	}
-	wg.Wait()
-	// All partitions ingest every object, so 404s agree — except on a
-	// retry after partial failure, where partitions that already removed
-	// it answer 404 and must count as success.
-	all404 := true
-	for i := range r.parts {
-		if !notFound[i] {
-			all404 = false
-		} else {
-			errs[i] = nil
+	return r.ringRetry("RemoveObject", func() error {
+		parts := r.remotes()
+		errs := make([]error, len(parts))
+		var wg sync.WaitGroup
+		notFound := make([]bool, len(parts))
+		for i, p := range parts {
+			wg.Add(1)
+			go func(i int, p *remote) {
+				defer wg.Done()
+				errs[i] = r.withRetry(p, func(ctx context.Context) error {
+					return p.do(ctx, http.MethodDelete, "/objects/"+url.PathEscape(name), nil, nil)
+				})
+				var se *StatusError
+				if errs[i] != nil && errors.As(errs[i], &se) && se.Status == http.StatusNotFound {
+					notFound[i] = true
+				}
+			}(i, p)
 		}
-	}
-	if all404 {
-		return fmt.Errorf("%w: %q", paretomon.ErrUnknownObject, name)
-	}
-	return collect("RemoveObject", errs)
+		wg.Wait()
+		// All partitions ingest every object, so 404s agree — except on a
+		// retry after partial failure, where partitions that already removed
+		// it answer 404 and must count as success.
+		all404 := true
+		for i := range parts {
+			if !notFound[i] {
+				all404 = false
+			} else {
+				errs[i] = nil
+			}
+		}
+		if all404 {
+			return fmt.Errorf("%w: %q", paretomon.ErrUnknownObject, name)
+		}
+		return collect("RemoveObject", errs)
+	})
 }
 
 // Frontier returns the user's frontier from its owning partition.
@@ -532,10 +685,11 @@ func (r *Router) Frontier(user string) ([]string, error) {
 // C_o, sorted. Any unreachable partition fails the call (a partial
 // union would silently under-report).
 func (r *Router) TargetsOf(object string) ([]string, error) {
-	replies := make([]targetsReply, len(r.parts))
-	errs := make([]error, len(r.parts))
+	parts := r.remotes()
+	replies := make([]targetsReply, len(parts))
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
-	for i, p := range r.parts {
+	for i, p := range parts {
 		wg.Add(1)
 		go func(i int, p *remote) {
 			defer wg.Done()
@@ -559,7 +713,14 @@ func (r *Router) TargetsOf(object string) ([]string, error) {
 		users = append(users, reply.Users...)
 	}
 	sort.Strings(users)
-	return users, nil
+	n := 0
+	for j, u := range users {
+		if j == 0 || u != users[j-1] {
+			users[n] = u
+			n++
+		}
+	}
+	return users[:n], nil
 }
 
 // Users returns the merged community membership, name-sorted (a
@@ -568,9 +729,10 @@ func (r *Router) TargetsOf(object string) ([]string, error) {
 // partitions are skipped — Users has no error return — so the listing
 // is best-effort under failure, like Stats.
 func (r *Router) Users() []string {
-	lists := make([][]string, len(r.parts))
+	parts := r.remotes()
+	lists := make([][]string, len(parts))
 	var wg sync.WaitGroup
-	for i, p := range r.parts {
+	for i, p := range parts {
 		wg.Add(1)
 		go func(i int, p *remote) {
 			defer wg.Done()
@@ -585,7 +747,14 @@ func (r *Router) Users() []string {
 		users = append(users, l...)
 	}
 	sort.Strings(users)
-	return users
+	n := 0
+	for j, u := range users {
+		if j == 0 || u != users[j-1] {
+			users[n] = u
+			n++
+		}
+	}
+	return users[:n]
 }
 
 // Clusters concatenates each partition's clusters in partition order.
@@ -594,9 +763,10 @@ func (r *Router) Users() []string {
 // concatenation, not a re-clustering of the union. Best-effort under
 // failure, like Users.
 func (r *Router) Clusters() [][]string {
-	lists := make([][][]string, len(r.parts))
+	parts := r.remotes()
+	lists := make([][][]string, len(parts))
 	var wg sync.WaitGroup
-	for i, p := range r.parts {
+	for i, p := range parts {
 		wg.Add(1)
 		go func(i int, p *remote) {
 			defer wg.Done()
@@ -645,9 +815,10 @@ type FleetStats struct {
 
 // FleetStats fetches every partition's /stats concurrently and merges.
 func (r *Router) FleetStats() FleetStats {
-	out := FleetStats{Partitions: make([]PartitionStats, len(r.parts))}
+	parts := r.remotes()
+	out := FleetStats{Partitions: make([]PartitionStats, len(parts))}
 	var wg sync.WaitGroup
-	for i, p := range r.parts {
+	for i, p := range parts {
 		out.Partitions[i] = PartitionStats{Partition: p.idx, URL: p.url}
 		wg.Add(1)
 		go func(i int, p *remote) {
@@ -702,9 +873,10 @@ type FleetStorageStats struct {
 // and totals the footprint. Partitions without a store (or down)
 // report an error entry and contribute nothing to the totals.
 func (r *Router) StorageStats() FleetStorageStats {
-	out := FleetStorageStats{Partitions: make([]PartitionStorage, len(r.parts))}
+	parts := r.remotes()
+	out := FleetStorageStats{Partitions: make([]PartitionStorage, len(parts))}
 	var wg sync.WaitGroup
-	for i, p := range r.parts {
+	for i, p := range parts {
 		out.Partitions[i] = PartitionStorage{Partition: p.idx, URL: p.url}
 		wg.Add(1)
 		go func(i int, p *remote) {
@@ -739,9 +911,10 @@ func (r *Router) StorageStats() FleetStorageStats {
 func (r *Router) Snapshot() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	errs := make([]error, len(r.parts))
+	parts := r.remotes()
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
-	for i, p := range r.parts {
+	for i, p := range parts {
 		wg.Add(1)
 		go func(i int, p *remote) {
 			defer wg.Done()

@@ -68,7 +68,58 @@ func NewRouter(rt *partition.Router) *RouterServer {
 	s.mux.HandleFunc("GET /wal", s.handleUnsupported)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /rebalance", s.handleRebalance)
+	s.mux.HandleFunc("POST /reconcile", s.handleReconcile)
+	s.mux.HandleFunc("GET /ring", s.handleRing)
 	return s
+}
+
+// rebalanceRequest is the POST /rebalance body: the target fleet.
+type rebalanceRequest struct {
+	URLs      []string `json:"urls"`
+	BatchSize int      `json:"batch_size"`
+}
+
+// handleRebalance drives an online scale-out/scale-in of the fleet this
+// router fronts, synchronously; the response is the completed report.
+// The running router must drive it — it owns the write freeze that
+// keeps migration batches atomic against live traffic — which is why
+// the CLI posts here instead of building a second router.
+func (s *RouterServer) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var req rebalanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	rep, err := s.router.Rebalance(r.Context(), req.URLs, partition.RebalanceOptions{BatchSize: req.BatchSize})
+	if err != nil {
+		s.routerError(w, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleReconcile runs a Reconcile pass: crash repair for interrupted
+// migrations (see partition.Router.Reconcile).
+func (s *RouterServer) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.router.Reconcile(r.Context())
+	if err != nil {
+		s.routerError(w, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleRing reports the ring the router currently routes by; 404 in
+// legacy mode (no rebalance has ever installed one).
+func (s *RouterServer) handleRing(w http.ResponseWriter, r *http.Request) {
+	rg := s.router.Ring()
+	if rg == nil {
+		httpError(w, http.StatusNotFound, "no ring installed; routing by the static plan")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(rg.Encode())
 }
 
 // ServeHTTP implements http.Handler.
@@ -90,6 +141,13 @@ func (s *RouterServer) routerError(w http.ResponseWriter, err error) {
 	var se *partition.StatusError
 	if errors.As(err, &se) {
 		httpError(w, se.Status, "%s", se.Msg)
+		return
+	}
+	if errors.Is(err, partition.ErrNotLeaseHolder) {
+		// Another router holds the write lease; the client should retry
+		// against the holder (or just wait — this router takes over when
+		// the lease lapses).
+		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
 	var re *partition.RouteError

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	paretomon "repro"
+	"repro/internal/partition"
 	"repro/internal/replica"
 )
 
@@ -89,6 +90,15 @@ type Server struct {
 	feedMu sync.Mutex
 	feedID int64
 	feeds  map[int64]*feedConn
+
+	// Installed ring version (0 = none), cached from the monitor's meta
+	// record so every mutating request checks it without a store read.
+	// See checkRing and docs/PARTITIONING.md "Live rebalancing".
+	ringMu  sync.Mutex
+	ringVer uint64
+
+	// Router lease state; see lease.go.
+	leaseMu sync.Mutex
 }
 
 // feedConn is one active /wal stream's observable state.
@@ -125,6 +135,24 @@ func New(mon *paretomon.Monitor) *Server {
 	s.mux.HandleFunc("GET /wal", s.handleWAL)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /ring", s.handleRingGet)
+	s.mux.HandleFunc("PUT /ring", s.handleRingPut)
+	s.mux.HandleFunc("POST /migrate/export", s.handleMigrateExport)
+	s.mux.HandleFunc("POST /migrate/import", s.handleMigrateImport)
+	s.mux.HandleFunc("GET /migrate/objects", s.handleObjectsExport)
+	s.mux.HandleFunc("POST /migrate/objects", s.handleObjectsImport)
+	s.mux.HandleFunc("GET /objects/count", s.handleObjectCount)
+	s.mux.HandleFunc("POST /lease", s.handleLeaseAcquire)
+	s.mux.HandleFunc("GET /lease", s.handleLeaseGet)
+	s.mux.HandleFunc("DELETE /lease", s.handleLeaseRelease)
+	// Adopt the ring this partition last accepted, surviving restarts on
+	// durable monitors. A load failure leaves version 0 (legacy mode);
+	// the first router push reinstalls it.
+	if data, ok, err := mon.GetMeta(ringMetaKey); err == nil && ok {
+		if rg, err := partition.DecodeRing(data); err == nil {
+			s.ringVer = rg.Version
+		}
+	}
 	return s
 }
 
@@ -183,6 +211,10 @@ func statusOf(err error) int {
 		// The feed position was pruned away: re-bootstrap via
 		// GET /snapshot/latest.
 		return http.StatusGone
+	case errors.Is(err, paretomon.ErrMigrateMismatch):
+		// Stream positions disagree; the orchestrator aligns (object
+		// sync under the write freeze) and retries.
+		return http.StatusConflict
 	case errors.Is(err, paretomon.ErrMonitorClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, paretomon.ErrUnsupported):
@@ -220,6 +252,9 @@ func toResponse(d paretomon.Delivery) deliveryResponse {
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	if !s.checkRing(w, r) {
+		return
+	}
 	var req objectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -242,6 +277,9 @@ type batchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.checkRing(w, r) {
+		return
+	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -297,6 +335,9 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 // method, so an object literally named "batch" is deletable — the mux
 // resolves method before specificity.)
 func (s *Server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.checkRing(w, r) {
+		return
+	}
 	if err := s.mon.RemoveObject(r.PathValue("object")); err != nil {
 		s.monitorError(w, err)
 		return
@@ -317,6 +358,9 @@ func (s *Server) handleUsersList(w http.ResponseWriter, r *http.Request) {
 // handleUserAdd serves POST /users: join the community with initial
 // preferences.
 func (s *Server) handleUserAdd(w http.ResponseWriter, r *http.Request) {
+	if !s.checkRing(w, r) {
+		return
+	}
 	var req addUserRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -337,6 +381,9 @@ func (s *Server) handleUserAdd(w http.ResponseWriter, r *http.Request) {
 // disappears, their subscription streams end, and their cluster resyncs
 // without them.
 func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.checkRing(w, r) {
+		return
+	}
 	if err := s.mon.RemoveUser(r.PathValue("user")); err != nil {
 		s.monitorError(w, err)
 		return
@@ -474,6 +521,9 @@ func (s *Server) handlePreferenceRetract(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Server) handlePreference(w http.ResponseWriter, r *http.Request, apply func(user, attr, better, worse string) error) {
+	if !s.checkRing(w, r) {
+		return
+	}
 	var req preferenceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)

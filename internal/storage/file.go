@@ -466,6 +466,58 @@ func (f *FileStore) Stats() (Stats, error) {
 	return st, nil
 }
 
+// metaName maps a meta key to its file name. Keys are restricted to
+// filename-safe tokens so the name cannot escape the store directory.
+func metaName(key string) (string, error) {
+	if key == "" {
+		return "", fmt.Errorf("storage: empty meta key")
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return "", fmt.Errorf("storage: meta key %q: only [a-z0-9_-] allowed", key)
+		}
+	}
+	return "meta-" + key, nil
+}
+
+// PutMeta durably replaces a coordination record with the same
+// atomic-rename discipline as snapshots: a crash leaves either the old
+// value or the new one, never a torn mix.
+func (f *FileStore) PutMeta(key string, value []byte) error {
+	name, err := metaName(key)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(f.dir, name)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, value); err != nil {
+		return fmt.Errorf("storage: writing meta %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("storage: publishing meta %q: %w", key, err)
+	}
+	return syncDir(f.dir)
+}
+
+// GetMeta reads a coordination record; ok is false when it was never
+// written.
+func (f *FileStore) GetMeta(key string) ([]byte, bool, error) {
+	name, err := metaName(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(filepath.Join(f.dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: reading meta %q: %w", key, err)
+	}
+	return data, true, nil
+}
+
 // Close syncs and closes the active segment and releases the
 // directory lock.
 func (f *FileStore) Close() error {
@@ -485,4 +537,5 @@ func (f *FileStore) Close() error {
 }
 
 var _ Store = (*FileStore)(nil)
+var _ MetaStore = (*FileStore)(nil)
 var _ io.Closer = (*FileStore)(nil)

@@ -13,6 +13,7 @@ type MemStore struct {
 	mu    sync.Mutex
 	recs  []Record
 	snaps []memSnap
+	meta  map[string][]byte
 
 	appendedRecords uint64
 	appendedBytes   uint64
@@ -151,7 +152,30 @@ func (m *MemStore) Stats() (Stats, error) {
 	return st, nil
 }
 
+// PutMeta replaces a coordination record (a copy of value is kept).
+func (m *MemStore) PutMeta(key string, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.meta == nil {
+		m.meta = make(map[string][]byte)
+	}
+	m.meta[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// GetMeta reads a coordination record; ok is false when never written.
+func (m *MemStore) GetMeta(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.meta[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
 // Close is a no-op.
 func (m *MemStore) Close() error { return nil }
 
 var _ Store = (*MemStore)(nil)
+var _ MetaStore = (*MemStore)(nil)

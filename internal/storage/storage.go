@@ -164,6 +164,23 @@ type Store interface {
 	Close() error
 }
 
+// MetaStore is the optional coordination-record extension of Store:
+// small durable key/value blobs that live beside the WAL but outside
+// it — the fleet ring a partition has accepted, the router write
+// lease. Meta records are not monitor state (they never replay) and
+// not covered by snapshots; each Put replaces the key's value
+// atomically. Both shipped stores implement it; custom backends that
+// do not are simply unable to host ring/lease state durably (the
+// monitor falls back to process-local memory).
+type MetaStore interface {
+	// PutMeta durably replaces key's value. Keys must be short
+	// filename-safe tokens ([a-z0-9_-]).
+	PutMeta(key string, value []byte) error
+	// GetMeta returns key's current value; ok is false if the key was
+	// never written.
+	GetMeta(key string) ([]byte, bool, error)
+}
+
 // UserState is one user slot of a snapshot's community table: slots are
 // construction-order (removed users stay in place, tombstoned, so user
 // indices baked into the engine state stay stable).

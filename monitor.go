@@ -263,6 +263,12 @@ type Monitor struct {
 	replaying bool
 	storeErr  error
 
+	// Coordination records (see migrate.go). PutMeta/GetMeta pass
+	// through to the store when it implements storage.MetaStore;
+	// metaMem is the process-local fallback for storeless monitors.
+	metaMu  sync.Mutex
+	metaMem map[string][]byte
+
 	// Replication (see feed.go and follower.go). walCh is rotated
 	// (closed and replaced) under mu on every WAL append, waking
 	// long-polling changefeed streams; readOnly marks a follower
