@@ -109,7 +109,8 @@ func main() {
 		partSpec = flag.String("partition", "", "serve one consistent-hash slice i/n of the community (e.g. 1/3); requires -serve")
 		route    = flag.String("route", "", "serve as a router over this comma-separated partition fleet; requires -serve, loads no dataset")
 		routerID = flag.String("router-id", "", "with -route: unique router identity for the fleet write lease (enables HA standby routers)")
-		leaseTTL = flag.Duration("lease-ttl", partition.DefaultLeaseTTL, "with -router-id: write-lease TTL")
+		leaseTTL = flag.Duration("lease-ttl", partition.DefaultLeaseTTL, "with -router-id: write-lease TTL (partitions clamp oversized values)")
+		migTO    = flag.Duration("migrate-timeout", partition.DefaultMigrateTimeout, "with -route: per-stream timeout for bulk migration transfers during rebalance")
 		rebal    = flag.String("rebalance", "", "rebalance a running fleet onto this comma-separated partition URL list (requires -router), then exit")
 		router   = flag.String("router", "", "with -rebalance/-reconcile: the running router's base URL")
 		reconc   = flag.Bool("reconcile", false, "repair a running fleet's ring after a crashed migration (requires -router), then exit")
@@ -136,7 +137,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paretomon: -route is exclusive with -follow, -data-dir and -partition (the partitions own the data)")
 			os.Exit(2)
 		}
-		serveRouter(*route, *serve, *routerID, *leaseTTL)
+		serveRouter(*route, *serve, *routerID, *leaseTTL, *migTO)
 		return
 	}
 	if *objPath == "" || *prefPath == "" {
@@ -362,14 +363,14 @@ func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta
 // writing only once the lease expires or is released. If the fleet has
 // a ring installed (a rebalance ran at some point), the router adopts
 // it on the first stale-version conflict.
-func serveRouter(urls, addr, routerID string, leaseTTL time.Duration) {
+func serveRouter(urls, addr, routerID string, leaseTTL, migrateTO time.Duration) {
 	var list []string
 	for _, u := range strings.Split(urls, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			list = append(list, u)
 		}
 	}
-	rt, err := partition.New(partition.Config{URLs: list, RouterID: routerID, LeaseTTL: leaseTTL})
+	rt, err := partition.New(partition.Config{URLs: list, RouterID: routerID, LeaseTTL: leaseTTL, MigrateTimeout: migrateTO})
 	check(err)
 	if rg, err := rt.RefreshRing(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "paretomon: ring fetch: %v (continuing; will adopt on first conflict)\n", err)

@@ -161,7 +161,7 @@ func (r *Router) commitRing(rg *Ring) error {
 		wg.Add(1)
 		go func(i int, p *remote) {
 			defer wg.Done()
-			errs[i] = r.withRetry(p, func(ctx context.Context) error {
+			errs[i] = r.withWriteRetry(p, func(ctx context.Context) error {
 				return p.do(ctx, http.MethodPut, "/ring", payload, nil)
 			})
 		}(i, p)
@@ -199,11 +199,16 @@ func (r *Router) ensureRingLocked(ctx context.Context) (*Ring, error) {
 
 // leaseState is the Router's cached view of the fleet write lease. The
 // renewal clock is local and monotonic — only partition 0's clock
-// judges expiry; this side merely renews early (a third of the TTL).
+// judges expiry; this side merely renews early (a third of the TTL)
+// and fences its own mutations against the conservative expiry (see
+// leaseExpiry). renewed is anchored BEFORE the renewal request went
+// out, so it under-estimates the grant's remaining life; ttl is the
+// TTL the server actually granted (it may clamp the request).
 type leaseState struct {
 	mu      sync.Mutex
 	held    bool
 	renewed time.Time
+	ttl     time.Duration
 	epoch   uint64
 }
 
@@ -213,8 +218,9 @@ type leasePayload struct {
 }
 
 type leaseGrant struct {
-	ID    string `json:"id"`
-	Epoch uint64 `json:"epoch"`
+	ID        string `json:"id"`
+	Epoch     uint64 `json:"epoch"`
+	TTLMillis int64  `json:"ttl_ms"`
 }
 
 // LeaseEpoch returns the fencing epoch of the lease this Router holds
@@ -240,13 +246,23 @@ func (r *Router) ensureLease() error {
 	}
 	r.lease.mu.Lock()
 	defer r.lease.mu.Unlock()
-	if r.lease.held && time.Since(r.lease.renewed) < r.leaseTTL/3 {
+	ttl := r.lease.ttl
+	if ttl <= 0 {
+		ttl = r.leaseTTL
+	}
+	if r.lease.held && time.Since(r.lease.renewed) < ttl/3 {
 		return nil
 	}
 	p0 := r.remotes()[0]
 	req := leasePayload{ID: r.leaseID, TTLMillis: r.leaseTTL.Milliseconds()}
 	var grant leaseGrant
+	// Anchor the renewal clock before each attempt goes out: the server
+	// stamps its expiry when it processes the POST, so any local instant
+	// at or before that moment under-estimates the grant's remaining
+	// life — the safe direction for the mutation fence (leaseExpiry).
+	var t0 time.Time
 	err := r.withRetry(p0, func(ctx context.Context) error {
+		t0 = time.Now()
 		return p0.do(ctx, http.MethodPost, "/lease", req, &grant)
 	})
 	if err != nil {
@@ -257,10 +273,38 @@ func (r *Router) ensureLease() error {
 		}
 		return err
 	}
+	// The grant echoes the effective TTL (the server may clamp an
+	// oversized request); the fence must be sized from what was granted,
+	// never from what was asked.
+	granted := time.Duration(grant.TTLMillis) * time.Millisecond
+	if granted <= 0 || granted > r.leaseTTL {
+		granted = r.leaseTTL
+	}
 	r.lease.held = true
-	r.lease.renewed = time.Now()
+	r.lease.renewed = t0
+	r.lease.ttl = granted
 	r.lease.epoch = grant.Epoch
 	return nil
+}
+
+// leaseExpiry returns the earliest instant the held write lease could
+// lapse on the arbiter's clock (the renewal anchor plus the granted
+// TTL — conservative by construction). ok is false when HA is off or
+// the lease is not currently held.
+func (r *Router) leaseExpiry() (expiry time.Time, ok bool) {
+	if r.leaseID == "" {
+		return time.Time{}, false
+	}
+	r.lease.mu.Lock()
+	defer r.lease.mu.Unlock()
+	if !r.lease.held {
+		return time.Time{}, false
+	}
+	ttl := r.lease.ttl
+	if ttl <= 0 {
+		ttl = r.leaseTTL
+	}
+	return r.lease.renewed.Add(ttl), true
 }
 
 // releaseLease steps down (Close): expire our own grant so a standby
@@ -330,8 +374,11 @@ func (r *Router) migrateLocked(ctx context.Context, users []string, from, to int
 	src, dst := parts[from], parts[to]
 
 	// Ship the snapshot slice: source streams straight into the
-	// destination, both ends checked against the shared watermark.
-	cctx, cancel := context.WithTimeout(ctx, r.budget)
+	// destination, both ends checked against the shared watermark. The
+	// stream runs under the migration timeout, not the per-call retry
+	// budget — a large user batch legitimately takes longer than one
+	// retry window to ship.
+	cctx, cancel := context.WithTimeout(ctx, r.migrateTO)
 	defer cancel()
 	body, err := src.getStream(cctx, http.MethodPost, "/migrate/export", migrateExportPayload{Users: users})
 	if err != nil {
@@ -367,7 +414,7 @@ func (r *Router) migrateLocked(ctx context.Context, users []string, from, to int
 
 	// Retire the source copies; 404 means a previous run already did.
 	for _, u := range users {
-		err := r.withRetry(src, func(ctx context.Context) error {
+		err := r.withWriteRetry(src, func(ctx context.Context) error {
 			return src.do(ctx, http.MethodDelete, "/users/"+url.PathEscape(u), nil, nil)
 		})
 		if err != nil {
@@ -380,6 +427,33 @@ func (r *Router) migrateLocked(ctx context.Context, users []string, from, to int
 	}
 	r.event(RebalanceEvent{Phase: "delete", From: from, To: to, Users: users})
 	return nil
+}
+
+// userLists fetches every partition's user list with per-partition
+// retries and STRICT failure semantics: any partition that stays
+// unreachable past its budget fails the whole call. Rebalance and
+// Reconcile derive migration work from the result — the best-effort
+// Users() would let a down partition contribute an empty list, and its
+// users would silently drop out of the plan (never pinned, never
+// migrated, stranded on a retired partition at scale-in).
+func (r *Router) userLists(op string, parts []*remote) ([][]string, error) {
+	lists := make([][]string, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p *remote) {
+			defer wg.Done()
+			errs[i] = r.withRetry(p, func(ctx context.Context) error {
+				return p.do(ctx, http.MethodGet, "/users", nil, &lists[i])
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	if err := collect(op, errs); err != nil {
+		return nil, err
+	}
+	return lists, nil
 }
 
 // ---------------------------------------------------------------------
@@ -416,20 +490,8 @@ func (r *Router) Reconcile(ctx context.Context) (ReconcileReport, error) {
 		return rep, nil // legacy mode: the static plan is the single source of truth
 	}
 	parts := r.remotes()
-	lists := make([][]string, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for i, p := range parts {
-		wg.Add(1)
-		go func(i int, p *remote) {
-			defer wg.Done()
-			errs[i] = r.withRetry(p, func(ctx context.Context) error {
-				return p.do(ctx, http.MethodGet, "/users", nil, &lists[i])
-			})
-		}(i, p)
-	}
-	wg.Wait()
-	if err := collect("Reconcile", errs); err != nil {
+	lists, err := r.userLists("Reconcile", parts)
+	if err != nil {
 		return rep, err
 	}
 	holders := make(map[string][]int)
@@ -488,7 +550,7 @@ func (r *Router) Reconcile(ctx context.Context) (ReconcileReport, error) {
 				continue
 			}
 			p := parts[h]
-			err := r.withRetry(p, func(ctx context.Context) error {
+			err := r.withWriteRetry(p, func(ctx context.Context) error {
 				return p.do(ctx, http.MethodDelete, "/users/"+url.PathEscape(u), nil, nil)
 			})
 			if err != nil {
@@ -650,14 +712,29 @@ func (r *Router) Rebalance(ctx context.Context, urls []string, opts RebalanceOpt
 		if err != nil {
 			return err
 		}
+		// The pin set MUST come from a strict fleet-wide listing: if any
+		// partition is unreachable here, abort rather than plan around an
+		// empty list — a down partition's users would never be pinned or
+		// migrated, and a scale-in would commit a final ring that strands
+		// them on a retired partition with no error (the no-lost-users
+		// guarantee this whole dance exists to keep).
+		lists, err := r.userLists("Rebalance", r.remotes())
+		if err != nil {
+			return err
+		}
 		pins := make(map[string]int)
-		for _, u := range r.Users() {
-			curOwner := cur.Owner(u)
-			newOwner := newPlan.Owner(u)
-			if curOwner != newOwner {
-				pins[u] = curOwner
-				key := [2]int{curOwner, newOwner}
-				groups[key] = append(groups[key], u)
+		for _, l := range lists {
+			for _, u := range l {
+				if _, seen := pins[u]; seen {
+					continue // transient double-holder; one pin suffices
+				}
+				curOwner := cur.Owner(u)
+				newOwner := newPlan.Owner(u)
+				if curOwner != newOwner {
+					pins[u] = curOwner
+					key := [2]int{curOwner, newOwner}
+					groups[key] = append(groups[key], u)
+				}
 			}
 		}
 		if cur.Parts == len(norm) && len(pins) == 0 && len(cur.Moves) == 0 {
@@ -786,7 +863,9 @@ func (r *Router) objectSyncLocked() (int, error) {
 		if counts[i] == counts[src] {
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), r.budget)
+		// A full registry sync is a bulk stream: bound it by the
+		// migration timeout, not the per-call retry budget.
+		ctx, cancel := context.WithTimeout(context.Background(), r.migrateTO)
 		body, err := parts[src].getStream(ctx, http.MethodGet, "/migrate/objects", nil)
 		if err != nil {
 			cancel()

@@ -3,11 +3,13 @@ package partition_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -378,5 +380,344 @@ func TestRouterRetryBudgetPerPartition(t *testing.T) {
 		if err1 != nil || err2 != nil || !reflect.DeepEqual(wantT, gotT) {
 			t.Fatalf("targets(%s): reference %v (%v), router %v (%v)", name, wantT, err1, gotT, err2)
 		}
+	}
+}
+
+// TestLeaseTTLServerClamp: a misconfigured router asking for an
+// enormous TTL must not be able to lock the fleet's write path until
+// the heat death of the lease — partition 0 clamps the TTL and echoes
+// the effective value in the grant, which is what routers fence by.
+func TestLeaseTTLServerClamp(t *testing.T) {
+	com := testCommunity(t, 4)
+	f := startFleet(t, com, 1)
+	defer f.close()
+
+	resp, err := http.Post(f.https[0].URL+"/lease", "application/json",
+		strings.NewReader(`{"id":"greedy","ttl_ms":86400000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("acquire status %d", resp.StatusCode)
+	}
+	var grant struct {
+		ID        string `json:"id"`
+		TTLMillis int64  `json:"ttl_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&grant); err != nil {
+		t.Fatal(err)
+	}
+	if want := (5 * time.Minute).Milliseconds(); grant.TTLMillis != want {
+		t.Errorf("granted ttl_ms = %d, want clamped to %d", grant.TTLMillis, want)
+	}
+	// Release so the day-long request leaves no residue for other tests.
+	req, _ := http.NewRequest(http.MethodDelete, f.https[0].URL+"/lease?id=greedy", nil)
+	if dr, err := http.DefaultClient.Do(req); err == nil {
+		dr.Body.Close()
+	}
+}
+
+// freshUserOwnedBy returns an unregistered user name the plan assigns
+// to partition idx, so a test can aim a mutation at a chosen partition.
+func freshUserOwnedBy(plan *partition.Plan, idx int, tag string) string {
+	for i := 0; ; i++ {
+		if name := fmt.Sprintf("%s%d", tag, i); plan.Owner(name) == idx {
+			return name
+		}
+	}
+}
+
+// TestMutationFencedByLeaseLoss: the fencing half of the lease
+// contract. A mutation may retry for the full budget — far longer than
+// one lease TTL — but it must renew the lease as it goes, and the
+// moment the lease is lost to another holder it must abort with
+// ErrNotLeaseHolder instead of keeping attempts in flight under
+// someone else's tenure (the pre-fix behavior: retry blindly for the
+// whole budget and land a write after a standby took over).
+func TestMutationFencedByLeaseLoss(t *testing.T) {
+	com := testCommunity(t, 12)
+	plan, err := partition.NewPlan(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var denyLease, flapping atomic.Bool
+	mons := make([]*paretomon.Monitor, 2)
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		sub := com.Subset(func(name string) bool { return plan.Owner(name) == i })
+		mon, err := paretomon.NewMonitor(sub, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mon.Close()
+		mons[i] = mon
+		h := http.Handler(server.New(mon))
+		switch i {
+		case 0: // the lease arbiter: simulate another router taking over
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if denyLease.Load() && r.Method == http.MethodPost && r.URL.Path == "/lease" {
+					http.Error(w, `{"error":"lease held by \"other\" for another 9999ms"}`, http.StatusConflict)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		case 1: // the mutation target: slow partition, alive but rejecting
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if flapping.Load() && r.Method != http.MethodGet {
+					http.Error(w, "flapping", http.StatusServiceUnavailable)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		hs := httptest.NewServer(h)
+		defer hs.Close()
+		urls[i] = hs.URL
+	}
+
+	const ttl = 200 * time.Millisecond
+	const budget = 6 * time.Second
+	rt, err := partition.New(partition.Config{
+		URLs:          urls,
+		RetryBudget:   budget,
+		RetryInterval: 5 * time.Millisecond,
+		RouterID:      "ra",
+		LeaseTTL:      ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Warm up: acquire the lease while the fleet is healthy.
+	prefs := []paretomon.Preference{{Attr: "a", Better: "v1", Worse: "v0"}}
+	if err := rt.AddUser(freshUserOwnedBy(plan, 1, "wa"), prefs); err != nil {
+		t.Fatalf("warm-up mutation: %v", err)
+	}
+
+	// Partition 1 starts flapping and, before the router can renew, the
+	// lease moves to another holder.
+	flapping.Store(true)
+	denyLease.Store(true)
+	startT := time.Now()
+	err = rt.AddUser(freshUserOwnedBy(plan, 1, "fb"), prefs)
+	elapsed := time.Since(startT)
+	if !errors.Is(err, partition.ErrNotLeaseHolder) {
+		t.Fatalf("fenced mutation = %v, want ErrNotLeaseHolder", err)
+	}
+	// The abort must come from the lease fence (≈ one TTL), not from
+	// grinding through the whole retry budget.
+	if elapsed > budget/2 {
+		t.Errorf("fenced mutation took %v, want ≈ one lease TTL (%v)", elapsed, ttl)
+	}
+}
+
+// TestMutationOutlivesTTLByRenewing: the other half of the fence — a
+// mutation whose target partition stays down longer than one lease TTL
+// must still succeed within the retry budget, because the retry loop
+// renews the lease at each fence boundary instead of giving up.
+func TestMutationOutlivesTTLByRenewing(t *testing.T) {
+	com := testCommunity(t, 12)
+	plan, err := partition.NewPlan(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flapping atomic.Bool
+	flapping.Store(true)
+	mons := make([]*paretomon.Monitor, 2)
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		sub := com.Subset(func(name string) bool { return plan.Owner(name) == i })
+		mon, err := paretomon.NewMonitor(sub, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mon.Close()
+		mons[i] = mon
+		h := http.Handler(server.New(mon))
+		if i == 1 {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if flapping.Load() && r.Method != http.MethodGet {
+					http.Error(w, "flapping", http.StatusServiceUnavailable)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		hs := httptest.NewServer(h)
+		defer hs.Close()
+		urls[i] = hs.URL
+	}
+
+	const ttl = 150 * time.Millisecond
+	rt, err := partition.New(partition.Config{
+		URLs:          urls,
+		RetryBudget:   6 * time.Second,
+		RetryInterval: 5 * time.Millisecond,
+		RouterID:      "ra",
+		LeaseTTL:      ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Heal the partition only after several TTLs have lapsed: the old
+	// entry-only lease check would have let the attempt run unfenced;
+	// a naive deadline cap would have failed it at the first TTL.
+	go func() {
+		time.Sleep(3 * ttl)
+		flapping.Store(false)
+	}()
+	prefs := []paretomon.Preference{{Attr: "a", Better: "v1", Worse: "v0"}}
+	startT := time.Now()
+	if err := rt.AddUser(freshUserOwnedBy(plan, 1, "rn"), prefs); err != nil {
+		t.Fatalf("mutation across %v of flapping: %v", 3*ttl, err)
+	}
+	if elapsed := time.Since(startT); elapsed < 3*ttl {
+		t.Errorf("mutation returned in %v, before the partition healed at %v", elapsed, 3*ttl)
+	}
+}
+
+// TestStandbyReadsFollowRingFlip: a standby HA router never mutates, so
+// it cannot learn of ring flips through the write path's 409s. When the
+// active router migrates a user, the standby's owner-routed reads must
+// chase the flip — a 404 from the old owner triggers one ring refresh
+// and a re-resolve — instead of reporting ErrUnknownUser for a user
+// that exists until failover.
+func TestStandbyReadsFollowRingFlip(t *testing.T) {
+	com := testCommunity(t, 12)
+	f := startFleet(t, com, 2)
+	defer f.close()
+	mk := func(id string) *partition.Router {
+		t.Helper()
+		rt, err := partition.New(partition.Config{
+			URLs:          fleetURLs(f),
+			RetryBudget:   5 * time.Second,
+			RetryInterval: 5 * time.Millisecond,
+			RouterID:      id,
+			LeaseTTL:      2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	ra, rb := mk("ra"), mk("rb")
+	defer ra.Close()
+	defer rb.Close()
+
+	// Active router takes the lease and gives the frontiers substance.
+	if _, err := ra.AddBatch(stream(8)); err != nil {
+		t.Fatal(err)
+	}
+	const u = "u0"
+	want, err := rb.Frontier(u)
+	if err != nil {
+		t.Fatalf("standby read before flip: %v", err)
+	}
+
+	from := ra.Owner(u)
+	to := 1 - from
+	if err := ra.Migrate([]string{u}, from, to); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	// The standby still routes by its stale view; the read must heal.
+	got, err := rb.Frontier(u)
+	if err != nil {
+		t.Fatalf("standby read after flip: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("standby frontier(%s) after flip %v, want %v", u, got, want)
+	}
+	if rb.Owner(u) != to {
+		t.Errorf("standby owner(%s) = %d after heal, want %d", u, rb.Owner(u), to)
+	}
+	// A genuinely unknown user still reads as unknown (one refresh, no
+	// infinite chase).
+	if _, err := rb.Frontier("nobody"); !errors.Is(err, paretomon.ErrUnknownUser) {
+		t.Errorf("frontier(nobody) = %v, want ErrUnknownUser", err)
+	}
+}
+
+// TestRebalanceAbortsWhenUserListUnreachable: the no-lost-users
+// guarantee. The pin set in Rebalance phase B must come from a strict
+// fleet-wide user listing — if a partition cannot enumerate its users,
+// the rebalance must abort rather than plan around an empty list
+// (pre-fix, a scale-in would commit the final ring with the down
+// partition's users never migrated: stranded on a retired partition,
+// vanished from the community, no error anywhere).
+func TestRebalanceAbortsWhenUserListUnreachable(t *testing.T) {
+	com := testCommunity(t, 12)
+	plan, err := partition.NewPlan(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var usersCalls atomic.Int64
+	mons := make([]*paretomon.Monitor, 2)
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		sub := com.Subset(func(name string) bool { return plan.Owner(name) == i })
+		mon, err := paretomon.NewMonitor(sub, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mon.Close()
+		mons[i] = mon
+		h := http.Handler(server.New(mon))
+		if i == 1 {
+			// The first GET /users (the pre-migration Reconcile) succeeds;
+			// the partition then goes dark for listings only — everything
+			// else (readyz, ring, reads) keeps answering, which is exactly
+			// the window the seeded bug silently planned through.
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodGet && r.URL.Path == "/users" && usersCalls.Add(1) > 1 {
+					http.Error(w, "listing unavailable", http.StatusServiceUnavailable)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		hs := httptest.NewServer(h)
+		defer hs.Close()
+		urls[i] = hs.URL
+	}
+
+	rt, err := partition.New(partition.Config{
+		URLs:          urls,
+		RetryBudget:   400 * time.Millisecond,
+		RetryInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	_, err = rt.Rebalance(context.Background(), urls[:1], partition.RebalanceOptions{})
+	if err == nil {
+		t.Fatal("scale-in completed with partition 1's user list unreachable — its users would be stranded")
+	}
+	if !errors.Is(err, partition.ErrPartitionDown) {
+		t.Fatalf("rebalance error = %v, want ErrPartitionDown", err)
+	}
+	// Nothing moved and nothing was lost: both partitions hold exactly
+	// their original slices and the ring still spans both.
+	for i, mon := range mons {
+		for _, u := range mon.Users() {
+			if plan.Owner(u) != i {
+				t.Errorf("user %q drifted to partition %d mid-abort", u, i)
+			}
+		}
+	}
+	if n := len(mons[1].Users()); n == 0 {
+		t.Error("partition 1 lost its users")
+	}
+	if rg := rt.Ring(); rg == nil || rg.Parts != 2 {
+		t.Errorf("ring after abort %+v, want 2 live partitions", rg)
 	}
 }

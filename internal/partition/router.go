@@ -27,6 +27,14 @@ const (
 // third of it elapses, so a standby waits at most one TTL on failover.
 const DefaultLeaseTTL = 10 * time.Second
 
+// DefaultMigrateTimeout bounds one bulk migration stream (a user
+// export/import or an object-registry sync) when Config.MigrateTimeout
+// is zero. Deliberately much larger than the per-call retry budget: a
+// big registry or user batch legitimately streams for minutes, and
+// re-cutting the stream at the retry budget would make Rebalance
+// unable to ever complete for large datasets.
+const DefaultMigrateTimeout = 5 * time.Minute
+
 // ringRetryRounds bounds how many times one operation refreshes the
 // ring and retries after a version conflict before giving up — enough
 // to chase a concurrent rebalance commit or two, finite so a fleet
@@ -62,7 +70,14 @@ type Config struct {
 	// See docs/PARTITIONING.md "Router HA".
 	RouterID string
 	// LeaseTTL is the write-lease duration; 0 selects DefaultLeaseTTL.
+	// Partition 0 may clamp oversized TTLs; the router fences by the
+	// granted value.
 	LeaseTTL time.Duration
+	// MigrateTimeout bounds one bulk migration stream (user
+	// export/import, object sync) during Migrate/Rebalance; 0 selects
+	// DefaultMigrateTimeout. Size it to the largest partition's state,
+	// not to the retry budget.
+	MigrateTimeout time.Duration
 	// Observe, when non-nil, receives rebalance progress events
 	// synchronously as each step completes (keep it fast; it runs under
 	// the write freeze).
@@ -91,6 +106,9 @@ type Router struct {
 	hc       *http.Client
 	budget   time.Duration
 	interval time.Duration
+	// migrateTO bounds one bulk migration stream; see
+	// Config.MigrateTimeout.
+	migrateTO time.Duration
 
 	// ringMu guards parts and ring. ring is nil until the fleet
 	// installs one (legacy mode: route by the static plan, stamp no
@@ -147,8 +165,12 @@ func New(cfg Config) (*Router, error) {
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
+	migrateTO := cfg.MigrateTimeout
+	if migrateTO <= 0 {
+		migrateTO = DefaultMigrateTimeout
+	}
 	r := &Router{
-		plan: plan, hc: hc, budget: budget, interval: interval,
+		plan: plan, hc: hc, budget: budget, interval: interval, migrateTO: migrateTO,
 		leaseID: cfg.RouterID, leaseTTL: ttl, observe: cfg.Observe,
 	}
 	for i, u := range cfg.URLs {
@@ -305,6 +327,61 @@ func (r *Router) withRetry(p *remote, fn func(ctx context.Context) error) error 
 	return downError(p, lastErr)
 }
 
+// writeAttemptCtx derives the context for one mutation attempt under
+// router HA: the parent (retry-budget) context capped at the write
+// lease's conservative expiry, renewing first when the lease has
+// lapsed. This is the fencing half of the lease contract — a mutation
+// may retry far longer than one TTL, but no single attempt stays in
+// flight past the lease that covered it when it was sent; losing the
+// lease mid-retry surfaces ErrNotLeaseHolder instead of a late write
+// landing under another router's tenure. Identity (with a no-op
+// cancel) when HA is off.
+func (r *Router) writeAttemptCtx(parent context.Context) (context.Context, context.CancelFunc, error) {
+	if r.leaseID == "" {
+		return parent, func() {}, nil
+	}
+	for {
+		if exp, held := r.leaseExpiry(); held && time.Until(exp) > 0 {
+			ctx, cancel := context.WithDeadline(parent, exp)
+			return ctx, cancel, nil
+		}
+		if err := r.ensureLease(); err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+// withWriteRetry is withRetry for lease-fenced mutations: each attempt
+// runs under writeAttemptCtx, so a retry loop keeps renewing the lease
+// and no attempt outlives it. Exactly withRetry when HA is off.
+func (r *Router) withWriteRetry(p *remote, fn func(ctx context.Context) error) error {
+	if r.leaseID == "" {
+		return r.withRetry(p, fn)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.budget)
+	defer cancel()
+	var lastErr error
+	for ctx.Err() == nil {
+		actx, acancel, lerr := r.writeAttemptCtx(ctx)
+		if lerr != nil {
+			return lerr
+		}
+		err := fn(actx)
+		if err == nil {
+			acancel()
+			return nil
+		}
+		if !retryable(err) {
+			acancel()
+			return err
+		}
+		lastErr = err
+		r.awaitReady(actx, p)
+		acancel()
+	}
+	return downError(p, lastErr)
+}
+
 // Wire shadows of internal/server's request/response bodies. The server
 // package keeps them unexported; the shapes are the stable HTTP API.
 type objectPayload struct {
@@ -429,7 +506,9 @@ func (r *Router) AddBatch(objs []paretomon.Object) ([]paretomon.Delivery, error)
 }
 
 // addBatchOne lands one batch on one partition, resuming across
-// retryable failures per the AddBatch contract.
+// retryable failures per the AddBatch contract. The POST itself (the
+// mutation) is lease-fenced via writeAttemptCtx; the applied-prefix
+// probes are reads and run under the plain budget.
 func (r *Router) addBatchOne(p *remote, req batchPayload) ([]paretomon.Delivery, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.budget)
 	defer cancel()
@@ -457,8 +536,13 @@ func (r *Router) addBatchOne(p *remote, req batchPayload) ([]paretomon.Delivery,
 				break
 			}
 		}
+		actx, acancel, lerr := r.writeAttemptCtx(ctx)
+		if lerr != nil {
+			return nil, lerr
+		}
 		var reply batchReply
-		err := p.do(ctx, http.MethodPost, "/objects/batch", batchPayload{Objects: req.Objects[start:]}, &reply)
+		err := p.do(actx, http.MethodPost, "/objects/batch", batchPayload{Objects: req.Objects[start:]}, &reply)
+		acancel()
 		if err == nil {
 			for _, d := range reply.Deliveries {
 				out = append(out, paretomon.Delivery{Object: d.Object, Users: d.Users})
@@ -551,14 +635,39 @@ func (r *Router) ringRetry(op string, fn func() error) error {
 }
 
 // ownerOp routes one mutation or read to the user's owning partition
-// with retries, chasing ring flips: a version conflict refreshes the
-// ring and re-resolves the owner — the user may have migrated — before
-// trying again.
-func (r *Router) ownerOp(user string, fn func(ctx context.Context, p *remote) error) error {
-	return r.ringRetry("ownerOp", func() error {
-		p := r.remotes()[r.Owner(user)]
-		return r.withRetry(p, func(ctx context.Context) error { return fn(ctx, p) })
-	})
+// with retries, chasing ring flips from both directions: a version
+// conflict (writes are ring-gated) refreshes the ring and re-resolves
+// the owner — the user may have migrated — before trying again, and a
+// 404 re-checks the ring once before it is believed. Reads are NOT
+// ring-gated, so a router that missed a flip (a standby router learns
+// of the active's rebalances no other way) would otherwise keep asking
+// the old owner about users that moved, and report ErrUnknownUser for
+// users that exist, until failover. write selects the lease-fenced
+// retry loop for mutations.
+func (r *Router) ownerOp(user string, write bool, fn func(ctx context.Context, p *remote) error) error {
+	retry := r.withRetry
+	if write {
+		retry = r.withWriteRetry
+	}
+	attempt := func() error {
+		return r.ringRetry("ownerOp", func() error {
+			p := r.remotes()[r.Owner(user)]
+			return retry(p, func(ctx context.Context) error { return fn(ctx, p) })
+		})
+	}
+	err := attempt()
+	var se *StatusError
+	if err == nil || !errors.As(err, &se) || se.Status != http.StatusNotFound {
+		return err
+	}
+	before := r.Owner(user)
+	rctx, rcancel := context.WithTimeout(context.Background(), r.budget)
+	_, rerr := r.RefreshRing(rctx)
+	rcancel()
+	if rerr != nil || r.Owner(user) == before {
+		return err // the miss was not a stale-ring artifact
+	}
+	return attempt()
 }
 
 // AddUser registers a user (with initial preferences) on its owning
@@ -573,7 +682,7 @@ func (r *Router) AddUser(name string, prefs []paretomon.Preference) error {
 	if err := r.ensureLease(); err != nil {
 		return err
 	}
-	return r.ownerOp(name, func(ctx context.Context, p *remote) error {
+	return r.ownerOp(name, true, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodPost, "/users", req, nil)
 	})
 }
@@ -585,7 +694,7 @@ func (r *Router) RemoveUser(name string) error {
 	if err := r.ensureLease(); err != nil {
 		return err
 	}
-	err := r.ownerOp(name, func(ctx context.Context, p *remote) error {
+	err := r.ownerOp(name, true, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodDelete, "/users/"+url.PathEscape(name), nil, nil)
 	})
 	return mapNotFound(err, paretomon.ErrUnknownUser)
@@ -600,7 +709,7 @@ func (r *Router) AddPreference(user, attr, better, worse string) error {
 	if err := r.ensureLease(); err != nil {
 		return err
 	}
-	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
+	err := r.ownerOp(user, true, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodPost, "/preferences", req, nil)
 	})
 	return mapNotFound(err, paretomon.ErrUnknownUser)
@@ -615,7 +724,7 @@ func (r *Router) RetractPreference(user, attr, better, worse string) error {
 	if err := r.ensureLease(); err != nil {
 		return err
 	}
-	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
+	err := r.ownerOp(user, true, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodDelete, "/preferences", req, nil)
 	})
 	return mapNotFound(err, paretomon.ErrUnknownPreference)
@@ -640,7 +749,7 @@ func (r *Router) RemoveObject(name string) error {
 			wg.Add(1)
 			go func(i int, p *remote) {
 				defer wg.Done()
-				errs[i] = r.withRetry(p, func(ctx context.Context) error {
+				errs[i] = r.withWriteRetry(p, func(ctx context.Context) error {
 					return p.do(ctx, http.MethodDelete, "/objects/"+url.PathEscape(name), nil, nil)
 				})
 				var se *StatusError
@@ -671,7 +780,7 @@ func (r *Router) RemoveObject(name string) error {
 // Frontier returns the user's frontier from its owning partition.
 func (r *Router) Frontier(user string) ([]string, error) {
 	var reply frontierReply
-	err := r.ownerOp(user, func(ctx context.Context, p *remote) error {
+	err := r.ownerOp(user, false, func(ctx context.Context, p *remote) error {
 		return p.do(ctx, http.MethodGet, "/frontier/"+url.PathEscape(user), nil, &reply)
 	})
 	if err != nil {

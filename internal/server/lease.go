@@ -22,6 +22,13 @@ import (
 // leaseMetaKey is the store meta key holding the lease record.
 const leaseMetaKey = "lease"
 
+// maxLeaseTTL caps a requested lease TTL: there is no force-release
+// except DELETE by the holder, so a misconfigured router asking for an
+// enormous TTL would lock the fleet's write path until it lapsed. The
+// grant echoes the effective ttl_ms and routers size their fence from
+// the echo, never from what they asked for.
+const maxLeaseTTL = 5 * time.Minute
+
 // leaseRecord is the persisted grant.
 type leaseRecord struct {
 	ID      string `json:"id"`
@@ -72,6 +79,9 @@ func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 	if req.ID == "" || req.TTLMillis <= 0 {
 		httpError(w, http.StatusBadRequest, "lease needs a non-empty id and a positive ttl_ms")
 		return
+	}
+	if req.TTLMillis > maxLeaseTTL.Milliseconds() {
+		req.TTLMillis = maxLeaseTTL.Milliseconds()
 	}
 	s.leaseMu.Lock()
 	defer s.leaseMu.Unlock()
