@@ -1,0 +1,144 @@
+// Command paretolint runs the project's invariant analyzers
+// (internal/analysis) over Go packages. It works two ways:
+//
+// Standalone, from anywhere inside the module:
+//
+//	paretolint ./...
+//
+// As a go vet tool, so findings interleave with vet's own and the
+// build cache skips clean packages:
+//
+//	go vet -vettool=$(command -v paretolint) ./...
+//
+// Exit status: 0 clean, 1 internal error, 2 diagnostics reported
+// (the go vet convention).
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The cmd/go vettool handshake probes the tool before use:
+	// `-V=full` must print an identity line used as the cache key, and
+	// `-flags` must describe the tool's analyzer flags (none here).
+	if len(args) == 1 && args[0] == "-V=full" {
+		return printVersion()
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet("paretolint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: paretolint [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+
+	// Under `go vet -vettool`, cmd/go invokes the tool once per package
+	// with a single *.cfg argument describing the unit.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return analysis.RunVetUnit(rest[0], analysis.All())
+	}
+
+	// Standalone: resolve patterns relative to the enclosing module so
+	// the source importer can see sibling packages.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paretolint:", err)
+		return 1
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paretolint:", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paretolint:", err)
+		return 1
+	}
+	if len(pkgs) > 0 {
+		// Load parses every package into one shared FileSet.
+		fset := pkgs[0].Fset
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// printVersion implements -V=full: an identity line keyed to the
+// executable's content hash, which cmd/go folds into its cache key so
+// rebuilding the tool invalidates stale vet results.
+func printVersion() int {
+	name := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+	return 0
+}

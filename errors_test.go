@@ -2,9 +2,11 @@ package paretomon_test
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	paretomon "repro"
+	"repro/internal/partition"
 )
 
 // TestErrorTaxonomy drives every public failure path and checks that the
@@ -272,5 +274,58 @@ func TestLifecycleErrorTaxonomy(t *testing.T) {
 	}
 	if err := m.AddUser("carol", nil); err != nil {
 		t.Errorf("AddUser on emptied community: %v", err)
+	}
+}
+
+// TestSentinelChains pins the dispatch contract end to end: every
+// exported sentinel must stay reachable with errors.Is through the
+// wrapped chains the fleet layer actually builds — a *RouteError
+// aggregating *PartitionError entries whose causes are transport
+// failures, typed ring-version 409s, lease fences, or monitor-level
+// sentinels, with further fmt.Errorf %w decoration on top. If any link
+// in this chain stops unwrapping, callers silently fall back to string
+// matching; this test fails instead.
+func TestSentinelChains(t *testing.T) {
+	failures := []*partition.PartitionError{
+		{Partition: 0, URL: "http://p0", Err: fmt.Errorf("dialing: %w", partition.ErrPartitionDown)},
+		{Partition: 1, URL: "http://p1", Err: &partition.RingVersionError{Have: 7, Msg: "installed ring is newer"}},
+		{Partition: 2, URL: "http://p2", Err: fmt.Errorf("fenced: %w", partition.ErrNotLeaseHolder)},
+		{Partition: 3, URL: "http://p3", Err: fmt.Errorf("applying batch: %w", paretomon.ErrUnknownUser)},
+	}
+	route := &partition.RouteError{Op: "AddBatch", Failures: failures}
+	wrapped := fmt.Errorf("routing objects: %w", route)
+
+	for _, tc := range []struct {
+		name string
+		want error
+	}{
+		{"partition down through RouteError", partition.ErrPartitionDown},
+		{"ring version through typed 409", partition.ErrRingVersion},
+		{"lease fence through RouteError", partition.ErrNotLeaseHolder},
+		{"monitor sentinel through RouteError", paretomon.ErrUnknownUser},
+	} {
+		if !errors.Is(wrapped, tc.want) {
+			t.Errorf("%s: errors.Is(%v, %v) = false", tc.name, wrapped, tc.want)
+		}
+	}
+
+	// errors.As digs the typed 409 — with the partition's installed
+	// version — out of the same chain.
+	var rv *partition.RingVersionError
+	if !errors.As(wrapped, &rv) {
+		t.Fatalf("errors.As(*RingVersionError) failed on %v", wrapped)
+	}
+	if rv.Have != 7 {
+		t.Errorf("RingVersionError.Have = %d, want 7", rv.Have)
+	}
+
+	// A lone PartitionError (no aggregate) must unwrap the same way.
+	if !errors.Is(fmt.Errorf("retry: %w", failures[1]), partition.ErrRingVersion) {
+		t.Error("single PartitionError chain lost ErrRingVersion")
+	}
+
+	// Sentinels must not bleed into each other across the aggregate.
+	if errors.Is(wrapped, paretomon.ErrReadOnly) {
+		t.Error("chain matches an unrelated sentinel")
 	}
 }

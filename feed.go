@@ -32,6 +32,8 @@ var errStopFeed = errors.New("paretomon: stop feed page")
 // monitor's read lock — so callers paging over a large backlog should
 // use a generous limit, and very large SegmentBytes amplify the
 // re-read cost of a cold catch-up.
+//
+//paretomon:nowal — replays the log; reads storage, writes nothing.
 func (m *Monitor) WALAfter(after uint64, limit int) ([]WALRecord, uint64, error) {
 	if m.store == nil {
 		return nil, 0, fmt.Errorf("%w: monitor has no store (use WithStore or Open)", ErrUnsupported)
@@ -83,6 +85,8 @@ func (m *Monitor) WALNotify() <-chan struct{} {
 // which is always possible because Prune never discards WAL segments
 // without a snapshot covering them. It returns ErrUnsupported without a
 // store.
+//
+//paretomon:nowal — loads the newest snapshot; a pure storage read.
 func (m *Monitor) LatestSnapshot() (seq uint64, body []byte, ok bool, err error) {
 	if m.store == nil {
 		return 0, nil, false, fmt.Errorf("%w: monitor has no store (use WithStore or Open)", ErrUnsupported)

@@ -1,0 +1,192 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata tree and compares its diagnostics against // want
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: testdata/src/<pkg>/*.go, one directory per golden package.
+// A line expecting diagnostics carries a trailing comment of the form
+//
+//	x := 1 // want `regexp`
+//	y := 2 // want `first` `second`
+//
+// Every diagnostic reported on that line must match one expectation
+// (a regular expression applied to the message) and vice versa; a
+// line with no want comment must produce no diagnostics. Fixture
+// packages may import the standard library only — they type-check
+// through the compiler's source importer, hermetically.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the caller package's testdata directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run checks the analyzer against each named golden package under
+// dir/src.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) { runOne(t, filepath.Join(dir, "src", pkg), pkg, a) })
+	}
+}
+
+// expectation is one // want entry: a pattern expected to match a
+// diagnostic at file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading golden package: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking golden package: %v", err)
+	}
+
+	var expects []*expectation
+	for _, f := range files {
+		name := fset.File(f.Pos()).Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, pat := range parseWant(t, c.Text) {
+					expects = append(expects, &expectation{
+						file:    name,
+						line:    fset.Position(c.Pos()).Line,
+						pattern: pat,
+					})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers(
+		[]*analysis.LoadedPackage{{Path: pkgPath, Fset: fset, Files: files, Pkg: pkg, Info: info}},
+		[]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	sort.Slice(expects, func(i, j int) bool { return expects[i].line < expects[j].line })
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(e.file), e.line, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering the diagnostic.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.pattern.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWant extracts the patterns from a `// want `x` `y“ comment.
+func parseWant(t *testing.T, text string) []*regexp.Regexp {
+	t.Helper()
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(text[i+len("// want "):])
+	var pats []*regexp.Regexp
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("unterminated want pattern: %s", rest)
+			}
+			raw, rest = rest[1:1+end], strings.TrimSpace(rest[2+end:])
+		case '"':
+			var err error
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				t.Fatalf("unterminated want pattern: %s", rest)
+			}
+			raw, err = strconv.Unquote(rest[:2+end])
+			if err != nil {
+				t.Fatalf("bad want pattern %s: %v", rest, err)
+			}
+			rest = strings.TrimSpace(rest[2+end:])
+		default:
+			t.Fatalf("want patterns must be quoted with ` or \": %s", rest)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", raw, err)
+		}
+		pats = append(pats, re)
+	}
+	if len(pats) == 0 {
+		t.Fatalf("empty want comment: %s", text)
+	}
+	return pats
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging hooks

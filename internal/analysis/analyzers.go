@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the paretolint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WALBeforeApply,
+		SentinelErr,
+		LockDiscipline,
+		CtxHTTP,
+		HotPathAlloc,
+	}
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxHTTP(t *testing.T) {
+	// "partition" matches the obligation list and carries the flagged
+	// cases; "other" proves packages outside the list are untouched.
+	analysistest.Run(t, analysistest.TestData(), analysis.CtxHTTP, "partition", "other")
+}

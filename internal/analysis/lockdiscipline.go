@@ -1,0 +1,460 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces the Monitor's RWMutex rules (and every other
+// mutex in the module):
+//
+// Rule 1 (pairing): a mu.Lock()/mu.RLock() must be released on every
+// path out of the function — by an immediate defer, or by explicit
+// Unlock/RUnlock calls covering each return. A path that leaves the
+// function while holding a non-deferred lock is a leak.
+//
+// Rule 2 (re-entry): while a lock is held, calling another method of
+// the same receiver that itself acquires the same lock field is the
+// recursive-RWMutex deadlock class (Go mutexes are not reentrant, and
+// an RLock inside an RLock deadlocks against a blocked writer). The
+// check is package-local: methods of the same type are summarized by
+// which receiver lock fields they acquire.
+//
+// The analysis is a statement-order walk with branch-sensitive merge
+// (a branch that returns does not constrain the fall-through state) —
+// the same per-function CFG discipline the other analyzers use.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "every mu.Lock/RLock must be released on all paths, and no method " +
+		"may re-acquire a receiver lock its caller already holds",
+	Run: runLockDiscipline,
+}
+
+// lockKey names one lock as seen from inside a function body: the
+// flattened receiver-rooted path of the mutex field ("m.mu",
+// "s.feedMu") or a package-level / local mutex variable name.
+type lockKey = string
+
+// lockState is what the walker knows about one key at one point.
+type lockState struct {
+	kind     string // "Lock" or "RLock"
+	deferred bool   // released by a defer already seen
+	pos      ast.Node
+}
+
+func runLockDiscipline(pass *Pass) error {
+	// Pass 1: per receiver type, which lock fields does each method
+	// acquire (directly)?
+	acquires := make(map[string]map[string]map[string]bool) // type -> method -> mu field name -> true
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			tname := receiverTypeName(fd)
+			recv := receiverObject(pass.TypesInfo, fd)
+			if tname == "" || recv == nil {
+				continue
+			}
+			fields := methodLockFields(pass, fd, recv)
+			if len(fields) == 0 {
+				continue
+			}
+			if acquires[tname] == nil {
+				acquires[tname] = make(map[string]map[string]bool)
+			}
+			acquires[tname][fd.Name.Name] = fields
+		}
+	}
+
+	// Pass 2: walk every function body.
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lw := &lockWalker{
+				pass:     pass,
+				acquires: acquires,
+				tname:    receiverTypeName(fd),
+				recv:     receiverObject(pass.TypesInfo, fd),
+				reported: make(map[ast.Node]bool),
+			}
+			held := lw.stmts(fd.Body.List, make(map[lockKey]lockState))
+			if !terminates(fd.Body.List) {
+				lw.atExit(fd.Body.Rbrace, held)
+			}
+		}
+	}
+	return nil
+}
+
+// methodLockFields returns the receiver mutex fields fd acquires
+// directly (m.mu.Lock / m.mu.RLock), keyed by field path.
+func methodLockFields(pass *Pass, fd *ast.FuncDecl, recv *types.Var) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mu, method, isMu := isMutexOp(pass.TypesInfo, call)
+		if !isMu || (method != "Lock" && method != "RLock") {
+			return true
+		}
+		if isUseOf(pass.TypesInfo, mu, recv) {
+			out[lockPath(mu)] = true
+		}
+		return true
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// lockPath flattens a mutex expression to a stable key with the
+// receiver/base identifier stripped of position: "m.mu" -> ".mu",
+// "s.sub.mu" -> ".sub.mu", bare "mu" -> "mu". Receiver-relative paths
+// compare equal across methods that name their receiver differently.
+func lockPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if root := rootIdentOf(x); root != nil {
+			full := types.ExprString(x)
+			if len(full) > len(root.Name) {
+				return full[len(root.Name):] // ".mu", ".feedMu", ...
+			}
+		}
+		return types.ExprString(x)
+	default:
+		return types.ExprString(e)
+	}
+}
+
+type lockWalker struct {
+	pass     *Pass
+	acquires map[string]map[string]map[string]bool
+	tname    string
+	recv     *types.Var
+	reported map[ast.Node]bool
+}
+
+func (lw *lockWalker) reportf(n ast.Node, format string, args ...any) {
+	if lw.reported[n] {
+		return
+	}
+	lw.reported[n] = true
+	lw.pass.Reportf(n.Pos(), format, args...)
+}
+
+func copyHeld(held map[lockKey]lockState) map[lockKey]lockState {
+	out := make(map[lockKey]lockState, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// stmts walks a list, threading the held-lock state through it.
+func (lw *lockWalker) stmts(list []ast.Stmt, held map[lockKey]lockState) map[lockKey]lockState {
+	for _, s := range list {
+		held = lw.stmt(s, held)
+	}
+	return held
+}
+
+func (lw *lockWalker) stmt(s ast.Stmt, held map[lockKey]lockState) map[lockKey]lockState {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return lw.stmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = lw.stmt(st.Init, held)
+		}
+		lw.exprCalls(st.Cond, held)
+		thenHeld := lw.stmts(st.Body.List, copyHeld(held))
+		thenTerm := terminates(st.Body.List)
+		if thenTerm {
+			lw.checkLeak(st.Body, thenHeld)
+		}
+		elseHeld, elseTerm := copyHeld(held), false
+		if st.Else != nil {
+			elseHeld = lw.stmt(st.Else, elseHeld)
+			elseTerm = terminatesStmt(st.Else)
+			if elseTerm {
+				lw.checkLeak(st.Else, elseHeld)
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held // unreachable; keep entry state to stay quiet
+		case thenTerm:
+			return elseHeld
+		case elseTerm:
+			return thenHeld
+		default:
+			return lw.merge(st, thenHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = lw.stmt(st.Init, held)
+		}
+		lw.exprCalls(st.Cond, held)
+		bodyHeld := lw.stmts(st.Body.List, copyHeld(held))
+		if st.Post != nil {
+			lw.stmt(st.Post, bodyHeld)
+		}
+		return held
+	case *ast.RangeStmt:
+		lw.exprCalls(st.X, held)
+		lw.stmts(st.Body.List, copyHeld(held))
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return lw.switchLike(s, held)
+	case *ast.DeferStmt:
+		return lw.deferStmt(st, held)
+	case *ast.GoStmt:
+		// The goroutine runs later under its own discipline; only its
+		// body's internal pairing is checked (it is a FuncLit walked as
+		// part of exprCalls? no — walk it explicitly with empty state).
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			h := lw.stmts(fl.Body.List, make(map[lockKey]lockState))
+			if !terminates(fl.Body.List) {
+				lw.atExit(fl.Body.Rbrace, h)
+			}
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			lw.exprCalls(r, held)
+		}
+		lw.checkLeak(st, held)
+		return held
+	case *ast.ExprStmt:
+		return lw.callStmt(st.X, held)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			lw.exprCalls(r, held)
+		}
+		return held
+	case *ast.LabeledStmt:
+		return lw.stmt(st.Stmt, held)
+	default:
+		return held
+	}
+}
+
+// switchLike walks switch/type-switch/select bodies branch by branch.
+func (lw *lockWalker) switchLike(s ast.Stmt, held map[lockKey]lockState) map[lockKey]lockState {
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = lw.stmt(st.Init, held)
+		}
+		lw.exprCalls(st.Tag, held)
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = lw.stmt(st.Init, held)
+		}
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	out := held
+	first := true
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				lw.stmt(cc.Comm, copyHeld(held))
+			}
+			list = cc.Body
+		}
+		h := lw.stmts(list, copyHeld(held))
+		if terminates(list) {
+			lw.checkLeak(c, h)
+			continue
+		}
+		if first {
+			out, first = h, false
+		} else {
+			out = lw.merge(c, out, h)
+		}
+	}
+	return out
+}
+
+// merge reconciles two branch states: a lock held on one side but not
+// the other is a divergent path — report it and keep it held so one
+// miss does not cascade.
+func (lw *lockWalker) merge(at ast.Node, a, b map[lockKey]lockState) map[lockKey]lockState {
+	out := make(map[lockKey]lockState, len(a))
+	for k, v := range a {
+		if _, inB := b[k]; !inB && !v.deferred {
+			lw.reportf(v.pos, "%s is released on only one branch below; unlock on every path", lw.keyLabel(k))
+		}
+		out[k] = v
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			if !v.deferred {
+				lw.reportf(v.pos, "%s is released on only one branch below; unlock on every path", lw.keyLabel(k))
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (lw *lockWalker) keyLabel(k lockKey) string {
+	if len(k) > 0 && k[0] == '.' {
+		return "receiver lock " + k[1:]
+	}
+	return "lock " + k
+}
+
+// deferStmt marks the deferred unlock's lock as released-at-exit, and
+// walks deferred closures for their own discipline.
+func (lw *lockWalker) deferStmt(st *ast.DeferStmt, held map[lockKey]lockState) map[lockKey]lockState {
+	if mu, method, isMu := isMutexOp(lw.pass.TypesInfo, st.Call); isMu {
+		if method == "Unlock" || method == "RUnlock" {
+			key := lockPath(mu)
+			if s, ok := held[key]; ok {
+				s.deferred = true
+				held[key] = s
+			}
+		}
+		return held
+	}
+	if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure releasing the lock covers every exit too.
+		for _, s := range fl.Body.List {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if mu, method, isMu := isMutexOp(lw.pass.TypesInfo, call); isMu && (method == "Unlock" || method == "RUnlock") {
+				key := lockPath(mu)
+				if s, ok := held[key]; ok {
+					s.deferred = true
+					held[key] = s
+				}
+			}
+		}
+	}
+	return held
+}
+
+// callStmt handles a top-level call statement: mutex ops mutate the
+// held set; everything else is checked for re-entry.
+func (lw *lockWalker) callStmt(e ast.Expr, held map[lockKey]lockState) map[lockKey]lockState {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		lw.exprCalls(e, held)
+		return held
+	}
+	if mu, method, isMu := isMutexOp(lw.pass.TypesInfo, call); isMu {
+		key := lockPath(mu)
+		switch method {
+		case "Lock", "RLock":
+			if prev, ok := held[key]; ok {
+				lw.reportf(call, "%s acquired again while already held (since line %d): Go locks are not reentrant",
+					lw.keyLabel(key), lw.pass.Fset.Position(prev.pos.Pos()).Line)
+			}
+			held[key] = lockState{kind: method, pos: call}
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return held
+	}
+	lw.exprCalls(e, held)
+	return held
+}
+
+// exprCalls scans an expression for calls that re-enter a held
+// receiver lock (rule 2) and for nested function literals.
+func (lw *lockWalker) exprCalls(e ast.Expr, held map[lockKey]lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// An immediately-invoked or stored closure inherits nothing
+			// statically checkable; walk it standalone.
+			h := lw.stmts(x.Body.List, make(map[lockKey]lockState))
+			if !terminates(x.Body.List) {
+				lw.atExit(x.Body.Rbrace, h)
+			}
+			return false
+		case *ast.CallExpr:
+			lw.checkReentry(x, held)
+		}
+		return true
+	})
+}
+
+// checkReentry flags m.Foo() while a receiver lock Foo acquires is
+// held.
+func (lw *lockWalker) checkReentry(call *ast.CallExpr, held map[lockKey]lockState) {
+	if len(held) == 0 || lw.recv == nil || lw.tname == "" {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || lw.pass.TypesInfo.Uses[id] != lw.recv {
+		return
+	}
+	fields := lw.acquires[lw.tname][sel.Sel.Name]
+	for f := range fields {
+		if prev, isHeld := held[f]; isHeld {
+			lw.reportf(call,
+				"%s.%s acquires %s, already held here (since line %d): recursive locking deadlocks",
+				lw.tname, sel.Sel.Name, lw.keyLabel(f), lw.pass.Fset.Position(prev.pos.Pos()).Line)
+		}
+	}
+}
+
+// checkLeak reports non-deferred locks still held at an exit point.
+func (lw *lockWalker) checkLeak(at ast.Node, held map[lockKey]lockState) {
+	for k, s := range held {
+		if !s.deferred {
+			lw.reportf(s.pos, "%s is still held when the function returns at line %d; release it on every path or defer the unlock",
+				lw.keyLabel(k), lw.pass.Fset.Position(at.Pos()).Line)
+		}
+	}
+}
+
+// atExit reports locks leaked at the implicit end of a body.
+func (lw *lockWalker) atExit(rbrace token.Pos, held map[lockKey]lockState) {
+	_ = rbrace
+	for k, s := range held {
+		if !s.deferred {
+			lw.reportf(s.pos, "%s is never released on the fall-through path; release it or defer the unlock", lw.keyLabel(k))
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelErr enforces the error taxonomy contract from errors.go:
+// callers dispatch on sentinels with errors.Is, never with pointer
+// equality, and error chains are never silently cut.
+//
+// Rule 1: no ==/!= comparison (or switch case) between an error value
+// and a declared sentinel — a package-level error variable like io.EOF
+// or ErrUnknownUser. Wrapped errors (every error this module returns)
+// never compare equal to their sentinel; errors.Is is the only correct
+// dispatch.
+//
+// Rule 2: a fmt.Errorf call that formats an error argument must wrap
+// something: either the format carries a %w somewhere (classifying
+// with a sentinel while stringifying the cause with %v is a deliberate,
+// legal chain cut) or the error argument itself rides a %w. With no %w
+// at all the chain is destroyed and errors.Is dispatch breaks at the
+// API boundary.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc: "compare errors with errors.Is, not ==/!=, and never fmt.Errorf " +
+		"an error away without wrapping (%w or a declared sentinel)",
+	Run: runSentinelErr,
+}
+
+func runSentinelErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, x)
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, x)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelCompare flags err ==/!= <sentinel>.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		if s := sentinelOf(pass, pair[0]); s != nil && isErrorExpr(pass, pair[1]) {
+			pass.Reportf(be.Pos(),
+				"comparison with error sentinel %s: wrapped errors never compare equal; use errors.Is(err, %s)",
+				s.Name(), types.ExprString(pair[0]))
+			return
+		}
+	}
+}
+
+// checkSentinelSwitch flags switch err { case io.EOF: ... }.
+func checkSentinelSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorExpr(pass, sw.Tag) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinelOf(pass, e); s != nil {
+				pass.Reportf(e.Pos(),
+					"switch case compares error against sentinel %s: wrapped errors never compare equal; use errors.Is",
+					s.Name())
+			}
+		}
+	}
+}
+
+// sentinelOf reports the package-level error variable e refers to, if
+// any. Locals, fields and nil are not sentinels.
+func sentinelOf(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return nil
+	}
+	// Package level: the variable's parent scope is its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether e's static type is error (or implements
+// it) and e is not the nil literal.
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && isErrorType(t)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Identical(t, errorIface)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed
+// argument while carrying no %w verb anywhere in the format.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"fmt.Errorf formats error %s without any %%w: the chain is lost and errors.Is dispatch breaks; wrap with %%w or a declared sentinel",
+			types.ExprString(arg))
+	}
+}

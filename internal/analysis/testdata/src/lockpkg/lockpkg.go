@@ -1,0 +1,77 @@
+// Package lockpkg is the lockdiscipline golden corpus: pairing on all
+// paths, double acquisition, and same-receiver re-entry.
+package lockpkg
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Inc pairs with a defer: released on every path.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Get releases explicitly on both paths.
+func (c *Counter) Get(fast bool) int {
+	c.rw.RLock()
+	if fast {
+		n := c.n
+		c.rw.RUnlock()
+		return n
+	}
+	n := c.n * 2
+	c.rw.RUnlock()
+	return n
+}
+
+// Peek leaks the read lock on the early return.
+func (c *Counter) Peek(skip bool) int {
+	c.rw.RLock() // want `receiver lock rw is still held when the function returns`
+	if skip {
+		return 0
+	}
+	n := c.n
+	c.rw.RUnlock()
+	return n
+}
+
+// Double re-acquires a lock it already holds: instant deadlock.
+func (c *Counter) Double() {
+	c.mu.Lock()
+	c.mu.Lock() // want `receiver lock mu acquired again while already held`
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// IncTwice calls a sibling that takes the lock it is holding.
+func (c *Counter) IncTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want `Counter.Inc acquires receiver lock mu, already held`
+}
+
+// Flaky releases on only one branch.
+func (c *Counter) Flaky(b bool) {
+	c.mu.Lock() // want `receiver lock mu is released on only one branch`
+	if b {
+		c.mu.Unlock()
+	}
+	c.n++
+}
+
+// Async hands the pairing to a goroutine, which keeps its own (clean)
+// discipline.
+func (c *Counter) Async() {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}()
+}

@@ -1,0 +1,9 @@
+// Package other sits outside the ctxhttp obligation list: the same
+// context-free constructors pass without a finding here.
+package other
+
+import "net/http"
+
+func Fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}

@@ -1,0 +1,31 @@
+// Package partition is the ctxhttp golden corpus: its directory name
+// matches a context-obligated package, so the banned constructors are
+// flagged here.
+package partition
+
+import (
+	"context"
+	"net/http"
+)
+
+// fetch is the blessed shape: the request carries its caller's context.
+func fetch(ctx context.Context, c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+func bad(c *http.Client, url string) {
+	http.Get(url)                     // want `http.Get is context-free`
+	http.Post(url, "text/plain", nil) // want `http.Post is context-free`
+	http.NewRequest("GET", url, nil)  // want `http.NewRequest is context-free`
+	c.Get(url)                        // want `\(\*http.Client\).Get builds a context-free request`
+}
+
+// headers proves the accessor namesakes stay untouched: Header.Get is
+// not (*http.Client).Get.
+func headers(resp *http.Response, r *http.Request) string {
+	return resp.Header.Get("Content-Type") + r.Header.Get("Accept")
+}

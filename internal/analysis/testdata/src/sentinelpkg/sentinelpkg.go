@@ -1,0 +1,68 @@
+// Package sentinelpkg is the sentinelerr golden corpus: sentinel
+// comparisons, switch dispatch, and fmt.Errorf chain handling.
+package sentinelpkg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrThing = errors.New("thing")
+
+func Classify(err error) string {
+	if err == ErrThing { // want `comparison with error sentinel ErrThing: wrapped errors never compare equal`
+		return "thing"
+	}
+	if err == io.EOF { // want `comparison with error sentinel EOF: wrapped errors never compare equal; use errors.Is\(err, io.EOF\)`
+		return "eof"
+	}
+	if err != io.EOF { // want `comparison with error sentinel EOF`
+		return "not-eof"
+	}
+	return ""
+}
+
+func ClassifyWell(err error) string {
+	if errors.Is(err, ErrThing) {
+		return "thing"
+	}
+	if errors.Is(err, io.EOF) {
+		return "eof"
+	}
+	if err != nil {
+		return "other"
+	}
+	return ""
+}
+
+func Switchy(err error) string {
+	switch err {
+	case nil:
+		return ""
+	case io.EOF: // want `switch case compares error against sentinel EOF`
+		return "eof"
+	}
+	return "?"
+}
+
+// Wraps keeps the chain: %w on the cause.
+func Wraps(err error) error {
+	return fmt.Errorf("reading: %w", err)
+}
+
+// WrapsSentinel classifies with a sentinel while stringifying the
+// cause — a deliberate chain cut, legal because a %w is present.
+func WrapsSentinel(err error) error {
+	return fmt.Errorf("%w: reading: %v", ErrThing, err)
+}
+
+// Cuts destroys the chain: the error rides a %v with no %w anywhere.
+func Cuts(err error) error {
+	return fmt.Errorf("reading: %v", err) // want `fmt.Errorf formats error err without any %w`
+}
+
+// Stringly formats no error at all.
+func Stringly(n int) error {
+	return fmt.Errorf("count %d", n)
+}

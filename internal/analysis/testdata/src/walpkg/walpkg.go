@@ -1,0 +1,121 @@
+// Package walpkg is the walbeforeapply golden corpus: an Engine type
+// owning an appendWAL method, with methods that honor, violate, and
+// opt out of the append-before-apply discipline.
+package walpkg
+
+import "sync"
+
+type rec struct{ op string }
+
+type journal struct{ log []rec }
+
+func (j *journal) append(r rec) error { j.log = append(j.log, r); return nil }
+func (j *journal) count() int         { return len(j.log) }
+func (j *journal) flush()             {}
+
+type Engine struct {
+	mu   sync.Mutex
+	wal  journal
+	vals map[string]int
+	n    int
+}
+
+func (e *Engine) appendWAL(rs []rec) error {
+	for _, r := range rs {
+		if err := e.wal.append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add logs first, then applies: the canonical shape.
+func (e *Engine) Add(k string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.appendWAL([]rec{{op: "add:" + k}}); err != nil {
+		return err
+	}
+	e.vals[k] = e.n
+	e.n++
+	return nil
+}
+
+// AddFirst applies before logging: a crash between the write and the
+// append loses an acknowledged mutation.
+func (e *Engine) AddFirst(k string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++ // want `assignment to receiver state before appendWAL`
+	return e.appendWAL([]rec{{op: k}})
+}
+
+// Bump hides the early write inside an unexported helper; the sibling
+// fixpoint still sees through it.
+func (e *Engine) Bump(k string) error {
+	e.bump() // want `call to state-writing method bump before appendWAL`
+	return e.appendWAL([]rec{{op: k}})
+}
+
+func (e *Engine) bump() { e.n++ }
+
+// AddMany delegates to the WAL-disciplined Add; the import/batch shape
+// needs no log append of its own.
+func (e *Engine) AddMany(ks []string) error {
+	for _, k := range ks {
+		if err := e.Add(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddChecked performs a validation read through a receiver field
+// before logging — value position, no error result — which is the
+// blessed check-then-log shape, not a state write.
+func (e *Engine) AddChecked(k string) error {
+	if e.wal.count() > 10 {
+		return nil
+	}
+	if err := e.appendWAL([]rec{{op: k}}); err != nil {
+		return err
+	}
+	e.n++
+	return nil
+}
+
+// Flush calls through a receiver field in statement position before
+// logging: result discarded means mutation.
+func (e *Engine) Flush(k string) error {
+	e.wal.flush() // want `call through receiver field \(e.wal.flush\) before appendWAL`
+	return e.appendWAL([]rec{{op: k}})
+}
+
+// Maybe logs on only one branch; the write below is unprotected on the
+// other.
+func (e *Engine) Maybe(k string, logIt bool) error {
+	if logIt {
+		if err := e.appendWAL([]rec{{op: k}}); err != nil {
+			return err
+		}
+	}
+	e.n++ // want `assignment to receiver state before appendWAL`
+	return nil
+}
+
+// Count is a read path: no writes, nothing to flag.
+func (e *Engine) Count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Reset mutates deliberately outside the WAL (derived cache), opted
+// out visibly.
+//
+//paretomon:nowal
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n = 0
+}

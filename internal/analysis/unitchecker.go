@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// VetConfig is the JSON configuration cmd/go writes for each package
+// when a -vettool runs (the unitchecker protocol): the package's
+// files, its import map, and the export-data file for every
+// dependency. Fields this checker does not consume are still listed so
+// the config always decodes.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit executes the analyzer suite over one vet unit described
+// by the cfg file and returns the process exit code: 0 clean, 2 when
+// diagnostics were reported, 1 on internal failure. Diagnostics print
+// to stderr in the standard file:line:col form cmd/go relays.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The fact-output file must exist even though this suite exports no
+	// facts; cmd/go records it as a build output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited only for facts; nothing to report
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go staged for the
+	// compiler; ImportMap translates source-level paths to canonical
+	// ones first.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers([]*LoadedPackage{{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return &cfg, nil
+}

@@ -32,6 +32,8 @@ func (f *Frontier) grow(id int) {
 func (f *Frontier) Len() int { return len(f.list) }
 
 // Contains reports whether the object with the given id is in the frontier.
+//
+//paretomon:hotpath
 func (f *Frontier) Contains(objID int) bool {
 	return objID >= 0 && objID < len(f.pos) && f.pos[objID] >= 0
 }
@@ -45,6 +47,8 @@ func (f *Frontier) ByID(objID int) (object.Object, bool) {
 }
 
 // Add inserts o; inserting an object already present is a no-op.
+//
+//paretomon:hotpath
 func (f *Frontier) Add(o object.Object) {
 	if f.Contains(o.ID) {
 		return
@@ -56,6 +60,8 @@ func (f *Frontier) Add(o object.Object) {
 
 // Remove deletes the object with the given id, returning whether it was
 // present.
+//
+//paretomon:hotpath
 func (f *Frontier) Remove(objID int) bool {
 	if !f.Contains(objID) {
 		return false

@@ -246,6 +246,8 @@ func (s *Sharded) ensureWorkers() {
 // Process fans the object out to every shard and merges the target
 // users. Inline mode runs the shards sequentially in the caller's
 // goroutine; async mode rings each shard worker's doorbell and waits.
+//
+//paretomon:hotpath
 func (s *Sharded) Process(o object.Object) []int {
 	if s.async {
 		s.ensureWorkers()
@@ -269,6 +271,8 @@ func (s *Sharded) Process(o object.Object) []int {
 // synchronization happens once per batch rather than once per object;
 // inline mode walks the batch object-major. Results are per object, in
 // batch order — identical to calling Process object by object.
+//
+//paretomon:hotpath
 func (s *Sharded) ProcessBatch(objs []object.Object) [][]int {
 	out := make([][]int, len(objs))
 	if s.async && len(objs) > 1 {

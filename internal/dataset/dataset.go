@@ -74,7 +74,7 @@ func ReadObjectsCSV(r io.Reader) ([]*order.Domain, []object.Object, error) {
 	var objs []object.Object
 	for {
 		row, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -31,6 +31,8 @@ type cmpTable struct {
 // y ≻ x, RelNone otherwise. Ids outside the published table (values
 // interned after the last build, or domains past cmpTableMaxN) fall back
 // to exact bitset probes, so the answer never goes stale on domain growth.
+//
+//paretomon:hotpath
 func (r *Relation) Rel(x, y int) uint8 {
 	t := r.cmp.Load()
 	if t == nil {

@@ -82,7 +82,7 @@ func (c *Client) Snapshot(ctx context.Context) (seq uint64, body []byte, ok bool
 	}
 	seq, err = strconv.ParseUint(resp.Header.Get(SeqHeader), 10, 64)
 	if err != nil {
-		return 0, nil, false, fmt.Errorf("replica: snapshot response missing %s header: %v", SeqHeader, err)
+		return 0, nil, false, fmt.Errorf("replica: snapshot response missing %s header: %w", SeqHeader, err)
 	}
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
@@ -173,7 +173,7 @@ func (c *Client) Tail(ctx context.Context, after uint64) (*Stream, error) {
 		// against the applied position to detect a primary that lost
 		// acknowledged records, so a missing head must not read as 0.
 		resp.Body.Close()
-		return nil, fmt.Errorf("replica: feed response missing %s header: %v", SeqHeader, err)
+		return nil, fmt.Errorf("replica: feed response missing %s header: %w", SeqHeader, err)
 	}
 	return &Stream{Head: head, body: resp.Body, fr: NewFeedReader(resp.Body)}, nil
 }

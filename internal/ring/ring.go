@@ -52,6 +52,8 @@ func (q *SPSC[T]) Len() int {
 // Push enqueues v, returning false if the ring is full. Producer side
 // only. The slot write happens before the tail publish, so the consumer
 // acquiring the new tail observes a fully written slot.
+//
+//paretomon:hotpath
 func (q *SPSC[T]) Push(v T) bool {
 	t := q.tail.Load()
 	if t-q.head.Load() == uint64(len(q.buf)) {
@@ -66,6 +68,8 @@ func (q *SPSC[T]) Push(v T) bool {
 // Consumer side only. The slot is zeroed before the head publish so the
 // ring never pins freed references, and the producer never rewrites a
 // slot before its head advance is visible.
+//
+//paretomon:hotpath
 func (q *SPSC[T]) Pop() (T, bool) {
 	var zero T
 	h := q.head.Load()

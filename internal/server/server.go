@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -146,10 +147,16 @@ func New(mon *paretomon.Monitor) *Server {
 	s.mux.HandleFunc("GET /lease", s.handleLeaseGet)
 	s.mux.HandleFunc("DELETE /lease", s.handleLeaseRelease)
 	// Adopt the ring this partition last accepted, surviving restarts on
-	// durable monitors. A load failure leaves version 0 (legacy mode);
-	// the first router push reinstalls it.
-	if data, ok, err := mon.GetMeta(ringMetaKey); err == nil && ok {
-		if rg, err := partition.DecodeRing(data); err == nil {
+	// durable monitors. A load failure leaves version 0 (legacy mode) —
+	// the first router push reinstalls it — but say so: a partition that
+	// silently drops back to version 0 accepts writes the ring fencing
+	// would have refused.
+	if data, ok, err := mon.GetMeta(ringMetaKey); err != nil {
+		log.Printf("server: reading stored ring meta: %v; starting at ring version 0 until the router pushes a ring", err)
+	} else if ok {
+		if rg, err := partition.DecodeRing(data); err != nil {
+			log.Printf("server: decoding stored ring: %v; starting at ring version 0 until the router pushes a ring", err)
+		} else {
 			s.ringVer = rg.Version
 		}
 	}

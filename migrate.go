@@ -1,6 +1,7 @@
 package paretomon
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -36,6 +37,10 @@ func (m *Monitor) metaStore() storage.MetaStore {
 // fleet ring, the router lease) beside — not inside — the WAL. On a
 // monitor whose store does not support meta records (or that has no
 // store) the value is kept in process memory, surviving until restart.
+//
+// version coordination state (ring payloads), not monitor state.
+//
+//paretomon:nowal — meta records live beside the WAL, not in it: they
 func (m *Monitor) PutMeta(key string, value []byte) error {
 	if ms := m.metaStore(); ms != nil {
 		return ms.PutMeta(key, value)
@@ -141,7 +146,7 @@ func (m *Monitor) ImportUsers(r io.Reader) (added, skipped int, err error) {
 	}
 	for {
 		msg, err := fr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return added, skipped, nil
 		}
 		if err != nil {
@@ -228,7 +233,7 @@ func (m *Monitor) ImportObjects(r io.Reader) (applied int, err error) {
 	pos := 0 // OpObject records consumed == source slot index
 	for {
 		msg, err := fr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return applied, nil
 		}
 		if err != nil {

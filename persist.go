@@ -91,6 +91,10 @@ func Open(c *Community, dir string, opts ...Option) (*Monitor, error) {
 // longer needs. It returns ErrUnsupported if the monitor has no store.
 // Automatic snapshots (WithSnapshotEvery) are best-effort; Snapshot is
 // the checked path, which POST /snapshot exposes over HTTP.
+//
+// the WAL already ordered, so it is never itself WAL-logged.
+//
+//paretomon:nowal — a snapshot is derived state: it compacts the log
 func (m *Monitor) Snapshot() error {
 	if m.store == nil {
 		return fmt.Errorf("%w: monitor has no store (use WithStore or Open)", ErrUnsupported)
@@ -109,6 +113,8 @@ func (m *Monitor) Snapshot() error {
 // StorageStats reports the store's current footprint (WAL segments and
 // bytes, snapshots, appends). It returns ErrUnsupported if the monitor
 // has no store.
+//
+//paretomon:nowal — reads storage counters only.
 func (m *Monitor) StorageStats() (StoreStats, error) {
 	if m.store == nil {
 		return StoreStats{}, fmt.Errorf("%w: monitor has no store (use WithStore or Open)", ErrUnsupported)

@@ -232,6 +232,10 @@ func (s *subscriptions) isClosed() bool {
 // reports objects leaving a frontier. New code should use
 // SubscribeDeltas, whose FrontierDelta events also observe RemoveObject,
 // RetractPreference and AddPreference changes.
+//
+// subscriptions are ephemeral and deliberately not persisted.
+//
+//paretomon:nowal — registers an in-process fan-out channel;
 func (m *Monitor) Subscribe(user string) (<-chan Delivery, CancelFunc, error) {
 	// Hold the read lock across lookup AND registration: RemoveUser
 	// closes a user's subscribers under the write lock, so registering
@@ -258,6 +262,8 @@ func (m *Monitor) Subscribe(user string) (<-chan Delivery, CancelFunc, error) {
 // AddPreference repair. Buffering, loss accounting and teardown follow
 // the Subscribe contract; the channel closes on cancel, Monitor.Close,
 // and RemoveUser of this user.
+//
+//paretomon:nowal — same ephemeral registration as Subscribe.
 func (m *Monitor) SubscribeDeltas(user string) (<-chan FrontierDelta, CancelFunc, error) {
 	// See Subscribe for why the read lock spans lookup + registration.
 	m.mu.RLock()
@@ -285,6 +291,10 @@ func (m *Monitor) SubscribeDeltas(user string) (<-chan FrontierDelta, CancelFunc
 // ErrMonitorClosed; with a caller-provided WithStore the caller owns the
 // store's lifecycle and ingestion keeps working. Close implements
 // io.Closer for composition with server lifecycles.
+//
+// follower; there is no operation to log.
+//
+//paretomon:nowal — shutdown tears down subscriptions and the
 func (m *Monitor) Close() error {
 	if m.follower != nil {
 		m.follower.cancel()
