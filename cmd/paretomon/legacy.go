@@ -1,0 +1,172 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// legacyValues is the full pre-subcommand flag namespace, parsed.
+type legacyValues struct {
+	objPath   string
+	prefPath  string
+	eng       engineFlags
+	limit     int
+	quiet     bool
+	serve     string
+	dataDir   string
+	snapEvery int
+	follow    string
+	partSpec  string
+	route     string
+	routerID  string
+	leaseTTL  time.Duration
+	migrateTO time.Duration
+	rebalance string
+	router    string
+	reconcile bool
+}
+
+// validateLegacy is the pre-subcommand CLI's contradiction table. Every
+// rule and message is preserved verbatim from the flag-era main so
+// existing scripts keep seeing the errors they grep for. Returns nil
+// when the combination is coherent.
+func validateLegacy(v *legacyValues) error {
+	if v.rebalance != "" || v.reconcile {
+		if v.router == "" {
+			return fmt.Errorf("-rebalance/-reconcile require -router (the running router drives the migration — it owns the write freeze)")
+		}
+		return nil
+	}
+	if v.routerID != "" && v.route == "" {
+		return fmt.Errorf("-router-id requires -route")
+	}
+	if v.route != "" {
+		if v.serve == "" {
+			return fmt.Errorf("-route requires -serve")
+		}
+		if v.follow != "" || v.dataDir != "" || v.partSpec != "" {
+			return fmt.Errorf("-route is exclusive with -follow, -data-dir and -partition (the partitions own the data)")
+		}
+		return nil
+	}
+	if v.objPath == "" || v.prefPath == "" {
+		return fmt.Errorf("-objects and -prefs are required")
+	}
+	if v.partSpec != "" && v.serve == "" {
+		return fmt.Errorf("-partition requires -serve")
+	}
+	if v.partSpec != "" && v.follow != "" {
+		return fmt.Errorf("-partition and -follow are mutually exclusive (follow the partition's primary instead)")
+	}
+	if v.dataDir != "" && v.serve == "" {
+		return fmt.Errorf("-data-dir requires -serve")
+	}
+	if v.snapEvery != 0 && v.dataDir == "" {
+		return fmt.Errorf("-snapshot-every requires -data-dir")
+	}
+	if v.follow != "" && v.serve == "" {
+		return fmt.Errorf("-follow requires -serve")
+	}
+	if v.follow != "" && v.dataDir != "" {
+		return fmt.Errorf("-follow and -data-dir are mutually exclusive (the primary owns the log)")
+	}
+	return nil
+}
+
+// parseLegacy binds the old flag namespace onto a FlagSet. Split from
+// runLegacy so tests can parse combinations without exiting.
+func parseLegacy(args []string, errOut io.Writer) (*legacyValues, error) {
+	fs := flag.NewFlagSet("paretomon", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	v := &legacyValues{}
+	fs.StringVar(&v.objPath, "objects", "", "objects CSV path (required)")
+	fs.StringVar(&v.prefPath, "prefs", "", "preference profiles JSON path (required)")
+	v.eng.register(fs)
+	fs.IntVar(&v.limit, "limit", 0, "process at most N objects (0 = all)")
+	fs.BoolVar(&v.quiet, "quiet", false, "suppress per-object delivery lines")
+	fs.StringVar(&v.serve, "serve", "", "serve HTTP on this address after replaying the objects (e.g. :8080)")
+	fs.StringVar(&v.dataDir, "data-dir", "", "durable state directory (WAL + snapshots); requires -serve")
+	fs.IntVar(&v.snapEvery, "snapshot-every", 0, "snapshot after every N WAL records (0 = explicit POST /snapshot only)")
+	fs.StringVar(&v.follow, "follow", "", "serve as a read-only follower of this primary URL; requires -serve")
+	fs.StringVar(&v.partSpec, "partition", "", "serve one consistent-hash slice i/n of the community (e.g. 1/3); requires -serve")
+	fs.StringVar(&v.route, "route", "", "serve as a router over this comma-separated partition fleet; requires -serve, loads no dataset")
+	fs.StringVar(&v.routerID, "router-id", "", "with -route: unique router identity for the fleet write lease (enables HA standby routers)")
+	fs.DurationVar(&v.leaseTTL, "lease-ttl", partition.DefaultLeaseTTL, "with -router-id: write-lease TTL (partitions clamp oversized values)")
+	fs.DurationVar(&v.migrateTO, "migrate-timeout", partition.DefaultMigrateTimeout, "with -route: per-stream timeout for bulk migration transfers during rebalance")
+	fs.StringVar(&v.rebalance, "rebalance", "", "rebalance a running fleet onto this comma-separated partition URL list (requires -router), then exit")
+	fs.StringVar(&v.router, "router", "", "with -rebalance/-reconcile: the running router's base URL")
+	fs.BoolVar(&v.reconcile, "reconcile", false, "repair a running fleet's ring after a crashed migration (requires -router), then exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// runLegacy is the deprecation shim: it parses the old single-namespace
+// flags, applies the old validation rules, and dispatches to the same
+// code the subcommands run. Behavior-compatible by construction —
+// every path lands in a shared serve/route/replay function.
+func runLegacy(args []string) {
+	v, err := parseLegacy(args, nil)
+	if err != nil {
+		// flag already printed the message and usage.
+		failf("invalid flags")
+	}
+	if err := validateLegacy(v); err != nil {
+		failf("%v", err)
+	}
+	switch {
+	case v.rebalance != "" || v.reconcile:
+		if v.reconcile {
+			runRebalance(v.router, nil, true)
+		} else {
+			runRebalance(v.router, splitURLs(v.rebalance), false)
+		}
+	case v.route != "":
+		cmdRoute([]string{
+			"-addr", v.serve,
+			"-fleet", v.route,
+			"-router-id", v.routerID,
+			"-lease-ttl", v.leaseTTL.String(),
+			"-migrate-timeout", v.migrateTO.String(),
+		})
+	case v.follow != "":
+		cmdFollow([]string{
+			"-addr", v.serve,
+			"-primary", v.follow,
+			"-objects", v.objPath,
+			"-prefs", v.prefPath,
+			"-algorithm", v.eng.alg,
+			"-h", fmt.Sprint(v.eng.h),
+			"-theta1", fmt.Sprint(v.eng.theta1),
+			"-theta2", fmt.Sprint(v.eng.theta2),
+			"-window", fmt.Sprint(v.eng.win),
+			"-workers", fmt.Sprint(v.eng.workers),
+		})
+	case v.serve != "":
+		sv := serveValues{
+			addr:      v.serve,
+			objPath:   v.objPath,
+			prefPath:  v.prefPath,
+			eng:       v.eng,
+			limit:     v.limit,
+			dataDir:   v.dataDir,
+			snapEvery: v.snapEvery,
+			partSpec:  v.partSpec,
+			set:       map[string]bool{},
+		}
+		serveSingle(&sv)
+	default:
+		runReplay(replayValues{
+			objPath:  v.objPath,
+			prefPath: v.prefPath,
+			eng:      v.eng,
+			limit:    v.limit,
+			quiet:    v.quiet,
+		})
+	}
+}

@@ -1,70 +1,43 @@
-// Command paretomon runs continuous Pareto-frontier dissemination over an
-// object stream on disk: it loads an objects CSV and a preference-profiles
-// JSON (the formats written by cmd/datagen), replays the objects in order
-// through the chosen engine, and reports each object's target users.
+// Command paretomon is the operator CLI for continuous Pareto-frontier
+// dissemination. It is organized as subcommands:
 //
-// Usage:
+//	paretomon serve     -objects o.csv -prefs p.json -addr :8080 [...]
+//	paretomon serve     -config fleet.yaml [-addr :8080] [-ops-addr :7171]
+//	paretomon follow    -primary http://primary:8080 -objects o.csv -prefs p.json -addr :8081
+//	paretomon route     -fleet http://p0:8080,http://p1:8080 -addr :9090 [-router-id r1]
+//	paretomon rebalance -router http://router:9090 -fleet url1,...,urlM
+//	paretomon reconcile -router http://router:9090
+//	paretomon snapshot  -url http://server:8080
+//	paretomon replay    -objects o.csv -prefs p.json [-algorithm ftv] [...]
+//	paretomon bench     -objects o.csv -prefs p.json [-algorithm ftv] [...]
 //
-//	paretomon -objects movie.objects.csv -prefs movie.prefs.json \
-//	          -algorithm ftv -h 3.3 -window 0 [-workers N] [-quiet] [-limit N]
-//	          [-serve :8080 [-data-dir ./data] [-snapshot-every N]
-//	           [-follow http://primary:8080]]
+// serve runs one monitor as a REST + SSE service (durable with
+// -data-dir, partitioned with -partition), or — with -config — a whole
+// multi-tenant fleet from a declarative YAML/JSON file: many isolated
+// communities in one process, each namespaced under /t/{tenant}/...,
+// bearer-authenticated and quota-enforced, with tenant CRUD on
+// /admin/tenants. follow runs a read-only replica, route the
+// consistent-hash front door over a partition fleet, rebalance and
+// reconcile drive live fleet reshapes through a running router,
+// snapshot forces a checked snapshot on a durable server, replay runs
+// the offline dataset replay, and bench times it.
 //
-// Algorithms: baseline, ftv (FilterThenVerify), ftva (approximate).
-// -window > 0 switches to sliding-window semantics. -workers shards
-// ingestion across N goroutines (0 = GOMAXPROCS, 1 = sequential);
-// deliveries are identical either way. Note that -h is a raw branch cut
-// on this data's similarity scale (Σ over attributes of weighted
-// Jaccard ∈ [0, d]), not the paper's normalized axis.
+// -ops-addr (serve, follow, route) opens the operator listener on a
+// second address: GET /metrics (Prometheus text format), /healthz, and
+// the Go pprof surface under /debug/pprof/. Keeping it off the main
+// listener keeps profiling and scrape traffic away from tenant auth.
 //
-// -data-dir (with -serve) makes the monitor durable: every ingested
-// object and preference update is WAL-logged under the directory, and a
-// restarted server recovers its exact state — frontiers, targets,
-// counters — before accepting traffic, skipping the CSV rows it already
-// holds. -snapshot-every bounds recovery replay; POST /snapshot forces
-// a snapshot on demand. See docs/PERSISTENCE.md for the full
-// operations walkthrough, including a kill -9 exercise.
-//
-// -partition i/n (with -serve) serves one slice of a partitioned
-// fleet: the community is cut down to the users the consistent-hash
-// plan assigns to partition i of n, and the process otherwise behaves
-// like any single monitor — durable with -data-dir, replicable with
-// followers. -route url1,url2,... starts the matching front door: a
-// consistent-hash router serving the full API over those n partitions
-// (writes fan out, user calls route to the owner, aggregates merge);
-// it loads no dataset, so -objects/-prefs are not required. See
-// docs/PARTITIONING.md.
-//
-// -rebalance url1,...,urlM -router http://router:9090 reshapes a
-// *running* fleet online: the router migrates users onto the target
-// partition list (scale-out appends partitions, scale-in removes
-// trailing ones) while writes keep flowing, then the command prints
-// the migration report and exits. -reconcile -router ... repairs the
-// ring after a crashed migration. -router-id (with -route) gives the
-// router an identity for the fleet write lease so a standby router is
-// safe to run. See docs/PARTITIONING.md ("Live rebalancing").
-//
-// -follow (with -serve) starts a read-only follower instead: the
-// monitor bootstraps from the primary's newest snapshot, tails its WAL
-// changefeed, and serves the full read API — frontiers, targets, stats,
-// SSE subscriptions — locally while writes are answered 403 (send them
-// to the primary). The CSV/JSON inputs supply only the schema and base
-// community, which must match the primary's; no rows are boot-ingested.
-// See docs/REPLICATION.md. On SIGINT/SIGTERM the server shuts down
-// gracefully: in-flight SSE and changefeed streams are cancelled so
-// clients and downstream followers disconnect cleanly.
+// The pre-subcommand flag spellings (paretomon -objects ... -serve
+// :8080 ...) keep working through a deprecation shim; see legacy.go.
+// Run `paretomon help` for the full flag reference of each subcommand.
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
-	"flag"
 	"fmt"
-	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -72,356 +45,155 @@ import (
 	"syscall"
 	"time"
 
-	paretomon "repro"
-	"repro/internal/approx"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/object"
-	"repro/internal/partition"
-	"repro/internal/pref"
-	"repro/internal/server"
-	"repro/internal/stats"
-	"repro/internal/window"
+	"repro/internal/telemetry"
 )
 
-type engine interface {
-	Process(o object.Object) []int
-	UserFrontier(c int) []int
-}
-
 func main() {
-	var (
-		objPath  = flag.String("objects", "", "objects CSV path (required)")
-		prefPath = flag.String("prefs", "", "preference profiles JSON path (required)")
-		alg      = flag.String("algorithm", "ftv", "baseline, ftv, or ftva")
-		h        = flag.Float64("h", 3.3, "clustering branch cut (raw similarity scale)")
-		theta1   = flag.Int("theta1", 400, "θ1 for ftva")
-		theta2   = flag.Float64("theta2", 0.5, "θ2 for ftva")
-		win      = flag.Int("window", 0, "sliding window size (0 = append-only)")
-		workers  = flag.Int("workers", 1, "ingestion shards (0 = GOMAXPROCS, 1 = sequential)")
-		limit    = flag.Int("limit", 0, "process at most N objects (0 = all)")
-		quiet    = flag.Bool("quiet", false, "suppress per-object delivery lines")
-		serve    = flag.String("serve", "", "serve HTTP on this address after replaying the objects (e.g. :8080)")
-		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + snapshots); requires -serve")
-		snapEvry = flag.Int("snapshot-every", 0, "snapshot after every N WAL records (0 = explicit POST /snapshot only)")
-		follow   = flag.String("follow", "", "serve as a read-only follower of this primary URL; requires -serve")
-		partSpec = flag.String("partition", "", "serve one consistent-hash slice i/n of the community (e.g. 1/3); requires -serve")
-		route    = flag.String("route", "", "serve as a router over this comma-separated partition fleet; requires -serve, loads no dataset")
-		routerID = flag.String("router-id", "", "with -route: unique router identity for the fleet write lease (enables HA standby routers)")
-		leaseTTL = flag.Duration("lease-ttl", partition.DefaultLeaseTTL, "with -router-id: write-lease TTL (partitions clamp oversized values)")
-		migTO    = flag.Duration("migrate-timeout", partition.DefaultMigrateTimeout, "with -route: per-stream timeout for bulk migration transfers during rebalance")
-		rebal    = flag.String("rebalance", "", "rebalance a running fleet onto this comma-separated partition URL list (requires -router), then exit")
-		router   = flag.String("router", "", "with -rebalance/-reconcile: the running router's base URL")
-		reconc   = flag.Bool("reconcile", false, "repair a running fleet's ring after a crashed migration (requires -router), then exit")
-	)
-	flag.Parse()
-	if *rebal != "" || *reconc {
-		if *router == "" {
-			fmt.Fprintln(os.Stderr, "paretomon: -rebalance/-reconcile require -router (the running router drives the migration — it owns the write freeze)")
-			os.Exit(2)
-		}
-		runRebalance(*router, *rebal, *reconc)
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if strings.HasPrefix(args[0], "-") {
+		// The pre-subcommand CLI: every flag in one namespace. Keep it
+		// working, but steer scripts toward the subcommands.
+		fmt.Fprintln(os.Stderr, "paretomon: note: flag-style invocation is deprecated; use 'paretomon <command>' (run 'paretomon help')")
+		runLegacy(args)
 		return
 	}
-	if *routerID != "" && *route == "" {
-		fmt.Fprintln(os.Stderr, "paretomon: -router-id requires -route")
-		os.Exit(2)
-	}
-	if *route != "" {
-		if *serve == "" {
-			fmt.Fprintln(os.Stderr, "paretomon: -route requires -serve")
-			os.Exit(2)
-		}
-		if *follow != "" || *dataDir != "" || *partSpec != "" {
-			fmt.Fprintln(os.Stderr, "paretomon: -route is exclusive with -follow, -data-dir and -partition (the partitions own the data)")
-			os.Exit(2)
-		}
-		serveRouter(*route, *serve, *routerID, *leaseTTL, *migTO)
-		return
-	}
-	if *objPath == "" || *prefPath == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *partSpec != "" && *serve == "" {
-		fmt.Fprintln(os.Stderr, "paretomon: -partition requires -serve")
-		os.Exit(2)
-	}
-	if *partSpec != "" && *follow != "" {
-		fmt.Fprintln(os.Stderr, "paretomon: -partition and -follow are mutually exclusive (follow the partition's primary instead)")
-		os.Exit(2)
-	}
-	if *dataDir != "" && *serve == "" {
-		fmt.Fprintln(os.Stderr, "paretomon: -data-dir requires -serve")
-		os.Exit(2)
-	}
-	if *snapEvry != 0 && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "paretomon: -snapshot-every requires -data-dir")
-		os.Exit(2)
-	}
-	if *follow != "" && *serve == "" {
-		fmt.Fprintln(os.Stderr, "paretomon: -follow requires -serve")
-		os.Exit(2)
-	}
-	if *follow != "" && *dataDir != "" {
-		fmt.Fprintln(os.Stderr, "paretomon: -follow and -data-dir are mutually exclusive (the primary owns the log)")
-		os.Exit(2)
-	}
-
-	if *serve != "" {
-		serveHTTP(*objPath, *prefPath, *serve, *alg, *h, *theta1, *theta2, *win, *workers, *limit, *dataDir, *snapEvry, *follow, *partSpec)
-		return
-	}
-
-	of, err := os.Open(*objPath)
-	check(err)
-	doms, objs, err := dataset.ReadObjectsCSV(of)
-	check(err)
-	check(of.Close())
-
-	pf, err := os.Open(*prefPath)
-	check(err)
-	users, err := dataset.ReadProfilesJSON(pf, doms)
-	check(err)
-	check(pf.Close())
-
-	ctr := &stats.Counters{}
-	var eng engine
-	switch *alg {
-	case "baseline":
-		w := core.ResolveWorkers(*workers, len(users))
-		switch {
-		case *win > 0 && w > 1:
-			eng = window.NewParallelBaselineSW(users, *win, w, ctr)
-		case *win > 0:
-			eng = window.NewBaselineSW(users, *win, ctr)
-		case w > 1:
-			eng = core.NewParallelBaseline(users, w, ctr)
-		default:
-			eng = core.NewBaseline(users, ctr)
-		}
-	case "ftv", "ftva":
-		measure := cluster.WeightedJaccard
-		if *alg == "ftva" {
-			measure = cluster.VectorWeightedJaccard
-		}
-		res := cluster.Agglomerative(users, measure, *h)
-		clusters := make([]core.Cluster, len(res.Clusters))
-		for i, ci := range res.Clusters {
-			common := ci.Common
-			if *alg == "ftva" {
-				members := make([]*pref.Profile, len(ci.Members))
-				for j, id := range ci.Members {
-					members[j] = users[id]
-				}
-				common = approx.Profile(members, *theta1, *theta2)
-			}
-			clusters[i] = core.Cluster{Members: ci.Members, Common: common}
-		}
-		w := core.ResolveWorkers(*workers, len(clusters))
-		fmt.Fprintf(os.Stderr, "clustered %d users into %d clusters (h=%.2f, %d workers)\n",
-			len(users), len(clusters), *h, w)
-		switch {
-		case *win > 0 && w > 1:
-			eng = window.NewParallelFilterThenVerifySW(users, clusters, *win, w, ctr)
-		case *win > 0:
-			eng = window.NewFilterThenVerifySW(users, clusters, *win, ctr)
-		case w > 1:
-			eng = core.NewParallelFilterThenVerify(users, clusters, w, ctr)
-		default:
-			eng = core.NewFilterThenVerify(users, clusters, ctr)
-		}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "serve":
+		cmdServe(rest)
+	case "follow":
+		cmdFollow(rest)
+	case "route":
+		cmdRoute(rest)
+	case "rebalance":
+		cmdRebalance(rest)
+	case "reconcile":
+		cmdReconcile(rest)
+	case "snapshot":
+		cmdSnapshot(rest)
+	case "replay":
+		cmdReplay(rest)
+	case "bench":
+		cmdBench(rest)
+	case "help", "--help":
+		usage(os.Stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		fmt.Fprintf(os.Stderr, "paretomon: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	n := len(objs)
-	if *limit > 0 && *limit < n {
-		n = *limit
-	}
-	for _, o := range objs[:n] {
-		co := eng.Process(o)
-		if !*quiet && len(co) > 0 {
-			fmt.Fprintf(out, "o%d ->", o.ID+1)
-			for _, c := range co {
-				fmt.Fprintf(out, " u%d", c)
-			}
-			fmt.Fprintln(out)
-		}
-	}
-	fmt.Fprintf(os.Stderr, "processed %d objects for %d users: %s\n", n, len(users), ctr)
 }
 
-// serveHTTP loads the dataset through the public facade, replays up to
-// limit objects as one batch, and exposes the monitor as a REST + SSE
-// service: POST /objects[,/batch], GET /frontier/{user},
-// GET /targets/{object}, GET /subscribe/{user}, POST /preferences,
-// GET /stats, GET /clusters, and — when dataDir is set — POST /snapshot,
-// GET /storage/stats, and the replication changefeed (GET /wal,
-// GET /snapshot/latest). With dataDir the monitor is durable: a
-// restart recovers the previous incarnation's exact state and only the
-// CSV rows it does not already hold are replayed. With follow the
-// monitor is a read-only replica of the primary at that URL and no rows
-// are boot-ingested at all — state streams in over the changefeed.
-func serveHTTP(objPath, prefPath, addr, alg string, h float64, theta1 int, theta2 float64, win, workers, limit int, dataDir string, snapshotEvery int, follow, partSpec string) {
-	of, err := os.Open(objPath)
-	check(err)
-	pf, err := os.Open(prefPath)
-	check(err)
-	com, rows, err := paretomon.LoadCommunity(of, pf)
-	check(err)
-	check(of.Close())
-	check(pf.Close())
+func usage(w *os.File) {
+	fmt.Fprint(w, `paretomon — continuous Pareto-frontier dissemination
 
-	if partSpec != "" {
-		idx, n := parsePartition(partSpec)
-		plan, err := partition.NewPlan(n, 0)
-		check(err)
-		total := com.Len()
-		com = com.Subset(func(name string) bool { return plan.Owner(name) == idx })
-		fmt.Fprintf(os.Stderr, "partition %d/%d: %d of %d users\n", idx, n, com.Len(), total)
-	}
+Commands:
+  serve      run a monitor (or, with -config, a multi-tenant fleet) as an HTTP service
+  follow     run a read-only follower replicating a primary
+  route      run the consistent-hash router over a partition fleet
+  rebalance  reshape a running fleet onto a new partition list (via its router)
+  reconcile  repair a running fleet's ring after a crashed migration
+  snapshot   force a checked snapshot on a durable server
+  replay     replay a dataset offline and print deliveries
+  bench      replay a dataset offline and report throughput
+  help       print this overview
 
-	opts := []paretomon.Option{
-		paretomon.WithBranchCut(h),
-		paretomon.WithWindow(win),
-		paretomon.WithWorkers(workers),
-	}
-	switch alg {
-	case "baseline":
-		opts = append(opts, paretomon.WithAlgorithm(paretomon.AlgorithmBaseline))
-	case "ftv":
-		opts = append(opts, paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerify))
-	case "ftva":
-		opts = append(opts,
-			paretomon.WithAlgorithm(paretomon.AlgorithmFilterThenVerifyApprox),
-			paretomon.WithMeasure(paretomon.MeasureVectorWeightedJaccard),
-			paretomon.WithThetas(theta1, theta2))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", alg)
-		os.Exit(2)
-	}
-	var mon *paretomon.Monitor
-	switch {
-	case follow != "":
-		mon, err = paretomon.OpenFollower(com, follow, opts...)
-	case dataDir != "":
-		if snapshotEvery > 0 {
-			opts = append(opts, paretomon.WithSnapshotEvery(snapshotEvery))
-		}
-		mon, err = paretomon.Open(com, dataDir, opts...)
-	default:
-		mon, err = paretomon.NewMonitor(com, opts...)
-	}
-	check(err)
-	if follow != "" {
-		rs := mon.Replication()
-		fmt.Fprintf(os.Stderr, "following %s from seq %d; serving read API on %s\n",
-			follow, rs.AppliedSeq, addr)
-		runServer(addr, server.New(mon), mon.Close)
-		return
-	}
-	n := len(rows)
-	if limit > 0 && limit < n {
-		n = limit
-	}
-	// A recovered monitor holds some prefix of the CSV rows (replayed
-	// under stable names o1, o2, ...) plus whatever clients ingested
-	// over HTTP; boot-ingest only the CSV rows it does not already
-	// hold, probing by name so API-ingested objects never inflate the
-	// skip count. (Clients should avoid the reserved o<N> names.)
-	if recovered := mon.ObjectCount(); recovered > 0 {
-		fmt.Fprintf(os.Stderr, "recovered %d objects from %s\n", recovered, dataDir)
-	}
-	start := 0
-	for start < n && mon.HasObject(fmt.Sprintf("o%d", start+1)) {
-		start++
-	}
-	batch := make([]paretomon.Object, n-start)
-	for i, row := range rows[start:n] {
-		batch[i] = paretomon.Object{Name: fmt.Sprintf("o%d", start+i+1), Values: row}
-	}
-	if len(batch) > 0 {
-		_, err = mon.AddBatch(batch)
-		check(err)
-	}
-	fmt.Fprintf(os.Stderr, "replayed %d objects for %d users; serving on %s\n",
-		n-start, com.Len(), addr)
-	runServer(addr, server.New(mon), mon.Close)
+Run 'paretomon <command> -h' for the command's flags.
+`)
 }
 
-// serveRouter fronts a running partition fleet: a consistent-hash
-// router over the comma-separated URLs, serving the full API on addr.
-// The router owns no data and loads no dataset; the URL order must
-// match the fleet's -partition indices. With routerID set the router
-// takes the fleet write lease before mutating, so a standby router on
-// the same fleet is safe: it serves reads immediately and starts
-// writing only once the lease expires or is released. If the fleet has
-// a ring installed (a rebalance ran at some point), the router adopts
-// it on the first stale-version conflict.
-func serveRouter(urls, addr, routerID string, leaseTTL, migrateTO time.Duration) {
+// failf prints a one-line usage error and exits 2 — contradictory or
+// missing flags are caller mistakes, not runtime failures.
+func failf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paretomon: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// closableHandler is what runServer serves: a mux whose Close cancels
+// in-flight streams (server.Server, RouterServer, TenantServer).
+type closableHandler interface {
+	http.Handler
+	Close() error
+}
+
+// runServer serves until SIGINT/SIGTERM, then shuts down gracefully:
+// in-flight SSE and changefeed streams are cancelled (srv.Close) so
+// clients and downstream followers disconnect cleanly, the listener
+// drains, and cleanup runs (closing the monitor or registry —
+// releasing store locks and, on a follower, stopping the feed tail).
+// ops, when non-nil, is the operator listener, shut down alongside.
+func runServer(addr string, srv closableHandler, cleanup func() error, ops *http.Server) {
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	if ops != nil {
+		go func() {
+			if err := ops.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "paretomon: ops listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ops listener (metrics, pprof) on %s\n", ops.Addr)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "paretomon: shutting down")
+		_ = srv.Close() // cancel in-flight streams first, or Shutdown hangs on them
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		if ops != nil {
+			_ = ops.Shutdown(ctx)
+		}
+	}()
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		check(err)
+	}
+	<-done
+	check(cleanup())
+}
+
+// opsServer builds the operator listener: Prometheus scrape, health
+// probe, and the pprof surface. pprof handlers are registered on this
+// private mux explicitly — never on http.DefaultServeMux — so the main
+// API listener exposes nothing of the sort.
+func opsServer(addr string, tel *telemetry.Registry) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+	})
+	if tel != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = tel.WritePrometheus(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux}
+}
+
+// splitURLs parses a comma-separated URL list, dropping empties.
+func splitURLs(s string) []string {
 	var list []string
-	for _, u := range strings.Split(urls, ",") {
+	for _, u := range strings.Split(s, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			list = append(list, u)
 		}
 	}
-	rt, err := partition.New(partition.Config{URLs: list, RouterID: routerID, LeaseTTL: leaseTTL, MigrateTimeout: migrateTO})
-	check(err)
-	if rg, err := rt.RefreshRing(context.Background()); err != nil {
-		fmt.Fprintf(os.Stderr, "paretomon: ring fetch: %v (continuing; will adopt on first conflict)\n", err)
-	} else if rg != nil {
-		fmt.Fprintf(os.Stderr, "adopted ring version %d (%d partitions)\n", rg.Version, rg.Parts)
-	}
-	if routerID != "" {
-		fmt.Fprintf(os.Stderr, "router %q: fleet write lease ttl %s\n", routerID, leaseTTL)
-	}
-	fmt.Fprintf(os.Stderr, "routing %d partition(s); serving on %s\n", len(list), addr)
-	runServer(addr, server.NewRouter(rt), rt.Close)
-}
-
-// runRebalance drives a live fleet reshape through a *running* router:
-// POST /rebalance with the target URL list (scale-out appends
-// partitions, scale-in truncates trailing ones), or POST /reconcile to
-// repair the ring after a crashed migration. The running router must
-// drive it — it owns the write freeze that keeps each migration batch
-// atomic against live traffic — which is why this is an HTTP client
-// and not a second router. The call blocks until the fleet converges
-// and prints the router's report.
-func runRebalance(routerURL, urls string, reconcile bool) {
-	base := strings.TrimRight(routerURL, "/")
-	hc := &http.Client{} // no timeout: a rebalance legitimately runs for minutes
-	var (
-		resp *http.Response
-		err  error
-	)
-	if reconcile {
-		resp, err = hc.Post(base+"/reconcile", "application/json", strings.NewReader("{}"))
-	} else {
-		var list []string
-		for _, u := range strings.Split(urls, ",") {
-			if u = strings.TrimSpace(u); u != "" {
-				list = append(list, u)
-			}
-		}
-		body, merr := json.Marshal(map[string]any{"urls": list})
-		check(merr)
-		fmt.Fprintf(os.Stderr, "rebalancing fleet at %s onto %d partition(s)...\n", base, len(list))
-		resp, err = hc.Post(base+"/rebalance", "application/json", bytes.NewReader(body))
-	}
-	check(err)
-	defer resp.Body.Close()
-	out, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	check(err)
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "paretomon: router replied %s: %s\n", resp.Status, strings.TrimSpace(string(out)))
-		os.Exit(1)
-	}
-	fmt.Println(strings.TrimSpace(string(out)))
+	return list
 }
 
 // parsePartition parses "i/n" with 0 <= i < n.
@@ -434,42 +206,8 @@ func parsePartition(spec string) (idx, n int) {
 			return idx, n
 		}
 	}
-	fmt.Fprintf(os.Stderr, "paretomon: bad -partition %q (want i/n with 0 <= i < n)\n", spec)
-	os.Exit(2)
+	failf("bad -partition %q (want i/n with 0 <= i < n)", spec)
 	return 0, 0
-}
-
-// closableHandler is what runServer serves: a mux whose Close cancels
-// in-flight streams (server.Server, server.RouterServer).
-type closableHandler interface {
-	http.Handler
-	Close() error
-}
-
-// runServer serves until SIGINT/SIGTERM, then shuts down gracefully:
-// in-flight SSE and changefeed streams are cancelled (srv.Close) so
-// clients and downstream followers disconnect cleanly, the listener
-// drains, and cleanup runs (closing the monitor — releasing the store
-// lock and, on a follower, stopping the feed tail).
-func runServer(addr string, srv closableHandler, cleanup func() error) {
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		fmt.Fprintln(os.Stderr, "paretomon: shutting down")
-		_ = srv.Close() // cancel in-flight streams first, or Shutdown hangs on them
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
-	}()
-	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		check(err)
-	}
-	<-done
-	check(cleanup())
 }
 
 func check(err error) {

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestValidateServe exercises serve's contradiction table: -config is
+// exclusive with every per-tenant dataset/engine flag, and the
+// single-monitor mode needs a dataset.
+func TestValidateServe(t *testing.T) {
+	cases := []struct {
+		name string
+		v    serveValues
+		want string // "" = valid
+	}{
+		{"fleet config alone", serveValues{config: "fleet.yaml"}, ""},
+		{"fleet config with addr override", serveValues{config: "fleet.yaml", addr: ":9999", set: map[string]bool{"addr": true}}, ""},
+		{"config vs objects", serveValues{config: "fleet.yaml", objPath: "o.csv", set: map[string]bool{"objects": true}},
+			"-config is exclusive with -objects"},
+		{"config vs data-dir", serveValues{config: "fleet.yaml", dataDir: "d", set: map[string]bool{"data-dir": true}},
+			"-config is exclusive with -data-dir"},
+		{"config vs partition", serveValues{config: "fleet.yaml", partSpec: "0/2", set: map[string]bool{"partition": true}},
+			"-config is exclusive with -partition"},
+		{"config vs algorithm", serveValues{config: "fleet.yaml", set: map[string]bool{"algorithm": true}},
+			"-config is exclusive with -algorithm"},
+		{"single-monitor ok", serveValues{objPath: "o.csv", prefPath: "p.json"}, ""},
+		{"missing prefs", serveValues{objPath: "o.csv"}, "serve requires -objects and -prefs"},
+		{"missing both", serveValues{}, "serve requires -objects and -prefs"},
+		{"snapshot-every without data-dir", serveValues{objPath: "o", prefPath: "p", snapEvery: 100},
+			"-snapshot-every requires -data-dir"},
+		{"snapshot-every with data-dir", serveValues{objPath: "o", prefPath: "p", snapEvery: 100, dataDir: "d"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkValidation(t, validateServe(&tc.v), tc.want)
+		})
+	}
+}
+
+func TestValidateFollow(t *testing.T) {
+	cases := []struct {
+		name string
+		v    followValues
+		want string
+	}{
+		{"complete", followValues{primary: "http://p:8080", objPath: "o", prefPath: "p"}, ""},
+		{"missing primary", followValues{objPath: "o", prefPath: "p"}, "follow requires -primary"},
+		{"missing dataset", followValues{primary: "http://p:8080"}, "follow requires -objects and -prefs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkValidation(t, validateFollow(&tc.v), tc.want)
+		})
+	}
+}
+
+func TestValidateRoute(t *testing.T) {
+	cases := []struct {
+		name string
+		v    routeValues
+		want string
+	}{
+		{"complete", routeValues{fleet: "http://a,http://b"}, ""},
+		{"missing fleet", routeValues{}, "route requires -fleet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkValidation(t, validateRoute(&tc.v), tc.want)
+		})
+	}
+}
+
+func TestValidateRebalance(t *testing.T) {
+	cases := []struct {
+		name string
+		v    rebalanceValues
+		want string
+	}{
+		{"rebalance ok", rebalanceValues{router: "http://r", fleet: "http://a,http://b"}, ""},
+		{"rebalance without router", rebalanceValues{fleet: "http://a"}, "rebalance requires -router"},
+		{"rebalance without fleet", rebalanceValues{router: "http://r"}, "rebalance requires -fleet"},
+		{"reconcile ok", rebalanceValues{router: "http://r", reconcile: true}, ""},
+		{"reconcile without router", rebalanceValues{reconcile: true}, "reconcile requires -router"},
+		{"reconcile with fleet", rebalanceValues{router: "http://r", fleet: "http://a", reconcile: true},
+			"reconcile takes no -fleet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkValidation(t, validateRebalance(&tc.v), tc.want)
+		})
+	}
+}
+
+// TestValidateLegacy pins the deprecation shim's rules — and the exact
+// messages scripts grep for — to the flag-era behavior.
+func TestValidateLegacy(t *testing.T) {
+	cases := []struct {
+		name string
+		v    legacyValues
+		want string
+	}{
+		{"offline replay", legacyValues{objPath: "o", prefPath: "p"}, ""},
+		{"serve", legacyValues{objPath: "o", prefPath: "p", serve: ":8080"}, ""},
+		{"durable serve", legacyValues{objPath: "o", prefPath: "p", serve: ":8080", dataDir: "d", snapEvery: 5}, ""},
+		{"follower", legacyValues{objPath: "o", prefPath: "p", serve: ":8081", follow: "http://p:8080"}, ""},
+		{"partition serve", legacyValues{objPath: "o", prefPath: "p", serve: ":8080", partSpec: "0/2"}, ""},
+		{"router", legacyValues{serve: ":9090", route: "http://a,http://b"}, ""},
+		{"router with id", legacyValues{serve: ":9090", route: "http://a", routerID: "r1"}, ""},
+		{"rebalance", legacyValues{rebalance: "http://a,http://b", router: "http://r"}, ""},
+		{"reconcile", legacyValues{reconcile: true, router: "http://r"}, ""},
+
+		{"rebalance without router", legacyValues{rebalance: "http://a"},
+			"-rebalance/-reconcile require -router (the running router drives the migration — it owns the write freeze)"},
+		{"reconcile without router", legacyValues{reconcile: true},
+			"-rebalance/-reconcile require -router"},
+		{"router-id without route", legacyValues{objPath: "o", prefPath: "p", routerID: "r1"},
+			"-router-id requires -route"},
+		{"route without serve", legacyValues{route: "http://a"},
+			"-route requires -serve"},
+		{"route with follow", legacyValues{serve: ":9090", route: "http://a", follow: "http://p"},
+			"-route is exclusive with -follow, -data-dir and -partition (the partitions own the data)"},
+		{"route with data-dir", legacyValues{serve: ":9090", route: "http://a", dataDir: "d"},
+			"-route is exclusive with -follow, -data-dir and -partition"},
+		{"route with partition", legacyValues{serve: ":9090", route: "http://a", partSpec: "0/2"},
+			"-route is exclusive with -follow, -data-dir and -partition"},
+		{"no dataset", legacyValues{},
+			"-objects and -prefs are required"},
+		{"partition without serve", legacyValues{objPath: "o", prefPath: "p", partSpec: "0/2"},
+			"-partition requires -serve"},
+		{"partition with follow", legacyValues{objPath: "o", prefPath: "p", serve: ":8080", partSpec: "0/2", follow: "http://p"},
+			"-partition and -follow are mutually exclusive (follow the partition's primary instead)"},
+		{"data-dir without serve", legacyValues{objPath: "o", prefPath: "p", dataDir: "d"},
+			"-data-dir requires -serve"},
+		{"snapshot-every without data-dir", legacyValues{objPath: "o", prefPath: "p", serve: ":8080", snapEvery: 5},
+			"-snapshot-every requires -data-dir"},
+		{"follow without serve", legacyValues{objPath: "o", prefPath: "p", follow: "http://p"},
+			"-follow requires -serve"},
+		{"follow with data-dir", legacyValues{objPath: "o", prefPath: "p", serve: ":8081", follow: "http://p", dataDir: "d"},
+			"-follow and -data-dir are mutually exclusive (the primary owns the log)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkValidation(t, validateLegacy(&tc.v), tc.want)
+		})
+	}
+}
+
+// TestParseLegacy checks the shim's flag binding end to end: old
+// spellings parse into the right fields and unknown flags error.
+func TestParseLegacy(t *testing.T) {
+	v, err := parseLegacy([]string{
+		"-objects", "o.csv", "-prefs", "p.json",
+		"-algorithm", "ftva", "-h", "2.5", "-theta1", "300", "-theta2", "0.7",
+		"-window", "100", "-workers", "4", "-limit", "500", "-quiet",
+		"-serve", ":8080", "-data-dir", "./data", "-snapshot-every", "64",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseLegacy: %v", err)
+	}
+	if v.objPath != "o.csv" || v.prefPath != "p.json" {
+		t.Errorf("dataset = %q/%q", v.objPath, v.prefPath)
+	}
+	if v.eng.alg != "ftva" || v.eng.h != 2.5 || v.eng.theta1 != 300 || v.eng.theta2 != 0.7 {
+		t.Errorf("engine = %+v", v.eng)
+	}
+	if v.eng.win != 100 || v.eng.workers != 4 || v.limit != 500 || !v.quiet {
+		t.Errorf("replay knobs = win=%d workers=%d limit=%d quiet=%v", v.eng.win, v.eng.workers, v.limit, v.quiet)
+	}
+	if v.serve != ":8080" || v.dataDir != "./data" || v.snapEvery != 64 {
+		t.Errorf("serve knobs = %q %q %d", v.serve, v.dataDir, v.snapEvery)
+	}
+	if err := validateLegacy(v); err != nil {
+		t.Errorf("validateLegacy on coherent combo: %v", err)
+	}
+
+	if _, err := parseLegacy([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("unknown flag parsed without error")
+	}
+}
+
+func TestSplitURLs(t *testing.T) {
+	got := splitURLs(" http://a:1 ,, http://b:2,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Errorf("splitURLs = %q", got)
+	}
+	if splitURLs("") != nil {
+		t.Errorf("splitURLs(\"\") = %q, want nil", splitURLs(""))
+	}
+}
+
+// checkValidation asserts err matches want: nil for "", otherwise a
+// message with want as prefix (tables quote the distinguishing head of
+// long messages once, in full, and prefix-match elsewhere).
+func checkValidation(t *testing.T, err error, want string) {
+	t.Helper()
+	if want == "" {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if err == nil {
+		t.Fatalf("no error, want %q", want)
+	}
+	if !strings.HasPrefix(err.Error(), want) {
+		t.Fatalf("error = %q, want prefix %q", err, want)
+	}
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/object"
+	"repro/internal/pref"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+type engine interface {
+	Process(o object.Object) []int
+	UserFrontier(c int) []int
+}
+
+// engineFlags are the offline/serving engine knobs shared by several
+// subcommands. Note -h is a raw branch cut on this data's similarity
+// scale (Σ over attributes of weighted Jaccard ∈ [0, d]), not the
+// paper's normalized axis.
+type engineFlags struct {
+	alg     string
+	h       float64
+	theta1  int
+	theta2  float64
+	win     int
+	workers int
+}
+
+func (e *engineFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&e.alg, "algorithm", "ftv", "baseline, ftv, or ftva")
+	fs.Float64Var(&e.h, "h", 3.3, "clustering branch cut (raw similarity scale)")
+	fs.IntVar(&e.theta1, "theta1", 400, "θ1 for ftva")
+	fs.Float64Var(&e.theta2, "theta2", 0.5, "θ2 for ftva")
+	fs.IntVar(&e.win, "window", 0, "sliding window size (0 = append-only)")
+	fs.IntVar(&e.workers, "workers", 1, "ingestion shards (0 = GOMAXPROCS, 1 = sequential)")
+}
+
+// replayValues is everything the offline replay consumes.
+type replayValues struct {
+	objPath  string
+	prefPath string
+	eng      engineFlags
+	limit    int
+	quiet    bool
+	timing   bool // bench: report wall-clock throughput
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	v := replayValues{}
+	fs.StringVar(&v.objPath, "objects", "", "objects CSV path (required)")
+	fs.StringVar(&v.prefPath, "prefs", "", "preference profiles JSON path (required)")
+	v.eng.register(fs)
+	fs.IntVar(&v.limit, "limit", 0, "process at most N objects (0 = all)")
+	fs.BoolVar(&v.quiet, "quiet", false, "suppress per-object delivery lines")
+	_ = fs.Parse(args)
+	if v.objPath == "" || v.prefPath == "" {
+		failf("replay requires -objects and -prefs")
+	}
+	runReplay(v)
+}
+
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	v := replayValues{quiet: true, timing: true}
+	fs.StringVar(&v.objPath, "objects", "", "objects CSV path (required)")
+	fs.StringVar(&v.prefPath, "prefs", "", "preference profiles JSON path (required)")
+	v.eng.register(fs)
+	fs.IntVar(&v.limit, "limit", 0, "process at most N objects (0 = all)")
+	_ = fs.Parse(args)
+	if v.objPath == "" || v.prefPath == "" {
+		failf("bench requires -objects and -prefs")
+	}
+	runReplay(v)
+}
+
+// runReplay drives the offline dataset replay through the chosen
+// engine, printing deliveries (unless quiet) and a closing summary.
+func runReplay(v replayValues) {
+	of, err := os.Open(v.objPath)
+	check(err)
+	doms, objs, err := dataset.ReadObjectsCSV(of)
+	check(err)
+	check(of.Close())
+
+	pf, err := os.Open(v.prefPath)
+	check(err)
+	users, err := dataset.ReadProfilesJSON(pf, doms)
+	check(err)
+	check(pf.Close())
+
+	ctr := &stats.Counters{}
+	eng := buildEngine(&v.eng, users, ctr)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	n := len(objs)
+	if v.limit > 0 && v.limit < n {
+		n = v.limit
+	}
+	start := time.Now()
+	for _, o := range objs[:n] {
+		co := eng.Process(o)
+		if !v.quiet && len(co) > 0 {
+			fmt.Fprintf(out, "o%d ->", o.ID+1)
+			for _, c := range co {
+				fmt.Fprintf(out, " u%d", c)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "processed %d objects for %d users: %s\n", n, len(users), ctr)
+	if v.timing {
+		rate := float64(n) / elapsed.Seconds()
+		fmt.Printf("bench: %d objects in %s (%.0f objects/sec, algorithm=%s, workers=%d, window=%d)\n",
+			n, elapsed.Round(time.Millisecond), rate, v.eng.alg, v.eng.workers, v.eng.win)
+	}
+}
+
+// buildEngine assembles the offline engine for the flag set: the
+// parallel/windowed variant matrix over baseline and filter-then-verify.
+func buildEngine(e *engineFlags, users []*pref.Profile, ctr *stats.Counters) engine {
+	switch e.alg {
+	case "baseline":
+		w := core.ResolveWorkers(e.workers, len(users))
+		switch {
+		case e.win > 0 && w > 1:
+			return window.NewParallelBaselineSW(users, e.win, w, ctr)
+		case e.win > 0:
+			return window.NewBaselineSW(users, e.win, ctr)
+		case w > 1:
+			return core.NewParallelBaseline(users, w, ctr)
+		default:
+			return core.NewBaseline(users, ctr)
+		}
+	case "ftv", "ftva":
+		measure := cluster.WeightedJaccard
+		if e.alg == "ftva" {
+			measure = cluster.VectorWeightedJaccard
+		}
+		res := cluster.Agglomerative(users, measure, e.h)
+		clusters := make([]core.Cluster, len(res.Clusters))
+		for i, ci := range res.Clusters {
+			common := ci.Common
+			if e.alg == "ftva" {
+				members := make([]*pref.Profile, len(ci.Members))
+				for j, id := range ci.Members {
+					members[j] = users[id]
+				}
+				common = approx.Profile(members, e.theta1, e.theta2)
+			}
+			clusters[i] = core.Cluster{Members: ci.Members, Common: common}
+		}
+		w := core.ResolveWorkers(e.workers, len(clusters))
+		fmt.Fprintf(os.Stderr, "clustered %d users into %d clusters (h=%.2f, %d workers)\n",
+			len(users), len(clusters), e.h, w)
+		switch {
+		case e.win > 0 && w > 1:
+			return window.NewParallelFilterThenVerifySW(users, clusters, e.win, w, ctr)
+		case e.win > 0:
+			return window.NewFilterThenVerifySW(users, clusters, e.win, ctr)
+		case w > 1:
+			return core.NewParallelFilterThenVerify(users, clusters, w, ctr)
+		default:
+			return core.NewFilterThenVerify(users, clusters, ctr)
+		}
+	default:
+		failf("unknown algorithm %q", e.alg)
+		return nil
+	}
+}

@@ -1,9 +1,9 @@
-// Package metrics computes the accuracy measures of Sec. 6.2: the
+// Package accuracy computes the accuracy measures of Sec. 6.2: the
 // micro-averaged precision, recall and F-measure of the approximate
 // engines' per-user Pareto frontiers against the exact ones
 // (precision = Σ_c |P̂_c ∩ P_c| / Σ_c |P̂_c|, recall over Σ_c |P_c|) —
 // the quantities reported in Tables 11 and 12.
-package metrics
+package accuracy
 
 import "fmt"
 

@@ -1,10 +1,10 @@
-package metrics_test
+package accuracy_test
 
 import (
 	"math"
 	"testing"
 
-	"repro/internal/metrics"
+	"repro/internal/accuracy"
 )
 
 func eq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
@@ -12,7 +12,7 @@ func eq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
 func TestEvaluateBasic(t *testing.T) {
 	exact := [][]int{{1, 2, 3}, {4}}
 	approx := [][]int{{2, 3, 9}, {4}}
-	a := metrics.Evaluate(exact, approx)
+	a := accuracy.Evaluate(exact, approx)
 	if a.TP != 3 || a.FP != 1 || a.FN != 1 {
 		t.Fatalf("confusion = %+v", a)
 	}
@@ -28,24 +28,24 @@ func TestEvaluateBasic(t *testing.T) {
 }
 
 func TestPerfectAndEmpty(t *testing.T) {
-	a := metrics.Evaluate([][]int{{1, 2}}, [][]int{{1, 2}})
+	a := accuracy.Evaluate([][]int{{1, 2}}, [][]int{{1, 2}})
 	if !eq(a.Precision(), 1) || !eq(a.Recall(), 1) || !eq(a.F1(), 1) {
 		t.Errorf("perfect: %+v", a)
 	}
 	// Both empty: convention 1/1.
-	e := metrics.Evaluate([][]int{{}}, [][]int{{}})
+	e := accuracy.Evaluate([][]int{{}}, [][]int{{}})
 	if !eq(e.Precision(), 1) || !eq(e.Recall(), 1) {
 		t.Errorf("empty: %+v", e)
 	}
 	// All missed.
-	m := metrics.Evaluate([][]int{{1}}, [][]int{{}})
+	m := accuracy.Evaluate([][]int{{1}}, [][]int{{}})
 	if !eq(m.Recall(), 0) || !eq(m.Precision(), 1) || !eq(m.F1(), 0) {
 		t.Errorf("missed: %+v", m)
 	}
 }
 
 func TestDuplicatesIgnored(t *testing.T) {
-	var a metrics.Accuracy
+	var a accuracy.Accuracy
 	a.Add([]int{1}, []int{1, 1, 1})
 	if a.TP != 1 || a.FP != 0 {
 		t.Fatalf("duplicates must count once: %+v", a)
@@ -55,7 +55,7 @@ func TestDuplicatesIgnored(t *testing.T) {
 func TestMicroAveraging(t *testing.T) {
 	// User A perfect (2 objects), user B all wrong (2 objects): micro
 	// precision = 2/4, not the macro average of 1 and 0 with weights.
-	a := metrics.Evaluate([][]int{{1, 2}, {3, 4}}, [][]int{{1, 2}, {8, 9}})
+	a := accuracy.Evaluate([][]int{{1, 2}, {3, 4}}, [][]int{{1, 2}, {8, 9}})
 	if !eq(a.Precision(), 0.5) || !eq(a.Recall(), 0.5) {
 		t.Errorf("micro: %+v", a)
 	}
@@ -67,11 +67,11 @@ func TestMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	metrics.Evaluate([][]int{{1}}, nil)
+	accuracy.Evaluate([][]int{{1}}, nil)
 }
 
 func TestString(t *testing.T) {
-	a := metrics.Evaluate([][]int{{1, 2}}, [][]int{{1}})
+	a := accuracy.Evaluate([][]int{{1, 2}}, [][]int{{1}})
 	if got := a.String(); got != "precision=100.00% recall=50.00% F=66.67%" {
 		t.Errorf("String = %q", got)
 	}

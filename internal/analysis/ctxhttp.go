@@ -8,9 +8,10 @@ import (
 
 // ctxhttpPackages are the import-path segments whose packages carry
 // the context obligation: the partition router's retry budgets and
-// lease fences, the replica tailer's cancellation, and the server's
-// shutdown path all propagate exclusively through request contexts.
-var ctxhttpPackages = []string{"partition", "replica", "server"}
+// lease fences, the replica tailer's cancellation, the server's
+// shutdown path, and the tenant admin client's request deadlines all
+// propagate exclusively through request contexts.
+var ctxhttpPackages = []string{"partition", "replica", "server", "tenant"}
 
 // ctxhttpBanned are the context-free request constructors and
 // one-shot helpers of net/http.
@@ -19,13 +20,14 @@ var ctxhttpBanned = map[string]bool{
 }
 
 // CtxHTTP forbids context-free HTTP in internal/partition,
-// internal/replica and internal/server: no http.Get/Post/PostForm/
-// Head/NewRequest and no (*http.Client).Get-style shorthands — only
-// http.NewRequestWithContext, so every request inherits its caller's
-// retry budget, lease fence and shutdown cancellation.
+// internal/replica, internal/server and internal/tenant: no
+// http.Get/Post/PostForm/Head/NewRequest and no (*http.Client).Get-
+// style shorthands — only http.NewRequestWithContext, so every request
+// inherits its caller's retry budget, lease fence and shutdown
+// cancellation.
 var CtxHTTP = &Analyzer{
 	Name: "ctxhttp",
-	Doc: "partition/replica/server code must build requests with " +
+	Doc: "partition/replica/server/tenant code must build requests with " +
 		"http.NewRequestWithContext; context-free constructors drop retry budgets and lease fences",
 	Run: runCtxHTTP,
 }

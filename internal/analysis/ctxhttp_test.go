@@ -8,7 +8,8 @@ import (
 )
 
 func TestCtxHTTP(t *testing.T) {
-	// "partition" matches the obligation list and carries the flagged
-	// cases; "other" proves packages outside the list are untouched.
-	analysistest.Run(t, analysistest.TestData(), analysis.CtxHTTP, "partition", "other")
+	// "partition" and "tenant" match the obligation list and carry the
+	// flagged cases; "other" proves packages outside the list are
+	// untouched.
+	analysistest.Run(t, analysistest.TestData(), analysis.CtxHTTP, "partition", "tenant", "other")
 }

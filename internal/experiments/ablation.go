@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/accuracy"
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/stats"
 )
@@ -126,7 +126,7 @@ func AblationTheta(o Options) []*Report {
 			ctr, eng := runEngineOnce(func(ctr *stats.Counters) engine {
 				return core.NewFilterThenVerify(users, cls, ctr)
 			}, ds.Objects, o.Dims)
-			acc := metrics.Evaluate(truth, frontiers(eng, len(users)))
+			acc := accuracy.Evaluate(truth, frontiers(eng, len(users)))
 			rep.Rows = append(rep.Rows, []string{
 				fmtInt(t1), fmtFloat(t2), fmtCount(ctr.Comparisons),
 				fmtPct(acc.Precision()), fmtPct(acc.Recall()),

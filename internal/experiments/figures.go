@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/metrics"
+	"repro/internal/accuracy"
 	"repro/internal/object"
 	"repro/internal/stats"
 )
@@ -172,7 +172,7 @@ func Table11(o Options) []*Report {
 				}
 				eng.Process(obj)
 			}
-			acc := metrics.Evaluate(truth, frontiers(eng, len(users)))
+			acc := accuracy.Evaluate(truth, frontiers(eng, len(users)))
 			rep.Rows = append(rep.Rows, []string{
 				dsName, fmtInt(len(ds.Objects)), fmtFloat(h),
 				fmtPct(acc.Precision()), fmtPct(acc.Recall()), fmtPct(acc.F1()),
@@ -335,7 +335,7 @@ func Table12(o Options) []*Report {
 					}
 					eng.Process(obj)
 				}
-				acc := metrics.Evaluate(truth, frontiers(eng, len(users)))
+				acc := accuracy.Evaluate(truth, frontiers(eng, len(users)))
 				rep.Rows = append(rep.Rows, []string{
 					dsName, fmtInt(w), fmtFloat(h),
 					fmtPct(acc.Precision()), fmtPct(acc.Recall()), fmtPct(acc.F1()),

@@ -12,12 +12,12 @@ import (
 	"testing"
 
 	paretomon "repro"
+	"repro/internal/accuracy"
 	"repro/internal/approx"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
-	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/pref"
 	"repro/internal/stats"
@@ -95,7 +95,7 @@ func TestPipelineApproxAccuracy(t *testing.T) {
 		exact[c] = sorted(base.UserFrontier(c))
 		got[c] = sorted(ftva.UserFrontier(c))
 	}
-	acc := metrics.Evaluate(exact, got)
+	acc := accuracy.Evaluate(exact, got)
 	if acc.Precision() < 0.98 {
 		t.Errorf("precision = %v (%+v)", acc.Precision(), acc)
 	}

@@ -1,0 +1,462 @@
+package integration_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/tenant"
+)
+
+// tenantWorkload is one tenant's dataset split into a boot prefix (in
+// the CSV, ingested by the registry on Create) and a live stream
+// (posted over HTTP under x<i> names).
+type tenantWorkload struct {
+	spec tenant.Spec
+	live []paretomon.Object
+}
+
+// buildTenantWorkload writes a generated dataset to dir and returns the
+// spec plus the live tail.
+func buildTenantWorkload(t *testing.T, dir, name string, seed int64, objects, users, boot int) tenantWorkload {
+	t.Helper()
+	cfg := datagen.Movie().Scaled(objects, users)
+	cfg.Seed = seed
+	ds := datagen.Generate(cfg)
+	objPath := filepath.Join(dir, name+".objects.csv")
+	prefPath := filepath.Join(dir, name+".prefs.json")
+	var buf bytes.Buffer
+	if err := dataset.WriteObjectsCSV(&buf, ds.Domains, ds.Objects[:boot]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(objPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := dataset.WriteProfilesJSON(&buf, ds.Users); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(prefPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var live []paretomon.Object
+	for i := boot; i < len(ds.Objects); i++ {
+		values := make([]string, len(ds.Domains))
+		for d := range ds.Domains {
+			values[d] = ds.Domains[d].Value(int(ds.Objects[i].Attrs[d]))
+		}
+		live = append(live, paretomon.Object{Name: fmt.Sprintf("x%d", i-boot), Values: values})
+	}
+	return tenantWorkload{
+		spec: tenant.Spec{
+			Name:       name,
+			Token:      name + "-token",
+			ObjectsCSV: objPath,
+			PrefsJSON:  prefPath,
+		},
+		live: live,
+	}
+}
+
+// tenantDo issues one authenticated request against a tenant server.
+func tenantDo(t *testing.T, method, url, token string, body []byte) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestTenantFleetEquivalence is the acceptance exercise for the
+// multi-tenant registry: three tenants with distinct generated
+// workloads live in one registry behind one TenantServer, their live
+// streams ingested concurrently, and every tenant's responses —
+// per-user frontiers and work counters — must be byte-identical to a
+// standalone single-tenant monitor fed the identical workload. Run
+// under -race this also proves the tenants share no mutable state.
+func TestTenantFleetEquivalence(t *testing.T) {
+	tmp := t.TempDir()
+	workloads := []tenantWorkload{
+		buildTenantWorkload(t, tmp, "alpha", 11, 60, 8, 40),
+		buildTenantWorkload(t, tmp, "beta", 22, 80, 10, 40),
+		buildTenantWorkload(t, tmp, "gamma", 33, 100, 12, 40),
+	}
+
+	reg, err := tenant.Open(filepath.Join(tmp, "root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for _, w := range workloads {
+		if _, err := reg.Create(w.spec); err != nil {
+			t.Fatalf("create %s: %v", w.spec.Name, err)
+		}
+	}
+	srv := server.NewTenantServer(reg)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	// Every tenant's live stream runs in its own goroutine: object order
+	// within a tenant is preserved (deliveries depend on it), tenants
+	// interleave freely.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(workloads))
+	for _, w := range workloads {
+		wg.Add(1)
+		go func(w tenantWorkload) {
+			defer wg.Done()
+			for _, o := range w.live {
+				body, _ := json.Marshal(map[string]any{"name": o.Name, "values": o.Values})
+				code, out := tenantDo(t, "POST", ts.URL+"/t/"+w.spec.Name+"/objects", w.spec.Token, body)
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("tenant %s: POST %s: %d %s", w.spec.Name, o.Name, code, out)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// References: one standalone monitor per workload, fed boot + live
+	// through the same public API, served over the single-tenant server
+	// so the response bytes are comparable.
+	for _, w := range workloads {
+		of, err := os.Open(w.spec.ObjectsCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := os.Open(w.spec.PrefsJSON)
+		if err != nil {
+			t.Fatal(err)
+		}
+		com, rows, err := paretomon.LoadCommunity(of, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		of.Close()
+		pf.Close()
+		mon, err := paretomon.NewMonitor(com)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot := make([]paretomon.Object, len(rows))
+		for i, row := range rows {
+			boot[i] = paretomon.Object{Name: fmt.Sprintf("o%d", i+1), Values: row}
+		}
+		if _, err := mon.AddBatch(boot); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range w.live {
+			if _, err := mon.Add(o.Name, o.Values...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref := httptest.NewServer(server.New(mon))
+
+		for u := 0; u < com.Len(); u++ {
+			path := fmt.Sprintf("/frontier/u%d", u)
+			code, got := tenantDo(t, "GET", ts.URL+"/t/"+w.spec.Name+path, w.spec.Token, nil)
+			if code != http.StatusOK {
+				t.Fatalf("tenant %s: GET %s: %d %s", w.spec.Name, path, code, got)
+			}
+			_, want := tenantDo(t, "GET", ref.URL+path, "", nil)
+			if !bytes.Equal(got, want) {
+				t.Errorf("tenant %s: frontier u%d diverges from standalone monitor:\n  fleet: %s\n  solo:  %s",
+					w.spec.Name, u, got, want)
+			}
+		}
+		_, gotStats := tenantDo(t, "GET", ts.URL+"/t/"+w.spec.Name+"/stats", w.spec.Token, nil)
+		_, wantStats := tenantDo(t, "GET", ref.URL+"/stats", "", nil)
+		if !bytes.Equal(gotStats, wantStats) {
+			t.Errorf("tenant %s: stats diverge:\n  fleet: %s\n  solo:  %s", w.spec.Name, gotStats, wantStats)
+		}
+		ref.Close()
+		mon.Close()
+	}
+
+	// Isolation edges, end to end: an unknown tenant is 404, a foreign
+	// token is 401, and an over-quota write is a whole-batch 429 that
+	// leaves the monitor untouched.
+	if code, _ := tenantDo(t, "GET", ts.URL+"/t/nosuch/stats", "", nil); code != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", code)
+	}
+	if code, _ := tenantDo(t, "GET", ts.URL+"/t/alpha/stats", "beta-token", nil); code != http.StatusUnauthorized {
+		t.Errorf("foreign token: status %d, want 401", code)
+	}
+	if _, err := reg.Create(tenant.Spec{
+		Name:   "capped",
+		Schema: []string{"price", "rating"},
+		Users: []tenant.UserSpec{{Name: "u0", Preferences: []tenant.PrefSpec{
+			{Attribute: "price", Better: "low", Worse: "high"},
+		}}},
+		Quotas: tenant.Quotas{MaxObjects: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := json.Marshal(map[string]any{"objects": []map[string]any{
+		{"name": "b1", "values": []string{"low", "good"}},
+		{"name": "b2", "values": []string{"low", "bad"}},
+		{"name": "b3", "values": []string{"high", "good"}},
+	}})
+	code, out := tenantDo(t, "POST", ts.URL+"/t/capped/objects/batch", "", batch)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota batch: status %d (%s), want 429", code, out)
+	}
+	_, stats := tenantDo(t, "GET", ts.URL+"/t/capped/stats", "", nil)
+	var st map[string]any
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["Processed"] != float64(0) {
+		t.Errorf("refused batch leaked into the monitor: Processed = %v, want 0", st["Processed"])
+	}
+}
+
+// fleetYAML is the declarative crash-test fleet: three durable tenants
+// with inline communities, tokens, and an ops listener.
+const fleetYAML = `listen: %q
+ops_listen: %q
+root: %q
+admin_token: admin-secret
+tenants:
+  - name: red
+    token: red-token
+    persist: true
+    schema: [brand, cpu]
+    users:
+      - name: u0
+        preferences:
+          - attribute: brand
+            better: Apple
+            worse: Lenovo
+      - name: u1
+        preferences:
+          - attribute: cpu
+            better: quad
+            worse: dual
+  - name: green
+    token: green-token
+    persist: true
+    schema: [brand, cpu]
+    users:
+      - name: u0
+        preferences:
+          - attribute: brand
+            better: Dell
+            worse: Apple
+  - name: blue
+    token: blue-token
+    persist: true
+    schema: [brand, cpu]
+    users:
+      - name: u0
+        preferences:
+          - attribute: cpu
+            better: dual
+            worse: quad
+`
+
+// fleetObjects is the live stream each crash-test tenant receives; the
+// per-tenant ack counts differ so recovery must be tenant-local.
+var fleetObjects = []struct{ name, brand, cpu string }{
+	{"l1", "Apple", "quad"}, {"l2", "Lenovo", "dual"}, {"l3", "Dell", "quad"},
+	{"l4", "Apple", "dual"}, {"l5", "Dell", "dual"}, {"l6", "Lenovo", "quad"},
+}
+
+// TestTenantFleetKill9Recovery is the fleet variant of the kill -9
+// exercise: `paretomon serve -config` boots three durable tenants, each
+// ingests a different prefix of a live stream, the process dies by
+// SIGKILL, and a restart over the same root must recover every tenant
+// to exactly its acknowledged state — verified against in-process
+// reference monitors — while /metrics scrapes per-tenant series.
+// Gated behind PARETOMON_CRASH_TEST=1 like the single-monitor exercise.
+func TestTenantFleetKill9Recovery(t *testing.T) {
+	if os.Getenv("PARETOMON_CRASH_TEST") != "1" {
+		t.Skip("set PARETOMON_CRASH_TEST=1 to run the kill -9 recovery exercise")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "paretomon")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/paretomon").CombinedOutput(); err != nil {
+		t.Fatalf("building paretomon: %v\n%s", err, out)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	opsAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	cfgPath := filepath.Join(tmp, "fleet.yaml")
+	if err := os.WriteFile(cfgPath,
+		[]byte(fmt.Sprintf(fleetYAML, addr, opsAddr, filepath.Join(tmp, "root"))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	start := func() *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(bin, "serve", "-config", cfgPath)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				_ = cmd.Process.Kill()
+				_, _ = cmd.Process.Wait()
+			}
+		})
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("fleet on %s never became ready", addr)
+		return nil
+	}
+
+	// Incarnation A: each tenant acks a different prefix, then SIGKILL
+	// with the WAL files open. Every counted object was acknowledged, so
+	// recovery must be exact per tenant.
+	acked := map[string]int{"red": 5, "green": 3, "blue": 1}
+	procA := start()
+	for name, n := range acked {
+		for _, o := range fleetObjects[:n] {
+			body, _ := json.Marshal(map[string]any{"name": o.name, "values": []string{o.brand, o.cpu}})
+			code, out := tenantDo(t, "POST", "http://"+addr+"/t/"+name+"/objects", name+"-token", body)
+			if code != http.StatusOK {
+				t.Fatalf("tenant %s: POST %s: %d %s", name, o.name, code, out)
+			}
+		}
+	}
+	if err := procA.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = procA.Process.Wait()
+
+	// Incarnation B: restart over the same root and config.
+	start()
+	specs := map[string][]tenant.UserSpec{
+		"red": {
+			{Name: "u0", Preferences: []tenant.PrefSpec{{Attribute: "brand", Better: "Apple", Worse: "Lenovo"}}},
+			{Name: "u1", Preferences: []tenant.PrefSpec{{Attribute: "cpu", Better: "quad", Worse: "dual"}}},
+		},
+		"green": {{Name: "u0", Preferences: []tenant.PrefSpec{{Attribute: "brand", Better: "Dell", Worse: "Apple"}}}},
+		"blue":  {{Name: "u0", Preferences: []tenant.PrefSpec{{Attribute: "cpu", Better: "dual", Worse: "quad"}}}},
+	}
+	for name, n := range acked {
+		// Reference: an uninterrupted monitor over the same community.
+		com := paretomon.NewCommunity(paretomon.NewSchema("brand", "cpu"))
+		for _, us := range specs[name] {
+			u, err := com.AddUser(us.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range us.Preferences {
+				if err := u.Prefer(p.Attribute, p.Better, p.Worse); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		mon, err := paretomon.NewMonitor(com)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range fleetObjects[:n] {
+			if _, err := mon.Add(o.name, o.brand, o.cpu); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		code, out := tenantDo(t, "GET", "http://"+addr+"/t/"+name+"/stats", name+"-token", nil)
+		if code != http.StatusOK {
+			t.Fatalf("tenant %s: stats after restart: %d %s", name, code, out)
+		}
+		var st map[string]any
+		if err := json.Unmarshal(out, &st); err != nil {
+			t.Fatal(err)
+		}
+		if got := int(st["Processed"].(float64)); got != n {
+			t.Errorf("tenant %s: recovered %d objects, acknowledged %d", name, got, n)
+		}
+		for _, us := range specs[name] {
+			want, err := mon.Frontier(us.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, body := tenantDo(t, "GET", "http://"+addr+"/t/"+name+"/frontier/"+us.Name, name+"-token", nil)
+			var resp struct {
+				Frontier []string `json:"frontier"`
+			}
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Fatalf("tenant %s: frontier %s: %v (%s)", name, us.Name, err, body)
+			}
+			if !reflect.DeepEqual(resp.Frontier, want) {
+				t.Errorf("tenant %s: frontier %s: recovered %v, uninterrupted %v", name, us.Name, resp.Frontier, want)
+			}
+		}
+		mon.Close()
+	}
+
+	// The operator surface survives recovery: /metrics scrapes cleanly
+	// with per-tenant series.
+	resp, err := http.Get("http://" + opsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping ops /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`paretomon_tenant_objects{tenant="red"} 5`,
+		`paretomon_tenant_objects{tenant="green"} 3`,
+		`paretomon_tenant_objects{tenant="blue"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics after recovery is missing %q", want)
+		}
+	}
+}

@@ -31,11 +31,36 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	paretomon "repro"
 	"repro/internal/partition"
 	"repro/internal/replica"
+	"repro/internal/tenant"
 )
+
+// Gate is the serving-edge quota surface a multi-tenant host puts in
+// front of one monitor's handlers (tenant.Tenant implements it). Every
+// admission happens here, before the monitor is touched, so the engines
+// never see quota logic. A nil gate admits everything — the
+// single-tenant server.
+type Gate interface {
+	// ReserveObjects admits the named objects or refuses them all
+	// atomically; on a refused multi-object batch the error is a
+	// *paretomon.BatchError locating the first object over the limit.
+	ReserveObjects(names []string) error
+	// UnreserveObjects rolls back a reservation whose monitor call
+	// failed afterwards.
+	UnreserveObjects(n int)
+	// ObjectRemoved releases one slot after a successful delete.
+	ObjectRemoved()
+	ReserveUser() error
+	UnreserveUser()
+	UserRemoved()
+	// ReserveSubscription admits one SSE stream; the returned release is
+	// idempotent and must run when the stream ends.
+	ReserveSubscription() (func(), error)
+}
 
 // Server is an http.Handler serving one Monitor. Routing uses Go 1.22
 // method+wildcard patterns, so a request with a known path but wrong
@@ -100,6 +125,27 @@ type Server struct {
 
 	// Router lease state; see lease.go.
 	leaseMu sync.Mutex
+
+	// gate, when set, is consulted before every quota-metered mutation;
+	// see the Gate interface. observeSnapshot, when set, receives each
+	// POST /snapshot duration in seconds.
+	gate            Gate
+	observeSnapshot func(seconds float64)
+}
+
+// Option configures New.
+type Option func(*Server)
+
+// WithGate installs a serving-edge quota gate (multi-tenant hosting).
+func WithGate(g Gate) Option {
+	return func(s *Server) { s.gate = g }
+}
+
+// WithSnapshotObserver wires snapshot-duration observability: fn
+// receives the wall-clock seconds of every operator-triggered
+// POST /snapshot.
+func WithSnapshotObserver(fn func(seconds float64)) Option {
+	return func(s *Server) { s.observeSnapshot = fn }
 }
 
 // feedConn is one active /wal stream's observable state.
@@ -109,12 +155,15 @@ type feedConn struct {
 }
 
 // New wraps an existing monitor.
-func New(mon *paretomon.Monitor) *Server {
+func New(mon *paretomon.Monitor, opts ...Option) *Server {
 	s := &Server{
 		mon:   mon,
 		mux:   http.NewServeMux(),
 		done:  make(chan struct{}),
 		feeds: make(map[int64]*feedConn),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	s.mux.HandleFunc("POST /objects", s.handleObjects)
 	s.mux.HandleFunc("POST /objects/batch", s.handleBatch)
@@ -211,6 +260,18 @@ func statusOf(err error) int {
 		errors.Is(err, paretomon.ErrUnknownObject),
 		errors.Is(err, paretomon.ErrUnknownPreference):
 		return http.StatusNotFound
+	case errors.Is(err, tenant.ErrQuotaExceeded):
+		// A tenant quota refused the request; retry after freeing
+		// capacity (or after the rate bucket refills).
+		return http.StatusTooManyRequests
+	case errors.Is(err, tenant.ErrUnauthorized):
+		return http.StatusUnauthorized
+	case errors.Is(err, tenant.ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, tenant.ErrDuplicateTenant):
+		return http.StatusConflict
+	case errors.Is(err, tenant.ErrBadConfig):
+		return http.StatusBadRequest
 	case errors.Is(err, paretomon.ErrReadOnly):
 		// Followers replicate; writes go to the primary.
 		return http.StatusForbidden
@@ -267,8 +328,17 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
+	if s.gate != nil {
+		if err := s.gate.ReserveObjects([]string{req.Name}); err != nil {
+			s.monitorError(w, err)
+			return
+		}
+	}
 	d, err := s.mon.Add(req.Name, req.Values...)
 	if err != nil {
+		if s.gate != nil {
+			s.gate.UnreserveObjects(1)
+		}
 		s.monitorError(w, err)
 		return
 	}
@@ -296,8 +366,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, o := range req.Objects {
 		objs[i] = paretomon.Object{Name: o.Name, Values: o.Values}
 	}
+	if s.gate != nil {
+		names := make([]string, len(objs))
+		for i, o := range objs {
+			names[i] = o.Name
+		}
+		// The gate refuses the whole batch atomically, matching
+		// AddBatch's own all-or-nothing contract: a mid-batch quota hit
+		// ingests nothing.
+		if err := s.gate.ReserveObjects(names); err != nil {
+			s.monitorError(w, err)
+			return
+		}
+	}
 	ds, err := s.mon.AddBatch(objs)
 	if err != nil {
+		if s.gate != nil {
+			// AddBatch is atomic: on error the monitor is unchanged, so
+			// the whole reservation rolls back.
+			s.gate.UnreserveObjects(len(objs))
+		}
 		s.monitorError(w, err)
 		return
 	}
@@ -349,6 +437,9 @@ func (s *Server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
 		s.monitorError(w, err)
 		return
 	}
+	if s.gate != nil {
+		s.gate.ObjectRemoved()
+	}
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
@@ -377,7 +468,16 @@ func (s *Server) handleUserAdd(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Preferences {
 		prefs[i] = paretomon.Preference{Attr: p.Attribute, Better: p.Better, Worse: p.Worse}
 	}
+	if s.gate != nil {
+		if err := s.gate.ReserveUser(); err != nil {
+			s.monitorError(w, err)
+			return
+		}
+	}
 	if err := s.mon.AddUser(req.Name, prefs); err != nil {
+		if s.gate != nil {
+			s.gate.UnreserveUser()
+		}
 		s.monitorError(w, err)
 		return
 	}
@@ -395,7 +495,25 @@ func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
 		s.monitorError(w, err)
 		return
 	}
+	if s.gate != nil {
+		s.gate.UserRemoved()
+	}
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// reserveStream charges the subscription quota for one SSE stream; it
+// answers the request itself (429) and reports false on refusal. The
+// returned release is a no-op when no gate is installed.
+func (s *Server) reserveStream(w http.ResponseWriter) (release func(), ok bool) {
+	if s.gate == nil {
+		return func() {}, true
+	}
+	release, err := s.gate.ReserveSubscription()
+	if err != nil {
+		s.monitorError(w, err)
+		return nil, false
+	}
+	return release, true
 }
 
 // sseStart writes the SSE preamble; it reports false when the
@@ -420,6 +538,11 @@ func sseStart(w http.ResponseWriter) (http.Flusher, bool) {
 // stream. Slow consumers lose oldest deliveries rather than stalling
 // ingestion (see Monitor.Subscribe).
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.reserveStream(w)
+	if !ok {
+		return
+	}
+	defer release()
 	ch, cancel, err := s.mon.Subscribe(r.PathValue("user"))
 	if err != nil {
 		s.monitorError(w, err)
@@ -458,6 +581,11 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 // payload {"object": ..., "entered": [...], "left": [...]} — unlike the
 // deprecated /subscribe stream, removals and retractions are visible.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.reserveStream(w)
+	if !ok {
+		return
+	}
+	defer release()
 	ch, cancel, err := s.mon.SubscribeDeltas(r.PathValue("user"))
 	if err != nil {
 		s.monitorError(w, err)
@@ -552,9 +680,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // to bound the next recovery's WAL replay. The response carries the
 // post-snapshot storage footprint.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if err := s.mon.Snapshot(); err != nil {
 		s.monitorError(w, err)
 		return
+	}
+	if s.observeSnapshot != nil {
+		s.observeSnapshot(time.Since(start).Seconds())
 	}
 	st, err := s.mon.StorageStats()
 	if err != nil {

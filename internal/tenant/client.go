@@ -1,0 +1,119 @@
+package tenant
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// AdminClient drives a TenantServer's admin surface
+// (/admin/tenants...) over HTTP: tenant CRUD and token rotation.
+// Every request carries the caller's context — cancellation and
+// deadlines propagate to the wire.
+type AdminClient struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// NewAdminClient returns a client for the server at base (scheme and
+// host, e.g. http://127.0.0.1:7171) authenticating with the admin
+// token (empty when the server runs open).
+func NewAdminClient(base, token string) *AdminClient {
+	return &AdminClient{base: strings.TrimRight(base, "/"), token: token, hc: http.DefaultClient}
+}
+
+// do runs one admin request and decodes the JSON response into out
+// (when non-nil). Non-2xx responses map back onto the package's error
+// taxonomy so callers can errors.Is their way through remote failures
+// exactly as they would local ones.
+func (c *AdminClient) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("tenant: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("tenant: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return statusError(resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// statusError folds an HTTP status back into the error taxonomy.
+func statusError(code int, msg string) error {
+	var sentinel error
+	switch code {
+	case http.StatusNotFound:
+		sentinel = ErrUnknownTenant
+	case http.StatusUnauthorized:
+		sentinel = ErrUnauthorized
+	case http.StatusTooManyRequests:
+		sentinel = ErrQuotaExceeded
+	case http.StatusConflict:
+		sentinel = ErrDuplicateTenant
+	case http.StatusBadRequest:
+		sentinel = ErrBadConfig
+	default:
+		return fmt.Errorf("tenant: admin request failed: HTTP %d: %s", code, msg)
+	}
+	return fmt.Errorf("%w: HTTP %d: %s", sentinel, code, msg)
+}
+
+// List fetches every tenant's spec (tokens redacted by the server).
+func (c *AdminClient) List(ctx context.Context) ([]Spec, error) {
+	var out []Spec
+	if err := c.do(ctx, http.MethodGet, "/admin/tenants", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Create stands up a new tenant from spec.
+func (c *AdminClient) Create(ctx context.Context, spec Spec) error {
+	return c.do(ctx, http.MethodPost, "/admin/tenants", spec, nil)
+}
+
+// Delete tears a tenant down, data directory included.
+func (c *AdminClient) Delete(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/admin/tenants/"+url.PathEscape(name), nil, nil)
+}
+
+// RotateToken installs a new bearer token (server-generated when token
+// is empty) and returns it. In-flight requests riding the old token
+// are cancelled server-side.
+func (c *AdminClient) RotateToken(ctx context.Context, name, token string) (string, error) {
+	var out struct {
+		Token string `json:"token"`
+	}
+	err := c.do(ctx, http.MethodPost, "/admin/tenants/"+url.PathEscape(name)+"/rotate-token",
+		map[string]string{"token": token}, &out)
+	return out.Token, err
+}

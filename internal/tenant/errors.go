@@ -1,0 +1,64 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The tenant error taxonomy. Every error the registry, the quota gate
+// and the admin client return wraps exactly one of these sentinels, so
+// callers — and server.TenantServer's status mapping — dispatch with
+// errors.Is, never by parsing messages:
+//
+//	ErrUnknownTenant   → 404
+//	ErrUnauthorized    → 401
+//	ErrQuotaExceeded   → 429
+//	ErrDuplicateTenant → 409
+var (
+	// ErrUnknownTenant reports a tenant name the registry does not hold.
+	ErrUnknownTenant = errors.New("tenant: unknown tenant")
+
+	// ErrDuplicateTenant reports a Create with an existing name.
+	ErrDuplicateTenant = errors.New("tenant: duplicate tenant")
+
+	// ErrUnauthorized reports a missing or wrong bearer token — a
+	// tenant-scoped request without the tenant's token, or an admin
+	// request without the fleet's admin token. Token rotation makes the
+	// old token fail with this immediately, including on requests
+	// already in flight (their session context is cancelled).
+	ErrUnauthorized = errors.New("tenant: unauthorized")
+
+	// ErrQuotaExceeded reports a request the tenant's quotas refuse:
+	// user, object or subscription capacity, or the request-rate
+	// limiter. The concrete error is a *QuotaError naming the resource;
+	// an over-quota AddBatch surfaces as a *paretomon.BatchError whose
+	// chain still reaches this sentinel, locating the first object that
+	// does not fit. Quota rejections never partially apply: a refused
+	// batch leaves the monitor untouched.
+	ErrQuotaExceeded = errors.New("tenant: quota exceeded")
+
+	// ErrRegistryClosed reports use of a registry after Close.
+	ErrRegistryClosed = errors.New("tenant: registry closed")
+
+	// ErrBadConfig reports an invalid tenant spec or fleet config: a
+	// malformed name, a missing community source, an unknown role or
+	// algorithm, an unparsable YAML/JSON document.
+	ErrBadConfig = errors.New("tenant: invalid configuration")
+)
+
+// QuotaError is the concrete quota rejection: which tenant, which
+// resource ("users", "objects", "subscriptions", "rate"), and the
+// configured limit. It unwraps to ErrQuotaExceeded.
+type QuotaError struct {
+	Tenant   string
+	Resource string
+	Limit    int
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %q: %s quota exceeded (limit %d)", e.Tenant, e.Resource, e.Limit)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *QuotaError) Unwrap() error { return ErrQuotaExceeded }

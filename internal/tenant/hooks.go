@@ -1,0 +1,45 @@
+package tenant
+
+import "repro/internal/telemetry"
+
+// hooks binds one tenant's label to the registry-wide telemetry
+// families. A nil *hooks is valid and records nothing, so tenants work
+// without a telemetry registry (tests, library embedding).
+type hooks struct {
+	ingestedTotal   telemetry.Counter
+	quotaRejections telemetry.CounterVec // label: quota resource
+	activeSubs      telemetry.Gauge
+	tenant          string
+}
+
+func newHooks(tel *telemetry.Registry, tenant string) *hooks {
+	if tel == nil {
+		return nil
+	}
+	return &hooks{
+		tenant:        tenant,
+		ingestedTotal: tel.NewCounter("paretomon_objects_ingested_total", "Objects admitted through the tenant quota gate.", "tenant").With(tenant),
+		quotaRejections: tel.NewCounter("paretomon_quota_rejections_total",
+			"Requests refused by a tenant quota, by resource (users, objects, subscriptions, rate).",
+			"tenant", "quota"),
+		activeSubs: tel.NewGauge("paretomon_active_subscriptions", "Open SSE subscription streams.", "tenant").With(tenant),
+	}
+}
+
+func (h *hooks) ingested(n int) {
+	if h != nil {
+		h.ingestedTotal.Add(float64(n))
+	}
+}
+
+func (h *hooks) quotaReject(resource string) {
+	if h != nil {
+		h.quotaRejections.With(h.tenant, resource).Inc()
+	}
+}
+
+func (h *hooks) subs(delta int) {
+	if h != nil {
+		h.activeSubs.Add(float64(delta))
+	}
+}

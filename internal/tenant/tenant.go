@@ -1,0 +1,281 @@
+// Package tenant hosts many isolated communities inside one process:
+// a Registry of named tenants, each with its own Monitor (or follower /
+// router Driver), its own data directory under <root>/tenants/<name>/,
+// a bearer auth token, and enforced quotas. server.TenantServer
+// namespaces the whole HTTP API under /t/{tenant}/... on top of it;
+// cmd/paretomon's `serve -config fleet.yaml` stands a fleet up
+// declaratively. See docs/OPERATIONS.md for the operator guide.
+//
+// Isolation model: tenants share nothing but the process. Every tenant
+// owns a full engine (frontiers, WAL, snapshots, subscriptions), so a
+// tenant's workload replayed alone on a standalone monitor produces
+// byte-identical frontiers — the multi-tenant integration suite gates
+// on exactly that. Quota enforcement happens at the serving edge
+// (before the monitor is touched), never inside the engines, so the
+// ingest hot path is identical with and without quotas.
+package tenant
+
+import (
+	"context"
+	"crypto/subtle"
+	"fmt"
+	"sync"
+	"time"
+
+	paretomon "repro"
+	"repro/internal/partition"
+)
+
+// Tenant is one hosted community: an isolated Driver plus the serving-
+// edge state (token, quotas, usage counts, rate limiter) the registry
+// enforces around it.
+type Tenant struct {
+	name string
+	spec Spec
+	dir  string // data directory ("" when not persistent)
+
+	mon *paretomon.Monitor // primary and follower tenants
+	rt  *partition.Router  // router tenants
+
+	mu     sync.Mutex
+	token  string
+	closed bool
+	// Session context: cancelled on token rotation and on delete, so
+	// in-flight requests — SSE streams especially — end immediately
+	// instead of riding an invalidated credential.
+	sessCtx    context.Context
+	sessCancel context.CancelFunc
+
+	// Usage counters behind the quota gate. users and objects mirror
+	// the monitor's alive counts (initialized from it on boot, then
+	// maintained by the gate); subs counts open subscription streams.
+	users   int
+	objects int
+	subs    int
+
+	// Token-bucket request limiter (Quotas.MaxRequestsPerSec).
+	rateTokens float64
+	rateLast   time.Time
+
+	// now is the rate limiter's clock, swappable in tests.
+	now func() time.Time
+
+	tel *hooks
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// Spec returns a copy of the tenant's spec with the current token.
+func (t *Tenant) Spec() Spec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.spec
+	s.Token = t.token
+	return s
+}
+
+// Monitor returns the tenant's monitor, or nil for a router tenant.
+func (t *Tenant) Monitor() *paretomon.Monitor { return t.mon }
+
+// Router returns the tenant's partition router, or nil otherwise.
+func (t *Tenant) Router() *partition.Router { return t.rt }
+
+// Driver returns the tenant's dissemination surface.
+func (t *Tenant) Driver() paretomon.Driver {
+	if t.rt != nil {
+		return t.rt
+	}
+	return t.mon
+}
+
+// SessionContext returns a context cancelled when the tenant's token
+// rotates or the tenant is deleted. The HTTP layer merges it into
+// every tenant-scoped request context, which is what makes rotation
+// and deletion invalidate in-flight requests and live SSE streams.
+func (t *Tenant) SessionContext() context.Context {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sessCtx
+}
+
+// Authorize checks a bearer token. A tenant configured without a token
+// accepts any credential (including none).
+func (t *Tenant) Authorize(token string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.token == "" {
+		return nil
+	}
+	if subtle.ConstantTimeCompare([]byte(token), []byte(t.token)) != 1 {
+		return fmt.Errorf("%w: tenant %q", ErrUnauthorized, t.name)
+	}
+	return nil
+}
+
+// fillRateLocked starts the token bucket full (a fresh or newly
+// rate-limited tenant gets its whole burst). Caller holds t.mu or has
+// exclusive access.
+func (t *Tenant) fillRateLocked() {
+	if rate := t.spec.Quotas.MaxRequestsPerSec; rate > 0 {
+		t.rateTokens = rate
+		if t.rateTokens < 1 {
+			t.rateTokens = 1
+		}
+	}
+}
+
+// rotateLocked installs a new token and cancels the current session
+// context. Caller holds t.mu.
+func (t *Tenant) rotateLocked(token string) {
+	t.token = token
+	t.sessCancel()
+	t.sessCtx, t.sessCancel = context.WithCancel(context.Background())
+}
+
+// Admit charges the request-rate limiter: one token per request,
+// refilled at MaxRequestsPerSec with a burst of one second's worth
+// (minimum 1). Zero rate means unlimited.
+func (t *Tenant) Admit() error {
+	rate := t.spec.Quotas.MaxRequestsPerSec
+	if rate <= 0 {
+		return nil
+	}
+	burst := rate
+	if burst < 1 {
+		burst = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.rateTokens += now.Sub(t.rateLast).Seconds() * rate
+	t.rateLast = now
+	if t.rateTokens > burst {
+		t.rateTokens = burst
+	}
+	if t.rateTokens < 1 {
+		t.tel.quotaReject("rate")
+		return &QuotaError{Tenant: t.name, Resource: "rate", Limit: int(rate)}
+	}
+	t.rateTokens--
+	return nil
+}
+
+// ReserveObjects admits names into the object quota before an
+// Add/AddBatch, or refuses the whole batch atomically: nothing is
+// reserved on failure, and for a multi-object batch the error is a
+// *paretomon.BatchError locating the first object that does not fit
+// (its chain reaches ErrQuotaExceeded). On success the reservation is
+// the accounting — call UnreserveObjects only if the monitor call
+// fails afterwards.
+func (t *Tenant) ReserveObjects(names []string) error {
+	max := t.spec.Quotas.MaxObjects
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max > 0 && t.objects+len(names) > max {
+		t.tel.quotaReject("objects")
+		qerr := &QuotaError{Tenant: t.name, Resource: "objects", Limit: max}
+		over := max - t.objects // index of the first object over the line
+		if over < 0 {
+			over = 0
+		}
+		if len(names) > 1 {
+			return &paretomon.BatchError{Index: over, Object: names[over], Err: qerr}
+		}
+		return qerr
+	}
+	t.objects += len(names)
+	t.tel.ingested(len(names))
+	return nil
+}
+
+// UnreserveObjects rolls back a reservation whose monitor call failed.
+func (t *Tenant) UnreserveObjects(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.objects -= n
+}
+
+// ObjectRemoved releases one object's quota after a successful delete.
+func (t *Tenant) ObjectRemoved() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.objects--
+}
+
+// ReserveUser admits one AddUser into the user quota.
+func (t *Tenant) ReserveUser() error {
+	max := t.spec.Quotas.MaxUsers
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max > 0 && t.users+1 > max {
+		t.tel.quotaReject("users")
+		return &QuotaError{Tenant: t.name, Resource: "users", Limit: max}
+	}
+	t.users++
+	return nil
+}
+
+// UnreserveUser rolls back a user reservation.
+func (t *Tenant) UnreserveUser() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.users--
+}
+
+// UserRemoved releases one user's quota after a successful delete.
+func (t *Tenant) UserRemoved() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.users--
+}
+
+// ReserveSubscription admits one SSE stream into the subscription
+// quota. The returned release must be called when the stream ends; it
+// is idempotent. Deleting the tenant while streams are live works
+// through the session context — the handlers unwind and call their
+// releases on the way out.
+func (t *Tenant) ReserveSubscription() (release func(), err error) {
+	max := t.spec.Quotas.MaxSubscriptions
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max > 0 && t.subs+1 > max {
+		t.tel.quotaReject("subscriptions")
+		return nil, &QuotaError{Tenant: t.name, Resource: "subscriptions", Limit: max}
+	}
+	t.subs++
+	t.tel.subs(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			t.subs--
+			t.tel.subs(-1)
+		})
+	}, nil
+}
+
+// Usage returns the current quota consumption (users, objects, open
+// subscription streams).
+func (t *Tenant) Usage() (users, objects, subs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.users, t.objects, t.subs
+}
+
+// close cancels the session and shuts the driver down.
+func (t *Tenant) close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.sessCancel()
+	t.mu.Unlock()
+	if t.rt != nil {
+		return t.rt.Close()
+	}
+	return t.mon.Close()
+}

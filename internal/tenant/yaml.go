@@ -1,0 +1,342 @@
+package tenant
+
+// A minimal YAML-subset decoder for fleet configs. The container bakes
+// in no YAML dependency, and the declarative config (docs/OPERATIONS.md
+// "Config reference") needs only the structural core of the language,
+// so this file implements exactly that subset and rejects the rest with
+// line-numbered errors:
+//
+//   - block mappings (key: value / key: + indented block)
+//   - block sequences (- item, including "- key: value" inline maps)
+//   - flow sequences of scalars ([a, b, c]) and empty flow {} / []
+//   - scalars: null/~, true/false, integers, floats, single- and
+//     double-quoted strings (with \" \\ \n escapes in double quotes),
+//     and bare strings
+//   - comments (#) and blank lines
+//
+// Not supported (an explicit error, never silent misparsing): anchors,
+// aliases, tags, multi-line block scalars (| and >), multi-document
+// streams, nested flow collections, and tab indentation.
+//
+// The decoder produces the same shapes encoding/json produces
+// (map[string]any, []any, string, float64, bool, nil), so one
+// json.Marshal/Unmarshal round trip lands the document in a typed
+// config struct.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant (non-blank, non-comment) line.
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indentation stripped
+}
+
+// parseYAML decodes the documented subset into JSON-compatible values.
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("%w: yaml line %d: tab indentation is not supported", ErrBadConfig, i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "---") {
+			return nil, fmt.Errorf("%w: yaml line %d: multi-document streams are not supported", ErrBadConfig, i+1)
+		}
+		lines = append(lines, yamlLine{num: i + 1, indent: len(text) - len(trimmed), text: strings.TrimRight(trimmed, " ")})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("%w: yaml line %d: unexpected de-indent to %d", ErrBadConfig, l.num, l.indent)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment, respecting quoted strings.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS && (i == 0 || s[i-1] != '\\') {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly indent, deciding
+// mapping vs sequence from the first line.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, nil
+	}
+	first := p.lines[p.pos]
+	if first.indent != indent {
+		return nil, fmt.Errorf("%w: yaml line %d: inconsistent indentation %d (expected %d)",
+			ErrBadConfig, first.num, first.indent, indent)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("%w: yaml line %d: unexpected indentation", ErrBadConfig, l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("%w: yaml line %d: sequence item inside a mapping", ErrBadConfig, l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("%w: yaml line %d: duplicate key %q", ErrBadConfig, l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			continue
+		}
+		// key: with nothing after it — a nested block if the next line
+		// is deeper, null otherwise.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		} else {
+			out[key] = nil
+		}
+	}
+	return out, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("%w: yaml line %d: unexpected indentation", ErrBadConfig, l.num)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return nil, fmt.Errorf("%w: yaml line %d: expected a sequence item", ErrBadConfig, l.num)
+		}
+		if l.text == "-" {
+			// Item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		content := l.text[2:]
+		// "- key: value" starts an inline mapping whose further keys sit
+		// at the content column. Rewrite the line in place and let the
+		// mapping parser consume it and its siblings.
+		if k, _, err := splitKey(yamlLine{num: l.num, text: content}); err == nil && k != "" && !isFlowScalar(content) {
+			p.lines[p.pos] = yamlLine{num: l.num, indent: indent + 2, text: content}
+			v, err := p.parseMapping(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		p.pos++
+		v, err := parseScalar(content, l.num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// isFlowScalar reports content that must be a scalar even though it
+// contains a colon (quoted strings, flow sequences, URLs inside
+// quotes). Bare scalars with ": " are treated as inline maps by the
+// sequence parser, which is what fleet configs want.
+func isFlowScalar(s string) bool {
+	return strings.HasPrefix(s, `"`) || strings.HasPrefix(s, `'`) ||
+		strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{")
+}
+
+// splitKey splits "key: rest" / "key:"; the key may be quoted.
+func splitKey(l yamlLine) (key, rest string, err error) {
+	s := l.text
+	if strings.HasPrefix(s, `"`) || strings.HasPrefix(s, `'`) {
+		q := s[0]
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("%w: yaml line %d: unterminated quoted key", ErrBadConfig, l.num)
+		}
+		key = s[1 : 1+end]
+		s = s[2+end:]
+		if !strings.HasPrefix(s, ":") {
+			return "", "", fmt.Errorf("%w: yaml line %d: expected ':' after key", ErrBadConfig, l.num)
+		}
+		return key, strings.TrimSpace(s[1:]), nil
+	}
+	i := strings.Index(s, ": ")
+	if i < 0 {
+		if strings.HasSuffix(s, ":") {
+			return s[:len(s)-1], "", nil
+		}
+		return "", "", fmt.Errorf("%w: yaml line %d: expected 'key: value', got %q", ErrBadConfig, l.num, s)
+	}
+	return s[:i], strings.TrimSpace(s[i+2:]), nil
+}
+
+// parseScalar decodes one scalar or flow sequence.
+func parseScalar(s string, line int) (any, error) {
+	switch {
+	case s == "" || s == "~" || s == "null":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s == "[]":
+		return []any{}, nil
+	case s == "{}":
+		return map[string]any{}, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("%w: yaml line %d: unterminated flow sequence", ErrBadConfig, line)
+		}
+		var out []any
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if strings.HasPrefix(part, "[") || strings.HasPrefix(part, "{") {
+				return nil, fmt.Errorf("%w: yaml line %d: nested flow collections are not supported", ErrBadConfig, line)
+			}
+			v, err := parseScalar(part, line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		if out == nil {
+			out = []any{}
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{"):
+		return nil, fmt.Errorf("%w: yaml line %d: flow mappings are not supported (use a block mapping)", ErrBadConfig, line)
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "!"):
+		return nil, fmt.Errorf("%w: yaml line %d: anchors, aliases and tags are not supported", ErrBadConfig, line)
+	case s == "|" || s == ">" || strings.HasPrefix(s, "| ") || strings.HasPrefix(s, "> "):
+		return nil, fmt.Errorf("%w: yaml line %d: block scalars are not supported", ErrBadConfig, line)
+	case strings.HasPrefix(s, `"`):
+		if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+			return nil, fmt.Errorf("%w: yaml line %d: unterminated double-quoted string", ErrBadConfig, line)
+		}
+		out, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: yaml line %d: bad double-quoted string: %v", ErrBadConfig, line, err)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("%w: yaml line %d: unterminated single-quoted string", ErrBadConfig, line)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return float64(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// splitFlow splits a flow-sequence body on commas outside quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	depth := 0
+	inS, inD := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS && (i == 0 || s[i-1] != '\\') {
+				inD = !inD
+			}
+		case '[', '{':
+			if !inS && !inD {
+				depth++
+			}
+		case ']', '}':
+			if !inS && !inD {
+				depth--
+			}
+		case ',':
+			if !inS && !inD && depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}

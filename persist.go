@@ -143,6 +143,16 @@ func (m *Monitor) ObjectCount() int {
 	return len(m.objects)
 }
 
+// AliveObjectCount returns how many objects the monitor currently
+// holds: ingested and not removed (window expiry does not free the
+// name — an expired object still occupies its registry slot). Tenant
+// quotas meter this number, not the lifetime ObjectCount.
+func (m *Monitor) AliveObjectCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.names)
+}
+
 // appendWAL assigns sequence numbers to the pre-validated records and
 // logs them as one contiguous WAL append (torn only at the tail, never
 // interleaved). No-op without a store or during recovery replay. A
